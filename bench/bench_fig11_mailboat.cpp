@@ -1,0 +1,131 @@
+// Figure 11 reproduction: throughput of Mailboat vs GoMail vs CMAIL under
+// the mixed SMTP/POP3 workload (§9.3), sweeping the number of worker
+// threads with a fixed total request count.
+//
+// Setup substitutions (documented in DESIGN.md / EXPERIMENTS.md):
+//  * The paper ran on a 2x6-core Xeon; we run on whatever this machine
+//    offers, so absolute req/s and the scaling curve depend on available
+//    cores (on a single-core container the curves stay flat).
+//  * CMAIL itself is Coq-extracted Haskell; we model its overhead by
+//    calibrating busy-work per request so that single-threaded GoMail is
+//    ~34% faster than "CMAIL", the paper's measured ratio.
+//  * The mail store lives on tmpfs (/dev/shm) exactly as in the paper.
+// The preserved shape: Mailboat > GoMail > CMAIL at every thread count,
+// with Mailboat's win coming from in-memory locks + cached directory fds.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/table.h"
+#include "src/goose/world.h"
+#include "src/goosefs/posix_fs.h"
+#include "src/mailboat/gomail.h"
+#include "src/mailboat/mailboat.h"
+#include "src/mailboat/workload.h"
+
+namespace {
+
+using perennial::FixedDigits;
+using perennial::TextTable;
+using perennial::WithCommas;
+namespace fs = std::filesystem;
+using namespace perennial::mailboat;  // NOLINT
+using perennial::goosefs::PosixFilesys;
+
+constexpr uint64_t kUsers = 100;
+constexpr uint64_t kMsgLen = 1024;
+constexpr uint64_t kRequests = 6000;  // fixed total as threads vary (paper setup)
+
+std::string PickRoot() {
+  std::error_code ec;
+  for (const char* candidate : {"/dev/shm", "/tmp"}) {
+    fs::path root = fs::path(candidate) / "pcc_fig11";
+    fs::remove_all(root, ec);
+    if (fs::create_directories(root, ec)) {
+      return root.string();
+    }
+  }
+  std::fprintf(stderr, "no writable tmp directory\n");
+  std::exit(1);
+}
+
+double RunMailboat(const std::string& root, int threads) {
+  PosixFilesys posix(root, {.cache_dir_fds = true});
+  PCC_ENSURE(posix.EnsureDirs(Mailboat::DirLayout(kUsers)).ok(), "setup failed");
+  perennial::goose::World world;
+  Mailboat mail(&world, &posix, Mailboat::Options{kUsers, 4096, 512, 42});
+  WorkloadOptions warmup{kUsers, kRequests / 4, kMsgLen, 7};
+  (void)RunMixedWorkload(&mail, threads, warmup);  // warm caches/allocator
+  WorkloadOptions options{kUsers, kRequests, kMsgLen, 42};
+  return RunMixedWorkload(&mail, threads, options).requests_per_sec();
+}
+
+double RunGoMail(const std::string& root, int threads, uint64_t overhead_ns) {
+  PosixFilesys posix(root, {.cache_dir_fds = false});
+  PCC_ENSURE(posix.EnsureDirs(GoMail::DirLayout(kUsers)).ok(), "setup failed");
+  GoMail mail(&posix, GoMail::Options{kUsers, 4096, 512, 42, overhead_ns});
+  WorkloadOptions warmup{kUsers, kRequests / 4, kMsgLen, 7};
+  (void)RunMixedWorkload(&mail, threads, warmup);
+  WorkloadOptions options{kUsers, kRequests, kMsgLen, 42};
+  return RunMixedWorkload(&mail, threads, options).requests_per_sec();
+}
+
+// Calibrates the CMAIL overhead: measure single-threaded GoMail latency
+// (with warmup, identical to the table runs), then add busy-work so that
+// CMAIL's per-request cost is 1.34x GoMail's (§9.3: "GoMail is in turn 34%
+// faster than CMAIL on a single core").
+uint64_t CalibrateCmailOverhead(const std::string& root) {
+  double gomail_rps = RunGoMail(root, 1, 0);
+  double ns_per_request = 1e9 / gomail_rps;
+  return static_cast<uint64_t>(0.34 * ns_per_request);
+}
+
+}  // namespace
+
+int main() {
+  std::string root = PickRoot();
+  unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= static_cast<int>(std::min(hw * 2, 12u)); t *= 2) {
+    thread_counts.push_back(t);
+  }
+
+  std::printf("== Figure 11: mail-server throughput, mixed 50/50 workload ==\n");
+  std::printf("machine: %u hardware thread(s); store: %s (tmpfs);\n", hw, root.c_str());
+  std::printf("%llu total requests per cell, %llu users, %llu-byte messages\n\n",
+              static_cast<unsigned long long>(kRequests),
+              static_cast<unsigned long long>(kUsers),
+              static_cast<unsigned long long>(kMsgLen));
+
+  uint64_t cmail_overhead = CalibrateCmailOverhead(root);
+  std::printf("calibrated CMAIL extraction-overhead model: %llu ns busy-work per request\n\n",
+              static_cast<unsigned long long>(cmail_overhead));
+
+  TextTable table({"threads", "Mailboat req/s", "GoMail req/s", "CMAIL req/s",
+                   "Mailboat/GoMail", "GoMail/CMAIL"});
+  for (int threads : thread_counts) {
+    double mailboat = RunMailboat(root, threads);
+    double gomail = RunGoMail(root, threads, 0);
+    double cmail = RunGoMail(root, threads, cmail_overhead);
+    table.AddRow({std::to_string(threads), WithCommas(static_cast<uint64_t>(mailboat)),
+                  WithCommas(static_cast<uint64_t>(gomail)),
+                  WithCommas(static_cast<uint64_t>(cmail)),
+                  FixedDigits(gomail > 0 ? mailboat / gomail : 0, 2) + "x",
+                  FixedDigits(cmail > 0 ? gomail / cmail : 0, 2) + "x"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("paper (single core): Mailboat 1.81x GoMail; GoMail 1.34x CMAIL;\n");
+  std::printf("all three servers scale with cores on multicore hardware (tmpfs parallelism).\n");
+
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  return 0;
+}

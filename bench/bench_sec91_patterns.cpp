@@ -1,0 +1,205 @@
+// §9.1 reproduction: "Can Perennial be used to verify a variety of
+// crash-safety patterns in concurrent systems?"
+//
+// The paper answers by exhibiting machine-checked proofs; the executable
+// analogue is an exhaustive checker run per pattern — every interleaving
+// of the configured workload, every crash point (including crashes during
+// recovery), checked for concurrent recovery refinement, with the crash
+// invariant evaluated at every step. A row with 0 violations is this
+// repository's version of "the pattern verifies".
+//
+// Two ablations quantify the design choices DESIGN.md calls out:
+//  * crash-point enumeration off (max_crashes = 0): how much of the state
+//    space the crash dimension adds;
+//  * recovery helping off (the WAL mutant whose recovery discards the
+//    committed transaction while still claiming help): shows the helping
+//    obligation is what rejects bogus recoveries.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/base/table.h"
+#include "src/mailboat/mail_harness.h"
+#include "src/refine/explorer.h"
+#include "src/systems/pattern_harness.h"
+#include "src/systems/ftl/ftl_harness.h"
+#include "src/systems/kvs/kv_harness.h"
+#include "src/systems/txnlog/txn_harness.h"
+#include "src/systems/repl/repl_harness.h"
+
+namespace {
+
+using namespace perennial;           // NOLINT
+using namespace perennial::systems;  // NOLINT
+using refine::Explorer;
+using refine::ExplorerOptions;
+using refine::Report;
+
+struct RowResult {
+  Report report;
+  double ms = 0;
+};
+
+template <typename Spec, typename Factory>
+RowResult RunChecker(Spec spec, Factory factory, int max_crashes) {
+  ExplorerOptions opts;
+  opts.max_crashes = max_crashes;
+  auto start = std::chrono::steady_clock::now();
+  Explorer<Spec> ex(std::move(spec), factory, opts);
+  RowResult row;
+  row.report = ex.Run();
+  row.ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+               .count();
+  return row;
+}
+
+void AddRow(TextTable& table, const std::string& name, const RowResult& row) {
+  table.AddRow({name, WithCommas(row.report.executions), WithCommas(row.report.total_steps),
+                WithCommas(row.report.crashes_injected),
+                WithCommas(row.report.spec_states_explored),
+                std::to_string(row.report.violations.size()), FixedDigits(row.ms, 0) + " ms"});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Section 9.1: checker verification of every crash-safety pattern ==\n");
+  std::printf("(exhaustive over the configured workloads; crashes may also hit recovery)\n\n");
+
+  TextTable table({"Pattern", "executions", "steps", "crashes", "spec states", "violations",
+                   "time"});
+
+  {
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
+    AddRow(table, "Replicated disk (2 writers)",
+           RunChecker(ReplSpec{1}, [&] { return MakeReplInstance(options); }, 1));
+  }
+  {
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 9)}, {ReplSpec::MakeRead(0)}};
+    options.with_disk1_failure_event = true;
+    AddRow(table, "Replicated disk (failover)",
+           RunChecker(ReplSpec{1}, [&] { return MakeReplInstance(options); }, 1));
+  }
+  {
+    ShadowHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2)}, {PairSpec::MakeWrite(3, 4)}};
+    AddRow(table, "Shadow copy (2 writers)",
+           RunChecker(PairSpec{}, [&] { return MakeShadowInstance(options); }, 1));
+  }
+  {
+    WalHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2)}, {PairSpec::MakeWrite(3, 4)}};
+    AddRow(table, "Write-ahead log (2 writers)",
+           RunChecker(PairSpec{}, [&] { return MakeWalInstance(options); }, 1));
+  }
+  {
+    WalHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2)}};
+    AddRow(table, "Write-ahead log (recovery crash)",
+           RunChecker(PairSpec{}, [&] { return MakeWalInstance(options); }, 2));
+  }
+  {
+    GcHarnessOptions options;
+    options.client_ops = {{GcSpec::MakeWrite(1)}, {GcSpec::MakeWrite(2)}, {GcSpec::MakeFlush()}};
+    AddRow(table, "Group commit (2 writers + flush)",
+           RunChecker(GcSpec{}, [&] { return MakeGcInstance(options); }, 1));
+  }
+  {
+    mailboat::MailHarnessOptions options;
+    options.num_users = 1;
+    options.client_scripts = {
+        {{mailboat::MailAction::Kind::kDeliver, 0, "a"}},
+        {{mailboat::MailAction::Kind::kPickupDeleteAllUnlock, 0, ""}},
+    };
+    AddRow(table, "Mailboat (deliver vs pickup+delete)",
+           RunChecker(mailboat::MailSpec{1}, [&] { return mailboat::MakeMailInstance(options); },
+                      1));
+  }
+  {
+    // Extension: the mini flash translation layer (§1's "lower-level
+    // storage systems like ... flash translation layers").
+    FtlHarnessOptions options;
+    options.num_lbas = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
+    AddRow(table, "Mini-FTL (2 writers; extension)",
+           RunChecker(ReplSpec{1}, [&] { return MakeFtlInstance(options); }, 1));
+  }
+  {
+    // Extension beyond the paper: the general transaction-log engine.
+    TxnHarnessOptions options;
+    options.num_addrs = 2;
+    options.client_ops = {{TxnSpec::MakeBatch({{0, 1}, {1, 2}})}, {TxnSpec::MakeRead(0)}};
+    AddRow(table, "Txn log (batch vs reader; extension)",
+           RunChecker(TxnSpec{2}, [&] { return MakeTxnInstance(options); }, 1));
+  }
+  {
+    // Extension beyond the paper: the layered KV store (DESIGN.md §4).
+    KvHarnessOptions options;
+    options.num_keys = 2;
+    options.client_ops = {{KvSpec::MakePutPair(0, 1, 1, 2)}, {KvSpec::MakeGet(0)}};
+    AddRow(table, "Durable KV (txn vs reader; extension)",
+           RunChecker(KvSpec{2}, [&] { return MakeKvInstance(options); }, 1));
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("== Ablations ==\n\n");
+  TextTable ablation({"Configuration", "executions", "crashes", "violations", "time"});
+  {
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
+    RowResult with_crashes = RunChecker(ReplSpec{1}, [&] { return MakeReplInstance(options); }, 1);
+    RowResult without = RunChecker(ReplSpec{1}, [&] { return MakeReplInstance(options); }, 0);
+    ablation.AddRow({"repl: crash points ON", WithCommas(with_crashes.report.executions),
+                     WithCommas(with_crashes.report.crashes_injected),
+                     std::to_string(with_crashes.report.violations.size()),
+                     FixedDigits(with_crashes.ms, 0) + " ms"});
+    ablation.AddRow({"repl: crash points OFF", WithCommas(without.report.executions),
+                     WithCommas(without.report.crashes_injected),
+                     std::to_string(without.report.violations.size()),
+                     FixedDigits(without.ms, 0) + " ms"});
+  }
+  {
+    // CHESS-style preemption bounding: schedule-space reduction vs coverage.
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
+    for (int bound : {0, 1, 2}) {
+      ExplorerOptions opts;
+      opts.max_crashes = 1;
+      opts.max_preemptions = bound;
+      auto start = std::chrono::steady_clock::now();
+      Explorer<ReplSpec> ex(ReplSpec{1}, [&] { return MakeReplInstance(options); }, opts);
+      Report report = ex.Run();
+      double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                            start)
+                      .count();
+      ablation.AddRow({"repl: preemption bound = " + std::to_string(bound),
+                       WithCommas(report.executions), WithCommas(report.crashes_injected),
+                       std::to_string(report.violations.size()), FixedDigits(ms, 0) + " ms"});
+    }
+  }
+  {
+    WalHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2)}};
+    options.mutations.recovery_discards_log = true;
+    RowResult bogus = RunChecker(PairSpec{}, [&] { return MakeWalInstance(options); }, 1);
+    ablation.AddRow({"wal: recovery claims help, applies nothing",
+                     WithCommas(bogus.report.executions),
+                     WithCommas(bogus.report.crashes_injected),
+                     std::to_string(bogus.report.violations.size()) + " (expected >0)",
+                     FixedDigits(bogus.ms, 0) + " ms"});
+  }
+  std::printf("%s\n", ablation.Render().c_str());
+
+  std::printf(
+      "paper result: all patterns verified (proofs machine-checked). Here: every\n"
+      "pattern row must show 0 violations; the ablation row must show >0 —\n"
+      "the helping obligation is what rejects a recovery that lies about\n"
+      "completing a committed transaction.\n");
+  return 0;
+}

@@ -1,0 +1,179 @@
+// §9.5 reproduction: the bug suite.
+//
+// The paper discusses bugs encountered while developing Mailboat (an
+// infinite pickup loop for messages over 512 bytes; the requirement that
+// callers not mutate the message slice during delivery) plus the broken
+// recovery designs §1 uses to motivate the techniques (zeroing recovery).
+// This bench re-introduces each bug as a mutation and measures how the
+// checker detects it: the violation class, how many executions it takes,
+// and wall-clock time to first detection.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "src/base/table.h"
+#include "src/mailboat/mail_harness.h"
+#include "src/refine/explorer.h"
+#include "src/systems/pattern_harness.h"
+#include "src/systems/ftl/ftl_harness.h"
+#include "src/systems/repl/repl_harness.h"
+
+namespace {
+
+using namespace perennial;           // NOLINT
+using namespace perennial::systems;  // NOLINT
+using refine::Explorer;
+using refine::ExplorerOptions;
+using refine::Report;
+
+void Detect(TextTable& table, const std::string& bug,
+            const std::function<Report()>& run) {
+  auto start = std::chrono::steady_clock::now();
+  Report report = run();
+  double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+  std::string kind = report.violations.empty() ? "NOT DETECTED" : report.violations[0].kind;
+  table.AddRow({bug, kind, WithCommas(report.executions), FixedDigits(ms, 1) + " ms"});
+}
+
+template <typename Spec, typename Factory>
+std::function<Report()> Checker(Spec spec, Factory factory, int max_crashes,
+                                uint64_t max_steps = 5000) {
+  return [spec, factory, max_crashes, max_steps] {
+    ExplorerOptions opts;
+    opts.max_crashes = max_crashes;
+    opts.max_violations = 1;  // stop at first detection
+    opts.max_steps_per_run = max_steps;
+    Explorer<Spec> ex(spec, factory, opts);
+    return ex.Run();
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Section 9.5: bug suite — every defect must be detected ==\n\n");
+
+  TextTable table({"Bug", "detected as", "executions", "time to detect"});
+
+  {  // §9.5 bug 1: the 512-byte pickup loop.
+    mailboat::MailHarnessOptions options;
+    options.num_users = 1;
+    options.read_size = 2;
+    options.client_scripts = {{{mailboat::MailAction::Kind::kDeliver, 0, "xy"},
+                               {mailboat::MailAction::Kind::kPickupUnlock, 0, ""}}};
+    options.mutations.pickup_512_loop = true;
+    options.observe_mailboxes = false;
+    Detect(table, "Mailboat: pickup loops on >=512B message",
+           Checker(mailboat::MailSpec{1},
+                   [options] { return mailboat::MakeMailInstance(options); }, 0, 300));
+  }
+  {  // §8.3: partial message visible without the spool+link discipline.
+    mailboat::MailHarnessOptions options;
+    options.num_users = 1;
+    options.chunk_size = 1;
+    options.client_scripts = {{{mailboat::MailAction::Kind::kDeliver, 0, "abc"}},
+                              {{mailboat::MailAction::Kind::kPickupUnlock, 0, ""}}};
+    options.mutations.deliver_in_place = true;
+    Detect(table, "Mailboat: deliver skips spool (partial msg visible)",
+           Checker(mailboat::MailSpec{1},
+                   [options] { return mailboat::MakeMailInstance(options); }, 0));
+  }
+  {  // Recovery that destroys mail.
+    mailboat::MailHarnessOptions options;
+    options.num_users = 1;
+    options.client_scripts = {{{mailboat::MailAction::Kind::kDeliver, 0, "precious"}}};
+    options.mutations.recovery_deletes_mail = true;
+    Detect(table, "Mailboat: recovery deletes delivered mail",
+           Checker(mailboat::MailSpec{1},
+                   [options] { return mailboat::MakeMailInstance(options); }, 1));
+  }
+  {  // §1: recovery zeroes both disks.
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}};
+    options.mutations.recovery_zeroes = true;
+    Detect(table, "Replicated disk: recovery zeroes both disks",
+           Checker(ReplSpec{1}, [options] { return MakeReplInstance(options); }, 1));
+  }
+  {  // §3.1: no recovery at all, inconsistency exposed by failover.
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}};
+    options.mutations.skip_recovery = true;
+    options.with_disk1_failure_event = true;
+    options.observe_repeats = 2;
+    Detect(table, "Replicated disk: recovery skipped (failover exposes)",
+           Checker(ReplSpec{1}, [options] { return MakeReplInstance(options); }, 1));
+  }
+  {  // Write to only one disk.
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}};
+    options.mutations.skip_second_write = true;
+    options.with_disk1_failure_event = true;
+    Detect(table, "Replicated disk: write skips disk 2",
+           Checker(ReplSpec{1}, [options] { return MakeReplInstance(options); }, 0));
+  }
+  {  // Unlocked writes.
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
+    options.mutations.skip_locking = true;
+    Detect(table, "Replicated disk: writes without per-address lock",
+           Checker(ReplSpec{1}, [options] { return MakeReplInstance(options); }, 0));
+  }
+  {  // Shadow copy updated in place.
+    ShadowHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2), PairSpec::MakeWrite(3, 4)}};
+    options.mutations.in_place_update = true;
+    Detect(table, "Shadow copy: in-place update (torn pair)",
+           Checker(PairSpec{}, [options] { return MakeShadowInstance(options); }, 1));
+  }
+  {  // WAL applies before committing.
+    WalHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2), PairSpec::MakeWrite(3, 4)}};
+    options.mutations.apply_before_commit = true;
+    Detect(table, "WAL: data applied before commit record",
+           Checker(PairSpec{}, [options] { return MakeWalInstance(options); }, 1));
+  }
+  {  // WAL recovery discards the committed transaction but claims help.
+    WalHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2)}};
+    options.mutations.recovery_discards_log = true;
+    Detect(table, "WAL: recovery claims help, applies nothing",
+           Checker(PairSpec{}, [options] { return MakeWalInstance(options); }, 1));
+  }
+  {  // FTL: constant sequence numbers resurrect stale data after a crash.
+    FtlHarnessOptions options;
+    options.num_lbas = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 1), ReplSpec::MakeWrite(0, 2)}};
+    options.mutations.reuse_sequence_numbers = true;
+    Detect(table, "FTL: sequence numbers never increment",
+           Checker(ReplSpec{1}, [options] { return MakeFtlInstance(options); }, 1));
+  }
+  {  // FTL: mapping-only writes lose acknowledged data.
+    FtlHarnessOptions options;
+    options.num_lbas = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}};
+    options.mutations.volatile_write = true;
+    Detect(table, "FTL: write skips the page program",
+           Checker(ReplSpec{1}, [options] { return MakeFtlInstance(options); }, 1));
+  }
+  {  // Group commit advances the count before the data.
+    GcHarnessOptions options;
+    options.client_ops = {
+        {GcSpec::MakeWrite(7), GcSpec::MakeFlush(), GcSpec::MakeWrite(9), GcSpec::MakeFlush()}};
+    options.mutations.commit_count_first = true;
+    Detect(table, "Group commit: count committed before values",
+           Checker(GcSpec{}, [options] { return MakeGcInstance(options); }, 1));
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "paper: the 512-byte loop surfaced during the proof; the slice-mutation\n"
+      "requirement was discovered because the model is low-level (§9.5). All\n"
+      "rows above must read a violation class, never NOT DETECTED.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 3 reproduction: effort per verified crash-safety pattern.
+//
+// The paper reports lines of Coq proof per example; the analogous effort
+// here is lines of C++ (implementation + spec + harness), shown next to
+// the paper's numbers. The semantics rows (two-disk / single-disk) map to
+// the shared block-device model.
+#include <cstdio>
+
+#include "bench/loc_common.h"
+#include "src/base/table.h"
+
+int main() {
+  using perennial::TextTable;
+  using perennial::WithCommas;
+  using perennial::bench::CodeLines;
+  using perennial::bench::RepoRoot;
+
+  std::string root = RepoRoot();
+
+  uint64_t disks = CodeLines(root, {"src/disk"});
+  uint64_t repl = CodeLines(root, {"src/systems/repl"});
+  uint64_t shadow = CodeLines(root, {"src/systems/shadow", "src/systems/pair_spec.h"});
+  uint64_t wal = CodeLines(root, {"src/systems/wal"});
+  uint64_t gc = CodeLines(root, {"src/systems/gc"});
+  uint64_t pattern_harness = CodeLines(root, {"src/systems/pattern_harness.h"});
+  uint64_t kvs = CodeLines(root, {"src/systems/kvs"});
+  uint64_t txnlog = CodeLines(root, {"src/systems/txnlog"});
+  uint64_t ftl = CodeLines(root, {"src/systems/ftl"});
+
+  std::printf("== Table 3: lines of code per crash-safety pattern ==\n\n");
+  TextTable table({"Example", "Paper (Coq)", "This repo (C++)"});
+  table.AddRow({"Two-disk semantics", "1,350", WithCommas(disks) + " (shared disk model)"});
+  table.AddRow({"Replicated disk", "1,180", WithCommas(repl)});
+  table.AddRule();
+  table.AddRow({"Single-disk semantics", "1,310", "(same shared disk model)"});
+  table.AddRow({"Shadow copy", "390", WithCommas(shadow)});
+  table.AddRow({"Write-ahead logging", "930", WithCommas(wal)});
+  table.AddRow({"Group commit", "1,410", WithCommas(gc)});
+  table.AddRow({"Shared checker harness", "-", WithCommas(pattern_harness)});
+  table.AddRule();
+  table.AddRow({"Durable KV (extension)", "-", WithCommas(kvs)});
+  table.AddRow({"Txn log engine (extension)", "-", WithCommas(txnlog)});
+  table.AddRow({"Mini-FTL (extension)", "-", WithCommas(ftl)});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "notes:\n"
+      " * Paper numbers are proof script sizes; ours are executable\n"
+      "   implementation + spec + capability discipline. The *ordering* of\n"
+      "   effort (replication and group commit heaviest, shadow copy\n"
+      "   lightest) is the comparison that carries over.\n"
+      " * The verification work itself is mechanical here: see\n"
+      "   bench_sec91_patterns for the checker runs on each pattern.\n");
+  return 0;
+}

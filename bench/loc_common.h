@@ -1,0 +1,46 @@
+// Shared helpers for the lines-of-code effort tables (Tables 2-4).
+#ifndef PERENNIAL_BENCH_LOC_COMMON_H_
+#define PERENNIAL_BENCH_LOC_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/base/loc.h"
+
+namespace perennial::bench {
+
+inline const std::vector<std::string>& CppSuffixes() {
+  static const std::vector<std::string> suffixes{".h", ".cc", ".cpp"};
+  return suffixes;
+}
+
+// Repo root, located from the current working directory (the harness runs
+// benches from the build tree, which lives under the repo).
+inline std::string RepoRoot() {
+  std::string root = FindRepoRoot("");
+  if (root.empty()) {
+    std::fprintf(stderr, "cannot locate repository root (DESIGN.md not found)\n");
+    std::exit(1);
+  }
+  return root;
+}
+
+// Code lines across several repo-relative directories/files.
+inline uint64_t CodeLines(const std::string& root, const std::vector<std::string>& paths) {
+  LocCount total;
+  for (const std::string& path : paths) {
+    std::string full = root + "/" + path;
+    LocCount c = CountTree(full, CppSuffixes());
+    if (c.total() == 0) {
+      c = CountFile(full);  // a single file, not a directory
+    }
+    total += c;
+  }
+  return total.code;
+}
+
+}  // namespace perennial::bench
+
+#endif  // PERENNIAL_BENCH_LOC_COMMON_H_

@@ -1,0 +1,88 @@
+// Crash-safety lab: how the checker tells correct designs from broken
+// ones. Runs the write-ahead-log and shadow-copy patterns (§9.1) in their
+// correct form and in classic broken variants, and prints what the
+// checker finds — including the schedule that exposes each bug.
+//
+//   $ ./examples/crash_safety_lab
+#include <cstdio>
+#include <string>
+
+#include "src/refine/explorer.h"
+#include "src/systems/pattern_harness.h"
+
+namespace {
+
+using namespace perennial;           // NOLINT
+using namespace perennial::systems;  // NOLINT
+
+void Report(const std::string& title, const refine::Report& report) {
+  std::printf("%s\n", title.c_str());
+  std::printf("  explored %llu executions, %llu crash injections\n",
+              static_cast<unsigned long long>(report.executions),
+              static_cast<unsigned long long>(report.crashes_injected));
+  if (report.ok()) {
+    std::printf("  VERIFIED: every schedule and crash point refines the atomic spec\n\n");
+    return;
+  }
+  const refine::Violation& v = report.violations[0];
+  std::printf("  REJECTED (%s)\n", v.kind.c_str());
+  std::printf("  offending schedule: %s\n", v.trace.c_str());
+  // Indent the detail (it embeds the history).
+  std::printf("  %s\n\n", v.detail.c_str());
+}
+
+refine::Report CheckWal(WalPair::Mutations mutations, int max_crashes) {
+  WalHarnessOptions options;
+  options.client_ops = {{PairSpec::MakeWrite(1, 2), PairSpec::MakeWrite(3, 4)}};
+  options.mutations = mutations;
+  refine::ExplorerOptions opts;
+  opts.max_crashes = max_crashes;
+  opts.max_violations = 1;
+  refine::Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeWalInstance(options); }, opts);
+  return ex.Run();
+}
+
+refine::Report CheckShadow(ShadowPair::Mutations mutations, int max_crashes) {
+  ShadowHarnessOptions options;
+  options.client_ops = {{PairSpec::MakeWrite(1, 2), PairSpec::MakeWrite(3, 4)}};
+  options.mutations = mutations;
+  refine::ExplorerOptions opts;
+  opts.max_crashes = max_crashes;
+  opts.max_violations = 1;
+  refine::Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeShadowInstance(options); }, opts);
+  return ex.Run();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=============================================================\n");
+  std::printf(" Write-ahead logging: atomic update of a pair of disk blocks\n");
+  std::printf("=============================================================\n\n");
+
+  Report("[wal] correct: log -> commit record -> apply -> clear",
+         CheckWal(WalPair::Mutations{}, /*max_crashes=*/2));
+
+  Report("[wal] broken: data blocks updated before the commit record",
+         CheckWal(WalPair::Mutations{.apply_before_commit = true}, 1));
+
+  Report("[wal] broken: recovery clears the flag but applies nothing (claims help)",
+         CheckWal(WalPair::Mutations{.recovery_discards_log = true}, 1));
+
+  std::printf("=============================================================\n");
+  std::printf(" Shadow copy: prepare the inactive copy, commit with one write\n");
+  std::printf("=============================================================\n\n");
+
+  Report("[shadow] correct: write inactive copy, then flip the pointer",
+         CheckShadow(ShadowPair::Mutations{}, 1));
+
+  Report("[shadow] broken: update the active copy in place",
+         CheckShadow(ShadowPair::Mutations{.in_place_update = true}, 1));
+
+  Report("[shadow] broken: flip the pointer before writing the data",
+         CheckShadow(ShadowPair::Mutations{.flip_before_data = true}, 1));
+
+  std::printf("takeaway: the same checker accepts the disciplined designs and\n");
+  std::printf("produces a concrete schedule + history for every broken one.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Building your own verified system on the framework: a durable key-value
+// store with atomic multi-key transactions (src/systems/kvs), exercised
+// and then exhaustively checked — including the deadlock the checker finds
+// when the lock-ordering discipline is removed.
+//
+//   $ ./examples/durable_kv
+#include <cstdio>
+
+#include "src/refine/explorer.h"
+#include "src/systems/kvs/kv_harness.h"
+
+namespace {
+
+using namespace perennial;           // NOLINT
+using namespace perennial::systems;  // NOLINT
+
+void Check(const char* title, const KvHarnessOptions& options, int max_crashes) {
+  refine::ExplorerOptions opts;
+  opts.max_crashes = max_crashes;
+  opts.max_violations = 1;
+  refine::Explorer<KvSpec> ex(KvSpec{options.num_keys},
+                              [&] { return MakeKvInstance(options); }, opts);
+  refine::Report report = ex.Run();
+  std::printf("%s\n  %s\n", title, report.Summary().c_str());
+  if (!report.ok()) {
+    std::printf("  first violation: %s\n", report.violations[0].ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("-- Use the store: bank-transfer style pair updates --\n");
+  goose::World world;
+  DurableKv kv(&world, 4);
+  {
+    proc::Scheduler sched;
+    proc::SchedulerScope scope(&sched);
+    auto story = [&]() -> proc::Task<uint64_t> {
+      co_await kv.Put(0, 100, 1);                 // account 0: 100
+      co_await kv.PutPair(0, 60, 1, 40, 2);       // transfer 40 to account 1, atomically
+      co_return co_await kv.Get(0) * 1000 + co_await kv.Get(1);
+    };
+    std::optional<uint64_t> out;
+    auto wrap = [](proc::Task<uint64_t> t, std::optional<uint64_t>* slot) -> proc::Task<void> {
+      *slot = co_await std::move(t);
+    };
+    sched.Spawn(wrap(story(), &out));
+    while (!sched.AllDone()) {
+      sched.Step(sched.RunnableThreads()[0]);
+    }
+    std::printf("   balances after transfer: %llu / %llu\n",
+                static_cast<unsigned long long>(*out / 1000),
+                static_cast<unsigned long long>(*out % 1000));
+  }
+  std::printf("\n-- Verify: transactions are atomic across crashes --\n");
+  {
+    KvHarnessOptions options;
+    options.num_keys = 2;
+    options.client_ops = {{KvSpec::MakePutPair(0, 1, 1, 2)},
+                          {KvSpec::MakeGet(0), KvSpec::MakeGet(1)}};
+    Check("[kv] PutPair vs reader, crashes anywhere (incl. recovery):", options, 2);
+  }
+  std::printf("-- Verify: opposed transactions, ordered locking --\n");
+  {
+    KvHarnessOptions options;
+    options.num_keys = 2;
+    options.client_ops = {{KvSpec::MakePutPair(0, 1, 1, 2)}, {KvSpec::MakePutPair(1, 3, 0, 4)}};
+    Check("[kv] two transactions locking {0,1} in opposite orders:", options, 0);
+  }
+  std::printf("-- Falsify: remove the lock-ordering discipline --\n");
+  {
+    KvHarnessOptions options;
+    options.num_keys = 2;
+    options.client_ops = {{KvSpec::MakePutPair(0, 1, 1, 2)}, {KvSpec::MakePutPair(1, 3, 0, 4)}};
+    options.mutations.unordered_locks = true;
+    Check("[kv] same workload, caller-order locking (should deadlock):", options, 0);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: the replicated disk from the paper's introduction, end to
+// end — run it, crash it, recover it, and then let the checker prove (by
+// exhaustive exploration) that every schedule and crash point refines the
+// one-logical-disk specification.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "src/goose/world.h"
+#include "src/refine/explorer.h"
+#include "src/systems/repl/repl_harness.h"
+#include "src/systems/repl/repl_spec.h"
+#include "src/systems/repl/replicated_disk.h"
+
+namespace {
+
+using namespace perennial;           // NOLINT
+using namespace perennial::systems;  // NOLINT
+
+// Modeled procedures are coroutines; drive them with a scheduler.
+template <typename T>
+T Run(proc::Scheduler& sched, proc::Task<T> task) {
+  std::optional<T> slot;
+  auto wrap = [](proc::Task<T> inner, std::optional<T>* out) -> proc::Task<void> {
+    *out = co_await std::move(inner);
+  };
+  sched.Spawn(wrap(std::move(task), &slot));
+  while (!sched.AllDone()) {
+    sched.Step(sched.RunnableThreads()[0]);
+  }
+  return *slot;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("-- 1. Use the library: a replicated disk over two block devices --\n");
+  goose::World world;
+  ReplicatedDisk rd(&world, /*num_blocks=*/4);
+  {
+    proc::Scheduler sched;
+    proc::SchedulerScope scope(&sched);
+    auto story = [&]() -> proc::Task<uint64_t> {
+      co_await rd.Write(0, 1234, /*op_id=*/1);
+      co_await rd.Write(1, 5678, /*op_id=*/2);
+      co_return co_await rd.Read(0);
+    };
+    uint64_t value = Run(sched, story());
+    std::printf("   wrote 1234 and 5678; rd_read(0) = %llu\n",
+                static_cast<unsigned long long>(value));
+  }
+
+  std::printf("\n-- 2. Crash and recover: disk 1 fails afterwards, data survives --\n");
+  world.Crash();  // memory gone, locks gone, disks keep their blocks
+  {
+    proc::Scheduler sched;
+    proc::SchedulerScope scope(&sched);
+    auto recover = [&]() -> proc::Task<uint64_t> {
+      co_await rd.Recover([](uint64_t) {});
+      co_return 0;
+    };
+    Run(sched, recover());
+  }
+  rd.FailDisk1();
+  {
+    proc::Scheduler sched;
+    proc::SchedulerScope scope(&sched);
+    auto read = [&]() -> proc::Task<uint64_t> { co_return co_await rd.Read(1); };
+    std::printf("   after crash+recovery and a disk-1 failure, rd_read(1) = %llu\n",
+                static_cast<unsigned long long>(Run(sched, read())));
+  }
+
+  std::printf("\n-- 3. Verify: every interleaving x crash point refines the spec --\n");
+  ReplHarnessOptions options;
+  options.num_blocks = 1;
+  options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
+  refine::ExplorerOptions opts;
+  opts.max_crashes = 1;
+  refine::Explorer<ReplSpec> explorer(ReplSpec{1}, [&] { return MakeReplInstance(options); },
+                                      opts);
+  refine::Report report = explorer.Run();
+  std::printf("   %s\n", report.Summary().c_str());
+  std::printf("   => %s\n",
+              report.ok() ? "VERIFIED: concurrent recovery refinement holds"
+                          : "VIOLATION FOUND (unexpected!)");
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+#include "src/base/loc.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace perennial {
+
+namespace fs = std::filesystem;
+
+LocCount CountSource(std::string_view contents) {
+  LocCount count;
+  bool in_block_comment = false;
+  size_t pos = 0;
+  while (pos <= contents.size()) {
+    size_t eol = contents.find('\n', pos);
+    std::string_view line =
+        contents.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    bool has_code = false;
+    bool has_comment = in_block_comment;
+    for (size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (in_block_comment) {
+        has_comment = true;
+        if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        has_comment = true;
+        break;  // rest of line is a comment
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        has_comment = true;
+        ++i;
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        has_code = true;
+      }
+    }
+    if (has_code) {
+      ++count.code;
+    } else if (has_comment) {
+      ++count.comment;
+    } else {
+      ++count.blank;
+    }
+    if (eol == std::string_view::npos) {
+      break;
+    }
+    pos = eol + 1;
+    if (pos == contents.size()) {
+      break;  // trailing newline: no extra empty line
+    }
+  }
+  return count;
+}
+
+LocCount CountFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return CountSource(buf.str());
+}
+
+LocCount CountTree(const std::string& dir, const std::vector<std::string>& suffixes) {
+  LocCount total;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    return total;
+  }
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) {
+      break;
+    }
+    if (!it->is_regular_file(ec)) {
+      continue;
+    }
+    const std::string name = it->path().filename().string();
+    for (const std::string& suffix : suffixes) {
+      if (name.size() >= suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        total += CountFile(it->path().string());
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+std::string FindRepoRoot(const std::string& hint) {
+  std::error_code ec;
+  fs::path cur = hint.empty() ? fs::current_path(ec) : fs::path(hint);
+  for (int depth = 0; depth < 16 && !cur.empty(); ++depth) {
+    if (fs::exists(cur / "DESIGN.md", ec)) {
+      return cur.string();
+    }
+    fs::path parent = cur.parent_path();
+    if (parent == cur) {
+      break;
+    }
+    cur = parent;
+  }
+  return "";
+}
+
+}  // namespace perennial

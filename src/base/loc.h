@@ -1,0 +1,47 @@
+// Source lines-of-code counting, used by the Table 2/3/4 benchmarks to
+// regenerate the paper's effort tables from this repository's own sources.
+//
+// Counting rule: a line counts if it contains any non-whitespace character
+// and is not purely a comment line (// or a /* */ block). This approximates
+// `cloc`-style "code lines" closely enough for an effort comparison.
+#ifndef PERENNIAL_SRC_BASE_LOC_H_
+#define PERENNIAL_SRC_BASE_LOC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perennial {
+
+struct LocCount {
+  uint64_t code = 0;
+  uint64_t comment = 0;
+  uint64_t blank = 0;
+
+  uint64_t total() const { return code + comment + blank; }
+  LocCount& operator+=(const LocCount& other) {
+    code += other.code;
+    comment += other.comment;
+    blank += other.blank;
+    return *this;
+  }
+};
+
+// Counts one in-memory source buffer (C/C++ comment syntax).
+LocCount CountSource(std::string_view contents);
+
+// Counts a single file; returns zeroes if unreadable.
+LocCount CountFile(const std::string& path);
+
+// Recursively counts all files under `dir` whose names end in one of
+// `suffixes` (e.g. {".h", ".cc"}).
+LocCount CountTree(const std::string& dir, const std::vector<std::string>& suffixes);
+
+// Locates the repository root by walking up from `hint` (or the current
+// directory when empty) looking for DESIGN.md. Returns "" when not found.
+std::string FindRepoRoot(const std::string& hint);
+
+}  // namespace perennial
+
+#endif  // PERENNIAL_SRC_BASE_LOC_H_

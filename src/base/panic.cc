@@ -1,0 +1,16 @@
+#include "src/base/panic.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace perennial {
+
+void Panic(std::string_view msg, const char* file, int line) {
+  std::fprintf(stderr, "panic: %.*s (%s:%d)\n", static_cast<int>(msg.size()), msg.data(), file,
+               line);
+  std::abort();
+}
+
+void RaiseUb(const std::string& msg) { throw UbViolation(msg); }
+
+}  // namespace perennial

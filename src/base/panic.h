@@ -1,0 +1,43 @@
+// Panic and invariant-checking primitives.
+//
+// Two failure channels are distinguished throughout the codebase:
+//  * Panic / ENSURE: a bug in this library itself (or misuse of an API that
+//    has no recovery story). Aborts the process.
+//  * UbViolation: the *modeled program* triggered undefined behavior in the
+//    Goose semantics (racy access, invalid capability use, out-of-bounds
+//    spec transition). The refinement checker catches these and reports the
+//    offending schedule, so they are thrown as exceptions.
+#ifndef PERENNIAL_SRC_BASE_PANIC_H_
+#define PERENNIAL_SRC_BASE_PANIC_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace perennial {
+
+// Aborts the process with a message; used for internal invariant failures.
+[[noreturn]] void Panic(std::string_view msg, const char* file, int line);
+
+// Undefined behavior in the modeled semantics (Goose §6.1: races; cap layer:
+// invalid capability use). Checkers catch this to reject an execution.
+class UbViolation : public std::runtime_error {
+ public:
+  explicit UbViolation(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Raises a UbViolation. Kept out-of-line so call sites stay small.
+[[noreturn]] void RaiseUb(const std::string& msg);
+
+}  // namespace perennial
+
+// Internal invariant check: true in all builds (systems code; the cost is
+// dwarfed by the modeled operations themselves).
+#define PCC_ENSURE(cond, msg)                          \
+  do {                                                 \
+    if (!(cond)) {                                     \
+      ::perennial::Panic((msg), __FILE__, __LINE__);   \
+    }                                                  \
+  } while (0)
+
+#endif  // PERENNIAL_SRC_BASE_PANIC_H_

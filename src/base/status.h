@@ -1,0 +1,102 @@
+// Minimal Status / Result<T> types for fallible operations.
+//
+// The file-system model and the POSIX backend return Result<T> so that
+// callers handle failures explicitly (Core Guidelines E.x: use exceptions
+// only for exceptional conditions; file-not-found is an expected outcome).
+#ifndef PERENNIAL_SRC_BASE_STATUS_H_
+#define PERENNIAL_SRC_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/base/panic.h"
+
+namespace perennial {
+
+enum class StatusCode {
+  kOk,
+  kNotFound,       // path / key does not exist
+  kAlreadyExists,  // exclusive create hit an existing name
+  kFailed,         // device failure (e.g. a dead disk)
+  kInvalid,        // bad argument (out-of-range address, bad fd)
+  kUnavailable,    // transient condition (retryable)
+};
+
+// Human-readable name of a status code ("ok", "not-found", ...).
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Failed(std::string msg) { return Status(StatusCode::kFailed, std::move(msg)); }
+  static Status Invalid(std::string msg) { return Status(StatusCode::kInvalid, std::move(msg)); }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+// Result<T>: either a value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    PCC_ENSURE(!std::get<Status>(rep_).ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    PCC_ENSURE(ok(), "Result::value on error: " + status().ToString());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    PCC_ENSURE(ok(), "Result::value on error: " + status().ToString());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    PCC_ENSURE(ok(), "Result::value on error: " + status().ToString());
+    return std::get<T>(std::move(rep_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace perennial
+
+#endif  // PERENNIAL_SRC_BASE_STATUS_H_

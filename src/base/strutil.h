@@ -1,0 +1,34 @@
+// Small string helpers used across modules (no dependencies beyond <string>).
+#ifndef PERENNIAL_SRC_BASE_STRUTIL_H_
+#define PERENNIAL_SRC_BASE_STRUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perennial {
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Joins `parts` with `sep` between elements.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// ASCII uppercasing (protocol verbs are case-insensitive in SMTP/POP3).
+std::string AsciiUpper(std::string_view s);
+
+// Parses a non-negative decimal integer; returns false on any non-digit or
+// overflow.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+// Fixed-width hex rendering of a 64-bit id (16 lowercase hex digits); used
+// for Mailboat's random message identifiers.
+std::string HexId(uint64_t id);
+
+}  // namespace perennial
+
+#endif  // PERENNIAL_SRC_BASE_STRUTIL_H_

@@ -1,0 +1,95 @@
+#include "src/base/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace perennial {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::AddRule() { pending_rule_ = true; }
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const Row& row : rows_) {
+    for (size_t i = 0; i < row.cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      std::string padded(widths[i], ' ');
+      if (i == 0) {  // left-align first column
+        std::copy(cell.begin(), cell.end(), padded.begin());
+      } else {  // right-align the rest
+        std::copy(cell.begin(), cell.end(), padded.begin() + static_cast<long>(widths[i] - cell.size()));
+      }
+      line += padded;
+      if (i + 1 < widths.size()) {
+        line += "  ";
+      }
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    return line;
+  };
+
+  auto rule = [&] {
+    size_t total = 0;
+    for (size_t w : widths) {
+      total += w;
+    }
+    total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+    return std::string(total, '-');
+  };
+
+  std::string out = render_cells(header_);
+  out += '\n';
+  out += rule();
+  out += '\n';
+  for (const Row& row : rows_) {
+    if (row.rule_before) {
+      out += rule();
+      out += '\n';
+    }
+    out += render_cells(row.cells);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WithCommas(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) {
+      out += ',';
+    }
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string FixedDigits(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace perennial

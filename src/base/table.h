@@ -1,0 +1,41 @@
+// Plain-text table rendering for the benchmark harnesses, so each bench can
+// print the same rows/series the paper's tables and figures report.
+#ifndef PERENNIAL_SRC_BASE_TABLE_H_
+#define PERENNIAL_SRC_BASE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace perennial {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Adds a horizontal rule before the next row.
+  void AddRule();
+
+  // Renders with column alignment; first column left-aligned, the rest
+  // right-aligned (numeric convention).
+  std::string Render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+// Formats a count with thousands separators ("8,930").
+std::string WithCommas(uint64_t value);
+
+// Formats a double with `digits` decimals.
+std::string FixedDigits(double value, int digits);
+
+}  // namespace perennial
+
+#endif  // PERENNIAL_SRC_BASE_TABLE_H_

@@ -1,0 +1,55 @@
+// Crash invariants (§5.1), enforced at runtime.
+//
+// In Perennial, the distinguished crash invariant C is the only capability
+// recovery starts with: it must hold at *every* step of execution, and it
+// must mention only durable resources (the crash-invariance and idempotence
+// side conditions of Theorem 2).
+//
+// At runtime, a crash invariant is a named predicate over durable state.
+// The crash explorer evaluates every registered predicate at every
+// potential crash point; a false predicate is a verification failure,
+// reported with the schedule that reached it. Because the predicates are
+// (re-)checked after recovery completes and recovery itself is subjected to
+// crash points, the idempotence obligation is exercised too.
+#ifndef PERENNIAL_SRC_CAP_CRASH_INVARIANT_H_
+#define PERENNIAL_SRC_CAP_CRASH_INVARIANT_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace perennial::cap {
+
+class CrashInvariants {
+ public:
+  using Predicate = std::function<bool()>;
+
+  // Registers a named invariant. Predicates must read durable state only
+  // (harness-level Peek accessors), never modeled volatile state.
+  void Register(std::string name, Predicate pred) {
+    invariants_.emplace_back(std::move(name), std::move(pred));
+  }
+
+  // Evaluates all invariants; returns the name of the first violated one.
+  std::optional<std::string> FirstViolation() const {
+    for (const auto& [name, pred] : invariants_) {
+      if (!pred()) {
+        return name;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool AllHold() const { return !FirstViolation().has_value(); }
+  size_t size() const { return invariants_.size(); }
+  void Clear() { invariants_.clear(); }
+
+ private:
+  std::vector<std::pair<std::string, Predicate>> invariants_;
+};
+
+}  // namespace perennial::cap
+
+#endif  // PERENNIAL_SRC_CAP_CRASH_INVARIANT_H_

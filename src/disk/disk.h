@@ -1,0 +1,75 @@
+// Block-device models: the "single-disk" and "two-disk" semantics the
+// paper's crash-safety pattern examples are verified against (§9.1,
+// Table 3).
+//
+// A disk is durable: blocks survive crashes. Each block read/write is one
+// atomic step (standard disk model; real disks write sectors atomically).
+// The two-disk configuration supports fail-stop injection — after Fail(),
+// reads return a failure and writes are ignored, which is exactly the
+// behavior the replicated-disk library must tolerate (Figure 1).
+#ifndef PERENNIAL_SRC_DISK_DISK_H_
+#define PERENNIAL_SRC_DISK_DISK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/goose/world.h"
+#include "src/proc/scheduler.h"
+#include "src/proc/task.h"
+
+namespace perennial::disk {
+
+// A disk block. Simulated configurations use small blocks (a few bytes) to
+// keep checker state spaces tight; the size is uniform per disk.
+using Block = std::vector<uint8_t>;
+
+// Convenience: a block holding a little-endian uint64 (checker workloads).
+Block BlockOfU64(uint64_t value);
+uint64_t U64OfBlock(const Block& b);
+
+class Disk : public goose::CrashAware {
+ public:
+  // All blocks start as `initial` (conventionally zeroes).
+  Disk(goose::World* world, uint64_t num_blocks, Block initial);
+
+  uint64_t size() const { return blocks_.size(); }
+
+  // Reads block `a`. kFailed if the disk has failed; kInvalid out of range.
+  proc::Task<Result<Block>> Read(uint64_t a);
+
+  // Writes block `a`. A failed disk silently ignores writes (its contents
+  // are gone anyway); out-of-range is kInvalid.
+  proc::Task<Status> Write(uint64_t a, Block value);
+
+  // Fail-stop injection (harness / explorer): from now on reads fail.
+  void Fail() { failed_ = true; }
+  bool failed() const { return failed_; }
+
+  // Durability: contents survive a crash; a failed disk stays failed.
+  void OnCrash() override {}
+
+  // Harness-only accessors.
+  const Block& PeekBlock(uint64_t a) const;
+  void PokeBlock(uint64_t a, Block value);
+
+ private:
+  std::vector<Block> blocks_;
+  bool failed_ = false;
+};
+
+// The two-disk configuration of Figure 1: physical disks d1 and d2 of equal
+// size. At most one disk may be failed at a time in the modeled workloads
+// (the library tolerates a single disk failure).
+struct TwoDisks {
+  TwoDisks(goose::World* world, uint64_t num_blocks, Block initial)
+      : d1(world, num_blocks, initial), d2(world, num_blocks, initial) {}
+
+  Disk d1;
+  Disk d2;
+};
+
+}  // namespace perennial::disk
+
+#endif  // PERENNIAL_SRC_DISK_DISK_H_

@@ -1,0 +1,79 @@
+// Go's sync/atomic package for Goose programs — the paper's §6.1 notes
+// Goose "could be extended to include them"; this is that extension.
+//
+// Each operation is a single atomic step (one scheduling point, then the
+// whole effect), and — unlike plain heap cells — concurrent atomic access
+// is NOT a race: that is the entire point of the package. CompareAndSwap
+// enables lock-free algorithms, which the checker then verifies
+// linearizable the same way it does lock-based ones (the capability Iris
+// needs for lock-free proofs is what distinguishes Perennial from FTCSL,
+// §2).
+//
+// Atomics are volatile: crossing a crash generation is UB, like all
+// in-memory state.
+#ifndef PERENNIAL_SRC_GOOSE_ATOMIC_H_
+#define PERENNIAL_SRC_GOOSE_ATOMIC_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/base/panic.h"
+#include "src/goose/world.h"
+#include "src/proc/scheduler.h"
+#include "src/proc/task.h"
+
+namespace perennial::goose {
+
+class AtomicU64 {
+ public:
+  AtomicU64(World* world, uint64_t initial)
+      : world_(world), gen_(world->generation()), value_(initial) {}
+  AtomicU64(const AtomicU64&) = delete;
+  AtomicU64& operator=(const AtomicU64&) = delete;
+
+  proc::Task<uint64_t> Load() {
+    co_await proc::Yield();
+    CheckGeneration("Load");
+    co_return value_.load(std::memory_order_seq_cst);
+  }
+
+  proc::Task<void> Store(uint64_t value) {
+    co_await proc::Yield();
+    CheckGeneration("Store");
+    value_.store(value, std::memory_order_seq_cst);
+  }
+
+  // Returns the NEW value, like Go's atomic.AddUint64.
+  proc::Task<uint64_t> Add(uint64_t delta) {
+    co_await proc::Yield();
+    CheckGeneration("Add");
+    co_return value_.fetch_add(delta, std::memory_order_seq_cst) + delta;
+  }
+
+  // Returns true iff the swap happened.
+  proc::Task<bool> CompareAndSwap(uint64_t expected, uint64_t desired) {
+    co_await proc::Yield();
+    CheckGeneration("CompareAndSwap");
+    uint64_t e = expected;
+    co_return value_.compare_exchange_strong(e, desired, std::memory_order_seq_cst);
+  }
+
+  uint64_t PeekForTesting() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  void CheckGeneration(const char* op) {
+    if (gen_ != world_->generation()) {
+      RaiseUb(std::string("AtomicU64::") + op + ": from a previous crash generation");
+    }
+  }
+
+  World* world_;
+  uint64_t gen_;
+  // std::atomic carries the native-mode semantics; in simulation the
+  // single-step model already serializes accesses.
+  std::atomic<uint64_t> value_;
+};
+
+}  // namespace perennial::goose
+
+#endif  // PERENNIAL_SRC_GOOSE_ATOMIC_H_

@@ -1,0 +1,165 @@
+// Go channels for Goose programs.
+//
+// Chan<T> supports buffered and "rendezvous-ish" (capacity-1 semantics for
+// capacity 0; see note) sends, blocking receives, and close-with-drain —
+// the subset of Go channel behavior the example servers need:
+//   Send(v)   — blocks while the buffer is full; UB on a closed channel.
+//   Recv()    — blocks while empty; returns nullopt once closed AND drained.
+//   TryRecv() — non-blocking variant.
+//   Close()   — wakes everyone; further sends are UB (as in Go).
+//
+// Note on capacity 0: Go's unbuffered channels rendezvous (sender and
+// receiver synchronize). This model treats capacity 0 as capacity 1, which
+// is a sound weakening for the programs here (they never rely on the
+// synchronization point); true rendezvous could be added with a handoff
+// slot if a verified system ever needs it.
+//
+// Simulated mode integrates with the scheduler (blocked = not runnable);
+// native mode uses a mutex + condition variable. Channels are volatile:
+// crossing a crash generation is UB.
+#ifndef PERENNIAL_SRC_GOOSE_CHANNEL_H_
+#define PERENNIAL_SRC_GOOSE_CHANNEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/goose/world.h"
+#include "src/proc/scheduler.h"
+#include "src/proc/task.h"
+
+namespace perennial::goose {
+
+template <typename T>
+class Chan {
+ public:
+  Chan(World* world, size_t capacity)
+      : world_(world), gen_(world->generation()), capacity_(capacity == 0 ? 1 : capacity) {}
+  Chan(const Chan&) = delete;
+  Chan& operator=(const Chan&) = delete;
+
+  proc::Task<void> Send(T value) {
+    if (proc::CurrentScheduler() == nullptr) {
+      std::unique_lock lock(native_mu_);
+      native_cv_.wait(lock, [this] { return closed_ || buffer_.size() < capacity_; });
+      PCC_ENSURE(!closed_, "Chan::Send on a closed channel");
+      buffer_.push_back(std::move(value));
+      native_cv_.notify_all();
+      co_return;
+    }
+    co_await proc::Yield();
+    CheckGeneration("Send");
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    while (!closed_ && buffer_.size() >= capacity_) {
+      waiters_.push_back(sched->current_tid());
+      co_await proc::BlockCurrentThread();
+      CheckGeneration("Send");
+    }
+    if (closed_) {
+      RaiseUb("Chan::Send on a closed channel");
+    }
+    buffer_.push_back(std::move(value));
+    WakeAll();
+  }
+
+  proc::Task<std::optional<T>> Recv() {
+    if (proc::CurrentScheduler() == nullptr) {
+      std::unique_lock lock(native_mu_);
+      native_cv_.wait(lock, [this] { return closed_ || !buffer_.empty(); });
+      if (buffer_.empty()) {
+        co_return std::nullopt;  // closed and drained
+      }
+      T value = std::move(buffer_.front());
+      buffer_.pop_front();
+      native_cv_.notify_all();
+      co_return value;
+    }
+    co_await proc::Yield();
+    CheckGeneration("Recv");
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    while (!closed_ && buffer_.empty()) {
+      waiters_.push_back(sched->current_tid());
+      co_await proc::BlockCurrentThread();
+      CheckGeneration("Recv");
+    }
+    if (buffer_.empty()) {
+      co_return std::nullopt;
+    }
+    T value = std::move(buffer_.front());
+    buffer_.pop_front();
+    WakeAll();
+    co_return value;
+  }
+
+  proc::Task<std::optional<T>> TryRecv() {
+    if (proc::CurrentScheduler() == nullptr) {
+      std::scoped_lock lock(native_mu_);
+      if (buffer_.empty()) {
+        co_return std::nullopt;
+      }
+      T value = std::move(buffer_.front());
+      buffer_.pop_front();
+      native_cv_.notify_all();
+      co_return value;
+    }
+    co_await proc::Yield();
+    CheckGeneration("TryRecv");
+    if (buffer_.empty()) {
+      co_return std::nullopt;
+    }
+    T value = std::move(buffer_.front());
+    buffer_.pop_front();
+    WakeAll();
+    co_return value;
+  }
+
+  proc::Task<void> Close() {
+    if (proc::CurrentScheduler() == nullptr) {
+      std::scoped_lock lock(native_mu_);
+      PCC_ENSURE(!closed_, "Chan::Close of an already-closed channel");
+      closed_ = true;
+      native_cv_.notify_all();
+      co_return;
+    }
+    co_await proc::Yield();
+    CheckGeneration("Close");
+    if (closed_) {
+      RaiseUb("Chan::Close of an already-closed channel");
+    }
+    closed_ = true;
+    WakeAll();
+  }
+
+  bool ClosedForTesting() const { return closed_; }
+  size_t SizeForTesting() const { return buffer_.size(); }
+
+ private:
+  void CheckGeneration(const char* op) {
+    if (gen_ != world_->generation()) {
+      RaiseUb(std::string("Chan::") + op + ": channel from a previous crash generation");
+    }
+  }
+  void WakeAll() {
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    for (proc::Scheduler::Tid tid : waiters_) {
+      sched->Unblock(tid);
+    }
+    waiters_.clear();
+  }
+
+  World* world_;
+  uint64_t gen_;
+  size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> buffer_;
+  std::vector<proc::Scheduler::Tid> waiters_;
+  std::mutex native_mu_;
+  std::condition_variable native_cv_;
+};
+
+}  // namespace perennial::goose
+
+#endif  // PERENNIAL_SRC_GOOSE_CHANNEL_H_

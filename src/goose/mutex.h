@@ -1,0 +1,87 @@
+// Go sync.Mutex, modeled.
+//
+// In simulated mode the mutex integrates with the scheduler: Lock blocks the
+// thread (it leaves the runnable set) until an Unlock wakes the waiters, and
+// which waiter wins is a scheduling decision the checker explores. In native
+// mode the mutex is a plain std::mutex and blocks the OS thread.
+//
+// Like all in-memory state, a mutex is stamped with its crash generation:
+// locking a mutex created before a crash is undefined behavior — the memory
+// it lived in no longer exists (§5.2). Recovery must allocate fresh locks.
+//
+// Modeled code must pair Lock/Unlock *explicitly* (as Go code does); no RAII
+// guard is provided for modeled locks, because a crash must be able to strand
+// a held lock without running cleanup.
+#ifndef PERENNIAL_SRC_GOOSE_MUTEX_H_
+#define PERENNIAL_SRC_GOOSE_MUTEX_H_
+
+#include <mutex>
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/goose/world.h"
+#include "src/proc/scheduler.h"
+#include "src/proc/task.h"
+
+namespace perennial::goose {
+
+class Mutex {
+ public:
+  explicit Mutex(World* world) : world_(world), gen_(world->generation()) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  proc::Task<void> Lock() {
+    if (proc::CurrentScheduler() == nullptr) {
+      native_mu_.lock();
+      co_return;
+    }
+    co_await proc::Yield();
+    CheckGeneration("Lock");
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    while (locked_) {
+      waiters_.push_back(sched->current_tid());
+      co_await proc::BlockCurrentThread();
+      CheckGeneration("Lock");  // a crash cannot intervene (threads die), but stay defensive
+    }
+    locked_ = true;
+  }
+
+  proc::Task<void> Unlock() {
+    if (proc::CurrentScheduler() == nullptr) {
+      native_mu_.unlock();
+      co_return;
+    }
+    co_await proc::Yield();
+    CheckGeneration("Unlock");
+    if (!locked_) {
+      RaiseUb("Mutex::Unlock of an unlocked mutex");
+    }
+    locked_ = false;
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    for (proc::Scheduler::Tid tid : waiters_) {
+      sched->Unblock(tid);  // all waiters retry; the schedule decides the winner
+    }
+    waiters_.clear();
+  }
+
+  // Harness-only: observe lock state (e.g. in tests).
+  bool HeldForTesting() const { return locked_; }
+
+ private:
+  void CheckGeneration(const char* op) {
+    if (gen_ != world_->generation()) {
+      RaiseUb(std::string("Mutex::") + op + ": mutex from a previous crash generation");
+    }
+  }
+
+  World* world_;
+  uint64_t gen_;
+  bool locked_ = false;
+  std::vector<proc::Scheduler::Tid> waiters_;
+  std::mutex native_mu_;
+};
+
+}  // namespace perennial::goose
+
+#endif  // PERENNIAL_SRC_GOOSE_MUTEX_H_

@@ -1,0 +1,249 @@
+// Additional Go sync primitives for Goose programs: RWMutex, WaitGroup,
+// and Cond. Like goose::Mutex, each integrates with the simulated
+// scheduler (blocking removes the thread from the runnable set; wakeups
+// re-contend under checker-chosen schedules) and degrades to conventional
+// native primitives when no scheduler is installed. All are volatile:
+// using one across a crash generation is undefined behavior.
+#ifndef PERENNIAL_SRC_GOOSE_SYNC_EXTRA_H_
+#define PERENNIAL_SRC_GOOSE_SYNC_EXTRA_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/goose/mutex.h"
+#include "src/goose/world.h"
+#include "src/proc/scheduler.h"
+#include "src/proc/task.h"
+
+namespace perennial::goose {
+
+// Go's sync.RWMutex: any number of readers, or one writer.
+class RWMutex {
+ public:
+  explicit RWMutex(World* world) : world_(world), gen_(world->generation()) {}
+  RWMutex(const RWMutex&) = delete;
+  RWMutex& operator=(const RWMutex&) = delete;
+
+  proc::Task<void> RLock() {
+    if (proc::CurrentScheduler() == nullptr) {
+      native_mu_.lock_shared();
+      co_return;
+    }
+    co_await proc::Yield();
+    CheckGeneration("RLock");
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    while (writer_) {
+      waiters_.push_back(sched->current_tid());
+      co_await proc::BlockCurrentThread();
+      CheckGeneration("RLock");
+    }
+    ++readers_;
+  }
+
+  proc::Task<void> RUnlock() {
+    if (proc::CurrentScheduler() == nullptr) {
+      native_mu_.unlock_shared();
+      co_return;
+    }
+    co_await proc::Yield();
+    CheckGeneration("RUnlock");
+    if (readers_ == 0) {
+      RaiseUb("RWMutex::RUnlock without a read lock");
+    }
+    --readers_;
+    if (readers_ == 0) {
+      WakeAll();
+    }
+  }
+
+  proc::Task<void> Lock() {
+    if (proc::CurrentScheduler() == nullptr) {
+      native_mu_.lock();
+      co_return;
+    }
+    co_await proc::Yield();
+    CheckGeneration("Lock");
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    while (writer_ || readers_ > 0) {
+      waiters_.push_back(sched->current_tid());
+      co_await proc::BlockCurrentThread();
+      CheckGeneration("Lock");
+    }
+    writer_ = true;
+  }
+
+  proc::Task<void> Unlock() {
+    if (proc::CurrentScheduler() == nullptr) {
+      native_mu_.unlock();
+      co_return;
+    }
+    co_await proc::Yield();
+    CheckGeneration("Unlock");
+    if (!writer_) {
+      RaiseUb("RWMutex::Unlock without the write lock");
+    }
+    writer_ = false;
+    WakeAll();
+  }
+
+  int ReadersForTesting() const { return readers_; }
+  bool WriterForTesting() const { return writer_; }
+
+ private:
+  void CheckGeneration(const char* op) {
+    if (gen_ != world_->generation()) {
+      RaiseUb(std::string("RWMutex::") + op + ": from a previous crash generation");
+    }
+  }
+  void WakeAll() {
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    for (proc::Scheduler::Tid tid : waiters_) {
+      sched->Unblock(tid);
+    }
+    waiters_.clear();
+  }
+
+  World* world_;
+  uint64_t gen_;
+  int readers_ = 0;
+  bool writer_ = false;
+  std::vector<proc::Scheduler::Tid> waiters_;
+  std::shared_mutex native_mu_;
+};
+
+// Go's sync.WaitGroup.
+class WaitGroup {
+ public:
+  explicit WaitGroup(World* world) : world_(world), gen_(world->generation()) {}
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  // Add is host-atomic in native mode (called before spawning workers).
+  void Add(int delta) {
+    std::scoped_lock lock(native_mu_);
+    count_ += delta;
+    PCC_ENSURE(count_ >= 0, "WaitGroup: negative counter");
+  }
+
+  proc::Task<void> Done() {
+    if (proc::CurrentScheduler() == nullptr) {
+      std::scoped_lock lock(native_mu_);
+      PCC_ENSURE(count_ > 0, "WaitGroup::Done without Add");
+      if (--count_ == 0) {
+        native_cv_.notify_all();
+      }
+      co_return;
+    }
+    co_await proc::Yield();
+    CheckGeneration("Done");
+    if (count_ <= 0) {
+      RaiseUb("WaitGroup::Done without a matching Add");
+    }
+    --count_;
+    if (count_ == 0) {
+      proc::Scheduler* sched = proc::CurrentScheduler();
+      for (proc::Scheduler::Tid tid : waiters_) {
+        sched->Unblock(tid);
+      }
+      waiters_.clear();
+    }
+  }
+
+  proc::Task<void> Wait() {
+    if (proc::CurrentScheduler() == nullptr) {
+      std::unique_lock lock(native_mu_);
+      native_cv_.wait(lock, [this] { return count_ == 0; });
+      co_return;
+    }
+    co_await proc::Yield();
+    CheckGeneration("Wait");
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    while (count_ > 0) {
+      waiters_.push_back(sched->current_tid());
+      co_await proc::BlockCurrentThread();
+      CheckGeneration("Wait");
+    }
+  }
+
+  int CountForTesting() const { return count_; }
+
+ private:
+  void CheckGeneration(const char* op) {
+    if (gen_ != world_->generation()) {
+      RaiseUb(std::string("WaitGroup::") + op + ": from a previous crash generation");
+    }
+  }
+
+  World* world_;
+  uint64_t gen_;
+  int count_ = 0;
+  std::vector<proc::Scheduler::Tid> waiters_;
+  std::mutex native_mu_;
+  std::condition_variable native_cv_;
+};
+
+// Go's sync.Cond over a goose::Mutex. As in Go, waiters must re-check
+// their condition in a loop: wakeups may be spurious (the simulated
+// Signal wakes every waiter and lets the schedule pick who proceeds —
+// a sound over-approximation of "wakes one arbitrary waiter").
+class Cond {
+ public:
+  Cond(World* world, Mutex* mu) : world_(world), gen_(world->generation()), mu_(mu) {}
+  Cond(const Cond&) = delete;
+  Cond& operator=(const Cond&) = delete;
+
+  // Caller must hold mu; atomically releases it, blocks, and re-acquires.
+  proc::Task<void> Wait() {
+    PCC_ENSURE(proc::CurrentScheduler() != nullptr,
+               "Cond is modeled-only (native code should use std primitives)");
+    co_await proc::Yield();
+    CheckGeneration("Wait");
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    waiters_.push_back(sched->current_tid());
+    co_await mu_->Unlock();
+    // If a Signal already arrived (between the unlock and here the list is
+    // only cleared by Signal), skip blocking; otherwise block until woken.
+    bool still_waiting = false;
+    for (proc::Scheduler::Tid tid : waiters_) {
+      still_waiting = still_waiting || tid == sched->current_tid();
+    }
+    if (still_waiting) {
+      co_await proc::BlockCurrentThread();
+    }
+    CheckGeneration("Wait");
+    co_await mu_->Lock();
+  }
+
+  proc::Task<void> Signal() { return Broadcast(); }
+
+  proc::Task<void> Broadcast() {
+    PCC_ENSURE(proc::CurrentScheduler() != nullptr,
+               "Cond is modeled-only (native code should use std primitives)");
+    co_await proc::Yield();
+    CheckGeneration("Broadcast");
+    proc::Scheduler* sched = proc::CurrentScheduler();
+    for (proc::Scheduler::Tid tid : waiters_) {
+      sched->Unblock(tid);
+    }
+    waiters_.clear();
+  }
+
+ private:
+  void CheckGeneration(const char* op) {
+    if (gen_ != world_->generation()) {
+      RaiseUb(std::string("Cond::") + op + ": from a previous crash generation");
+    }
+  }
+
+  World* world_;
+  uint64_t gen_;
+  Mutex* mu_;
+  std::vector<proc::Scheduler::Tid> waiters_;
+};
+
+}  // namespace perennial::goose
+
+#endif  // PERENNIAL_SRC_GOOSE_SYNC_EXTRA_H_

@@ -1,0 +1,61 @@
+// The Goose "world": the machine a modeled program runs on.
+//
+// The world owns the crash generation number (§5.2 "versioned state"): every
+// volatile handle (heap pointer, slice, map, mutex, file descriptor) is
+// stamped with the generation it was created in, and using a handle from an
+// older generation is undefined behavior — the runtime analogue of
+// Perennial's rule that capabilities at an old version are invalid.
+//
+// Crash() bumps the generation, resets registered volatile components (the
+// heap), and runs crash hooks on durable components (the file system drops
+// open fds but keeps data; disks keep blocks). Thread death is the
+// scheduler's job and is coordinated by the crash explorer in src/refine.
+#ifndef PERENNIAL_SRC_GOOSE_WORLD_H_
+#define PERENNIAL_SRC_GOOSE_WORLD_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace perennial::goose {
+
+// A component whose state participates in crashes. Volatile components lose
+// everything; durable components apply their crash semantics (e.g. fds lost,
+// data kept).
+class CrashAware {
+ public:
+  virtual ~CrashAware() = default;
+  virtual void OnCrash() = 0;
+};
+
+class World {
+ public:
+  World() = default;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  uint64_t generation() const { return generation_; }
+
+  // Components register once at construction; the world does not own them.
+  void Register(CrashAware* component) { components_.push_back(component); }
+
+  // Models the machine crashing: generation bumps, then every registered
+  // component applies its crash transition. The caller (crash explorer) is
+  // responsible for having killed all threads first.
+  void Crash() {
+    ++generation_;
+    for (CrashAware* c : components_) {
+      c->OnCrash();
+    }
+  }
+
+  uint64_t crash_count() const { return generation_; }
+
+ private:
+  uint64_t generation_ = 0;
+  std::vector<CrashAware*> components_;
+};
+
+}  // namespace perennial::goose
+
+#endif  // PERENNIAL_SRC_GOOSE_WORLD_H_

@@ -1,0 +1,73 @@
+// The Goose file-system interface (§6.2).
+//
+// A deliberately low-level POSIX subset: a fixed set of directories (no
+// mkdir/rename), files addressed as (directory, name), hard links, and file
+// descriptors in one of two modes (read, append) — exactly the surface the
+// paper's Goose library provides and Mailboat is written against.
+//
+// Two implementations exist:
+//  * goosefs::GooseFs — the modeled semantics with the paper's crash model
+//    (data durable, fds lost), used by the refinement checker.
+//  * goosefs::PosixFilesys — a real-OS backend over *at() syscalls, used by
+//    the benchmarks (run it on tmpfs to reproduce Figure 11).
+#ifndef PERENNIAL_SRC_GOOSEFS_FILESYS_H_
+#define PERENNIAL_SRC_GOOSEFS_FILESYS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/proc/task.h"
+
+namespace perennial::goosefs {
+
+using Fd = int64_t;
+using Bytes = std::vector<uint8_t>;
+
+Bytes BytesOfString(const std::string& s);
+std::string StringOfBytes(const Bytes& b);
+
+class Filesys {
+ public:
+  virtual ~Filesys() = default;
+
+  // Creates `name` in `dir` exclusively and opens it in append mode.
+  // kAlreadyExists if the name is taken; kNotFound if `dir` doesn't exist.
+  virtual proc::Task<Result<Fd>> Create(const std::string& dir, const std::string& name) = 0;
+
+  // Opens an existing file for reading. kNotFound if absent.
+  virtual proc::Task<Result<Fd>> Open(const std::string& dir, const std::string& name) = 0;
+
+  // Appends to a file opened with Create. Misuse (bad fd, wrong mode) is a
+  // program bug: the modeled backend raises UbViolation.
+  virtual proc::Task<Status> Append(Fd fd, const Bytes& data) = 0;
+
+  // Reads up to `count` bytes at `off` from a file opened with Open; a
+  // short (or empty) result means EOF was reached.
+  virtual proc::Task<Result<Bytes>> ReadAt(Fd fd, uint64_t off, uint64_t count) = 0;
+
+  // Forces buffered data of this file to durable storage (fsync). On a
+  // backend without deferred durability this is a no-op (§6.2's model is
+  // synchronous); with BufferedGooseFs semantics, data appended since the
+  // last Sync is volatile until this returns.
+  virtual proc::Task<Status> Sync(Fd fd) = 0;
+
+  virtual proc::Task<Status> Close(Fd fd) = 0;
+
+  // Lists file names in `dir` (sorted, for determinism).
+  virtual proc::Task<Result<std::vector<std::string>>> List(const std::string& dir) = 0;
+
+  // Atomically links (src_dir, src_name)'s inode as (dst_dir, dst_name).
+  // Returns false if the destination already exists (the shadow-copy
+  // install primitive Mailboat relies on).
+  virtual proc::Task<bool> Link(const std::string& src_dir, const std::string& src_name,
+                                const std::string& dst_dir, const std::string& dst_name) = 0;
+
+  // Unlinks a name. kNotFound if absent.
+  virtual proc::Task<Status> Delete(const std::string& dir, const std::string& name) = 0;
+};
+
+}  // namespace perennial::goosefs
+
+#endif  // PERENNIAL_SRC_GOOSEFS_FILESYS_H_

@@ -1,0 +1,254 @@
+#include "src/goosefs/goosefs.h"
+
+#include <algorithm>
+
+#include "src/base/panic.h"
+
+namespace perennial::goosefs {
+
+Bytes BytesOfString(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string StringOfBytes(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+GooseFs::GooseFs(goose::World* world, std::vector<std::string> dirs, Options options)
+    : world_(world), options_(options) {
+  for (std::string& d : dirs) {
+    dirs_[std::move(d)] = {};
+  }
+  world_->Register(this);
+}
+
+proc::Task<Result<Fd>> GooseFs::Create(const std::string& dir, const std::string& name) {
+  co_await proc::Yield();
+  auto dir_it = dirs_.find(dir);
+  if (dir_it == dirs_.end()) {
+    co_return Status::NotFound("no such directory: " + dir);
+  }
+  auto [it, inserted] = dir_it->second.try_emplace(name, next_ino_);
+  if (!inserted) {
+    co_return Status::AlreadyExists(dir + "/" + name);
+  }
+  uint64_t ino = next_ino_++;
+  Inode& inode = inodes_[ino];
+  inode.nlink = 1;
+  inode.open_fds = 1;
+  Fd fd = next_fd_++;
+  fds_[fd] = FdState{ino, Mode::kAppend};
+  co_return fd;
+}
+
+proc::Task<Result<Fd>> GooseFs::Open(const std::string& dir, const std::string& name) {
+  co_await proc::Yield();
+  auto dir_it = dirs_.find(dir);
+  if (dir_it == dirs_.end()) {
+    co_return Status::NotFound("no such directory: " + dir);
+  }
+  auto name_it = dir_it->second.find(name);
+  if (name_it == dir_it->second.end()) {
+    co_return Status::NotFound(dir + "/" + name);
+  }
+  uint64_t ino = name_it->second;
+  inodes_.at(ino).open_fds++;
+  Fd fd = next_fd_++;
+  fds_[fd] = FdState{ino, Mode::kRead};
+  co_return fd;
+}
+
+proc::Task<Status> GooseFs::Append(Fd fd, const Bytes& data) {
+  co_await proc::Yield();
+  FdState& state = ResolveFd(fd, "Append");
+  if (state.mode != Mode::kAppend) {
+    RaiseUb("Append on a read-mode fd");
+  }
+  Inode& inode = inodes_.at(state.ino);
+  inode.data.insert(inode.data.end(), data.begin(), data.end());
+  if (!options_.deferred_durability) {
+    inode.synced_len = inode.data.size();  // synchronous model: instantly durable
+  }
+  co_return Status::Ok();
+}
+
+proc::Task<Result<Bytes>> GooseFs::ReadAt(Fd fd, uint64_t off, uint64_t count) {
+  co_await proc::Yield();
+  FdState& state = ResolveFd(fd, "ReadAt");
+  if (state.mode != Mode::kRead) {
+    RaiseUb("ReadAt on an append-mode fd");
+  }
+  const Bytes& contents = inodes_.at(state.ino).data;
+  if (off >= contents.size()) {
+    co_return Bytes{};
+  }
+  uint64_t end = std::min<uint64_t>(off + count, contents.size());
+  co_return Bytes(contents.begin() + static_cast<long>(off), contents.begin() + static_cast<long>(end));
+}
+
+proc::Task<Status> GooseFs::Sync(Fd fd) {
+  co_await proc::Yield();
+  FdState& state = ResolveFd(fd, "Sync");
+  Inode& inode = inodes_.at(state.ino);
+  inode.synced_len = inode.data.size();
+  co_return Status::Ok();
+}
+
+proc::Task<Status> GooseFs::Close(Fd fd) {
+  co_await proc::Yield();
+  FdState& state = ResolveFd(fd, "Close");
+  uint64_t ino = state.ino;
+  fds_.erase(fd);
+  Inode& inode = inodes_.at(ino);
+  PCC_ENSURE(inode.open_fds > 0, "Close: fd refcount underflow");
+  inode.open_fds--;
+  MaybeReclaim(ino);
+  co_return Status::Ok();
+}
+
+proc::Task<Result<std::vector<std::string>>> GooseFs::List(const std::string& dir) {
+  co_await proc::Yield();
+  auto dir_it = dirs_.find(dir);
+  if (dir_it == dirs_.end()) {
+    co_return Status::NotFound("no such directory: " + dir);
+  }
+  std::vector<std::string> names;
+  names.reserve(dir_it->second.size());
+  for (const auto& [name, ino] : dir_it->second) {
+    names.push_back(name);
+  }
+  co_return names;  // std::map iterates sorted
+}
+
+proc::Task<bool> GooseFs::Link(const std::string& src_dir, const std::string& src_name,
+                               const std::string& dst_dir, const std::string& dst_name) {
+  co_await proc::Yield();
+  auto src_dir_it = dirs_.find(src_dir);
+  if (src_dir_it == dirs_.end()) {
+    co_return false;
+  }
+  auto src_it = src_dir_it->second.find(src_name);
+  if (src_it == src_dir_it->second.end()) {
+    co_return false;
+  }
+  auto dst_dir_it = dirs_.find(dst_dir);
+  if (dst_dir_it == dirs_.end()) {
+    co_return false;
+  }
+  auto [dst_it, inserted] = dst_dir_it->second.try_emplace(dst_name, src_it->second);
+  if (!inserted) {
+    co_return false;
+  }
+  inodes_.at(src_it->second).nlink++;
+  co_return true;
+}
+
+proc::Task<Status> GooseFs::Delete(const std::string& dir, const std::string& name) {
+  co_await proc::Yield();
+  auto dir_it = dirs_.find(dir);
+  if (dir_it == dirs_.end()) {
+    co_return Status::NotFound("no such directory: " + dir);
+  }
+  auto name_it = dir_it->second.find(name);
+  if (name_it == dir_it->second.end()) {
+    co_return Status::NotFound(dir + "/" + name);
+  }
+  uint64_t ino = name_it->second;
+  dir_it->second.erase(name_it);
+  Inode& inode = inodes_.at(ino);
+  PCC_ENSURE(inode.nlink > 0, "Delete: nlink underflow");
+  inode.nlink--;
+  MaybeReclaim(ino);
+  co_return Status::Ok();
+}
+
+void GooseFs::OnCrash() {
+  // Deferred durability: unsynced data dies with the page cache — each
+  // file truncates to its last-synced prefix.
+  for (auto& [ino, inode] : inodes_) {
+    if (inode.data.size() > inode.synced_len) {
+      inode.data.resize(inode.synced_len);
+    }
+  }
+  // File descriptors are volatile (§6.2): all lost. Their inode references
+  // vanish with them, so orphaned inodes (created-but-never-linked spool
+  // data) are reclaimed by the kernel model.
+  for (auto& [fd, state] : fds_) {
+    Inode& inode = inodes_.at(state.ino);
+    PCC_ENSURE(inode.open_fds > 0, "OnCrash: fd refcount underflow");
+    inode.open_fds--;
+  }
+  fds_.clear();
+  for (auto it = inodes_.begin(); it != inodes_.end();) {
+    if (it->second.nlink == 0 && it->second.open_fds == 0) {
+      it = inodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::string> GooseFs::PeekNames(const std::string& dir) const {
+  auto it = dirs_.find(dir);
+  PCC_ENSURE(it != dirs_.end(), "PeekNames: no such directory " + dir);
+  std::vector<std::string> names;
+  for (const auto& [name, ino] : it->second) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::optional<Bytes> GooseFs::PeekFile(const std::string& dir, const std::string& name) const {
+  auto dir_it = dirs_.find(dir);
+  if (dir_it == dirs_.end()) {
+    return std::nullopt;
+  }
+  auto it = dir_it->second.find(name);
+  if (it == dir_it->second.end()) {
+    return std::nullopt;
+  }
+  return inodes_.at(it->second).data;
+}
+
+std::optional<Bytes> GooseFs::PeekDurableFile(const std::string& dir,
+                                              const std::string& name) const {
+  std::optional<Bytes> full = PeekFile(dir, name);
+  if (!full.has_value()) {
+    return std::nullopt;
+  }
+  auto dir_it = dirs_.find(dir);
+  const Inode& inode = inodes_.at(dir_it->second.at(name));
+  full->resize(inode.synced_len);
+  return full;
+}
+
+std::string GooseFs::DurableFingerprint() const {
+  std::string out;
+  for (const auto& [dir, entries] : dirs_) {
+    out += dir;
+    out += '{';
+    for (const auto& [name, ino] : entries) {
+      out += name;
+      out += '=';
+      const Bytes& data = inodes_.at(ino).data;
+      out.append(data.begin(), data.end());
+      out += ';';
+    }
+    out += '}';
+  }
+  return out;
+}
+
+GooseFs::FdState& GooseFs::ResolveFd(Fd fd, const char* op) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    RaiseUb(std::string(op) + ": bad or stale file descriptor (fds do not survive crashes)");
+  }
+  return it->second;
+}
+
+void GooseFs::MaybeReclaim(uint64_t ino) {
+  auto it = inodes_.find(ino);
+  PCC_ENSURE(it != inodes_.end(), "MaybeReclaim: no such inode");
+  if (it->second.nlink == 0 && it->second.open_fds == 0) {
+    inodes_.erase(it);
+  }
+}
+
+}  // namespace perennial::goosefs

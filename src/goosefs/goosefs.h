@@ -1,0 +1,104 @@
+// The modeled Goose file system (§6.2), with the paper's crash model.
+//
+// State is split by durability:
+//  * Durable: directories (name → inode), inode contents, link counts.
+//  * Volatile: open file descriptors.
+// On crash, fds are lost (they are stamped with the crash generation and
+// cleared), file data persists, and inodes with zero links and no open fd
+// are reclaimed — which is why Mailboat's recovery only has to unlink spool
+// files, never "half-written" anonymous data.
+//
+// Every operation is atomic with respect to other threads (one scheduling
+// point, then the whole effect), matching the paper's semantics of the
+// POSIX calls it models.
+#ifndef PERENNIAL_SRC_GOOSEFS_GOOSEFS_H_
+#define PERENNIAL_SRC_GOOSEFS_GOOSEFS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/goose/world.h"
+#include "src/goosefs/filesys.h"
+#include "src/proc/scheduler.h"
+
+namespace perennial::goosefs {
+
+class GooseFs : public Filesys, public goose::CrashAware {
+ public:
+  struct Options {
+    // Deferred durability (the paper's named future-work extension): file
+    // DATA is buffered in memory until Sync(fd); a crash truncates each
+    // file to its last-synced length. Metadata (create/link/delete) stays
+    // synchronous, like a journaled file system with delayed allocation.
+    bool deferred_durability = false;
+  };
+
+  // The directory layout is fixed at construction (§6.2: directories cannot
+  // be created or renamed).
+  GooseFs(goose::World* world, std::vector<std::string> dirs, Options options);
+  GooseFs(goose::World* world, std::vector<std::string> dirs)
+      : GooseFs(world, std::move(dirs), Options{}) {}
+
+  proc::Task<Result<Fd>> Create(const std::string& dir, const std::string& name) override;
+  proc::Task<Result<Fd>> Open(const std::string& dir, const std::string& name) override;
+  proc::Task<Status> Append(Fd fd, const Bytes& data) override;
+  proc::Task<Result<Bytes>> ReadAt(Fd fd, uint64_t off, uint64_t count) override;
+  proc::Task<Status> Sync(Fd fd) override;
+  proc::Task<Status> Close(Fd fd) override;
+  proc::Task<Result<std::vector<std::string>>> List(const std::string& dir) override;
+  proc::Task<bool> Link(const std::string& src_dir, const std::string& src_name,
+                        const std::string& dst_dir, const std::string& dst_name) override;
+  proc::Task<Status> Delete(const std::string& dir, const std::string& name) override;
+
+  // Crash model: fds lost, data durable, orphaned inodes reclaimed.
+  void OnCrash() override;
+
+  // --- Harness-only observation (for invariants and tests) ---
+
+  // Names present in `dir`, sorted. Panics on unknown dir.
+  std::vector<std::string> PeekNames(const std::string& dir) const;
+  // Contents of (dir, name) or nullopt when absent.
+  std::optional<Bytes> PeekFile(const std::string& dir, const std::string& name) const;
+  // The durable prefix only (what a crash would preserve).
+  std::optional<Bytes> PeekDurableFile(const std::string& dir, const std::string& name) const;
+  size_t OpenFdCountForTesting() const { return fds_.size(); }
+  size_t InodeCountForTesting() const { return inodes_.size(); }
+  // A canonical string of the durable state: directory trees + contents.
+  // Used by explorers to deduplicate states.
+  std::string DurableFingerprint() const;
+
+ private:
+  enum class Mode { kRead, kAppend };
+
+  struct Inode {
+    Bytes data;
+    uint64_t synced_len = 0;  // prefix guaranteed durable (== size unless deferred)
+    uint64_t nlink = 0;
+    uint64_t open_fds = 0;
+  };
+  struct FdState {
+    uint64_t ino = 0;
+    Mode mode = Mode::kRead;
+  };
+
+  // Looks up an fd, raising UB for stale/bad descriptors (a crashed fd or a
+  // double close is a program bug, not an environment condition).
+  FdState& ResolveFd(Fd fd, const char* op);
+  void MaybeReclaim(uint64_t ino);
+
+  goose::World* world_;
+  Options options_;
+  std::map<std::string, std::map<std::string, uint64_t>> dirs_;
+  std::map<uint64_t, Inode> inodes_;
+  std::map<Fd, FdState> fds_;
+  uint64_t next_ino_ = 1;
+  Fd next_fd_ = 1;
+};
+
+}  // namespace perennial::goosefs
+
+#endif  // PERENNIAL_SRC_GOOSEFS_GOOSEFS_H_

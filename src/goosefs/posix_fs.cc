@@ -1,0 +1,266 @@
+#include "src/goosefs/posix_fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace perennial::goosefs {
+
+namespace {
+
+Status ErrnoStatus(const char* op, int err) {
+  std::string msg = std::string(op) + ": " + std::strerror(err);
+  switch (err) {
+    case ENOENT:
+      return Status::NotFound(std::move(msg));
+    case EEXIST:
+      return Status::AlreadyExists(std::move(msg));
+    default:
+      return Status::Failed(std::move(msg));
+  }
+}
+
+}  // namespace
+
+PosixFilesys::PosixFilesys(std::string root, Options options)
+    : root_(std::move(root)), options_(options) {}
+
+PosixFilesys::~PosixFilesys() {
+  for (auto& [dir, fd] : dir_fds_) {
+    ::close(fd);
+  }
+}
+
+Status PosixFilesys::EnsureDirs(const std::vector<std::string>& dirs) {
+  for (const std::string& dir : dirs) {
+    std::string path = root_ + "/" + dir;
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", errno);
+    }
+    Status s = ClearDir(dir);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status PosixFilesys::ClearDir(const std::string& dir) {
+  std::string path = root_ + "/" + dir;
+  DIR* d = ::opendir(path.c_str());
+  if (d == nullptr) {
+    return ErrnoStatus("opendir", errno);
+  }
+  while (struct dirent* entry = ::readdir(d)) {
+    if (std::strcmp(entry->d_name, ".") == 0 || std::strcmp(entry->d_name, "..") == 0) {
+      continue;
+    }
+    std::string file = path + "/" + entry->d_name;
+    ::unlink(file.c_str());
+  }
+  ::closedir(d);
+  return Status::Ok();
+}
+
+int PosixFilesys::DirFd(const std::string& dir, bool* opened) {
+  if (options_.cache_dir_fds) {
+    *opened = false;
+    std::scoped_lock lock(mu_);
+    auto it = dir_fds_.find(dir);
+    if (it != dir_fds_.end()) {
+      return it->second;
+    }
+    std::string path = root_ + "/" + dir;
+    int fd = ::open(path.c_str(), O_DIRECTORY | O_RDONLY);
+    if (fd >= 0) {
+      dir_fds_[dir] = fd;
+    }
+    return fd;
+  }
+  // Uncached mode (GoMail style): open the directory fresh each time, so
+  // every operation pays a full path walk.
+  *opened = true;
+  std::string path = root_ + "/" + dir;
+  return ::open(path.c_str(), O_DIRECTORY | O_RDONLY);
+}
+
+std::string PosixFilesys::FullPath(const std::string& dir, const std::string& name) const {
+  return root_ + "/" + dir + "/" + name;
+}
+
+proc::Task<Result<Fd>> PosixFilesys::Create(const std::string& dir, const std::string& name) {
+  int fd = -1;
+  if (options_.cache_dir_fds) {
+    bool opened = false;
+    int dfd = DirFd(dir, &opened);
+    if (dfd < 0) {
+      co_return ErrnoStatus("open dir", errno);
+    }
+    fd = ::openat(dfd, name.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644);
+    if (opened) {
+      ::close(dfd);
+    }
+  } else {
+    fd = ::open(FullPath(dir, name).c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644);
+  }
+  if (fd < 0) {
+    co_return ErrnoStatus("create", errno);
+  }
+  co_return static_cast<Fd>(fd);
+}
+
+proc::Task<Result<Fd>> PosixFilesys::Open(const std::string& dir, const std::string& name) {
+  int fd = -1;
+  if (options_.cache_dir_fds) {
+    bool opened = false;
+    int dfd = DirFd(dir, &opened);
+    if (dfd < 0) {
+      co_return ErrnoStatus("open dir", errno);
+    }
+    fd = ::openat(dfd, name.c_str(), O_RDONLY);
+    if (opened) {
+      ::close(dfd);
+    }
+  } else {
+    fd = ::open(FullPath(dir, name).c_str(), O_RDONLY);
+  }
+  if (fd < 0) {
+    co_return ErrnoStatus("open", errno);
+  }
+  co_return static_cast<Fd>(fd);
+}
+
+proc::Task<Status> PosixFilesys::Append(Fd fd, const Bytes& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(static_cast<int>(fd), data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      co_return ErrnoStatus("write", errno);
+    }
+    written += static_cast<size_t>(n);
+  }
+  co_return Status::Ok();
+}
+
+proc::Task<Result<Bytes>> PosixFilesys::ReadAt(Fd fd, uint64_t off, uint64_t count) {
+  Bytes out(count);
+  size_t total = 0;
+  while (total < count) {
+    ssize_t n = ::pread(static_cast<int>(fd), out.data() + total, count - total,
+                        static_cast<off_t>(off + total));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      co_return ErrnoStatus("pread", errno);
+    }
+    if (n == 0) {
+      break;  // EOF
+    }
+    total += static_cast<size_t>(n);
+  }
+  out.resize(total);
+  co_return out;
+}
+
+proc::Task<Status> PosixFilesys::Sync(Fd fd) {
+  if (::fsync(static_cast<int>(fd)) != 0) {
+    co_return ErrnoStatus("fsync", errno);
+  }
+  co_return Status::Ok();
+}
+
+proc::Task<Status> PosixFilesys::Close(Fd fd) {
+  if (::close(static_cast<int>(fd)) != 0) {
+    co_return ErrnoStatus("close", errno);
+  }
+  co_return Status::Ok();
+}
+
+proc::Task<Result<std::vector<std::string>>> PosixFilesys::List(const std::string& dir) {
+  std::vector<std::string> names;
+  bool opened = false;
+  int dfd = DirFd(dir, &opened);
+  if (dfd < 0) {
+    co_return ErrnoStatus("open dir", errno);
+  }
+  // fdopendir takes ownership, so always hand it a duplicate.
+  int dup_fd = ::dup(dfd);
+  if (opened) {
+    ::close(dfd);
+  }
+  if (dup_fd < 0) {
+    co_return ErrnoStatus("dup", errno);
+  }
+  ::lseek(dup_fd, 0, SEEK_SET);
+  DIR* d = ::fdopendir(dup_fd);
+  if (d == nullptr) {
+    ::close(dup_fd);
+    co_return ErrnoStatus("fdopendir", errno);
+  }
+  while (struct dirent* entry = ::readdir(d)) {
+    if (std::strcmp(entry->d_name, ".") == 0 || std::strcmp(entry->d_name, "..") == 0) {
+      continue;
+    }
+    names.emplace_back(entry->d_name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  co_return names;
+}
+
+proc::Task<bool> PosixFilesys::Link(const std::string& src_dir, const std::string& src_name,
+                                    const std::string& dst_dir, const std::string& dst_name) {
+  int rc = -1;
+  if (options_.cache_dir_fds) {
+    bool src_opened = false;
+    bool dst_opened = false;
+    int sfd = DirFd(src_dir, &src_opened);
+    int dfd = DirFd(dst_dir, &dst_opened);
+    if (sfd >= 0 && dfd >= 0) {
+      rc = ::linkat(sfd, src_name.c_str(), dfd, dst_name.c_str(), 0);
+    }
+    if (src_opened && sfd >= 0) {
+      ::close(sfd);
+    }
+    if (dst_opened && dfd >= 0) {
+      ::close(dfd);
+    }
+  } else {
+    rc = ::link(FullPath(src_dir, src_name).c_str(), FullPath(dst_dir, dst_name).c_str());
+  }
+  co_return rc == 0;
+}
+
+proc::Task<Status> PosixFilesys::Delete(const std::string& dir, const std::string& name) {
+  int rc = -1;
+  if (options_.cache_dir_fds) {
+    bool opened = false;
+    int dfd = DirFd(dir, &opened);
+    if (dfd < 0) {
+      co_return ErrnoStatus("open dir", errno);
+    }
+    rc = ::unlinkat(dfd, name.c_str(), 0);
+    if (opened) {
+      ::close(dfd);
+    }
+  } else {
+    rc = ::unlink(FullPath(dir, name).c_str());
+  }
+  if (rc != 0) {
+    co_return ErrnoStatus("unlink", errno);
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace perennial::goosefs

@@ -1,0 +1,70 @@
+// Real-OS implementation of the Goose file-system interface.
+//
+// Used by benchmarks and the example mail server (run it on tmpfs, e.g.
+// /dev/shm, to reproduce the paper's Figure 11 setup). Never used by the
+// checker — it has no modeled crash semantics.
+//
+// Two lookup modes reproduce the paper's performance comparison (§9.3):
+//  * Cached dir fds (Mailboat): each directory's fd is opened once and all
+//    lookups are openat() relative to it — the optimization the paper
+//    credits for part of Mailboat's single-core win.
+//  * Full paths (GoMail/CMAIL style): every operation builds an absolute
+//    path and walks it from the root.
+#ifndef PERENNIAL_SRC_GOOSEFS_POSIX_FS_H_
+#define PERENNIAL_SRC_GOOSEFS_POSIX_FS_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/goosefs/filesys.h"
+
+namespace perennial::goosefs {
+
+class PosixFilesys : public Filesys {
+ public:
+  struct Options {
+    // Cache one fd per directory and do relative lookups (Mailboat mode).
+    bool cache_dir_fds = true;
+  };
+
+  // `root` must exist; directories are created beneath it on EnsureDirs.
+  PosixFilesys(std::string root, Options options);
+  ~PosixFilesys() override;
+
+  PosixFilesys(const PosixFilesys&) = delete;
+  PosixFilesys& operator=(const PosixFilesys&) = delete;
+
+  // Setup (not part of the modeled API): create the fixed directory layout
+  // and remove any leftover contents.
+  Status EnsureDirs(const std::vector<std::string>& dirs);
+  // Removes every file in `dir` (benchmark reset between runs).
+  Status ClearDir(const std::string& dir);
+
+  proc::Task<Result<Fd>> Create(const std::string& dir, const std::string& name) override;
+  proc::Task<Result<Fd>> Open(const std::string& dir, const std::string& name) override;
+  proc::Task<Status> Append(Fd fd, const Bytes& data) override;
+  proc::Task<Result<Bytes>> ReadAt(Fd fd, uint64_t off, uint64_t count) override;
+  proc::Task<Status> Sync(Fd fd) override;
+  proc::Task<Status> Close(Fd fd) override;
+  proc::Task<Result<std::vector<std::string>>> List(const std::string& dir) override;
+  proc::Task<bool> Link(const std::string& src_dir, const std::string& src_name,
+                        const std::string& dst_dir, const std::string& dst_name) override;
+  proc::Task<Status> Delete(const std::string& dir, const std::string& name) override;
+
+ private:
+  // Returns a directory fd for `dir`: the cached one, or freshly opened
+  // (caller must close when `opened` is set). -1 on failure.
+  int DirFd(const std::string& dir, bool* opened);
+  std::string FullPath(const std::string& dir, const std::string& name) const;
+
+  std::string root_;
+  Options options_;
+  std::mutex mu_;  // guards dir_fds_
+  std::map<std::string, int> dir_fds_;
+};
+
+}  // namespace perennial::goosefs
+
+#endif  // PERENNIAL_SRC_GOOSEFS_POSIX_FS_H_

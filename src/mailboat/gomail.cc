@@ -1,0 +1,135 @@
+#include "src/mailboat/gomail.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/base/panic.h"
+#include "src/base/strutil.h"
+
+namespace perennial::mailboat {
+
+GoMail::GoMail(goosefs::Filesys* fs, Options options)
+    : fs_(fs), options_(options), rng_(options.rng_seed) {}
+
+std::vector<std::string> GoMail::DirLayout(uint64_t num_users) {
+  std::vector<std::string> dirs = Mailboat::DirLayout(num_users);
+  dirs.push_back("locks");
+  return dirs;
+}
+
+uint64_t GoMail::NextRandomId() {
+  std::scoped_lock lock(rng_mu_);
+  return rng_.Next();
+}
+
+void GoMail::PayOverhead() const {
+  if (options_.overhead_ns_per_op == 0) {
+    return;
+  }
+  // Busy-wait (not sleep): models executing more instructions per request,
+  // which consumes CPU and therefore contends for cores like real work.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(options_.overhead_ns_per_op);
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+proc::Task<void> GoMail::AcquireFileLock(uint64_t user) {
+  // Several file-system calls per acquisition: exclusive create + close
+  // (and unlink on release) — the cost the paper attributes to CMAIL's
+  // locking (§9.3).
+  while (true) {
+    Result<goosefs::Fd> fd = co_await fs_->Create("locks", LockName(user));
+    if (fd.ok()) {
+      (void)co_await fs_->Close(fd.value());
+      co_return;
+    }
+    PCC_ENSURE(fd.status().code() == StatusCode::kAlreadyExists, "file lock: create failed");
+    std::this_thread::yield();  // native-mode politeness while spinning
+  }
+}
+
+proc::Task<void> GoMail::ReleaseFileLock(uint64_t user) {
+  Status s = co_await fs_->Delete("locks", LockName(user));
+  PCC_ENSURE(s.ok(), "file lock: unlock of unheld lock");
+}
+
+proc::Task<std::vector<Message>> GoMail::Pickup(uint64_t user) {
+  PayOverhead();
+  co_await AcquireFileLock(user);
+  Result<std::vector<std::string>> names = co_await fs_->List(UserDir(user));
+  PCC_ENSURE(names.ok(), "GoMail pickup: user directory missing");
+  std::vector<Message> messages;
+  for (const std::string& name : names.value()) {
+    Result<goosefs::Fd> fd = co_await fs_->Open(UserDir(user), name);
+    PCC_ENSURE(fd.ok(), "GoMail pickup: listed message disappeared");
+    std::string contents;
+    uint64_t off = 0;
+    while (true) {
+      Result<goosefs::Bytes> chunk = co_await fs_->ReadAt(fd.value(), off, options_.read_size);
+      PCC_ENSURE(chunk.ok(), "GoMail pickup: read failed");
+      contents.append(chunk.value().begin(), chunk.value().end());
+      off += chunk.value().size();
+      if (chunk.value().size() < options_.read_size) {
+        break;
+      }
+    }
+    (void)co_await fs_->Close(fd.value());
+    messages.push_back(Message{name, std::move(contents)});
+  }
+  co_return messages;
+}
+
+proc::Task<std::string> GoMail::Deliver(uint64_t user, const goosefs::Bytes& msg) {
+  PayOverhead();
+  // Conservative design: hold the mailbox file lock across delivery (see
+  // the header comment — this is the cost of not having Mailboat's
+  // atomic-visibility argument).
+  co_await AcquireFileLock(user);
+  std::string tmp_name = "tmp-" + HexId(NextRandomId());
+  Result<goosefs::Fd> fd = co_await fs_->Create("spool", tmp_name);
+  while (!fd.ok()) {
+    PCC_ENSURE(fd.status().code() == StatusCode::kAlreadyExists, "GoMail: spool create failed");
+    tmp_name = "tmp-" + HexId(NextRandomId());
+    fd = co_await fs_->Create("spool", tmp_name);
+  }
+  for (uint64_t off = 0; off < msg.size(); off += options_.chunk_size) {
+    uint64_t end = std::min<uint64_t>(off + options_.chunk_size, msg.size());
+    goosefs::Bytes chunk(msg.begin() + static_cast<long>(off), msg.begin() + static_cast<long>(end));
+    (void)co_await fs_->Append(fd.value(), chunk);
+  }
+  (void)co_await fs_->Close(fd.value());
+  std::string msg_name = "msg-" + HexId(NextRandomId());
+  while (!co_await fs_->Link("spool", tmp_name, UserDir(user), msg_name)) {
+    msg_name = "msg-" + HexId(NextRandomId());
+  }
+  (void)co_await fs_->Delete("spool", tmp_name);
+  co_await ReleaseFileLock(user);
+  co_return msg_name;
+}
+
+proc::Task<void> GoMail::Delete(uint64_t user, const std::string& id) {
+  Status s = co_await fs_->Delete(UserDir(user), id);
+  PCC_ENSURE(s.ok(), "GoMail delete: no such message");
+}
+
+proc::Task<void> GoMail::Unlock(uint64_t user) {
+  co_await ReleaseFileLock(user);
+}
+
+proc::Task<void> GoMail::Recover() {
+  Result<std::vector<std::string>> spooled = co_await fs_->List("spool");
+  PCC_ENSURE(spooled.ok(), "GoMail recover: spool missing");
+  for (const std::string& name : spooled.value()) {
+    (void)co_await fs_->Delete("spool", name);
+  }
+  // Stale lock files from the crashed process must be cleared too — with
+  // file locks, crash recovery has *more* to clean up than Mailboat.
+  Result<std::vector<std::string>> locks = co_await fs_->List("locks");
+  PCC_ENSURE(locks.ok(), "GoMail recover: locks dir missing");
+  for (const std::string& name : locks.value()) {
+    (void)co_await fs_->Delete("locks", name);
+  }
+}
+
+}  // namespace perennial::mailboat

@@ -1,0 +1,37 @@
+// The common mail-server interface (Figure 10's API shape), implemented by
+// the verified Mailboat and by the GoMail/CMAIL-style baselines so the
+// Figure 11 benchmark can drive all three identically.
+#ifndef PERENNIAL_SRC_MAILBOAT_MAIL_API_H_
+#define PERENNIAL_SRC_MAILBOAT_MAIL_API_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/goosefs/filesys.h"
+#include "src/proc/task.h"
+
+namespace perennial::mailboat {
+
+struct Message;  // defined in mailboat.h
+
+class MailApi {
+ public:
+  virtual ~MailApi() = default;
+
+  // Lists the user's mail and acquires the user's pickup/delete lock.
+  virtual proc::Task<std::vector<Message>> Pickup(uint64_t user) = 0;
+  // Durably delivers a message, returning its id.
+  virtual proc::Task<std::string> Deliver(uint64_t user, const goosefs::Bytes& msg) = 0;
+  // Deletes a message id previously returned by Pickup (lock held).
+  virtual proc::Task<void> Delete(uint64_t user, const std::string& id) = 0;
+  virtual proc::Task<void> Unlock(uint64_t user) = 0;
+  // Post-crash cleanup / re-initialization.
+  virtual proc::Task<void> Recover() = 0;
+
+  virtual uint64_t num_users() const = 0;
+};
+
+}  // namespace perennial::mailboat
+
+#endif  // PERENNIAL_SRC_MAILBOAT_MAIL_API_H_

@@ -1,0 +1,198 @@
+#include "src/mailboat/mailboat.h"
+
+#include <algorithm>
+
+#include "src/base/panic.h"
+#include "src/base/strutil.h"
+
+namespace perennial::mailboat {
+
+Mailboat::Mailboat(goose::World* world, goosefs::Filesys* fs, Options options, Mutations mutations)
+    : world_(world),
+      fs_(fs),
+      options_(options),
+      mutations_(mutations),
+      dir_leases_(world),
+      rng_(options.rng_seed) {
+  InitVolatile();
+}
+
+std::vector<std::string> Mailboat::DirLayout(uint64_t num_users) {
+  std::vector<std::string> dirs;
+  dirs.reserve(num_users + 1);
+  dirs.push_back("spool");
+  for (uint64_t u = 0; u < num_users; ++u) {
+    dirs.push_back(UserDir(u));
+  }
+  return dirs;
+}
+
+void Mailboat::InitVolatile() {
+  pickup_leases_.clear();
+  user_locks_.clear();
+  user_locks_.reserve(options_.num_users);
+  for (uint64_t u = 0; u < options_.num_users; ++u) {
+    user_locks_.push_back(std::make_unique<goose::Mutex>(world_));
+  }
+}
+
+uint64_t Mailboat::NextRandomId() {
+  std::scoped_lock lock(rng_mu_);
+  return rng_.Next();
+}
+
+proc::Task<std::vector<Message>> Mailboat::Pickup(uint64_t user) {
+  PCC_ENSURE(user < options_.num_users, "Pickup: no such user");
+  co_await user_locks_[user]->Lock();  // released by Unlock()
+  Result<std::vector<std::string>> names = co_await fs_->List(UserDir(user));
+  PCC_ENSURE(names.ok(), "Pickup: user directory vanished");
+  std::vector<Message> messages;
+  messages.reserve(names.value().size());
+  for (const std::string& name : names.value()) {
+    Result<goosefs::Fd> fd = co_await fs_->Open(UserDir(user), name);
+    // The pickup/delete lock guarantees listed names persist, and delivery
+    // never removes mailbox entries.
+    PCC_ENSURE(fd.ok(), "Pickup: listed message disappeared");
+    std::string contents;
+    uint64_t off = 0;
+    while (true) {
+      Result<goosefs::Bytes> chunk = co_await fs_->ReadAt(fd.value(), off, options_.read_size);
+      PCC_ENSURE(chunk.ok(), "Pickup: read failed");
+      contents.append(chunk.value().begin(), chunk.value().end());
+      if (!mutations_.pickup_512_loop) {
+        off += chunk.value().size();
+      }
+      // §9.5 bug mode: `off` never advances, so a message of read_size
+      // bytes or more re-reads the same full chunk forever.
+      if (chunk.value().size() < options_.read_size) {
+        break;
+      }
+    }
+    (void)co_await fs_->Close(fd.value());
+    messages.push_back(Message{name, std::move(contents)});
+  }
+  // Take the lower-bound lease (§8.3): the mailbox contains at least the
+  // names just listed; the holder may delete exactly those, and concurrent
+  // deliveries remain free to add more.
+  {
+    std::scoped_lock host_lock(pickup_leases_mu_);
+    pickup_leases_[user] = dir_leases_.Acquire(UserDir(user), names.value());
+  }
+  co_return messages;
+}
+
+proc::Task<std::string> Mailboat::Deliver(uint64_t user, const goosefs::Bytes& msg) {
+  // Plain-buffer delivery: the chunk reader copies out of a stable vector.
+  // (Bound to named locals and a split co_return: GCC 12 double-destroys
+  // owning temporaries inside `co_return co_await f(...)` expressions.)
+  goosefs::Bytes copy = msg;
+  uint64_t len = copy.size();
+  ChunkReader reader = [copy = std::move(copy)](uint64_t off,
+                                                uint64_t n) -> proc::Task<goosefs::Bytes> {
+    uint64_t end = std::min<uint64_t>(off + n, copy.size());
+    co_return goosefs::Bytes(copy.begin() + static_cast<long>(off),
+                             copy.begin() + static_cast<long>(end));
+  };
+  std::string id = co_await DeliverChunked(user, len, std::move(reader));
+  co_return id;
+}
+
+proc::Task<std::string> Mailboat::DeliverChunked(uint64_t user, uint64_t len,
+                                                 ChunkReader read_chunk) {
+  PCC_ENSURE(user < options_.num_users, "Deliver: no such user");
+
+  if (mutations_.deliver_in_place) {
+    // Bug: write directly into the mailbox. The file is visible (and
+    // partially empty) from its creation until the last append.
+    std::string name = "msg-" + HexId(NextRandomId());
+    Result<goosefs::Fd> fd = co_await fs_->Create(UserDir(user), name);
+    while (!fd.ok()) {
+      name = "msg-" + HexId(NextRandomId());
+      fd = co_await fs_->Create(UserDir(user), name);
+    }
+    for (uint64_t off = 0; off < len; off += options_.chunk_size) {
+      goosefs::Bytes chunk = co_await read_chunk(off, std::min(options_.chunk_size, len - off));
+      (void)co_await fs_->Append(fd.value(), chunk);
+    }
+    (void)co_await fs_->Close(fd.value());
+    co_return name;
+  }
+
+  // 1. Spool the message under a fresh random name (exclusive create;
+  //    retry on collision).
+  std::string tmp_name = "tmp-" + HexId(NextRandomId());
+  Result<goosefs::Fd> fd = co_await fs_->Create("spool", tmp_name);
+  while (!fd.ok()) {
+    PCC_ENSURE(fd.status().code() == StatusCode::kAlreadyExists, "Deliver: spool create failed");
+    tmp_name = "tmp-" + HexId(NextRandomId());
+    fd = co_await fs_->Create("spool", tmp_name);
+  }
+  // 2. Write the body chunk_size bytes at a time (the caller must not
+  //    mutate the buffer concurrently — §8.3).
+  for (uint64_t off = 0; off < len; off += options_.chunk_size) {
+    goosefs::Bytes chunk = co_await read_chunk(off, std::min(options_.chunk_size, len - off));
+    (void)co_await fs_->Append(fd.value(), chunk);
+  }
+  if (options_.sync_on_deliver) {
+    (void)co_await fs_->Sync(fd.value());
+  }
+  (void)co_await fs_->Close(fd.value());
+  // 3. Atomically link the complete file into the mailbox (retry the name
+  //    on collision), then drop the spool entry.
+  std::string msg_name = "msg-" + HexId(NextRandomId());
+  while (!co_await fs_->Link("spool", tmp_name, UserDir(user), msg_name)) {
+    msg_name = "msg-" + HexId(NextRandomId());
+  }
+  (void)co_await fs_->Delete("spool", tmp_name);
+  co_return msg_name;
+}
+
+proc::Task<void> Mailboat::Delete(uint64_t user, const std::string& id) {
+  PCC_ENSURE(user < options_.num_users, "Delete: no such user");
+  {
+    std::scoped_lock host_lock(pickup_leases_mu_);
+    auto lease_it = pickup_leases_.find(user);
+    if (lease_it == pickup_leases_.end()) {
+      RaiseUb("Delete without a pickup lease (no Pickup, or after a crash)");
+    }
+    dir_leases_.CheckDelete(lease_it->second, id);
+  }
+  Status s = co_await fs_->Delete(UserDir(user), id);
+  if (!s.ok()) {
+    // The caller broke the contract (§8.1: only delete ids Pickup listed,
+    // while holding the lock).
+    RaiseUb("Delete: message '" + id + "' does not exist");
+  }
+}
+
+proc::Task<void> Mailboat::Unlock(uint64_t user) {
+  PCC_ENSURE(user < options_.num_users, "Unlock: no such user");
+  {
+    std::scoped_lock host_lock(pickup_leases_mu_);
+    auto lease_it = pickup_leases_.find(user);
+    if (lease_it != pickup_leases_.end()) {
+      dir_leases_.Release(lease_it->second);
+      pickup_leases_.erase(lease_it);
+    }
+  }
+  co_await user_locks_[user]->Unlock();
+}
+
+proc::Task<void> Mailboat::Recover() {
+  InitVolatile();  // fresh locks for the new generation
+  Result<std::vector<std::string>> spooled = co_await fs_->List("spool");
+  PCC_ENSURE(spooled.ok(), "Recover: spool directory missing");
+  for (const std::string& name : spooled.value()) {
+    (void)co_await fs_->Delete("spool", name);
+  }
+  if (mutations_.recovery_deletes_mail) {
+    for (uint64_t u = 0; u < options_.num_users; ++u) {
+      Result<std::vector<std::string>> names = co_await fs_->List(UserDir(u));
+      for (const std::string& name : names.value()) {
+        (void)co_await fs_->Delete(UserDir(u), name);
+      }
+    }
+  }
+}
+
+}  // namespace perennial::mailboat

@@ -1,0 +1,96 @@
+#include "src/mailboat/workload.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/base/rand.h"
+#include "src/mailboat/mailboat.h"
+#include "src/proc/task.h"
+
+namespace perennial::mailboat {
+
+namespace {
+
+struct ThreadStats {
+  uint64_t delivers = 0;
+  uint64_t pickups = 0;
+  uint64_t messages_read = 0;
+};
+
+proc::Task<void> OneRequest(MailApi* mail, Rng* rng, const WorkloadOptions& options,
+                            ThreadStats* stats, const goosefs::Bytes* body) {
+  uint64_t user = rng->Below(options.num_users);
+  if (rng->Chance(0.5)) {
+    (void)co_await mail->Deliver(user, *body);
+    ++stats->delivers;
+  } else {
+    std::vector<Message> messages = co_await mail->Pickup(user);
+    for (const Message& m : messages) {
+      co_await mail->Delete(user, m.id);
+    }
+    stats->messages_read += messages.size();
+    co_await mail->Unlock(user);
+    ++stats->pickups;
+  }
+}
+
+void WorkerLoop(MailApi* mail, const WorkloadOptions& options, uint64_t seed,
+                std::atomic<uint64_t>* remaining, ThreadStats* stats,
+                const goosefs::Bytes* body) {
+  Rng rng(seed);
+  while (true) {
+    // Closed loop over a shared request budget: each worker grabs the next
+    // request as soon as its previous one finishes.
+    uint64_t prev = remaining->fetch_sub(1, std::memory_order_relaxed);
+    if (prev == 0) {
+      // The budget was already exhausted: undo this thread's decrement
+      // (every over-decrementing thread undoes its own) and stop.
+      remaining->fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    proc::RunSyncVoid(OneRequest(mail, &rng, options, stats, body));
+  }
+}
+
+}  // namespace
+
+WorkloadResult RunMixedWorkload(MailApi* mail, int threads, const WorkloadOptions& options) {
+  PCC_ENSURE(threads > 0, "workload: need at least one thread");
+  PCC_ENSURE(options.num_users > 0, "workload: need at least one user");
+
+  goosefs::Bytes body(options.msg_len);
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<uint8_t>('a' + (i % 26));
+  }
+
+  std::atomic<uint64_t> remaining(options.total_requests);
+  std::vector<ThreadStats> stats(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+
+  auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(WorkerLoop, mail, std::cref(options),
+                         options.seed * 1000003 + static_cast<uint64_t>(t), &remaining,
+                         &stats[static_cast<size_t>(t)], &body);
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  WorkloadResult result;
+  result.requests = options.total_requests;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  for (const ThreadStats& s : stats) {
+    result.delivers += s.delivers;
+    result.pickups += s.pickups;
+    result.messages_read += s.messages_read;
+  }
+  return result;
+}
+
+}  // namespace perennial::mailboat

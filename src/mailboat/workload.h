@@ -1,0 +1,40 @@
+// The §9.3 benchmark workload: a 50/50 mix of SMTP deliveries and POP3
+// pickups (pickup + delete every message + unlock), each request choosing
+// one of the users uniformly at random; every core runs a closed loop
+// (a new request as soon as the previous finishes) and the total request
+// count is fixed as the number of cores varies — exactly the CMAIL
+// experiment Mailboat replicates for Figure 11.
+#ifndef PERENNIAL_SRC_MAILBOAT_WORKLOAD_H_
+#define PERENNIAL_SRC_MAILBOAT_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "src/mailboat/mail_api.h"
+
+namespace perennial::mailboat {
+
+struct WorkloadOptions {
+  uint64_t num_users = 100;
+  uint64_t total_requests = 20000;  // fixed total, split across threads
+  uint64_t msg_len = 1024;          // delivery body size in bytes
+  uint64_t seed = 1;
+};
+
+struct WorkloadResult {
+  uint64_t requests = 0;
+  uint64_t delivers = 0;
+  uint64_t pickups = 0;
+  uint64_t messages_read = 0;
+  double seconds = 0;
+
+  double requests_per_sec() const { return seconds > 0 ? requests / seconds : 0; }
+};
+
+// Runs the mixed workload on `threads` OS threads (native mode; `mail`
+// must be backed by a real file system). Blocks until every request
+// completes.
+WorkloadResult RunMixedWorkload(MailApi* mail, int threads, const WorkloadOptions& options);
+
+}  // namespace perennial::mailboat
+
+#endif  // PERENNIAL_SRC_MAILBOAT_WORKLOAD_H_

@@ -1,0 +1,120 @@
+#include "src/proc/scheduler.h"
+
+#include <utility>
+
+namespace perennial::proc {
+
+namespace {
+thread_local Scheduler* g_current_scheduler = nullptr;
+}  // namespace
+
+Scheduler* CurrentScheduler() { return g_current_scheduler; }
+
+SchedulerScope::SchedulerScope(Scheduler* sched) : previous_(g_current_scheduler) {
+  g_current_scheduler = sched;
+}
+
+SchedulerScope::~SchedulerScope() { g_current_scheduler = previous_; }
+
+Scheduler::Tid Scheduler::Spawn(Task<void> task, std::string name) {
+  PCC_ENSURE(task.valid(), "Scheduler::Spawn: invalid task");
+  Thread t;
+  t.resume_point = task.handle();
+  t.task = std::move(task);
+  t.name = std::move(name);
+  threads_.push_back(std::move(t));
+  return static_cast<Tid>(threads_.size() - 1);
+}
+
+bool Scheduler::Step(Tid tid) {
+  PCC_ENSURE(tid >= 0 && static_cast<size_t>(tid) < threads_.size(), "Step: bad tid");
+  Thread& t = threads_[static_cast<size_t>(tid)];
+  PCC_ENSURE(!t.done, "Step: thread already done");
+  PCC_ENSURE(!t.blocked, "Step: thread is blocked");
+  PCC_ENSURE(current_ == kInvalidTid, "Step: reentrant Step");
+
+  std::coroutine_handle<> h = t.resume_point;
+  PCC_ENSURE(h != nullptr, "Step: no resume point");
+  t.resume_point = nullptr;
+
+  current_ = tid;
+  ++steps_;
+  // Resuming may throw only via std::terminate paths; modeled exceptions are
+  // captured in the root promise and rethrown below.
+  h.resume();
+  current_ = kInvalidTid;
+
+  // Re-read: the vector may have been reallocated by a Spawn from inside the
+  // running coroutine.
+  Thread& after = threads_[static_cast<size_t>(tid)];
+  if (after.task.handle().done()) {
+    after.done = true;
+    after.resume_point = nullptr;
+    after.task.RethrowIfFailed();
+    return true;
+  }
+  // The thread suspended at a Yield/Block, which recorded a resume point.
+  PCC_ENSURE(after.resume_point != nullptr || after.blocked || after.done,
+             "Step: thread suspended without a resume point");
+  return false;
+}
+
+std::vector<Scheduler::Tid> Scheduler::RunnableThreads() const {
+  std::vector<Tid> out;
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    const Thread& t = threads_[i];
+    if (!t.done && !t.blocked) {
+      out.push_back(static_cast<Tid>(i));
+    }
+  }
+  return out;
+}
+
+bool Scheduler::AllDone() const {
+  for (const Thread& t : threads_) {
+    if (!t.done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Scheduler::IsDone(Tid tid) const {
+  PCC_ENSURE(tid >= 0 && static_cast<size_t>(tid) < threads_.size(), "IsDone: bad tid");
+  return threads_[static_cast<size_t>(tid)].done;
+}
+
+void Scheduler::Block(Tid tid) {
+  if (tearing_down_) {
+    return;
+  }
+  PCC_ENSURE(tid >= 0 && static_cast<size_t>(tid) < threads_.size(), "Block: bad tid");
+  threads_[static_cast<size_t>(tid)].blocked = true;
+}
+
+void Scheduler::Unblock(Tid tid) {
+  if (tearing_down_) {
+    return;
+  }
+  PCC_ENSURE(tid >= 0 && static_cast<size_t>(tid) < threads_.size(), "Unblock: bad tid");
+  threads_[static_cast<size_t>(tid)].blocked = false;
+}
+
+void Scheduler::KillAllThreads() {
+  PCC_ENSURE(current_ == kInvalidTid, "KillAllThreads during Step");
+  tearing_down_ = true;
+  threads_.clear();  // destroys all coroutine frames
+  tearing_down_ = false;
+}
+
+const std::string& Scheduler::thread_name(Tid tid) const {
+  PCC_ENSURE(tid >= 0 && static_cast<size_t>(tid) < threads_.size(), "thread_name: bad tid");
+  return threads_[static_cast<size_t>(tid)].name;
+}
+
+void Scheduler::SetResumePoint(std::coroutine_handle<> h) {
+  PCC_ENSURE(current_ != kInvalidTid, "SetResumePoint outside Step");
+  threads_[static_cast<size_t>(current_)].resume_point = h;
+}
+
+}  // namespace perennial::proc

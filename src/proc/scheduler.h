@@ -1,0 +1,130 @@
+// Deterministic cooperative scheduler for modeled Goose threads.
+//
+// The scheduler owns a set of root coroutines ("threads"). It never decides
+// anything itself: callers (the refinement checker's schedule explorers)
+// repeatedly ask which threads are runnable and then Step() one of them.
+// A step runs a thread up to its next scheduling point (Yield/Block) or to
+// completion. This externalized choice is what lets the checker enumerate
+// interleavings exhaustively and inject crashes between any two steps.
+//
+// Crash semantics (§5.2): KillAllThreads() destroys every coroutine frame
+// without running any modeled effects — modeled code performs effects only
+// through explicit operations, never in destructors — mirroring a machine
+// that stops executing instantly. Volatile state reset is the Goose world's
+// job (src/goose), not the scheduler's.
+#ifndef PERENNIAL_SRC_PROC_SCHEDULER_H_
+#define PERENNIAL_SRC_PROC_SCHEDULER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/proc/task.h"
+
+namespace perennial::proc {
+
+class Scheduler {
+ public:
+  using Tid = int;
+  static constexpr Tid kInvalidTid = -1;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Adds a thread; it becomes runnable but does not start until stepped.
+  // Callable both from outside and from within a running thread (the `go`
+  // statement).
+  Tid Spawn(Task<void> task, std::string name = "");
+
+  // Runs thread `tid` until its next scheduling point or completion.
+  // Returns true if the thread completed during this step. If the thread
+  // body threw (e.g. UbViolation), the exception propagates to the caller.
+  bool Step(Tid tid);
+
+  // Threads that can be stepped right now (spawned, not done, not blocked).
+  std::vector<Tid> RunnableThreads() const;
+  bool HasRunnable() const { return !RunnableThreads().empty(); }
+
+  bool AllDone() const;
+  // True when some thread is still live but nothing can run: a deadlock in
+  // the modeled program (the checker reports this as a violation).
+  bool Deadlocked() const { return !AllDone() && !HasRunnable(); }
+
+  bool IsDone(Tid tid) const;
+
+  // Blocking support for modeled mutexes/condvars. Block marks the current
+  // state; the thread will not appear runnable until Unblock.
+  void Block(Tid tid);
+  void Unblock(Tid tid);
+
+  // The thread currently executing inside Step (kInvalidTid outside).
+  Tid current_tid() const { return current_; }
+
+  // Total Step() calls so far — the explorer's depth metric.
+  uint64_t steps() const { return steps_; }
+
+  // Crash: destroys every coroutine frame. No modeled effects run.
+  void KillAllThreads();
+
+  size_t thread_count() const { return threads_.size(); }
+  const std::string& thread_name(Tid tid) const;
+
+  // Called by the Yield/Block awaitables to record where to resume.
+  void SetResumePoint(std::coroutine_handle<> h);
+
+ private:
+  struct Thread {
+    Task<void> task;
+    std::coroutine_handle<> resume_point = nullptr;
+    std::string name;
+    bool done = false;
+    bool blocked = false;
+  };
+
+  std::vector<Thread> threads_;
+  Tid current_ = kInvalidTid;
+  uint64_t steps_ = 0;
+  bool tearing_down_ = false;
+};
+
+// The scheduler installed on this OS thread, or nullptr in native mode.
+Scheduler* CurrentScheduler();
+
+// RAII installation of a scheduler for the current OS thread.
+class SchedulerScope {
+ public:
+  explicit SchedulerScope(Scheduler* sched);
+  ~SchedulerScope();
+  SchedulerScope(const SchedulerScope&) = delete;
+  SchedulerScope& operator=(const SchedulerScope&) = delete;
+
+ private:
+  Scheduler* previous_;
+};
+
+// A scheduling point. In native mode (no scheduler) this never suspends.
+struct YieldAwaiter {
+  bool await_ready() const noexcept { return CurrentScheduler() == nullptr; }
+  void await_suspend(std::coroutine_handle<> h) const { CurrentScheduler()->SetResumePoint(h); }
+  void await_resume() const noexcept {}
+};
+inline YieldAwaiter Yield() { return {}; }
+
+// Suspends the current thread as blocked; some other thread must Unblock it.
+// Only meaningful in simulated mode; modeled mutexes branch before using it.
+struct BlockAwaiter {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    Scheduler* sched = CurrentScheduler();
+    sched->SetResumePoint(h);
+    sched->Block(sched->current_tid());
+  }
+  void await_resume() const noexcept {}
+};
+inline BlockAwaiter BlockCurrentThread() { return {}; }
+
+}  // namespace perennial::proc
+
+#endif  // PERENNIAL_SRC_PROC_SCHEDULER_H_

@@ -1,0 +1,11 @@
+#include "src/proc/task.h"
+
+namespace perennial::proc {
+
+void RunSyncVoid(Task<void> task) {
+  task.handle().resume();
+  PCC_ENSURE(task.done(), "RunSyncVoid: task suspended but no scheduler is installed");
+  task.RethrowIfFailed();
+}
+
+}  // namespace perennial::proc

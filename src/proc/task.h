@@ -1,0 +1,207 @@
+// Coroutine task type for modeled Goose procedures.
+//
+// Every Goose procedure in this codebase is a coroutine returning
+// proc::Task<T>. A Task is lazy: it runs only when awaited (or when the
+// scheduler resumes a spawned root). Completion uses symmetric transfer to
+// the awaiting coroutine, so arbitrarily deep call chains cost no stack.
+//
+// The same coroutine code runs in two modes:
+//  * Simulated: a Scheduler is installed (per OS thread); every Yield()
+//    suspension is a scheduling decision the checker controls.
+//  * Native: no Scheduler installed; Yield() never suspends and the
+//    coroutine runs straight through, giving benchmark-grade execution of
+//    the very same procedure bodies.
+#ifndef PERENNIAL_SRC_PROC_TASK_H_
+#define PERENNIAL_SRC_PROC_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+#include "src/base/panic.h"
+
+namespace perennial::proc {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+// Shared promise behavior: continuation plumbing + exception capture.
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    std::coroutine_handle<> cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+template <typename T>
+struct PromiseBase {
+  std::coroutine_handle<> continuation = nullptr;
+  std::exception_ptr exception = nullptr;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+// Awaiting a Task<T> starts the child and transfers control to it; when the
+// child finishes, control transfers back and the value (or exception) is
+// delivered.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase<T> {
+    std::variant<std::monostate, T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_value(T v) { value.template emplace<T>(std::move(v)); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  // For the scheduler: raw access to the root coroutine.
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+  // After done(): rethrows a captured exception, if any.
+  void RethrowIfFailed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  // After done(): moves the result out.
+  T TakeResult() {
+    RethrowIfFailed();
+    PCC_ENSURE(std::holds_alternative<T>(handle_.promise().value), "Task: no result");
+    return std::move(std::get<T>(handle_.promise().value));
+  }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        if (child.promise().exception) {
+          std::rethrow_exception(child.promise().exception);
+        }
+        return std::move(std::get<T>(child.promise().value));
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase<void> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_void() {}
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+  void RethrowIfFailed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;
+      }
+      void await_resume() {
+        if (child.promise().exception) {
+          std::rethrow_exception(child.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+// Runs a task to completion assuming it never suspends at a scheduling
+// point (native mode: no Scheduler installed). Returns its value.
+template <typename T>
+T RunSync(Task<T> task) {
+  task.handle().resume();
+  PCC_ENSURE(task.done(), "RunSync: task suspended but no scheduler is installed");
+  return task.TakeResult();
+}
+void RunSyncVoid(Task<void> task);
+
+}  // namespace perennial::proc
+
+#endif  // PERENNIAL_SRC_PROC_TASK_H_

@@ -1,0 +1,547 @@
+// The schedule-and-crash-point explorer: the executable stand-in for the
+// universal quantification in Perennial's theorems.
+//
+// Where the paper's Coq proof covers all interleavings and all crash points
+// by deduction, the explorer covers them by enumeration: it drives the
+// modeled system (coroutine threads over the deterministic scheduler)
+// through either every schedule up to configured bounds (exhaustive DFS) or
+// a randomized sample, injecting machine crashes between any two atomic
+// steps — including during recovery — and environment events such as disk
+// failures. Every execution yields a history that is checked for
+// concurrent recovery refinement (linearize.h), and registered crash
+// invariants (src/cap) are evaluated at every step.
+//
+// Detected violation classes:
+//   * non-linearizable  — no spec interleaving explains the history
+//   * crash-invariant   — a registered invariant failed at some step
+//   * undefined-behavior— the modeled program raised UbViolation
+//   * deadlock          — live threads, none runnable
+//   * step-bound        — execution exceeded max_steps_per_run (possible
+//                         nontermination, e.g. the §9.5 Pickup loop bug)
+#ifndef PERENNIAL_SRC_REFINE_EXPLORER_H_
+#define PERENNIAL_SRC_REFINE_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/base/rand.h"
+#include "src/cap/crash_invariant.h"
+#include "src/goose/world.h"
+#include "src/proc/scheduler.h"
+#include "src/proc/task.h"
+#include "src/refine/history.h"
+#include "src/refine/linearize.h"
+
+namespace perennial::refine {
+
+// An environment event the explorer may fire between steps (e.g. "fail
+// disk 1"). `budget` bounds how many times it fires per execution.
+struct EnvEvent {
+  std::string name;
+  int budget = 1;
+  std::function<void()> fire;
+};
+
+template <typename Spec>
+struct Instance;
+
+// Handed to dynamic client programs: runs one spec-level operation against
+// the implementation while recording its invocation and response in the
+// history. Programs can branch on returned values (e.g. delete the ids a
+// pickup returned).
+template <typename Spec>
+class OpRunner {
+ public:
+  OpRunner(Instance<Spec>* inst, History<Spec>* history, int client)
+      : inst_(inst), history_(history), client_(client) {}
+
+  proc::Task<typename Spec::Ret> Run(typename Spec::Op op) {
+    uint64_t id = history_->Invoke(client_, op);
+    typename Spec::Ret ret = co_await inst_->run_op(client_, id, op);
+    history_->Return(id, ret);
+    co_return ret;
+  }
+
+  int client() const { return client_; }
+
+ private:
+  Instance<Spec>* inst_;
+  History<Spec>* history_;
+  int client_;
+};
+
+// One freshly constructed system under test. Factories must be
+// deterministic: the DFS explorer replays prefixes by reconstruction.
+template <typename Spec>
+struct Instance {
+  using Op = typename Spec::Op;
+  using Ret = typename Spec::Ret;
+
+  // Owns the world/system objects the raw pointers below refer to.
+  std::shared_ptr<void> keep_alive;
+  goose::World* world = nullptr;
+  // Optional: invariants checked at every step (nullptr to skip).
+  const cap::CrashInvariants* crash_invariants = nullptr;
+  // Per-client operation sequences; client i runs its ops in order.
+  std::vector<std::vector<Op>> client_ops;
+  // Dynamic client programs (run as additional clients after client_ops
+  // threads): each receives an OpRunner and may branch on results.
+  std::vector<std::function<proc::Task<void>(OpRunner<Spec>*)>> client_programs;
+  // Dynamic observer program run at the end (in addition to observer_ops).
+  std::function<proc::Task<void>(OpRunner<Spec>*)> observer_program;
+  // Runs one operation. `op_id` identifies the op instance for helping.
+  std::function<proc::Task<Ret>(int client, uint64_t op_id, Op op)> run_op;
+  // Recovery procedure; run after each crash (null: crashes not explored).
+  std::function<proc::Task<void>(History<Spec>*)> recover;
+  // Ops probed sequentially at the end of the execution (after recovery if
+  // a crash happened); they pin down the surviving durable state.
+  std::vector<Op> observer_ops;
+  std::vector<EnvEvent> env_events;
+};
+
+struct ExplorerOptions {
+  enum class Mode { kExhaustive, kRandom };
+  Mode mode = Mode::kExhaustive;
+
+  int max_crashes = 1;                  // crashes injected per execution
+  // CHESS-style preemption bounding: a "preemption" is scheduling away
+  // from a thread that could have kept running. -1 = unbounded (full
+  // exhaustiveness within the other bounds); small values (0-2) shrink the
+  // schedule space drastically while still catching most concurrency bugs.
+  int max_preemptions = -1;
+  uint64_t max_steps_per_run = 5000;    // nontermination bound
+  uint64_t max_executions = 2'000'000;  // DFS safety cap
+  int max_violations = 3;               // stop collecting after this many
+
+  // Random mode:
+  uint64_t random_runs = 1000;
+  uint64_t seed = 1;
+  double crash_probability = 0.05;  // per-step chance of injecting a crash
+  double env_probability = 0.05;    // per-step chance of firing an env event
+};
+
+struct Violation {
+  std::string kind;
+  std::string detail;
+  std::string trace;
+
+  std::string ToString() const { return kind + ": " + detail + "\n  schedule: " + trace; }
+};
+
+struct Report {
+  uint64_t executions = 0;
+  uint64_t total_steps = 0;
+  uint64_t crashes_injected = 0;
+  uint64_t histories_checked = 0;
+  uint64_t spec_states_explored = 0;
+  bool truncated = false;  // hit max_executions before DFS finished
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+
+  std::string Summary() const {
+    std::string out = "executions=" + std::to_string(executions) +
+                      " steps=" + std::to_string(total_steps) +
+                      " crashes=" + std::to_string(crashes_injected) +
+                      " histories=" + std::to_string(histories_checked) +
+                      " spec_states=" + std::to_string(spec_states_explored) +
+                      (truncated ? " (TRUNCATED)" : "") +
+                      " violations=" + std::to_string(violations.size());
+    for (const Violation& v : violations) {
+      out += "\n  " + v.ToString();
+    }
+    return out;
+  }
+};
+
+namespace detail {
+
+enum class AltKind { kThread, kCrash, kEnv, kProceed };
+
+struct Alt {
+  AltKind kind;
+  int thread = -1;  // kThread
+  size_t env = 0;   // kEnv
+  std::string label;
+};
+
+// Supplies one choice index per decision point.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+  virtual size_t Choose(const std::vector<Alt>& alts) = 0;
+};
+
+// Replays a recorded prefix, then picks alternative 0 and extends the path;
+// records the alternative count at every decision for the DFS odometer.
+class DfsDriver : public Driver {
+ public:
+  explicit DfsDriver(std::vector<size_t>* path) : path_(path) {}
+
+  size_t Choose(const std::vector<Alt>& alts) override {
+    counts_.push_back(alts.size());
+    if (pos_ < path_->size()) {
+      return (*path_)[pos_++];
+    }
+    path_->push_back(0);
+    ++pos_;
+    return 0;
+  }
+
+  const std::vector<size_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<size_t>* path_;
+  size_t pos_ = 0;
+  std::vector<size_t> counts_;
+};
+
+class RandomDriver : public Driver {
+ public:
+  RandomDriver(uint64_t seed, double crash_p, double env_p)
+      : rng_(seed), crash_p_(crash_p), env_p_(env_p) {}
+
+  size_t Choose(const std::vector<Alt>& alts) override {
+    std::vector<size_t> threads;
+    std::vector<size_t> crashes;
+    std::vector<size_t> envs;
+    for (size_t i = 0; i < alts.size(); ++i) {
+      switch (alts[i].kind) {
+        case AltKind::kThread:
+          threads.push_back(i);
+          break;
+        case AltKind::kCrash:
+          crashes.push_back(i);
+          break;
+        case AltKind::kEnv:
+          envs.push_back(i);
+          break;
+        case AltKind::kProceed:
+          break;  // chosen only when nothing else is picked
+      }
+    }
+    if (!crashes.empty() && rng_.Chance(crash_p_)) {
+      return crashes[0];
+    }
+    if (!envs.empty() && rng_.Chance(env_p_)) {
+      return envs[rng_.Below(envs.size())];
+    }
+    if (!threads.empty()) {
+      return threads[rng_.Below(threads.size())];
+    }
+    return rng_.Below(alts.size());
+  }
+
+ private:
+  Rng rng_;
+  double crash_p_;
+  double env_p_;
+};
+
+}  // namespace detail
+
+template <typename Spec>
+class Explorer {
+ public:
+  using Op = typename Spec::Op;
+  using Ret = typename Spec::Ret;
+  using Factory = std::function<Instance<Spec>()>;
+
+  Explorer(Spec spec, Factory factory, ExplorerOptions options)
+      : spec_(std::move(spec)), factory_(std::move(factory)), options_(options) {}
+
+  Report Run() {
+    Report report;
+    if (options_.mode == ExplorerOptions::Mode::kRandom) {
+      detail::RandomDriver driver(options_.seed, options_.crash_probability,
+                                  options_.env_probability);
+      for (uint64_t i = 0; i < options_.random_runs; ++i) {
+        RunOnce(driver, &report);
+        if (report.violations.size() >= static_cast<size_t>(options_.max_violations)) {
+          break;
+        }
+      }
+      return report;
+    }
+    // Exhaustive DFS over decision sequences, replaying from scratch.
+    std::vector<size_t> path;
+    while (true) {
+      detail::DfsDriver driver(&path);
+      RunOnce(driver, &report);
+      if (report.violations.size() >= static_cast<size_t>(options_.max_violations)) {
+        break;
+      }
+      if (report.executions >= options_.max_executions) {
+        report.truncated = true;
+        break;
+      }
+      // Odometer: advance the deepest decision that still has untried
+      // alternatives; drop everything below it. A run that aborted early
+      // (violation) consumed fewer decisions than the stale path holds, so
+      // first trim the path to what was actually replayed.
+      const std::vector<size_t>& counts = driver.counts();
+      PCC_ENSURE(path.size() >= counts.size(), "DFS: path shorter than counts");
+      path.resize(counts.size());
+      bool advanced = false;
+      while (!path.empty()) {
+        if (path.back() + 1 < counts[path.size() - 1]) {
+          ++path.back();
+          advanced = true;
+          break;
+        }
+        path.pop_back();
+      }
+      if (!advanced) {
+        break;  // full bounded space explored
+      }
+    }
+    return report;
+  }
+
+ private:
+  proc::Task<void> ClientThread(int client, const std::vector<Op>* ops, Instance<Spec>* inst,
+                                History<Spec>* history) {
+    for (const Op& op : *ops) {
+      uint64_t id = history->Invoke(client, op);
+      Ret ret = co_await inst->run_op(client, id, op);
+      history->Return(id, ret);
+    }
+  }
+
+  proc::Task<void> RecoveryThread(Instance<Spec>* inst, History<Spec>* history) {
+    co_await inst->recover(history);
+  }
+
+  proc::Task<void> ProgramThread(std::function<proc::Task<void>(OpRunner<Spec>*)> program,
+                                 Instance<Spec>* inst, History<Spec>* history, int client) {
+    OpRunner<Spec> runner(inst, history, client);
+    co_await program(&runner);
+  }
+
+  // The final observation phase: fixed ops first, then the dynamic
+  // observer program, all sequentially on one thread.
+  proc::Task<void> ObserverThread(Instance<Spec>* inst, History<Spec>* history, int client) {
+    OpRunner<Spec> runner(inst, history, client);
+    for (const Op& op : inst->observer_ops) {
+      (void)co_await runner.Run(op);
+    }
+    if (inst->observer_program != nullptr) {
+      co_await inst->observer_program(&runner);
+    }
+  }
+
+  void RunOnce(detail::Driver& driver, Report* report) {
+    ++report->executions;
+    Instance<Spec> inst = factory_();
+    History<Spec> history;
+    proc::Scheduler sched;
+    proc::SchedulerScope scope(&sched);
+
+    for (size_t c = 0; c < inst.client_ops.size(); ++c) {
+      sched.Spawn(ClientThread(static_cast<int>(c), &inst.client_ops[c], &inst, &history),
+                  "client" + std::to_string(c));
+    }
+    for (size_t p = 0; p < inst.client_programs.size(); ++p) {
+      int client = static_cast<int>(inst.client_ops.size() + p);
+      sched.Spawn(ProgramThread(inst.client_programs[p], &inst, &history, client),
+                  "client" + std::to_string(client));
+    }
+    const int observer_client =
+        static_cast<int>(inst.client_ops.size() + inst.client_programs.size());
+    const bool has_observers = !inst.observer_ops.empty() || inst.observer_program != nullptr;
+
+    int crashes_used = 0;
+    int preemptions_used = 0;
+    proc::Scheduler::Tid last_thread = proc::Scheduler::kInvalidTid;
+    std::vector<int> env_budget;
+    env_budget.reserve(inst.env_events.size());
+    for (const EnvEvent& e : inst.env_events) {
+      env_budget.push_back(e.budget);
+    }
+    bool observers_started = false;
+    uint64_t steps = 0;
+    std::string trace;
+    auto add_violation = [&](std::string kind, std::string detail_msg) {
+      if (report->violations.size() < static_cast<size_t>(options_.max_violations)) {
+        report->violations.push_back(
+            Violation{std::move(kind), std::move(detail_msg), trace.empty() ? "(empty)" : trace});
+      }
+    };
+
+    while (true) {
+      // Crash invariants must hold at every step (§5.1).
+      if (inst.crash_invariants != nullptr) {
+        if (auto broken = inst.crash_invariants->FirstViolation()) {
+          add_violation("crash-invariant", "invariant '" + *broken + "' does not hold");
+          report->total_steps += steps;
+          return;
+        }
+      }
+
+      if (sched.AllDone()) {
+        if (observers_started) {
+          break;  // execution complete
+        }
+        // Quiescent point: every thread has finished. The durability of
+        // completed operations matters precisely here, so offer one more
+        // decision — proceed to observation, or inject a crash first.
+        bool crash_possible = inst.recover != nullptr && crashes_used < options_.max_crashes;
+        bool env_possible = false;
+        for (size_t i = 0; i < inst.env_events.size(); ++i) {
+          env_possible = env_possible || env_budget[i] > 0;
+        }
+        if (crash_possible || env_possible) {
+          std::vector<detail::Alt> alts;
+          alts.push_back(detail::Alt{detail::AltKind::kProceed, -1, 0, "observe"});
+          if (crash_possible) {
+            alts.push_back(detail::Alt{detail::AltKind::kCrash, -1, 0, "CRASH"});
+          }
+          for (size_t i = 0; i < inst.env_events.size(); ++i) {
+            if (env_budget[i] > 0) {
+              alts.push_back(detail::Alt{detail::AltKind::kEnv, -1, i, inst.env_events[i].name});
+            }
+          }
+          size_t pick = driver.Choose(alts);
+          PCC_ENSURE(pick < alts.size(), "driver picked an invalid alternative");
+          const detail::Alt& alt = alts[pick];
+          if (!trace.empty()) {
+            trace += ' ';
+          }
+          trace += alt.label;
+          ++steps;
+          if (alt.kind == detail::AltKind::kCrash) {
+            ++crashes_used;
+            ++report->crashes_injected;
+            history.Crash();
+            sched.KillAllThreads();
+            inst.world->Crash();
+            sched.Spawn(RecoveryThread(&inst, &history), "recovery");
+            continue;
+          }
+          if (alt.kind == detail::AltKind::kEnv) {
+            --env_budget[alt.env];
+            inst.env_events[alt.env].fire();
+            continue;
+          }
+          // fall through: proceed to observation
+        }
+        observers_started = true;
+        if (!has_observers) {
+          break;
+        }
+        sched.Spawn(ObserverThread(&inst, &history, observer_client), "observer");
+        continue;
+      }
+      if (sched.Deadlocked()) {
+        add_violation("deadlock", "live threads but none runnable\n" + history.ToString());
+        report->total_steps += steps;
+        return;
+      }
+      if (steps >= options_.max_steps_per_run) {
+        add_violation("step-bound",
+                      "execution exceeded " + std::to_string(options_.max_steps_per_run) +
+                          " steps (possible nontermination)");
+        report->total_steps += steps;
+        return;
+      }
+
+      // Build the alternatives for this decision point.
+      std::vector<detail::Alt> alts;
+      std::vector<proc::Scheduler::Tid> runnable = sched.RunnableThreads();
+      bool last_still_runnable = false;
+      for (proc::Scheduler::Tid tid : runnable) {
+        last_still_runnable = last_still_runnable || tid == last_thread;
+      }
+      const bool preemption_exhausted =
+          options_.max_preemptions >= 0 && preemptions_used >= options_.max_preemptions;
+      for (proc::Scheduler::Tid tid : runnable) {
+        if (preemption_exhausted && last_still_runnable && tid != last_thread) {
+          continue;  // switching away now would be one preemption too many
+        }
+        alts.push_back(detail::Alt{detail::AltKind::kThread, tid, 0, "t" + std::to_string(tid)});
+      }
+      if (!observers_started && inst.recover != nullptr && crashes_used < options_.max_crashes) {
+        alts.push_back(detail::Alt{detail::AltKind::kCrash, -1, 0, "CRASH"});
+      }
+      // Environment events (disk failures, ...) can strike at any time —
+      // including while the observers probe the final state, which is how
+      // §3.1's failover inconsistency ("read v, disk 1 fails, read old
+      // value") becomes observable.
+      for (size_t i = 0; i < inst.env_events.size(); ++i) {
+        if (env_budget[i] > 0) {
+          alts.push_back(detail::Alt{detail::AltKind::kEnv, -1, i, inst.env_events[i].name});
+        }
+      }
+
+      size_t pick = driver.Choose(alts);
+      PCC_ENSURE(pick < alts.size(), "driver picked an invalid alternative");
+      const detail::Alt& alt = alts[pick];
+      if (!trace.empty()) {
+        trace += ' ';
+      }
+      trace += alt.label;
+      ++steps;
+
+      switch (alt.kind) {
+        case detail::AltKind::kThread: {
+          if (last_still_runnable && alt.thread != last_thread) {
+            ++preemptions_used;
+          }
+          last_thread = alt.thread;
+          try {
+            sched.Step(alt.thread);
+          } catch (const UbViolation& ub) {
+            add_violation("undefined-behavior", ub.what() + ("\n" + history.ToString()));
+            report->total_steps += steps;
+            return;
+          }
+          break;
+        }
+        case detail::AltKind::kCrash: {
+          ++crashes_used;
+          ++report->crashes_injected;
+          history.Crash();
+          sched.KillAllThreads();
+          inst.world->Crash();
+          sched.Spawn(RecoveryThread(&inst, &history), "recovery");
+          last_thread = proc::Scheduler::kInvalidTid;  // no thread survived
+          break;
+        }
+        case detail::AltKind::kEnv: {
+          --env_budget[alt.env];
+          inst.env_events[alt.env].fire();
+          break;
+        }
+        case detail::AltKind::kProceed:
+          PCC_ENSURE(false, "proceed alternative outside the quiescent point");
+          break;
+      }
+    }
+
+    report->total_steps += steps;
+    ++report->histories_checked;
+    LinearizabilityChecker<Spec> checker(&spec_);
+    if (auto why = checker.Check(history)) {
+      Violation v{"non-linearizable", *why, trace.empty() ? "(empty)" : trace};
+      if (report->violations.size() < static_cast<size_t>(options_.max_violations)) {
+        report->violations.push_back(std::move(v));
+      }
+    }
+    report->spec_states_explored += checker.states_explored();
+  }
+
+  Spec spec_;
+  Factory factory_;
+  ExplorerOptions options_;
+};
+
+}  // namespace perennial::refine
+
+#endif  // PERENNIAL_SRC_REFINE_EXPLORER_H_

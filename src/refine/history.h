@@ -1,0 +1,84 @@
+// Concurrent histories with crashes — the observable behavior the checker
+// verifies against a specification.
+//
+// A history is the sequence of externally visible events of one execution:
+// operation invocations and responses (per spec-level thread), crash
+// markers, and "helped" markers emitted by recovery when it consumes a
+// helping token (§5.4) — a claim that the crashed operation's effect was
+// committed before the crash.
+//
+// Concurrent recovery refinement (§3.1) holds for a history iff there is an
+// interleaving of spec transitions with the same invocations and responses,
+// where each crash (followed by recovery) corresponds to one atomic
+// spec-level crash transition, and operations pending at a crash either
+// take effect before that crash transition or never.
+#ifndef PERENNIAL_SRC_REFINE_HISTORY_H_
+#define PERENNIAL_SRC_REFINE_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perennial::refine {
+
+template <typename Spec>
+struct History {
+  using Op = typename Spec::Op;
+  using Ret = typename Spec::Ret;
+
+  enum class Kind { kInvoke, kReturn, kCrash, kHelped };
+
+  struct Event {
+    Kind kind;
+    uint64_t op_id = 0;  // kInvoke/kReturn/kHelped
+    int client = -1;     // kInvoke
+    Op op{};             // kInvoke
+    Ret ret{};           // kReturn
+  };
+
+  std::vector<Event> events;
+  uint64_t next_op_id = 1;
+
+  uint64_t Invoke(int client, Op op) {
+    uint64_t id = next_op_id++;
+    events.push_back(Event{Kind::kInvoke, id, client, std::move(op), Ret{}});
+    return id;
+  }
+  void Return(uint64_t op_id, Ret ret) {
+    events.push_back(Event{Kind::kReturn, op_id, -1, Op{}, std::move(ret)});
+  }
+  void Crash() { events.push_back(Event{Kind::kCrash}); }
+  void Helped(uint64_t op_id) { events.push_back(Event{Kind::kHelped, op_id}); }
+
+  void Clear() {
+    events.clear();
+    next_op_id = 1;
+  }
+
+  // Human-readable rendering for violation reports.
+  std::string ToString() const {
+    std::string out;
+    for (const Event& e : events) {
+      switch (e.kind) {
+        case Kind::kInvoke:
+          out += "  invoke #" + std::to_string(e.op_id) + " client" + std::to_string(e.client) +
+                 " " + Spec::OpName(e.op) + "\n";
+          break;
+        case Kind::kReturn:
+          out += "  return #" + std::to_string(e.op_id) + " -> " + Spec::RetKey(e.ret) + "\n";
+          break;
+        case Kind::kCrash:
+          out += "  CRASH\n";
+          break;
+        case Kind::kHelped:
+          out += "  helped #" + std::to_string(e.op_id) + " (recovery committed it)\n";
+          break;
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace perennial::refine
+
+#endif  // PERENNIAL_SRC_REFINE_HISTORY_H_

@@ -1,0 +1,228 @@
+// The concurrent-recovery-refinement decision procedure.
+//
+// Given a complete history (history.h) and a specification transition
+// system, this module decides whether the history is explainable by some
+// interleaving of atomic spec transitions — i.e. whether this execution
+// witnesses concurrent recovery refinement (§3.1, Theorem 2):
+//
+//  * Each completed operation linearizes between its invocation and its
+//    response, with a return value the spec allows (Wing & Gong's
+//    linearizability search, here over possibly-nondeterministic specs).
+//  * At a crash, each still-pending operation either linearizes before the
+//    spec-level crash transition (its effect is durable — possibly because
+//    recovery helped it) or is discarded (it never happened).
+//  * Operations recovery claims to have helped MUST linearize before the
+//    crash they were pending at.
+//  * The crash itself takes one atomic spec crash transition (which may be
+//    nondeterministic, e.g. group commit losing buffered transactions).
+//
+// If any search branch drives the spec into *undefined* behavior, the
+// history is accepted: the spec imposes no obligations past UB (§8.3) —
+// the workloads used by the explorer are designed to stay within defined
+// behavior, so this arises only when deliberately testing UB exploitation.
+//
+// The search memoizes on (event index, spec state, linearized-pending set),
+// which keeps it polynomial for the small histories the explorer generates.
+//
+// Spec requirements (a "SpecModel"):
+//   using State, Op, Ret;                     // Ret: equality-comparable
+//   State Initial() const;
+//   tsys::Outcome<State, Ret> Step(const State&, const Op&) const;
+//   std::vector<State> CrashSteps(const State&) const;
+//   static std::string StateKey(const State&); // canonical, injective
+//   static std::string RetKey(const Ret&);     // canonical, injective
+//   static std::string OpName(const Op&);      // for messages
+#ifndef PERENNIAL_SRC_REFINE_LINEARIZE_H_
+#define PERENNIAL_SRC_REFINE_LINEARIZE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/refine/history.h"
+#include "src/tsys/transition.h"
+
+namespace perennial::refine {
+
+template <typename Spec>
+class LinearizabilityChecker {
+ public:
+  using State = typename Spec::State;
+  using Op = typename Spec::Op;
+  using Ret = typename Spec::Ret;
+  using Hist = History<Spec>;
+
+  explicit LinearizabilityChecker(const Spec* spec) : spec_storage_(*spec), spec_(&spec_storage_) {}
+
+  // nullopt when the history refines the spec; otherwise a description of
+  // why no spec interleaving explains it.
+  std::optional<std::string> Check(const Hist& history) {
+    events_ = &history.events;
+    visited_.clear();
+    states_explored_ = 0;
+    // Specs with data-dependent nondeterminism (e.g. Mailboat's random
+    // message ids) may pre-scan the history to bound their branch sets.
+    if constexpr (requires(Spec& s) { s.Prepare(history.events); }) {
+      spec_storage_.Prepare(history.events);
+    }
+    // Pre-compute, for each crash event index, the set of ops recovery
+    // helped after it (before any subsequent crash): those must linearize
+    // before that crash.
+    helped_by_crash_.clear();
+    helped_ids_.clear();
+    long last_crash = -1;
+    for (size_t i = 0; i < events_->size(); ++i) {
+      const auto& e = (*events_)[i];
+      if (e.kind == Hist::Kind::kCrash) {
+        last_crash = static_cast<long>(i);
+        helped_by_crash_[last_crash];  // ensure entry
+      } else if (e.kind == Hist::Kind::kHelped) {
+        if (last_crash < 0) {
+          return "helped event with no preceding crash";
+        }
+        // Recovery after `last_crash` committed this op; it must have
+        // linearized at some point before that crash. (With repeated
+        // crashes, the token may be consumed by a later recovery than the
+        // crash that stranded the op — the obligation is the same.)
+        helped_by_crash_[last_crash].insert(e.op_id);
+        helped_ids_.insert(e.op_id);
+      }
+    }
+    if (Search(0, spec_->Initial(), {}, {}, {})) {
+      return std::nullopt;
+    }
+    return "no spec interleaving explains this history:\n" + history.ToString();
+  }
+
+  uint64_t states_explored() const { return states_explored_; }
+
+ private:
+  // Pending ops: invoked, not yet linearized. Linearized ops: took effect,
+  // awaiting their response (maps op_id -> chosen return value).
+  using PendingMap = std::map<uint64_t, Op>;
+  using LinearizedMap = std::map<uint64_t, Ret>;
+
+  bool Search(size_t idx, const State& state, PendingMap pending, LinearizedMap linearized,
+              std::set<uint64_t> committed) {
+    ++states_explored_;
+    {
+      // Memoize: pending is determined by (idx, linearized), so the key
+      // needs only idx, the state, the linearized set with chosen rets, and
+      // the helped-op commit record (which crashes do not reset).
+      std::string key = std::to_string(idx) + "|" + Spec::StateKey(state) + "|";
+      for (const auto& [id, ret] : linearized) {
+        key += std::to_string(id) + ":" + Spec::RetKey(ret) + ";";
+      }
+      key += "|";
+      for (uint64_t id : committed) {
+        key += std::to_string(id) + ";";
+      }
+      if (!visited_.insert(std::move(key)).second) {
+        return false;  // already explored from here without success
+      }
+    }
+
+    // Move 1: process the next event directly if possible.
+    if (idx == events_->size()) {
+      return true;  // all responses explained; leftover pending ops simply never happened
+    }
+    const auto& e = (*events_)[idx];
+    switch (e.kind) {
+      case Hist::Kind::kInvoke: {
+        PendingMap p2 = pending;
+        p2.emplace(e.op_id, e.op);
+        if (Search(idx + 1, state, std::move(p2), linearized, committed)) {
+          return true;
+        }
+        break;
+      }
+      case Hist::Kind::kReturn: {
+        auto it = linearized.find(e.op_id);
+        if (it != linearized.end()) {
+          if (it->second == e.ret) {
+            LinearizedMap l2 = linearized;
+            l2.erase(e.op_id);
+            if (Search(idx + 1, state, pending, std::move(l2), committed)) {
+              return true;
+            }
+          }
+          // Chosen return value mismatched the actual response: this branch
+          // of linearization choices is wrong; other moves below may fix it
+          // only if the op is still pending (it isn't), so fall through to
+          // the generic linearize-moves which won't contain it. Dead end.
+        }
+        break;  // if not linearized yet, we must linearize it first (move 2)
+      }
+      case Hist::Kind::kHelped: {
+        // Bookkeeping only; the obligation is enforced at the crash event.
+        if (Search(idx + 1, state, pending, linearized, committed)) {
+          return true;
+        }
+        break;
+      }
+      case Hist::Kind::kCrash: {
+        // Every op recovery claims to have helped after this crash must
+        // have committed (linearized) by now.
+        const std::set<uint64_t>& required = helped_by_crash_[static_cast<long>(idx)];
+        bool all_required_done = true;
+        for (uint64_t id : required) {
+          if (committed.find(id) == committed.end()) {
+            all_required_done = false;
+            break;
+          }
+        }
+        if (all_required_done) {
+          // The crash discards every pending op and every unreturned
+          // response; the spec takes one crash transition.
+          for (const State& next : spec_->CrashSteps(state)) {
+            if (Search(idx + 1, next, {}, {}, committed)) {
+              return true;
+            }
+          }
+        }
+        break;  // otherwise: linearize the helped ops first (move 2)
+      }
+    }
+
+    // Move 2: linearize one pending operation now (before the current
+    // event). Any pending op may take effect at any moment between its
+    // invocation and its response/crash.
+    for (const auto& [id, op] : pending) {
+      tsys::Outcome<State, Ret> out = spec_->Step(state, op);
+      if (out.undefined) {
+        // The spec imposes no obligations beyond undefined behavior.
+        return true;
+      }
+      for (const auto& [next_state, ret] : out.branches) {
+        PendingMap p2 = pending;
+        p2.erase(id);
+        LinearizedMap l2 = linearized;
+        l2.emplace(id, ret);
+        std::set<uint64_t> c2 = committed;
+        if (helped_ids_.count(id) > 0) {
+          c2.insert(id);  // commit record survives crashes
+        }
+        if (Search(idx, next_state, std::move(p2), std::move(l2), std::move(c2))) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  Spec spec_storage_;
+  const Spec* spec_;
+  const std::vector<typename Hist::Event>* events_ = nullptr;
+  std::map<long, std::set<uint64_t>> helped_by_crash_;
+  std::set<uint64_t> helped_ids_;
+  std::unordered_set<std::string> visited_;
+  uint64_t states_explored_ = 0;
+};
+
+}  // namespace perennial::refine
+
+#endif  // PERENNIAL_SRC_REFINE_LINEARIZE_H_

@@ -1,0 +1,124 @@
+#include "src/smtp/pop3.h"
+
+#include "src/base/strutil.h"
+
+namespace perennial::smtp {
+
+namespace {
+
+std::pair<std::string, std::string> SplitVerb(const std::string& line) {
+  std::string_view s = StripWhitespace(line);
+  size_t space = s.find(' ');
+  if (space == std::string_view::npos) {
+    return {AsciiUpper(s), ""};
+  }
+  return {AsciiUpper(s.substr(0, space)), std::string(StripWhitespace(s.substr(space + 1)))};
+}
+
+}  // namespace
+
+proc::Task<std::string> Pop3Session::HandleLine(const std::string& line) {
+  auto [verb, arg] = SplitVerb(line);
+
+  if (verb == "QUIT") {
+    quit_ = true;
+    if (state_ == State::kTransaction) {
+      // Commit marked deletions under the lock we have held since PASS.
+      for (size_t i = 0; i < messages_.size(); ++i) {
+        if (deleted_[i]) {
+          co_await mail_->Delete(user_, messages_[i].id);
+        }
+      }
+      co_await mail_->Unlock(user_);
+      state_ = State::kDone;
+    }
+    co_return "+OK Bye";
+  }
+  if (verb == "NOOP") {
+    co_return "+OK";
+  }
+
+  switch (state_) {
+    case State::kAuthUser: {
+      if (verb != "USER") {
+        co_return "-ERR Expected USER";
+      }
+      uint64_t n = 0;
+      std::string name = arg;
+      if (name.substr(0, 4) != "user" || !ParseUint64(name.substr(4), &n) ||
+          n >= mail_->num_users()) {
+        co_return "-ERR No such user";
+      }
+      user_ = n;
+      state_ = State::kAuthPass;
+      co_return "+OK";
+    }
+    case State::kAuthPass: {
+      if (verb != "PASS") {
+        co_return "-ERR Expected PASS";
+      }
+      // Any password accepted; PASS is where the mailbox lock is taken.
+      messages_ = co_await mail_->Pickup(user_);
+      deleted_.assign(messages_.size(), false);
+      state_ = State::kTransaction;
+      co_return "+OK " + std::to_string(messages_.size()) + " messages";
+    }
+    case State::kTransaction: {
+      if (verb == "STAT") {
+        uint64_t count = 0;
+        uint64_t bytes = 0;
+        for (size_t i = 0; i < messages_.size(); ++i) {
+          if (!deleted_[i]) {
+            ++count;
+            bytes += messages_[i].contents.size();
+          }
+        }
+        co_return "+OK " + std::to_string(count) + " " + std::to_string(bytes);
+      }
+      if (verb == "LIST") {
+        std::string out = "+OK";
+        for (size_t i = 0; i < messages_.size(); ++i) {
+          if (!deleted_[i]) {
+            out += "\r\n" + std::to_string(i + 1) + " " +
+                   std::to_string(messages_[i].contents.size());
+          }
+        }
+        out += "\r\n.";
+        co_return out;
+      }
+      uint64_t n = 0;
+      bool has_index = ParseUint64(arg, &n) && n >= 1 && n <= messages_.size() &&
+                       !deleted_[n - 1];
+      if (verb == "RETR") {
+        if (!has_index) {
+          co_return "-ERR No such message";
+        }
+        co_return "+OK\r\n" + messages_[n - 1].contents + "\r\n.";
+      }
+      if (verb == "DELE") {
+        if (!has_index) {
+          co_return "-ERR No such message";
+        }
+        deleted_[n - 1] = true;  // committed at QUIT
+        co_return "+OK";
+      }
+      if (verb == "RSET") {
+        deleted_.assign(messages_.size(), false);
+        co_return "+OK";
+      }
+      co_return "-ERR Unrecognized command";
+    }
+    case State::kDone:
+      co_return "-ERR Session closed";
+  }
+  co_return "-ERR";
+}
+
+proc::Task<void> Pop3Session::Abort() {
+  if (state_ == State::kTransaction) {
+    co_await mail_->Unlock(user_);
+    state_ = State::kDone;
+  }
+}
+
+}  // namespace perennial::smtp

@@ -1,0 +1,138 @@
+#include "src/smtp/smtp.h"
+
+#include "src/base/strutil.h"
+#include "src/goosefs/filesys.h"
+
+namespace perennial::smtp {
+
+std::optional<uint64_t> ParseUserAddress(const std::string& addr, uint64_t num_users) {
+  std::string_view s = StripWhitespace(addr);
+  if (!s.empty() && s.front() == '<' && s.back() == '>') {
+    s = s.substr(1, s.size() - 2);
+  }
+  size_t at = s.find('@');
+  if (at == std::string_view::npos) {
+    return std::nullopt;
+  }
+  std::string_view local = s.substr(0, at);
+  if (local.substr(0, 4) != "user") {
+    return std::nullopt;
+  }
+  uint64_t n = 0;
+  if (!ParseUint64(local.substr(4), &n) || n >= num_users) {
+    return std::nullopt;
+  }
+  return n;
+}
+
+namespace {
+
+// Splits "VERB rest" (verb is case-insensitive).
+std::pair<std::string, std::string> SplitVerb(const std::string& line) {
+  std::string_view s = StripWhitespace(line);
+  size_t space = s.find(' ');
+  if (space == std::string_view::npos) {
+    return {AsciiUpper(s), ""};
+  }
+  return {AsciiUpper(s.substr(0, space)), std::string(StripWhitespace(s.substr(space + 1)))};
+}
+
+// Extracts the address from "FROM:<a@b>" / "TO:<a@b>" argument forms.
+std::string AddressArg(const std::string& arg, const char* prefix) {
+  std::string upper = AsciiUpper(arg);
+  std::string want = std::string(prefix) + ":";
+  if (upper.size() < want.size() || upper.compare(0, want.size(), want) != 0) {
+    return "";
+  }
+  return std::string(StripWhitespace(std::string_view(arg).substr(want.size())));
+}
+
+}  // namespace
+
+void SmtpSession::Reset() {
+  have_sender_ = false;
+  rcpts_.clear();
+  data_.clear();
+}
+
+proc::Task<std::string> SmtpSession::HandleLine(const std::string& line) {
+  if (state_ == State::kData) {
+    if (line == ".") {
+      state_ = State::kCommand;
+      // End of message: deliver to every recipient. Each delivery is
+      // atomic and durable when Deliver returns (§8.1).
+      goosefs::Bytes body = goosefs::BytesOfString(data_);
+      for (uint64_t user : rcpts_) {
+        (void)co_await mail_->Deliver(user, body);
+      }
+      size_t count = rcpts_.size();
+      Reset();
+      co_return "250 OK: delivered to " + std::to_string(count) + " mailbox(es)";
+    }
+    // Dot-stuffing: a leading ".." encodes a literal ".".
+    if (line.size() >= 2 && line[0] == '.' && line[1] == '.') {
+      data_ += line.substr(1);
+    } else {
+      data_ += line;
+    }
+    data_ += "\r\n";
+    co_return "";  // no response while in DATA
+  }
+  std::string response = co_await HandleCommand(line);
+  co_return response;
+}
+
+proc::Task<std::string> SmtpSession::HandleCommand(const std::string& line) {
+  auto [verb, arg] = SplitVerb(line);
+  if (verb == "HELO" || verb == "EHLO") {
+    greeted_ = true;
+    Reset();
+    co_return "250 perennial-cc at your service";
+  }
+  if (verb == "QUIT") {
+    quit_ = true;
+    co_return "221 Bye";
+  }
+  if (verb == "NOOP") {
+    co_return "250 OK";
+  }
+  if (verb == "RSET") {
+    Reset();
+    co_return "250 OK";
+  }
+  if (!greeted_) {
+    co_return "503 Say HELO first";
+  }
+  if (verb == "MAIL") {
+    std::string addr = AddressArg(arg, "FROM");
+    if (addr.empty()) {
+      co_return "501 Syntax: MAIL FROM:<address>";
+    }
+    Reset();
+    have_sender_ = true;
+    co_return "250 OK";
+  }
+  if (verb == "RCPT") {
+    if (!have_sender_) {
+      co_return "503 Need MAIL FROM first";
+    }
+    std::string addr = AddressArg(arg, "TO");
+    std::optional<uint64_t> user = ParseUserAddress(addr, mail_->num_users());
+    if (!user.has_value()) {
+      co_return "550 No such user";
+    }
+    rcpts_.push_back(*user);
+    co_return "250 OK";
+  }
+  if (verb == "DATA") {
+    if (rcpts_.empty()) {
+      co_return "503 Need RCPT TO first";
+    }
+    state_ = State::kData;
+    data_.clear();
+    co_return "354 End data with <CRLF>.<CRLF>";
+  }
+  co_return "500 Unrecognized command";
+}
+
+}  // namespace perennial::smtp

@@ -1,0 +1,56 @@
+// A minimal SMTP server session over the Mailboat API (§8.2: "we used the
+// library to implement an SMTP- and POP3-compatible mail server").
+//
+// The session is transport-agnostic: feed it one command line at a time
+// and write back the returned responses. The example mail server drives it
+// from an in-process line loop; a socket loop would work identically.
+// Protocol subset: HELO/EHLO, MAIL FROM, RCPT TO (multiple), DATA, RSET,
+// NOOP, QUIT. Addresses are user<N>@<anything>, mapping to Mailboat user N.
+#ifndef PERENNIAL_SRC_SMTP_SMTP_H_
+#define PERENNIAL_SRC_SMTP_SMTP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mailboat/mail_api.h"
+#include "src/proc/task.h"
+
+namespace perennial::smtp {
+
+// Parses "user<N>@domain" (with or without <angle brackets>) to N.
+// Returns nullopt for anything else or N >= num_users.
+std::optional<uint64_t> ParseUserAddress(const std::string& addr, uint64_t num_users);
+
+class SmtpSession {
+ public:
+  explicit SmtpSession(mailboat::MailApi* mail) : mail_(mail) {}
+
+  // The server's opening banner (send before reading any command).
+  static std::string Greeting() { return "220 perennial-cc mail service ready"; }
+
+  // Processes one client line; returns the full response (single line, no
+  // trailing newline). Delivery happens when the DATA terminator arrives.
+  proc::Task<std::string> HandleLine(const std::string& line);
+
+  bool quit() const { return quit_; }
+
+ private:
+  enum class State { kCommand, kData };
+
+  proc::Task<std::string> HandleCommand(const std::string& line);
+  void Reset();
+
+  mailboat::MailApi* mail_;
+  State state_ = State::kCommand;
+  bool greeted_ = false;
+  bool have_sender_ = false;
+  std::vector<uint64_t> rcpts_;
+  std::string data_;
+  bool quit_ = false;
+};
+
+}  // namespace perennial::smtp
+
+#endif  // PERENNIAL_SRC_SMTP_SMTP_H_

@@ -1,0 +1,100 @@
+// A miniature flash translation layer — the "lower-level storage system"
+// the paper names as in-scope for Perennial's reasoning (§1). A distinct
+// crash-safety pattern from WAL/shadow/replication: *log-structured
+// mapping with recovery by scan*.
+//
+// Flash model: pages are append-only within an execution (no overwrite of
+// a programmed page; erase = whole-device, not modeled). Each programmed
+// page holds a record (lba, seq, value). The FTL keeps a volatile mapping
+// lba -> physical page, updated on every write; reads go through the
+// mapping. A crash destroys the mapping; recovery rebuilds it by scanning
+// all pages and keeping, per lba, the record with the highest sequence
+// number.
+//
+// Correctness hinges on two details the checker exercises via mutations:
+//  * sequence numbers must increase with the global write order — a
+//    constant sequence number makes the recovery scan resurrect stale
+//    data for any twice-written lba;
+//  * the page program IS the durability point — a write that only updates
+//    the volatile mapping loses already-acknowledged data at a crash.
+//
+// Writes are serialized by one lock (single program queue, like a real
+// device); reads take the lock too (mapping access). No helping is needed:
+// a crashed write either programmed its page (the scan finds it: committed)
+// or not (vanished) — the page program is the linearization point.
+#ifndef PERENNIAL_SRC_SYSTEMS_FTL_FTL_H_
+#define PERENNIAL_SRC_SYSTEMS_FTL_FTL_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cap/crash_invariant.h"
+#include "src/cap/lease.h"
+#include "src/disk/disk.h"
+#include "src/goose/mutex.h"
+#include "src/goose/world.h"
+#include "src/proc/task.h"
+
+namespace perennial::systems {
+
+// A flash page record: (lba, seq, value), 24 bytes. seq == 0 marks an
+// unprogrammed page.
+disk::Block EncodeFtlPage(uint64_t lba, uint64_t seq, uint64_t value);
+void DecodeFtlPage(const disk::Block& block, uint64_t* lba, uint64_t* seq, uint64_t* value);
+
+class Ftl {
+ public:
+  struct Mutations {
+    // Every record gets seq = 1 ("forgot to increment"): after a crash the
+    // recovery scan cannot order records for a twice-written lba and
+    // resurrects the older value.
+    bool reuse_sequence_numbers = false;
+    // The write updates the in-memory mapping but never programs the page:
+    // a *returned* write evaporates at the next crash.
+    bool volatile_write = false;
+  };
+
+  Ftl(goose::World* world, uint64_t num_lbas, uint64_t num_pages, Mutations mutations);
+  Ftl(goose::World* world, uint64_t num_lbas, uint64_t num_pages)
+      : Ftl(world, num_lbas, num_pages, Mutations{}) {}
+
+  uint64_t num_lbas() const { return num_lbas_; }
+
+  // Reads the logical block (0 if never written).
+  proc::Task<uint64_t> Read(uint64_t lba);
+
+  // Durably writes the logical block (linearizes at the page program).
+  proc::Task<void> Write(uint64_t lba, uint64_t value);
+
+  // Rebuilds the mapping by scanning every page.
+  proc::Task<void> Recover();
+
+  const cap::CrashInvariants& crash_invariants() const { return invariants_; }
+
+  // Harness: the value recovery-by-scan would produce for `lba`.
+  uint64_t PeekCommitted(uint64_t lba) const;
+  uint64_t PagesUsedForTesting() const { return next_page_; }
+
+ private:
+  void InitVolatileEmpty();
+
+  goose::World* world_;
+  uint64_t num_lbas_;
+  uint64_t num_pages_;
+  disk::Disk flash_;
+  cap::LeaseRegistry leases_;
+  cap::CrashInvariants invariants_;
+  Mutations mutations_;
+  std::unique_ptr<goose::Mutex> mu_;
+  // Volatile FTL state, rebuilt by Recover():
+  std::vector<std::optional<uint64_t>> mapping_;  // lba -> physical page
+  uint64_t next_page_ = 0;
+  uint64_t next_seq_ = 1;
+  std::vector<cap::Lease> page_leases_;
+};
+
+}  // namespace perennial::systems
+
+#endif  // PERENNIAL_SRC_SYSTEMS_FTL_FTL_H_

@@ -1,0 +1,159 @@
+#include "src/systems/kvs/kv_store.h"
+
+#include <algorithm>
+#include <string>
+
+namespace perennial::systems {
+
+disk::Block EncodeKvEntry(uint64_t key, uint64_t value) {
+  disk::Block block(16);
+  for (int i = 0; i < 8; ++i) {
+    block[static_cast<size_t>(i)] = static_cast<uint8_t>(key >> (8 * i));
+    block[static_cast<size_t>(8 + i)] = static_cast<uint8_t>(value >> (8 * i));
+  }
+  return block;
+}
+
+void DecodeKvEntry(const disk::Block& block, uint64_t* key, uint64_t* value) {
+  PCC_ENSURE(block.size() >= 16, "DecodeKvEntry: short block");
+  *key = 0;
+  *value = 0;
+  for (int i = 7; i >= 0; --i) {
+    *key = (*key << 8) | block[static_cast<size_t>(i)];
+    *value = (*value << 8) | block[static_cast<size_t>(8 + i)];
+  }
+}
+
+namespace {
+std::string BlockKey(uint64_t b) { return "kv[" + std::to_string(b) + "]"; }
+}  // namespace
+
+DurableKv::DurableKv(goose::World* world, uint64_t num_keys, Mutations mutations)
+    : world_(world),
+      num_keys_(num_keys),
+      disk_(world, kDataBase + num_keys, disk::BlockOfU64(0)),
+      leases_(world),
+      mutations_(mutations) {
+  InitVolatile();
+  invariants_.Register("kv-count-matches-helping-token", [this] {
+    uint64_t count = disk::U64OfBlock(disk_.PeekBlock(kCountBlock));
+    if (count > 2) {
+      return false;
+    }
+    return (count > 0) == help_.Has(kTxnKey);
+  });
+}
+
+void DurableKv::InitVolatile() {
+  key_locks_.clear();
+  data_leases_.clear();
+  for (uint64_t k = 0; k < num_keys_; ++k) {
+    key_locks_.push_back(std::make_unique<goose::RWMutex>(world_));
+    data_leases_.push_back(leases_.Issue(BlockKey(kDataBase + k)));
+  }
+  log_lock_ = std::make_unique<goose::Mutex>(world_);
+  for (uint64_t b = 0; b < 3; ++b) {
+    log_leases_[b] = leases_.Issue(BlockKey(b));
+  }
+}
+
+proc::Task<uint64_t> DurableKv::Get(uint64_t key) {
+  PCC_ENSURE(key < num_keys_, "Get: key out of range");
+  co_await key_locks_[key]->RLock();  // readers share
+  Result<disk::Block> block = co_await disk_.Read(kDataBase + key);
+  uint64_t value = disk::U64OfBlock(block.value());
+  co_await key_locks_[key]->RUnlock();
+  co_return value;
+}
+
+proc::Task<void> DurableKv::CommitAndApply(
+    const std::vector<std::pair<uint64_t, uint64_t>>& writes, uint64_t op_id) {
+  co_await log_lock_->Lock();
+  for (uint64_t b = 0; b < 3; ++b) {
+    leases_.Verify(log_leases_[b], "kv commit");
+  }
+  if (mutations_.apply_before_commit) {
+    // Bug: data changes before the commit record exists.
+    for (const auto& [key, value] : writes) {
+      leases_.Verify(data_leases_[key], "kv apply");
+      (void)co_await disk_.Write(kDataBase + key, disk::BlockOfU64(value));
+    }
+    co_await log_lock_->Unlock();
+    co_return;
+  }
+  // 1. Log every entry of the transaction.
+  for (size_t i = 0; i < writes.size(); ++i) {
+    (void)co_await disk_.Write(kLogBase + i, EncodeKvEntry(writes[i].first, writes[i].second));
+  }
+  // 2. Commit point: one count write covers the whole batch; the helping
+  //    token rides in the same atomic step.
+  (void)co_await disk_.Write(kCountBlock, disk::BlockOfU64(writes.size()));
+  help_.Deposit(kTxnKey, cap::PendingOp{-1, op_id});
+  // 3. Apply.
+  for (const auto& [key, value] : writes) {
+    leases_.Verify(data_leases_[key], "kv apply");
+    (void)co_await disk_.Write(kDataBase + key, disk::BlockOfU64(value));
+  }
+  // 4. Clear the commit record; the transaction is no longer pending.
+  (void)co_await disk_.Write(kCountBlock, disk::BlockOfU64(0));
+  help_.Withdraw(kTxnKey);
+  co_await log_lock_->Unlock();
+}
+
+proc::Task<void> DurableKv::Put(uint64_t key, uint64_t value, uint64_t op_id) {
+  PCC_ENSURE(key < num_keys_, "Put: key out of range");
+  co_await key_locks_[key]->Lock();
+  std::vector<std::pair<uint64_t, uint64_t>> writes{{key, value}};
+  co_await CommitAndApply(writes, op_id);
+  co_await key_locks_[key]->Unlock();
+}
+
+proc::Task<void> DurableKv::PutPair(uint64_t k1, uint64_t v1, uint64_t k2, uint64_t v2,
+                                    uint64_t op_id) {
+  PCC_ENSURE(k1 < num_keys_ && k2 < num_keys_ && k1 != k2, "PutPair: bad keys");
+  uint64_t first = k1;
+  uint64_t second = k2;
+  if (!mutations_.unordered_locks && first > second) {
+    // Deadlock avoidance: always lock the smaller key first. The mutation
+    // skips this, and the checker finds the two-transaction deadlock.
+    std::swap(first, second);
+  }
+  co_await key_locks_[first]->Lock();
+  co_await key_locks_[second]->Lock();
+  std::vector<std::pair<uint64_t, uint64_t>> writes{{k1, v1}, {k2, v2}};
+  co_await CommitAndApply(writes, op_id);
+  co_await key_locks_[second]->Unlock();
+  co_await key_locks_[first]->Unlock();
+}
+
+proc::Task<void> DurableKv::Recover(std::function<void(uint64_t)> helped) {
+  if (mutations_.skip_recovery) {
+    InitVolatile();
+    co_return;
+  }
+  Result<disk::Block> count_block = co_await disk_.Read(kCountBlock);
+  uint64_t count = disk::U64OfBlock(count_block.value());
+  if (count > 0) {
+    PCC_ENSURE(count <= 2, "Recover: corrupt commit record");
+    for (uint64_t i = 0; i < count; ++i) {
+      Result<disk::Block> entry = co_await disk_.Read(kLogBase + i);
+      uint64_t key = 0;
+      uint64_t value = 0;
+      DecodeKvEntry(entry.value(), &key, &value);
+      PCC_ENSURE(key < num_keys_, "Recover: corrupt log entry");
+      (void)co_await disk_.Write(kDataBase + key, disk::BlockOfU64(value));
+    }
+    (void)co_await disk_.Write(kCountBlock, disk::BlockOfU64(0));
+    if (std::optional<cap::PendingOp> op = help_.Take(kTxnKey)) {
+      helped(op->op_id);
+    }
+  }
+  InitVolatile();
+}
+
+uint64_t DurableKv::PeekValue(uint64_t key) const {
+  PCC_ENSURE(key < num_keys_, "PeekValue: key out of range");
+  return disk::U64OfBlock(disk_.PeekBlock(kDataBase + key));
+}
+
+}  // namespace perennial::systems

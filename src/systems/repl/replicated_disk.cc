@@ -1,0 +1,119 @@
+#include "src/systems/repl/replicated_disk.h"
+
+#include <string>
+
+namespace perennial::systems {
+
+namespace {
+std::string Key1(uint64_t a) { return "d1[" + std::to_string(a) + "]"; }
+std::string Key2(uint64_t a) { return "d2[" + std::to_string(a) + "]"; }
+std::string HelpKey(uint64_t a) { return "addr:" + std::to_string(a); }
+}  // namespace
+
+ReplicatedDisk::ReplicatedDisk(goose::World* world, uint64_t num_blocks, Mutations mutations)
+    : world_(world),
+      disks_(world, num_blocks, disk::BlockOfU64(0)),
+      leases_(world),
+      mutations_(mutations) {
+  InitVolatile();
+  // Crash invariant (§5.4): at every address, the two disks agree — unless
+  // a helping token records a write in flight, or a disk has failed (a
+  // failed disk no longer carries state).
+  invariants_.Register("disks-agree-or-pending-write", [this] {
+    if (disks_.d1.failed() || disks_.d2.failed()) {
+      return true;
+    }
+    for (uint64_t a = 0; a < disks_.d1.size(); ++a) {
+      if (disks_.d1.PeekBlock(a) != disks_.d2.PeekBlock(a) && !help_.Has(HelpKey(a))) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void ReplicatedDisk::InitVolatile() {
+  addrs_.clear();
+  addrs_.resize(disks_.d1.size());
+  for (uint64_t a = 0; a < addrs_.size(); ++a) {
+    addrs_[a].mu = std::make_unique<goose::Mutex>(world_);
+    addrs_[a].lease1 = leases_.Issue(Key1(a));
+    addrs_[a].lease2 = leases_.Issue(Key2(a));
+  }
+}
+
+proc::Task<uint64_t> ReplicatedDisk::Read(uint64_t a) {
+  AddrState& addr = addrs_[a];
+  co_await addr.mu->Lock();
+  Result<disk::Block> r = co_await disks_.d1.Read(a);
+  if (!r.ok()) {
+    r = co_await disks_.d2.Read(a);
+  }
+  PCC_ENSURE(r.ok(), "replicated disk: both disks failed");
+  uint64_t v = disk::U64OfBlock(r.value());
+  co_await addr.mu->Unlock();
+  co_return v;
+}
+
+proc::Task<void> ReplicatedDisk::Write(uint64_t a, uint64_t v, uint64_t op_id) {
+  AddrState& addr = addrs_[a];
+  if (!mutations_.skip_locking) {
+    co_await addr.mu->Lock();
+  }
+  // Rule 1 of §5.3: updating the durable blocks requires the leases the
+  // lock protects.
+  leases_.Verify(addr.lease1, "rd_write d1");
+  leases_.Verify(addr.lease2, "rd_write d2");
+  // Deposit the helping token in the same atomic step as the first write
+  // becomes visible: from here until the second write lands, a crash
+  // leaves the disks out of sync and recovery completes this operation.
+  (void)co_await disks_.d1.Write(a, disk::BlockOfU64(v));
+  help_.Deposit(HelpKey(a), cap::PendingOp{-1, op_id});
+  if (!mutations_.skip_second_write) {
+    (void)co_await disks_.d2.Write(a, disk::BlockOfU64(v));
+  }
+  help_.Withdraw(HelpKey(a));
+  if (!mutations_.skip_locking) {
+    co_await addr.mu->Unlock();
+  }
+}
+
+proc::Task<void> ReplicatedDisk::Recover(std::function<void(uint64_t)> helped) {
+  if (mutations_.skip_recovery) {
+    InitVolatile();
+    co_return;
+  }
+  if (mutations_.recovery_zeroes) {
+    // The broken recovery from §1: "make the disks in sync by zeroing
+    // them both" — it restores the invariant but destroys data.
+    for (uint64_t a = 0; a < disks_.d1.size(); ++a) {
+      (void)co_await disks_.d1.Write(a, disk::BlockOfU64(0));
+      (void)co_await disks_.d2.Write(a, disk::BlockOfU64(0));
+    }
+    help_.Clear();
+    InitVolatile();
+    co_return;
+  }
+  // Figure 5: copy every block of disk 1 onto disk 2. Completing the copy
+  // at `a` consumes the helping token (if any): recovery has linearized
+  // the crashed write (§5.4).
+  for (uint64_t a = 0; a < disks_.d1.size(); ++a) {
+    Result<disk::Block> r = co_await disks_.d1.Read(a);
+    if (r.ok()) {
+      (void)co_await disks_.d2.Write(a, std::move(r).value());
+      if (std::optional<cap::PendingOp> op = help_.Take(HelpKey(a))) {
+        helped(op->op_id);
+      }
+    }
+  }
+  // Synthesize fresh leases from the master copies (§5.3 rule 3) and
+  // fresh locks for the new generation.
+  InitVolatile();
+}
+
+uint64_t ReplicatedDisk::PeekLogical(uint64_t a) const {
+  const disk::Disk& primary = disks_.d1.failed() ? disks_.d2 : disks_.d1;
+  return disk::U64OfBlock(primary.PeekBlock(a));
+}
+
+}  // namespace perennial::systems

@@ -1,0 +1,79 @@
+#include "src/systems/shadow/shadow_pair.h"
+
+#include <string>
+
+namespace perennial::systems {
+
+namespace {
+std::string BlockKey(uint64_t b) { return "shadow[" + std::to_string(b) + "]"; }
+}  // namespace
+
+ShadowPair::ShadowPair(goose::World* world, Mutations mutations)
+    : world_(world),
+      disk_(world, 5, disk::BlockOfU64(0)),
+      leases_(world),
+      mutations_(mutations) {
+  InitVolatile();
+  // The pointer block always holds a valid copy index: a torn or wild
+  // pointer would make the durable state unreadable after a crash.
+  invariants_.Register("shadow-pointer-valid", [this] {
+    uint64_t ptr = disk::U64OfBlock(disk_.PeekBlock(kPtrBlock));
+    return ptr == 0 || ptr == 1;
+  });
+}
+
+void ShadowPair::InitVolatile() {
+  mu_ = std::make_unique<goose::Mutex>(world_);
+  ptr_lease_ = leases_.Issue(BlockKey(kPtrBlock));
+  for (uint64_t b = 0; b < 4; ++b) {
+    copy_leases_[b] = leases_.Issue(BlockKey(1 + b));
+  }
+}
+
+proc::Task<void> ShadowPair::WritePair(uint64_t x, uint64_t y) {
+  co_await mu_->Lock();
+  Result<disk::Block> ptr_block = co_await disk_.Read(kPtrBlock);
+  uint64_t active = disk::U64OfBlock(ptr_block.value());
+  uint64_t target = mutations_.in_place_update ? active : 1 - active;
+  leases_.Verify(copy_leases_[CopyBase(target) - 1], "shadow write lo");
+  leases_.Verify(copy_leases_[CopyBase(target)], "shadow write hi");
+  if (mutations_.flip_before_data) {
+    leases_.Verify(ptr_lease_, "shadow flip");
+    (void)co_await disk_.Write(kPtrBlock, disk::BlockOfU64(target));
+  }
+  (void)co_await disk_.Write(CopyBase(target), disk::BlockOfU64(x));
+  (void)co_await disk_.Write(CopyBase(target) + 1, disk::BlockOfU64(y));
+  if (!mutations_.in_place_update && !mutations_.flip_before_data) {
+    // Commit point: one atomic block write makes the new pair current.
+    leases_.Verify(ptr_lease_, "shadow flip");
+    (void)co_await disk_.Write(kPtrBlock, disk::BlockOfU64(target));
+  }
+  co_await mu_->Unlock();
+}
+
+proc::Task<std::pair<uint64_t, uint64_t>> ShadowPair::ReadPair() {
+  co_await mu_->Lock();
+  Result<disk::Block> ptr_block = co_await disk_.Read(kPtrBlock);
+  uint64_t active = disk::U64OfBlock(ptr_block.value());
+  Result<disk::Block> lo = co_await disk_.Read(CopyBase(active));
+  Result<disk::Block> hi = co_await disk_.Read(CopyBase(active) + 1);
+  auto result = std::make_pair(disk::U64OfBlock(lo.value()), disk::U64OfBlock(hi.value()));
+  co_await mu_->Unlock();
+  co_return result;
+}
+
+proc::Task<void> ShadowPair::Recover() {
+  // The shadow copy is invisible after a crash: durable state is already
+  // consistent. Recovery only re-creates the lock and re-leases the blocks
+  // from their master copies (§5.3 rule 3).
+  InitVolatile();
+  co_return;
+}
+
+std::pair<uint64_t, uint64_t> ShadowPair::PeekPair() const {
+  uint64_t active = disk::U64OfBlock(disk_.PeekBlock(kPtrBlock));
+  return {disk::U64OfBlock(disk_.PeekBlock(CopyBase(active))),
+          disk::U64OfBlock(disk_.PeekBlock(CopyBase(active) + 1))};
+}
+
+}  // namespace perennial::systems

@@ -1,0 +1,72 @@
+// The shadow-copy crash-safety pattern (§9.1, Table 3): atomic update of a
+// pair of disk blocks.
+//
+// Layout on one disk:
+//   block 0          — pointer: which copy is active (0 or 1)
+//   blocks 1,2       — copy A of the pair
+//   blocks 3,4       — copy B of the pair
+//
+// A write prepares the new pair in the *inactive* copy, then commits with a
+// single atomic write of the pointer block. A crash before the pointer flip
+// leaves the old pair intact and the shadow invisible; recovery has nothing
+// to repair beyond rebuilding volatile state (locks + leases) — the pattern
+// Mailboat also uses for its spool files.
+#ifndef PERENNIAL_SRC_SYSTEMS_SHADOW_SHADOW_PAIR_H_
+#define PERENNIAL_SRC_SYSTEMS_SHADOW_SHADOW_PAIR_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "src/cap/crash_invariant.h"
+#include "src/cap/lease.h"
+#include "src/disk/disk.h"
+#include "src/goose/mutex.h"
+#include "src/goose/world.h"
+#include "src/proc/task.h"
+
+namespace perennial::systems {
+
+class ShadowPair {
+ public:
+  struct Mutations {
+    bool in_place_update = false;  // skip the shadow: write the active copy directly
+    bool flip_before_data = false; // commit the pointer before writing the new copy
+  };
+
+  ShadowPair(goose::World* world, Mutations mutations);
+  explicit ShadowPair(goose::World* world) : ShadowPair(world, Mutations{}) {}
+
+  // Atomically replaces the pair with (x, y).
+  proc::Task<void> WritePair(uint64_t x, uint64_t y);
+
+  // Atomically reads the pair.
+  proc::Task<std::pair<uint64_t, uint64_t>> ReadPair();
+
+  // Rebuilds volatile state; the durable representation needs no repair.
+  proc::Task<void> Recover();
+
+  const cap::CrashInvariants& crash_invariants() const { return invariants_; }
+
+  // Harness: the committed pair as recorded on disk.
+  std::pair<uint64_t, uint64_t> PeekPair() const;
+
+ private:
+  static constexpr uint64_t kPtrBlock = 0;
+  static uint64_t CopyBase(uint64_t which) { return 1 + which * 2; }
+
+  void InitVolatile();
+
+  goose::World* world_;
+  disk::Disk disk_;
+  cap::LeaseRegistry leases_;
+  cap::CrashInvariants invariants_;
+  Mutations mutations_;
+  std::unique_ptr<goose::Mutex> mu_;
+  cap::Lease ptr_lease_;
+  cap::Lease copy_leases_[4];
+};
+
+}  // namespace perennial::systems
+
+#endif  // PERENNIAL_SRC_SYSTEMS_SHADOW_SHADOW_PAIR_H_

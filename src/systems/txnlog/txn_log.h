@@ -1,0 +1,109 @@
+// TxnLog: a general write-ahead log engine — the production-shaped
+// generalization of the fixed-size wal_pair example.
+//
+// One disk holds three regions:
+//   block 0                      — header: (committed, applied) record
+//                                  counts, updated with ONE atomic write
+//   blocks 1..capacity           — the record log: (addr, value) entries
+//   blocks 1+capacity..          — the data region (one block per address)
+//
+// Operations:
+//   CommitBatch(records) — append the records and advance `committed` with
+//     a single header write: the batch's linearization point. The batch is
+//     durable from that instant even though the data region is stale.
+//   Read(addr) — log-structured read: the newest committed record for
+//     `addr`, falling back to the data region.
+//   Checkpoint() — apply committed records to the data region, then
+//     truncate the log with one header write (committed = applied = 0).
+//   Recover() — reconcile after a crash: replay committed-but-unapplied
+//     records into the data region (consuming the helping token the commit
+//     deposited), truncate, rebuild volatile state.
+//
+// Capability discipline: leases on the header and every block; a crash
+// invariant ties the header to the helping token:
+//   applied <= committed <= capacity, and committed > applied ⟺ a pending
+//   batch token is present.
+#ifndef PERENNIAL_SRC_SYSTEMS_TXNLOG_TXN_LOG_H_
+#define PERENNIAL_SRC_SYSTEMS_TXNLOG_TXN_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/cap/crash_invariant.h"
+#include "src/cap/helping.h"
+#include "src/cap/lease.h"
+#include "src/disk/disk.h"
+#include "src/goose/mutex.h"
+#include "src/goose/world.h"
+#include "src/proc/task.h"
+
+namespace perennial::systems {
+
+class TxnLog {
+ public:
+  struct Mutations {
+    bool header_before_records = false;  // commit header precedes record writes
+    bool truncate_before_apply = false;  // checkpoint truncates first, applies after
+  };
+
+  // `num_addrs` data addresses; at most `log_capacity` records may be
+  // committed-but-uncheckpointed at once.
+  TxnLog(goose::World* world, uint64_t num_addrs, uint64_t log_capacity, Mutations mutations);
+  TxnLog(goose::World* world, uint64_t num_addrs, uint64_t log_capacity)
+      : TxnLog(world, num_addrs, log_capacity, Mutations{}) {}
+
+  uint64_t num_addrs() const { return num_addrs_; }
+
+  // Atomically and durably applies all `records` (addr, value). Returns
+  // only after the commit point. Fails the process if the log is full and
+  // checkpointing cannot free enough space.
+  proc::Task<void> CommitBatch(std::vector<std::pair<uint64_t, uint64_t>> records,
+                               uint64_t op_id);
+
+  // The current committed value of `addr`.
+  proc::Task<uint64_t> Read(uint64_t addr);
+
+  // Applies the log to the data region and truncates it.
+  proc::Task<void> Checkpoint();
+
+  proc::Task<void> Recover(std::function<void(uint64_t)> helped);
+
+  const cap::CrashInvariants& crash_invariants() const { return invariants_; }
+
+  // Harness: committed value as recoverable from disk (log + data region).
+  uint64_t PeekCommitted(uint64_t addr) const;
+  std::pair<uint64_t, uint64_t> PeekHeaderForTesting() const;
+
+ private:
+  static constexpr uint64_t kHeaderBlock = 0;
+  static constexpr uint64_t kLogBase = 1;
+  static constexpr const char* kBatchKey = "txnlog:batch";
+
+  uint64_t DataBlock(uint64_t addr) const { return kLogBase + log_capacity_ + addr; }
+  void InitVolatile();
+  // Applies records [applied, committed) to the data region and truncates.
+  // Caller holds the lock.
+  proc::Task<void> ApplyAndTruncate();
+
+  goose::World* world_;
+  uint64_t num_addrs_;
+  uint64_t log_capacity_;
+  disk::Disk disk_;
+  cap::LeaseRegistry leases_;
+  cap::HelpRegistry help_;
+  cap::CrashInvariants invariants_;
+  Mutations mutations_;
+  std::unique_ptr<goose::Mutex> mu_;
+  std::vector<cap::Lease> block_leases_;
+};
+
+// Header codec: (committed, applied) in one 16-byte block.
+disk::Block EncodeTxnHeader(uint64_t committed, uint64_t applied);
+void DecodeTxnHeader(const disk::Block& block, uint64_t* committed, uint64_t* applied);
+
+}  // namespace perennial::systems
+
+#endif  // PERENNIAL_SRC_SYSTEMS_TXNLOG_TXN_LOG_H_

@@ -1,0 +1,113 @@
+#include "src/systems/wal/wal_pair.h"
+
+#include <string>
+
+namespace perennial::systems {
+
+namespace {
+std::string BlockKey(uint64_t b) { return "wal[" + std::to_string(b) + "]"; }
+}  // namespace
+
+WalPair::WalPair(goose::World* world, Mutations mutations)
+    : world_(world),
+      disk_(world, 5, disk::BlockOfU64(0)),
+      leases_(world),
+      mutations_(mutations) {
+  InitVolatile();
+  // The commit flag is the transaction's linearization witness: whenever it
+  // is set, the in-flight operation's helping token must be present (and
+  // vice versa) so recovery is always justified in replaying the log.
+  invariants_.Register("wal-commit-flag-matches-helping-token", [this] {
+    uint64_t flag = disk::U64OfBlock(disk_.PeekBlock(kCommitBlock));
+    if (flag != 0 && flag != 1) {
+      return false;
+    }
+    return (flag == 1) == help_.Has(kTxnKey);
+  });
+}
+
+void WalPair::InitVolatile() {
+  mu_ = std::make_unique<goose::Mutex>(world_);
+  for (uint64_t b = 0; b < 5; ++b) {
+    block_leases_[b] = leases_.Issue(BlockKey(b));
+  }
+}
+
+proc::Task<void> WalPair::WritePair(uint64_t x, uint64_t y, uint64_t op_id) {
+  co_await mu_->Lock();
+  for (uint64_t b = 0; b < 5; ++b) {
+    leases_.Verify(block_leases_[b], "wal write");
+  }
+  if (mutations_.apply_before_commit) {
+    // Bug: data blocks change before the log commits; a crash in between
+    // tears the pair with no committed log to repair it from.
+    (void)co_await disk_.Write(kDataBase, disk::BlockOfU64(x));
+    (void)co_await disk_.Write(kDataBase + 1, disk::BlockOfU64(y));
+    (void)co_await disk_.Write(kLogBase, disk::BlockOfU64(x));
+    (void)co_await disk_.Write(kLogBase + 1, disk::BlockOfU64(y));
+    co_await mu_->Unlock();
+    co_return;
+  }
+  // 1. Log the transaction (crash here: flag clear, log ignored).
+  (void)co_await disk_.Write(kLogBase, disk::BlockOfU64(x));
+  (void)co_await disk_.Write(kLogBase + 1, disk::BlockOfU64(y));
+  // 2. Commit point: one atomic flag write; the helping token is deposited
+  //    in the same step (crash after this: recovery completes the txn).
+  (void)co_await disk_.Write(kCommitBlock, disk::BlockOfU64(1));
+  help_.Deposit(kTxnKey, cap::PendingOp{-1, op_id});
+  // 3. Apply the log to the data blocks.
+  (void)co_await disk_.Write(kDataBase, disk::BlockOfU64(x));
+  (void)co_await disk_.Write(kDataBase + 1, disk::BlockOfU64(y));
+  // 4. Clear the flag; the operation is no longer pending.
+  (void)co_await disk_.Write(kCommitBlock, disk::BlockOfU64(0));
+  help_.Withdraw(kTxnKey);
+  co_await mu_->Unlock();
+}
+
+proc::Task<std::pair<uint64_t, uint64_t>> WalPair::ReadPair() {
+  co_await mu_->Lock();
+  Result<disk::Block> lo = co_await disk_.Read(kDataBase);
+  Result<disk::Block> hi = co_await disk_.Read(kDataBase + 1);
+  auto result = std::make_pair(disk::U64OfBlock(lo.value()), disk::U64OfBlock(hi.value()));
+  co_await mu_->Unlock();
+  co_return result;
+}
+
+proc::Task<void> WalPair::Recover(std::function<void(uint64_t)> helped) {
+  if (mutations_.skip_recovery) {
+    InitVolatile();
+    co_return;
+  }
+  Result<disk::Block> flag = co_await disk_.Read(kCommitBlock);
+  if (disk::U64OfBlock(flag.value()) == 1) {
+    if (mutations_.recovery_discards_log) {
+      // Bug: "recovery" throws the committed transaction away but still
+      // claims to have completed it — the helping check must reject this.
+      (void)co_await disk_.Write(kCommitBlock, disk::BlockOfU64(0));
+      if (std::optional<cap::PendingOp> op = help_.Take(kTxnKey)) {
+        helped(op->op_id);
+      }
+      InitVolatile();
+      co_return;
+    }
+    // Replay: the commit record makes the transaction durable; apply it.
+    Result<disk::Block> lo = co_await disk_.Read(kLogBase);
+    Result<disk::Block> hi = co_await disk_.Read(kLogBase + 1);
+    (void)co_await disk_.Write(kDataBase, std::move(lo).value());
+    (void)co_await disk_.Write(kDataBase + 1, std::move(hi).value());
+    // Clearing the flag completes the crashed operation (helping); flag
+    // write, token take, and the helped claim are one atomic step.
+    (void)co_await disk_.Write(kCommitBlock, disk::BlockOfU64(0));
+    if (std::optional<cap::PendingOp> op = help_.Take(kTxnKey)) {
+      helped(op->op_id);
+    }
+  }
+  InitVolatile();
+}
+
+std::pair<uint64_t, uint64_t> WalPair::PeekData() const {
+  return {disk::U64OfBlock(disk_.PeekBlock(kDataBase)),
+          disk::U64OfBlock(disk_.PeekBlock(kDataBase + 1))};
+}
+
+}  // namespace perennial::systems

@@ -1,0 +1,168 @@
+// The transition-system specification DSL (paper §3.1, Figure 3).
+//
+// A specification is a transition system: a state type plus, per operation,
+// a transition relating pre-state to (post-state, return value). Transitions
+// are built from the same primitives the paper's Coq DSL provides — ret,
+// gets, modify, undefined — plus explicit nondeterministic choice (needed
+// for specs like group commit, where a crash may lose an arbitrary suffix
+// of buffered transactions).
+//
+// A transition is executable: Step(s) enumerates every allowed
+// (next-state, return) pair, or reports that the behavior is undefined.
+// The refinement checker (src/refine) consumes exactly this interface.
+#ifndef PERENNIAL_SRC_TSYS_TRANSITION_H_
+#define PERENNIAL_SRC_TSYS_TRANSITION_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace perennial::tsys {
+
+// The unit value, for transitions that return nothing.
+struct Unit {
+  friend bool operator==(Unit, Unit) { return true; }
+};
+
+// Result of stepping a transition from a concrete state.
+template <typename S, typename R>
+struct Outcome {
+  // True when the pre-state + operation combination is undefined behavior:
+  // the spec imposes no obligation, and implementations must never let
+  // clients reach it (the checker treats encountering UB as "caller broke
+  // the contract", per §8.3 "exploiting undefined behavior").
+  bool undefined = false;
+  // All allowed (post-state, return value) pairs. Empty with !undefined
+  // means the operation is blocked/disallowed here (used by the
+  // linearization search to prune).
+  std::vector<std::pair<S, R>> branches;
+
+  static Outcome Undef() {
+    Outcome o;
+    o.undefined = true;
+    return o;
+  }
+  static Outcome None() { return Outcome{}; }
+  static Outcome One(S s, R r) {
+    Outcome o;
+    o.branches.emplace_back(std::move(s), std::move(r));
+    return o;
+  }
+};
+
+// A (possibly nondeterministic) transition over state S returning R.
+template <typename S, typename R>
+class Transition {
+ public:
+  using StepFn = std::function<Outcome<S, R>(const S&)>;
+
+  Transition() = default;
+  explicit Transition(StepFn fn) : fn_(std::move(fn)) {}
+
+  Outcome<S, R> Step(const S& state) const { return fn_(state); }
+
+  bool valid() const { return static_cast<bool>(fn_); }
+
+  // Monadic sequencing: run this transition, feed the result to `next`.
+  // Undefinedness propagates; branches multiply.
+  template <typename R2>
+  Transition<S, R2> Then(std::function<Transition<S, R2>(const R&)> next) const {
+    StepFn self = fn_;
+    return Transition<S, R2>([self, next](const S& s) {
+      Outcome<S, R> first = self(s);
+      if (first.undefined) {
+        return Outcome<S, R2>::Undef();
+      }
+      Outcome<S, R2> out;
+      for (const auto& [s1, r1] : first.branches) {
+        Outcome<S, R2> rest = next(r1).Step(s1);
+        if (rest.undefined) {
+          return Outcome<S, R2>::Undef();
+        }
+        for (auto& branch : rest.branches) {
+          out.branches.push_back(std::move(branch));
+        }
+      }
+      return out;
+    });
+  }
+
+ private:
+  StepFn fn_;
+};
+
+// ret v: no state change, returns v.
+template <typename S, typename R>
+Transition<S, R> Ret(R value) {
+  return Transition<S, R>(
+      [value](const S& s) { return Outcome<S, R>::One(s, value); });
+}
+
+// undefined: the behavior is unspecified from every state.
+template <typename S, typename R>
+Transition<S, R> Undefined() {
+  return Transition<S, R>([](const S&) { return Outcome<S, R>::Undef(); });
+}
+
+// gets f: reads the state through f, no state change.
+template <typename S, typename R>
+Transition<S, R> Gets(std::function<R(const S&)> f) {
+  return Transition<S, R>(
+      [f](const S& s) { return Outcome<S, R>::One(s, f(s)); });
+}
+
+// modify f: replaces the state with f(state), returns unit.
+template <typename S>
+Transition<S, Unit> Modify(std::function<S(const S&)> f) {
+  return Transition<S, Unit>(
+      [f](const S& s) { return Outcome<S, Unit>::One(f(s), Unit{}); });
+}
+
+// Nondeterministic choice among alternatives: the union of their behaviors.
+// If any alternative is undefined the whole choice is undefined (the spec
+// cannot constrain an implementation that may take the undefined branch).
+template <typename S, typename R>
+Transition<S, R> Choice(std::vector<Transition<S, R>> alternatives) {
+  return Transition<S, R>([alternatives](const S& s) {
+    Outcome<S, R> out;
+    for (const Transition<S, R>& alt : alternatives) {
+      Outcome<S, R> one = alt.Step(s);
+      if (one.undefined) {
+        return Outcome<S, R>::Undef();
+      }
+      for (auto& branch : one.branches) {
+        out.branches.push_back(std::move(branch));
+      }
+    }
+    return out;
+  });
+}
+
+// Nondeterministic value pick: enumerates f(state) as possible returns.
+template <typename S, typename R>
+Transition<S, R> Pick(std::function<std::vector<R>(const S&)> f) {
+  return Transition<S, R>([f](const S& s) {
+    Outcome<S, R> out;
+    for (R& value : f(s)) {
+      out.branches.emplace_back(s, std::move(value));
+    }
+    return out;
+  });
+}
+
+// Guard: proceeds (returning unit) only when the predicate holds; otherwise
+// the transition is blocked (no branches). Useful to express enabling
+// conditions in linearization search.
+template <typename S>
+Transition<S, Unit> Require(std::function<bool(const S&)> pred) {
+  return Transition<S, Unit>([pred](const S& s) {
+    if (!pred(s)) {
+      return Outcome<S, Unit>::None();
+    }
+    return Outcome<S, Unit>::One(s, Unit{});
+  });
+}
+
+}  // namespace perennial::tsys
+
+#endif  // PERENNIAL_SRC_TSYS_TRANSITION_H_

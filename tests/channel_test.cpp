@@ -1,0 +1,213 @@
+// Tests for Go channels in the Goose layer.
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/base/panic.h"
+#include "src/goose/channel.h"
+#include "src/goose/world.h"
+#include "tests/sim_util.h"
+
+namespace perennial::goose {
+namespace {
+
+using perennial::testing::DrainLowestFirst;
+using perennial::testing::DrainRoundRobin;
+using perennial::testing::SimRun;
+using perennial::testing::SimRunVoid;
+using proc::Scheduler;
+using proc::SchedulerScope;
+using proc::Task;
+
+TEST(ChanTest, SendThenRecvSequential) {
+  World world;
+  Chan<int> ch(&world, 4);
+  auto body = [&]() -> Task<int> {
+    co_await ch.Send(5);
+    co_await ch.Send(6);
+    std::optional<int> a = co_await ch.Recv();
+    std::optional<int> b = co_await ch.Recv();
+    co_return *a * 10 + *b;
+  };
+  EXPECT_EQ(SimRun(body()), 56);  // FIFO order
+}
+
+TEST(ChanTest, RecvBlocksUntilSend) {
+  World world;
+  Chan<int> ch(&world, 1);
+  Scheduler sched;
+  SchedulerScope scope(&sched);
+  int got = 0;
+  auto receiver = [&]() -> Task<void> { got = *(co_await ch.Recv()); };
+  auto sender = [&]() -> Task<void> { co_await ch.Send(9); };
+  Scheduler::Tid rx = sched.Spawn(receiver());
+  sched.Spawn(sender());
+  sched.Step(rx);
+  sched.Step(rx);  // receiver blocks (empty channel)
+  EXPECT_FALSE(sched.IsDone(rx));
+  DrainLowestFirst(sched);
+  EXPECT_EQ(got, 9);
+}
+
+TEST(ChanTest, SendBlocksWhenFull) {
+  World world;
+  Chan<int> ch(&world, 1);
+  Scheduler sched;
+  SchedulerScope scope(&sched);
+  std::vector<int> got;
+  auto sender = [&]() -> Task<void> {
+    co_await ch.Send(1);
+    co_await ch.Send(2);  // blocks: capacity 1
+  };
+  auto receiver = [&]() -> Task<void> {
+    got.push_back(*(co_await ch.Recv()));
+    got.push_back(*(co_await ch.Recv()));
+  };
+  sched.Spawn(sender());
+  sched.Spawn(receiver());
+  DrainRoundRobin(sched);
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(ChanTest, CloseDrainsThenSignalsEnd) {
+  World world;
+  Chan<std::string> ch(&world, 4);
+  auto body = [&]() -> Task<int> {
+    co_await ch.Send(std::string("a"));
+    co_await ch.Close();
+    std::optional<std::string> first = co_await ch.Recv();
+    std::optional<std::string> second = co_await ch.Recv();
+    co_return (first.has_value() ? 1 : 0) + (second.has_value() ? 10 : 0);
+  };
+  EXPECT_EQ(SimRun(body()), 1);  // one value, then closed
+}
+
+TEST(ChanTest, RecvOnClosedEmptyWakesBlockedReceiver) {
+  World world;
+  Chan<int> ch(&world, 1);
+  Scheduler sched;
+  SchedulerScope scope(&sched);
+  bool got_end = false;
+  auto receiver = [&]() -> Task<void> { got_end = !(co_await ch.Recv()).has_value(); };
+  auto closer = [&]() -> Task<void> { co_await ch.Close(); };
+  Scheduler::Tid rx = sched.Spawn(receiver());
+  sched.Spawn(closer());
+  sched.Step(rx);
+  sched.Step(rx);  // blocks
+  DrainLowestFirst(sched);
+  EXPECT_TRUE(got_end);
+}
+
+TEST(ChanTest, SendOnClosedIsUb) {
+  World world;
+  Chan<int> ch(&world, 1);
+  auto body = [&]() -> Task<void> {
+    co_await ch.Close();
+    co_await ch.Send(1);
+  };
+  EXPECT_THROW(SimRunVoid(body()), UbViolation);
+}
+
+TEST(ChanTest, DoubleCloseIsUb) {
+  World world;
+  Chan<int> ch(&world, 1);
+  auto body = [&]() -> Task<void> {
+    co_await ch.Close();
+    co_await ch.Close();
+  };
+  EXPECT_THROW(SimRunVoid(body()), UbViolation);
+}
+
+TEST(ChanTest, TryRecvNeverBlocks) {
+  World world;
+  Chan<int> ch(&world, 2);
+  auto body = [&]() -> Task<int> {
+    std::optional<int> empty = co_await ch.TryRecv();
+    co_await ch.Send(3);
+    std::optional<int> full = co_await ch.TryRecv();
+    co_return (empty.has_value() ? 100 : 0) + *full;
+  };
+  EXPECT_EQ(SimRun(body()), 3);
+}
+
+TEST(ChanTest, StaleAfterCrashIsUb) {
+  World world;
+  Chan<int> ch(&world, 1);
+  world.Crash();
+  auto body = [&]() -> Task<void> { co_await ch.Send(1); };
+  EXPECT_THROW(SimRunVoid(body()), UbViolation);
+}
+
+TEST(ChanTest, NativeModeCrossThread) {
+  World world;
+  Chan<int> ch(&world, 2);
+  int sum = 0;
+  std::thread producer([&] {
+    auto body = [&]() -> Task<void> {
+      for (int i = 1; i <= 50; ++i) {
+        co_await ch.Send(i);
+      }
+      co_await ch.Close();
+    };
+    proc::RunSyncVoid(body());
+  });
+  std::thread consumer([&] {
+    auto body = [&]() -> Task<void> {
+      while (true) {
+        std::optional<int> v = co_await ch.Recv();
+        if (!v.has_value()) {
+          co_return;
+        }
+        sum += *v;
+      }
+    };
+    proc::RunSyncVoid(body());
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(sum, 50 * 51 / 2);
+}
+
+TEST(ChanTest, PipelineOfGoroutines) {
+  // A three-stage pipeline over two channels, all in simulation.
+  World world;
+  Chan<int> stage1(&world, 2);
+  Chan<int> stage2(&world, 2);
+  Scheduler sched;
+  SchedulerScope scope(&sched);
+  std::vector<int> out;
+  auto source = [&]() -> Task<void> {
+    for (int i = 1; i <= 4; ++i) {
+      co_await stage1.Send(i);
+    }
+    co_await stage1.Close();
+  };
+  auto doubler = [&]() -> Task<void> {
+    while (true) {
+      std::optional<int> v = co_await stage1.Recv();
+      if (!v.has_value()) {
+        co_await stage2.Close();
+        co_return;
+      }
+      co_await stage2.Send(*v * 2);
+    }
+  };
+  auto sink = [&]() -> Task<void> {
+    while (true) {
+      std::optional<int> v = co_await stage2.Recv();
+      if (!v.has_value()) {
+        co_return;
+      }
+      out.push_back(*v);
+    }
+  };
+  sched.Spawn(source());
+  sched.Spawn(doubler());
+  sched.Spawn(sink());
+  DrainRoundRobin(sched);
+  EXPECT_EQ(out, (std::vector<int>{2, 4, 6, 8}));
+}
+
+}  // namespace
+}  // namespace perennial::goose

@@ -1,0 +1,110 @@
+// Tests for the block-device models.
+#include <gtest/gtest.h>
+
+#include "src/disk/disk.h"
+#include "tests/sim_util.h"
+
+namespace perennial::disk {
+namespace {
+
+using perennial::testing::SimRun;
+using proc::Task;
+
+TEST(BlockCodec, U64RoundTrips) {
+  EXPECT_EQ(U64OfBlock(BlockOfU64(0)), 0u);
+  EXPECT_EQ(U64OfBlock(BlockOfU64(1)), 1u);
+  EXPECT_EQ(U64OfBlock(BlockOfU64(0xDEADBEEFCAFEF00DULL)), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(BlockCodec, ShortBlockDecodesLowBytes) {
+  Block b{0x01, 0x02};
+  EXPECT_EQ(U64OfBlock(b), 0x0201u);
+}
+
+TEST(DiskTest, ReadReturnsInitialValue) {
+  goose::World world;
+  Disk d(&world, 4, BlockOfU64(0));
+  auto body = [&]() -> Task<uint64_t> {
+    Result<Block> r = co_await d.Read(2);
+    co_return U64OfBlock(r.value());
+  };
+  EXPECT_EQ(SimRun(body()), 0u);
+}
+
+TEST(DiskTest, WriteThenReadRoundTrips) {
+  goose::World world;
+  Disk d(&world, 4, BlockOfU64(0));
+  auto body = [&]() -> Task<uint64_t> {
+    (void)co_await d.Write(1, BlockOfU64(77));
+    Result<Block> r = co_await d.Read(1);
+    co_return U64OfBlock(r.value());
+  };
+  EXPECT_EQ(SimRun(body()), 77u);
+}
+
+TEST(DiskTest, OutOfRangeReadIsInvalid) {
+  goose::World world;
+  Disk d(&world, 4, BlockOfU64(0));
+  auto body = [&]() -> Task<StatusCode> {
+    Result<Block> r = co_await d.Read(4);
+    co_return r.status().code();
+  };
+  EXPECT_EQ(SimRun(body()), StatusCode::kInvalid);
+}
+
+TEST(DiskTest, FailedDiskReadsFail) {
+  goose::World world;
+  Disk d(&world, 4, BlockOfU64(0));
+  d.Fail();
+  auto body = [&]() -> Task<StatusCode> {
+    Result<Block> r = co_await d.Read(0);
+    co_return r.status().code();
+  };
+  EXPECT_EQ(SimRun(body()), StatusCode::kFailed);
+}
+
+TEST(DiskTest, FailedDiskAbsorbsWrites) {
+  goose::World world;
+  Disk d(&world, 4, BlockOfU64(5));
+  d.Fail();
+  auto body = [&]() -> Task<Status> { co_return co_await d.Write(0, BlockOfU64(9)); };
+  EXPECT_TRUE(SimRun(body()).ok());
+  EXPECT_EQ(U64OfBlock(d.PeekBlock(0)), 5u);  // unchanged
+}
+
+TEST(DiskTest, ContentsSurviveCrash) {
+  goose::World world;
+  Disk d(&world, 2, BlockOfU64(0));
+  auto body = [&]() -> Task<Status> { co_return co_await d.Write(0, BlockOfU64(123)); };
+  (void)SimRun(body());
+  world.Crash();
+  EXPECT_EQ(U64OfBlock(d.PeekBlock(0)), 123u);
+}
+
+TEST(DiskTest, FailureSurvivesCrash) {
+  goose::World world;
+  Disk d(&world, 2, BlockOfU64(0));
+  d.Fail();
+  world.Crash();
+  EXPECT_TRUE(d.failed());
+}
+
+TEST(TwoDisksTest, IndependentContents) {
+  goose::World world;
+  TwoDisks disks(&world, 3, BlockOfU64(0));
+  auto body = [&]() -> Task<Status> { co_return co_await disks.d1.Write(0, BlockOfU64(1)); };
+  (void)SimRun(body());
+  EXPECT_EQ(U64OfBlock(disks.d1.PeekBlock(0)), 1u);
+  EXPECT_EQ(U64OfBlock(disks.d2.PeekBlock(0)), 0u);
+}
+
+TEST(TwoDisksTest, OneDiskCanFailIndependently) {
+  goose::World world;
+  TwoDisks disks(&world, 3, BlockOfU64(0));
+  disks.d1.Fail();
+  EXPECT_TRUE(disks.d1.failed());
+  EXPECT_FALSE(disks.d2.failed());
+}
+
+}  // namespace
+}  // namespace perennial::disk

@@ -1,0 +1,319 @@
+// Tests for the shadow-copy, WAL, and group-commit patterns: unit behavior,
+// exhaustive refinement with crash points, and rejection of buggy variants.
+#include <gtest/gtest.h>
+
+#include "src/refine/explorer.h"
+#include "src/systems/pattern_harness.h"
+#include "tests/sim_util.h"
+
+namespace perennial::systems {
+namespace {
+
+using perennial::testing::SimRun;
+using perennial::testing::SimRunVoid;
+using proc::Task;
+using refine::Explorer;
+using refine::ExplorerOptions;
+using refine::Report;
+
+// ---------- Shadow copy ----------
+
+TEST(ShadowUnit, WriteThenReadSequential) {
+  goose::World world;
+  ShadowPair sys(&world);
+  auto body = [&]() -> Task<std::pair<uint64_t, uint64_t>> {
+    co_await sys.WritePair(3, 4);
+    co_return co_await sys.ReadPair();
+  };
+  EXPECT_EQ(SimRun(body()), std::make_pair(uint64_t{3}, uint64_t{4}));
+}
+
+TEST(ShadowUnit, SecondWriteAlternatesCopies) {
+  goose::World world;
+  ShadowPair sys(&world);
+  auto body = [&]() -> Task<std::pair<uint64_t, uint64_t>> {
+    co_await sys.WritePair(1, 2);
+    co_await sys.WritePair(5, 6);
+    co_return co_await sys.ReadPair();
+  };
+  EXPECT_EQ(SimRun(body()), std::make_pair(uint64_t{5}, uint64_t{6}));
+  EXPECT_EQ(sys.PeekPair(), std::make_pair(uint64_t{5}, uint64_t{6}));
+}
+
+TEST(ShadowUnit, RecoverRestoresService) {
+  goose::World world;
+  ShadowPair sys(&world);
+  auto write = [&]() -> Task<void> { co_await sys.WritePair(7, 8); };
+  SimRunVoid(write());
+  world.Crash();
+  auto recover = [&]() -> Task<void> { co_await sys.Recover(); };
+  SimRunVoid(recover());
+  auto read = [&]() -> Task<std::pair<uint64_t, uint64_t>> { co_return co_await sys.ReadPair(); };
+  EXPECT_EQ(SimRun(read()), std::make_pair(uint64_t{7}, uint64_t{8}));
+}
+
+TEST(ShadowCheck, ConcurrentWritersWithCrashesRefine) {
+  ShadowHarnessOptions options;
+  options.client_ops = {{PairSpec::MakeWrite(1, 2)}, {PairSpec::MakeWrite(3, 4)}};
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeShadowInstance(options); }, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_FALSE(report.truncated);
+}
+
+TEST(ShadowCheck, WriterReaderWithCrashDuringRecovery) {
+  ShadowHarnessOptions options;
+  options.client_ops = {{PairSpec::MakeWrite(1, 2)}, {PairSpec::MakeRead()}};
+  ExplorerOptions opts;
+  opts.max_crashes = 2;
+  Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeShadowInstance(options); }, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(ShadowMutation, InPlaceUpdateTearsOnCrash) {
+  ShadowHarnessOptions options;
+  // Two sequential writes so the crash can tear distinct old/new values.
+  options.client_ops = {{PairSpec::MakeWrite(1, 2), PairSpec::MakeWrite(3, 4)}};
+  options.mutations.in_place_update = true;
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeShadowInstance(options); }, opts);
+  Report report = ex.Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "non-linearizable");
+}
+
+TEST(ShadowMutation, FlipBeforeDataExposesGarbage) {
+  ShadowHarnessOptions options;
+  options.client_ops = {{PairSpec::MakeWrite(1, 2), PairSpec::MakeWrite(3, 4)}};
+  options.mutations.flip_before_data = true;
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeShadowInstance(options); }, opts);
+  Report report = ex.Run();
+  ASSERT_FALSE(report.ok());
+}
+
+// ---------- Write-ahead log ----------
+
+TEST(WalUnit, WriteThenReadSequential) {
+  goose::World world;
+  WalPair sys(&world);
+  auto body = [&]() -> Task<std::pair<uint64_t, uint64_t>> {
+    co_await sys.WritePair(9, 10, 1);
+    co_return co_await sys.ReadPair();
+  };
+  EXPECT_EQ(SimRun(body()), std::make_pair(uint64_t{9}, uint64_t{10}));
+}
+
+TEST(WalUnit, RecoveryReplaysCommittedTxn) {
+  goose::World world;
+  WalPair sys(&world);
+  // Drive WritePair only up to the commit point, then crash: run the write
+  // on a controlled scheduler and stop after the commit-flag step.
+  proc::Scheduler sched;
+  {
+    proc::SchedulerScope scope(&sched);
+    auto write = [&]() -> Task<void> { co_await sys.WritePair(5, 6, 77); };
+    sched.Spawn(write());
+    // Steps: enter+lock-yield, acquire, log lo, log hi, commit flag
+    // (+deposit) — the fifth step lands the commit record, then stop.
+    for (int i = 0; i < 5; ++i) {
+      sched.Step(0);
+    }
+    EXPECT_EQ(sys.PeekData(), std::make_pair(uint64_t{0}, uint64_t{0}));  // not yet applied
+    sched.KillAllThreads();
+  }
+  world.Crash();
+  uint64_t helped_id = 0;
+  {
+    proc::Scheduler sched2;
+    proc::SchedulerScope scope(&sched2);
+    auto recover = [&]() -> Task<void> {
+      co_await sys.Recover([&](uint64_t id) { helped_id = id; });
+    };
+    sched2.Spawn(recover());
+    perennial::testing::DrainLowestFirst(sched2);
+  }
+  EXPECT_EQ(sys.PeekData(), std::make_pair(uint64_t{5}, uint64_t{6}));
+  EXPECT_EQ(helped_id, 77u);  // recovery helped the crashed write
+}
+
+TEST(WalUnit, RecoveryIgnoresUncommittedLog) {
+  goose::World world;
+  WalPair sys(&world);
+  proc::Scheduler sched;
+  {
+    proc::SchedulerScope scope(&sched);
+    auto write = [&]() -> Task<void> { co_await sys.WritePair(5, 6, 1); };
+    sched.Spawn(write());
+    for (int i = 0; i < 3; ++i) {  // lock, log lo, log hi — no commit
+      sched.Step(0);
+    }
+    sched.KillAllThreads();
+  }
+  world.Crash();
+  bool helped = false;
+  {
+    proc::Scheduler sched2;
+    proc::SchedulerScope scope(&sched2);
+    auto recover = [&]() -> Task<void> {
+      co_await sys.Recover([&](uint64_t) { helped = true; });
+    };
+    sched2.Spawn(recover());
+    perennial::testing::DrainLowestFirst(sched2);
+  }
+  EXPECT_EQ(sys.PeekData(), std::make_pair(uint64_t{0}, uint64_t{0}));
+  EXPECT_FALSE(helped);
+}
+
+TEST(WalCheck, ConcurrentWritersWithCrashesRefine) {
+  WalHarnessOptions options;
+  options.client_ops = {{PairSpec::MakeWrite(1, 2)}, {PairSpec::MakeWrite(3, 4)}};
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeWalInstance(options); }, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_FALSE(report.truncated);
+}
+
+TEST(WalCheck, CrashDuringRecoveryIsIdempotent) {
+  WalHarnessOptions options;
+  options.client_ops = {{PairSpec::MakeWrite(1, 2)}};
+  ExplorerOptions opts;
+  opts.max_crashes = 2;
+  Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeWalInstance(options); }, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.crashes_injected, 0u);
+}
+
+TEST(WalMutation, ApplyBeforeCommitTears) {
+  WalHarnessOptions options;
+  options.client_ops = {{PairSpec::MakeWrite(1, 2), PairSpec::MakeWrite(3, 4)}};
+  options.mutations.apply_before_commit = true;
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeWalInstance(options); }, opts);
+  Report report = ex.Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "non-linearizable");
+}
+
+TEST(WalMutation, SkippedRecoveryIsCaught) {
+  WalHarnessOptions options;
+  options.client_ops = {{PairSpec::MakeWrite(1, 2)}};
+  options.mutations.skip_recovery = true;
+  // A post-recovery write forces interaction with the stale commit flag.
+  options.observer_ops = {PairSpec::MakeWrite(5, 6), PairSpec::MakeRead()};
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeWalInstance(options); }, opts);
+  Report report = ex.Run();
+  ASSERT_FALSE(report.ok());
+}
+
+TEST(WalMutation, RecoveryDiscardingCommittedTxnIsCaughtByHelping) {
+  WalHarnessOptions options;
+  options.client_ops = {{PairSpec::MakeWrite(1, 2)}};
+  options.mutations.recovery_discards_log = true;
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<PairSpec> ex(PairSpec{}, [&] { return MakeWalInstance(options); }, opts);
+  Report report = ex.Run();
+  ASSERT_FALSE(report.ok());
+  // Recovery claimed "helped" but the effect is missing: the helping rule
+  // in the linearization search must reject the history.
+  EXPECT_EQ(report.violations[0].kind, "non-linearizable");
+}
+
+// ---------- Group commit ----------
+
+TEST(GcUnit, BufferedWriteVisibleToRead) {
+  goose::World world;
+  GroupCommit sys(&world, 8);
+  auto body = [&]() -> Task<uint64_t> {
+    co_await sys.Write(42);
+    co_return co_await sys.Read();
+  };
+  EXPECT_EQ(SimRun(body()), 42u);
+  EXPECT_EQ(sys.PeekDurable(), 0u);  // not yet flushed
+}
+
+TEST(GcUnit, FlushMakesDurable) {
+  goose::World world;
+  GroupCommit sys(&world, 8);
+  auto body = [&]() -> Task<void> {
+    co_await sys.Write(1);
+    co_await sys.Write(2);
+    co_await sys.Flush();
+  };
+  SimRunVoid(body());
+  EXPECT_EQ(sys.PeekDurable(), 2u);
+  EXPECT_EQ(sys.BufferedForTesting(), 0u);
+}
+
+TEST(GcUnit, CrashLosesBufferKeepsDurable) {
+  goose::World world;
+  GroupCommit sys(&world, 8);
+  auto body = [&]() -> Task<void> {
+    co_await sys.Write(1);
+    co_await sys.Flush();
+    co_await sys.Write(9);  // buffered only
+  };
+  SimRunVoid(body());
+  world.Crash();
+  EXPECT_EQ(sys.BufferedForTesting(), 0u);
+  EXPECT_EQ(sys.PeekDurable(), 1u);
+  auto recover = [&]() -> Task<void> { co_await sys.Recover(); };
+  SimRunVoid(recover());
+  auto read = [&]() -> Task<uint64_t> { co_return co_await sys.Read(); };
+  EXPECT_EQ(SimRun(read()), 1u);
+}
+
+TEST(GcCheck, WritersAndFlusherWithCrashesRefine) {
+  GcHarnessOptions options;
+  options.client_ops = {{GcSpec::MakeWrite(1)},
+                        {GcSpec::MakeWrite(2)},
+                        {GcSpec::MakeFlush()}};
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<GcSpec> ex(GcSpec{}, [&] { return MakeGcInstance(options); }, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_FALSE(report.truncated);
+}
+
+TEST(GcCheck, ReadsInterleaveWithBufferedWrites) {
+  GcHarnessOptions options;
+  options.client_ops = {{GcSpec::MakeWrite(1), GcSpec::MakeFlush(), GcSpec::MakeWrite(2)},
+                        {GcSpec::MakeRead(), GcSpec::MakeRead()}};
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<GcSpec> ex(GcSpec{}, [&] { return MakeGcInstance(options); }, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(GcMutation, CommittingCountBeforeValuesIsCaught) {
+  GcHarnessOptions options;
+  // A first committed value (7) makes the torn state distinguishable: a
+  // crash between the second flush's count write and its value write
+  // exposes a zero block where only 7 or 9 are legal.
+  options.client_ops = {
+      {GcSpec::MakeWrite(7), GcSpec::MakeFlush(), GcSpec::MakeWrite(9), GcSpec::MakeFlush()}};
+  options.mutations.commit_count_first = true;
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<GcSpec> ex(GcSpec{}, [&] { return MakeGcInstance(options); }, opts);
+  Report report = ex.Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "non-linearizable");
+}
+
+}  // namespace
+}  // namespace perennial::systems

@@ -1,0 +1,61 @@
+// Test helpers for driving modeled coroutines under a simulated scheduler.
+#ifndef PERENNIAL_TESTS_SIM_UTIL_H_
+#define PERENNIAL_TESTS_SIM_UTIL_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/base/panic.h"
+#include "src/proc/scheduler.h"
+#include "src/proc/task.h"
+
+namespace perennial::testing {
+
+// Runs all threads to completion, always stepping the lowest runnable tid.
+inline void DrainLowestFirst(proc::Scheduler& sched) {
+  while (!sched.AllDone()) {
+    auto runnable = sched.RunnableThreads();
+    PCC_ENSURE(!runnable.empty(), "DrainLowestFirst: deadlock");
+    sched.Step(runnable[0]);
+  }
+}
+
+// Runs all threads to completion round-robin (cycling through runnable tids).
+inline void DrainRoundRobin(proc::Scheduler& sched) {
+  size_t turn = 0;
+  while (!sched.AllDone()) {
+    auto runnable = sched.RunnableThreads();
+    PCC_ENSURE(!runnable.empty(), "DrainRoundRobin: deadlock");
+    sched.Step(runnable[turn % runnable.size()]);
+    ++turn;
+  }
+}
+
+template <typename T>
+proc::Task<void> CaptureInto(proc::Task<T> inner, std::optional<T>* slot) {
+  *slot = co_await std::move(inner);
+}
+
+// Runs a single task under a fresh scheduler and returns its result.
+// A SchedulerScope must NOT already be installed by the caller.
+template <typename T>
+T SimRun(proc::Task<T> task) {
+  proc::Scheduler sched;
+  proc::SchedulerScope scope(&sched);
+  std::optional<T> out;
+  sched.Spawn(CaptureInto(std::move(task), &out));
+  DrainLowestFirst(sched);
+  PCC_ENSURE(out.has_value(), "SimRun: task produced no value");
+  return std::move(*out);
+}
+
+inline void SimRunVoid(proc::Task<void> task) {
+  proc::Scheduler sched;
+  proc::SchedulerScope scope(&sched);
+  sched.Spawn(std::move(task));
+  DrainLowestFirst(sched);
+}
+
+}  // namespace perennial::testing
+
+#endif  // PERENNIAL_TESTS_SIM_UTIL_H_

@@ -1,0 +1,223 @@
+// Tests for the SMTP and POP3 protocol sessions over Mailboat (modeled fs).
+#include <gtest/gtest.h>
+
+#include "src/goose/world.h"
+#include "src/goosefs/goosefs.h"
+#include "src/mailboat/mailboat.h"
+#include "src/smtp/pop3.h"
+#include "src/smtp/smtp.h"
+#include "tests/sim_util.h"
+
+namespace perennial::smtp {
+namespace {
+
+using mailboat::Mailboat;
+using mailboat::Message;
+using perennial::testing::SimRun;
+using proc::Task;
+
+TEST(ParseAddress, AcceptsUserAddresses) {
+  EXPECT_EQ(ParseUserAddress("user3@example.com", 10), 3u);
+  EXPECT_EQ(ParseUserAddress("<user0@x>", 10), 0u);
+  EXPECT_EQ(ParseUserAddress("  user9@a.b  ", 10), 9u);
+}
+
+TEST(ParseAddress, RejectsBadAddresses) {
+  EXPECT_EQ(ParseUserAddress("user10@example.com", 10), std::nullopt);  // out of range
+  EXPECT_EQ(ParseUserAddress("bob@example.com", 10), std::nullopt);
+  EXPECT_EQ(ParseUserAddress("user3", 10), std::nullopt);  // no domain
+  EXPECT_EQ(ParseUserAddress("userX@x", 10), std::nullopt);
+  EXPECT_EQ(ParseUserAddress("", 10), std::nullopt);
+}
+
+class SmtpTest : public ::testing::Test {
+ protected:
+  SmtpTest()
+      : fs_(&world_, Mailboat::DirLayout(3)), mail_(&world_, &fs_, Mailboat::Options{3, 64, 64, 1}) {}
+
+  std::string Send(SmtpSession& session, const std::string& line) {
+    auto body = [&]() -> Task<std::string> { co_return co_await session.HandleLine(line); };
+    return SimRun(body());
+  }
+
+  std::vector<Message> PickupAll(uint64_t user) {
+    auto body = [&]() -> Task<std::vector<Message>> {
+      std::vector<Message> m = co_await mail_.Pickup(user);
+      co_await mail_.Unlock(user);
+      co_return m;
+    };
+    return SimRun(body());
+  }
+
+  goose::World world_;
+  goosefs::GooseFs fs_;
+  Mailboat mail_;
+};
+
+TEST_F(SmtpTest, FullDeliverySession) {
+  SmtpSession session(&mail_);
+  EXPECT_EQ(Send(session, "HELO client"), "250 perennial-cc at your service");
+  EXPECT_EQ(Send(session, "MAIL FROM:<alice@remote>"), "250 OK");
+  EXPECT_EQ(Send(session, "RCPT TO:<user1@example.com>"), "250 OK");
+  EXPECT_EQ(Send(session, "DATA"), "354 End data with <CRLF>.<CRLF>");
+  EXPECT_EQ(Send(session, "Subject: hi"), "");
+  EXPECT_EQ(Send(session, ""), "");
+  EXPECT_EQ(Send(session, "hello body"), "");
+  EXPECT_EQ(Send(session, "."), "250 OK: delivered to 1 mailbox(es)");
+  EXPECT_EQ(Send(session, "QUIT"), "221 Bye");
+  EXPECT_TRUE(session.quit());
+
+  std::vector<Message> messages = PickupAll(1);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].contents, "Subject: hi\r\n\r\nhello body\r\n");
+}
+
+TEST_F(SmtpTest, MultipleRecipientsEachGetACopy) {
+  SmtpSession session(&mail_);
+  Send(session, "EHLO c");
+  Send(session, "MAIL FROM:<a@b>");
+  Send(session, "RCPT TO:<user0@x>");
+  Send(session, "RCPT TO:<user2@x>");
+  Send(session, "DATA");
+  Send(session, "m");
+  EXPECT_EQ(Send(session, "."), "250 OK: delivered to 2 mailbox(es)");
+  EXPECT_EQ(PickupAll(0).size(), 1u);
+  EXPECT_EQ(PickupAll(2).size(), 1u);
+  EXPECT_EQ(PickupAll(1).size(), 0u);
+}
+
+TEST_F(SmtpTest, RejectsUnknownRecipient) {
+  SmtpSession session(&mail_);
+  Send(session, "HELO c");
+  Send(session, "MAIL FROM:<a@b>");
+  EXPECT_EQ(Send(session, "RCPT TO:<nobody@x>"), "550 No such user");
+  EXPECT_EQ(Send(session, "DATA"), "503 Need RCPT TO first");
+}
+
+TEST_F(SmtpTest, RequiresHeloAndOrdering) {
+  SmtpSession session(&mail_);
+  EXPECT_EQ(Send(session, "MAIL FROM:<a@b>"), "503 Say HELO first");
+  Send(session, "HELO c");
+  EXPECT_EQ(Send(session, "RCPT TO:<user0@x>"), "503 Need MAIL FROM first");
+  EXPECT_EQ(Send(session, "BOGUS"), "500 Unrecognized command");
+}
+
+TEST_F(SmtpTest, DotStuffingUnescapes) {
+  SmtpSession session(&mail_);
+  Send(session, "HELO c");
+  Send(session, "MAIL FROM:<a@b>");
+  Send(session, "RCPT TO:<user0@x>");
+  Send(session, "DATA");
+  Send(session, "..leading dot");
+  Send(session, ".");
+  std::vector<Message> messages = PickupAll(0);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].contents, ".leading dot\r\n");
+}
+
+TEST_F(SmtpTest, RsetClearsEnvelope) {
+  SmtpSession session(&mail_);
+  Send(session, "HELO c");
+  Send(session, "MAIL FROM:<a@b>");
+  Send(session, "RCPT TO:<user0@x>");
+  EXPECT_EQ(Send(session, "RSET"), "250 OK");
+  EXPECT_EQ(Send(session, "DATA"), "503 Need RCPT TO first");
+}
+
+class Pop3Test : public SmtpTest {
+ protected:
+  std::string SendPop(Pop3Session& session, const std::string& line) {
+    auto body = [&]() -> Task<std::string> { co_return co_await session.HandleLine(line); };
+    return SimRun(body());
+  }
+
+  void DeliverText(uint64_t user, const std::string& text) {
+    auto body = [&]() -> Task<std::string> {
+      std::string id = co_await mail_.Deliver(user, goosefs::BytesOfString(text));
+      co_return id;
+    };
+    (void)SimRun(body());
+  }
+};
+
+TEST_F(Pop3Test, LoginStatRetr) {
+  DeliverText(1, "hello pop3");
+  Pop3Session session(&mail_);
+  EXPECT_EQ(SendPop(session, "USER user1"), "+OK");
+  EXPECT_EQ(SendPop(session, "PASS whatever"), "+OK 1 messages");
+  EXPECT_EQ(SendPop(session, "STAT"), "+OK 1 10");
+  EXPECT_EQ(SendPop(session, "RETR 1"), "+OK\r\nhello pop3\r\n.");
+  EXPECT_EQ(SendPop(session, "QUIT"), "+OK Bye");
+}
+
+TEST_F(Pop3Test, DeleCommitsOnQuit) {
+  DeliverText(0, "doomed");
+  {
+    Pop3Session session(&mail_);
+    SendPop(session, "USER user0");
+    SendPop(session, "PASS x");
+    EXPECT_EQ(SendPop(session, "DELE 1"), "+OK");
+    EXPECT_EQ(SendPop(session, "QUIT"), "+OK Bye");
+  }
+  EXPECT_EQ(PickupAll(0).size(), 0u);
+}
+
+TEST_F(Pop3Test, RsetUndeletes) {
+  DeliverText(0, "saved");
+  Pop3Session session(&mail_);
+  SendPop(session, "USER user0");
+  SendPop(session, "PASS x");
+  SendPop(session, "DELE 1");
+  EXPECT_EQ(SendPop(session, "RSET"), "+OK");
+  SendPop(session, "QUIT");
+  EXPECT_EQ(PickupAll(0).size(), 1u);
+}
+
+TEST_F(Pop3Test, AbortReleasesLockWithoutDeleting) {
+  DeliverText(0, "kept");
+  {
+    Pop3Session session(&mail_);
+    SendPop(session, "USER user0");
+    SendPop(session, "PASS x");
+    SendPop(session, "DELE 1");
+    auto abort = [&]() -> Task<int> {
+      co_await session.Abort();  // connection dropped: no commit
+      co_return 0;
+    };
+    (void)SimRun(abort());
+  }
+  EXPECT_EQ(PickupAll(0).size(), 1u);  // lock was released, mail intact
+}
+
+TEST_F(Pop3Test, ListShowsUndeletedOnly) {
+  DeliverText(0, "aa");
+  DeliverText(0, "bbbb");
+  Pop3Session session(&mail_);
+  SendPop(session, "USER user0");
+  SendPop(session, "PASS x");
+  SendPop(session, "DELE 1");
+  std::string listing = SendPop(session, "LIST");
+  EXPECT_EQ(listing.find("1 "), std::string::npos);  // message 1 hidden
+  EXPECT_NE(listing.find("2 "), std::string::npos);
+  SendPop(session, "QUIT");
+}
+
+TEST_F(Pop3Test, RejectsBadSequences) {
+  Pop3Session session(&mail_);
+  EXPECT_EQ(SendPop(session, "STAT"), "-ERR Expected USER");
+  EXPECT_EQ(SendPop(session, "USER nobody"), "-ERR No such user");
+  SendPop(session, "USER user0");
+  EXPECT_EQ(SendPop(session, "USER user1"), "-ERR Expected PASS");
+}
+
+TEST_F(Pop3Test, RetrOutOfRangeFails) {
+  Pop3Session session(&mail_);
+  SendPop(session, "USER user0");
+  SendPop(session, "PASS x");
+  EXPECT_EQ(SendPop(session, "RETR 1"), "-ERR No such message");
+  EXPECT_EQ(SendPop(session, "DELE 0"), "-ERR No such message");
+  SendPop(session, "QUIT");
+}
+
+}  // namespace
+}  // namespace perennial::smtp

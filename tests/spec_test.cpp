@@ -1,0 +1,220 @@
+// Direct unit tests for the specification transition systems: Step
+// semantics, undefined-behavior boundaries, crash transitions, and the
+// canonical key functions the memoizing checker depends on.
+#include <gtest/gtest.h>
+
+#include "src/mailboat/mail_spec.h"
+#include "src/systems/gc/gc_spec.h"
+#include "src/systems/kvs/kv_spec.h"
+#include "src/systems/pair_spec.h"
+#include "src/systems/txnlog/txn_spec.h"
+
+namespace perennial {
+namespace {
+
+using mailboat::MailSpec;
+using systems::GcSpec;
+using systems::KvSpec;
+using systems::PairSpec;
+using systems::TxnSpec;
+
+// ---------- PairSpec ----------
+
+TEST(PairSpecTest, WriteThenReadRoundTrips) {
+  PairSpec spec;
+  auto w = spec.Step(spec.Initial(), PairSpec::MakeWrite(3, 4));
+  ASSERT_EQ(w.branches.size(), 1u);
+  auto r = spec.Step(w.branches[0].first, PairSpec::MakeRead());
+  EXPECT_EQ(r.branches[0].second, std::make_pair(uint64_t{3}, uint64_t{4}));
+}
+
+TEST(PairSpecTest, CrashIsIdentity) {
+  PairSpec spec;
+  PairSpec::State s{9, 8};
+  auto crashed = spec.CrashSteps(s);
+  ASSERT_EQ(crashed.size(), 1u);
+  EXPECT_EQ(crashed[0], s);
+}
+
+TEST(PairSpecTest, StateKeyIsInjectiveOnComponents) {
+  EXPECT_NE(PairSpec::StateKey({12, 3}), PairSpec::StateKey({1, 23}));
+}
+
+// ---------- GcSpec ----------
+
+TEST(GcSpecTest, ReadPrefersBufferedTail) {
+  GcSpec spec;
+  GcSpec::State s;
+  s.durable = 1;
+  s.buffer = {2, 3};
+  EXPECT_EQ(spec.Step(s, GcSpec::MakeRead()).branches[0].second, 3u);
+}
+
+TEST(GcSpecTest, ReadFallsBackToDurable) {
+  GcSpec spec;
+  GcSpec::State s;
+  s.durable = 7;
+  EXPECT_EQ(spec.Step(s, GcSpec::MakeRead()).branches[0].second, 7u);
+}
+
+TEST(GcSpecTest, FlushCommitsLastAndClears) {
+  GcSpec spec;
+  GcSpec::State s;
+  s.buffer = {4, 5};
+  auto out = spec.Step(s, GcSpec::MakeFlush());
+  EXPECT_EQ(out.branches[0].first.durable, 5u);
+  EXPECT_TRUE(out.branches[0].first.buffer.empty());
+}
+
+TEST(GcSpecTest, CrashEnumeratesPrefixes) {
+  GcSpec spec;
+  GcSpec::State s;
+  s.durable = 1;
+  s.buffer = {2, 3};
+  auto crashed = spec.CrashSteps(s);
+  // durable ∈ {1, 2, 3}, buffer always empty.
+  ASSERT_EQ(crashed.size(), 3u);
+  for (const auto& c : crashed) {
+    EXPECT_TRUE(c.buffer.empty());
+  }
+  EXPECT_EQ(crashed[0].durable, 1u);
+  EXPECT_EQ(crashed[1].durable, 2u);
+  EXPECT_EQ(crashed[2].durable, 3u);
+}
+
+TEST(GcSpecTest, CrashDeduplicatesEqualPrefixStates) {
+  GcSpec spec;
+  GcSpec::State s;
+  s.durable = 2;
+  s.buffer = {2};  // committing the buffered 2 leaves the same durable value
+  EXPECT_EQ(spec.CrashSteps(s).size(), 1u);
+}
+
+// ---------- KvSpec ----------
+
+TEST(KvSpecTest, PutPairIsAtomicInTheSpec) {
+  KvSpec spec{3};
+  auto out = spec.Step(spec.Initial(), KvSpec::MakePutPair(0, 5, 2, 6));
+  ASSERT_EQ(out.branches.size(), 1u);
+  EXPECT_EQ(out.branches[0].first.values, (std::vector<uint64_t>{5, 0, 6}));
+}
+
+TEST(KvSpecTest, EqualKeysInPutPairAreUndefined) {
+  KvSpec spec{3};
+  EXPECT_TRUE(spec.Step(spec.Initial(), KvSpec::MakePutPair(1, 5, 1, 6)).undefined);
+}
+
+TEST(KvSpecTest, OutOfRangeIsUndefined) {
+  KvSpec spec{2};
+  EXPECT_TRUE(spec.Step(spec.Initial(), KvSpec::MakeGet(2)).undefined);
+  EXPECT_TRUE(spec.Step(spec.Initial(), KvSpec::MakePut(9, 1)).undefined);
+}
+
+TEST(KvSpecTest, CrashKeepsEverything) {
+  KvSpec spec{2};
+  KvSpec::State s{{4, 5}};
+  EXPECT_EQ(spec.CrashSteps(s), std::vector<KvSpec::State>{s});
+}
+
+// ---------- TxnSpec ----------
+
+TEST(TxnSpecTest, BatchAppliesInOrder) {
+  TxnSpec spec{2};
+  auto out = spec.Step(spec.Initial(), TxnSpec::MakeBatch({{0, 1}, {0, 2}, {1, 3}}));
+  EXPECT_EQ(out.branches[0].first.values, (std::vector<uint64_t>{2, 3}));
+}
+
+TEST(TxnSpecTest, CheckpointIsObservablyANoOp) {
+  TxnSpec spec{1};
+  TxnSpec::State s{{8}};
+  auto out = spec.Step(s, TxnSpec::MakeCheckpoint());
+  EXPECT_EQ(out.branches[0].first, s);
+}
+
+TEST(TxnSpecTest, OutOfRangeRecordIsUndefined) {
+  TxnSpec spec{1};
+  EXPECT_TRUE(spec.Step(spec.Initial(), TxnSpec::MakeWrite(1, 5)).undefined);
+}
+
+// ---------- MailSpec ----------
+
+TEST(MailSpecTest, PickupTakesTheLockAndListsMail) {
+  MailSpec spec{1};
+  MailSpec::State s = spec.Initial();
+  s.boxes[0]["m1"] = "hello";
+  auto out = spec.Step(s, MailSpec::MakePickup(0));
+  ASSERT_EQ(out.branches.size(), 1u);
+  EXPECT_EQ(out.branches[0].second.msgs.size(), 1u);
+  EXPECT_EQ(out.branches[0].second.msgs[0].second, "hello");
+  EXPECT_TRUE(out.branches[0].first.locked.count(0) > 0);
+}
+
+TEST(MailSpecTest, PickupBlocksWhileLocked) {
+  MailSpec spec{1};
+  MailSpec::State s = spec.Initial();
+  s.locked.insert(0);
+  auto out = spec.Step(s, MailSpec::MakePickup(0));
+  EXPECT_FALSE(out.undefined);
+  EXPECT_TRUE(out.branches.empty());  // blocked, not undefined
+}
+
+TEST(MailSpecTest, DeliverBranchesOverTheIdPool) {
+  MailSpec spec{1};
+  spec.id_pool = {"a", "b", "c"};
+  MailSpec::State s = spec.Initial();
+  s.boxes[0]["b"] = "taken";
+  auto out = spec.Step(s, MailSpec::MakeDeliver(0, "x"));
+  ASSERT_EQ(out.branches.size(), 2u);  // "b" is occupied
+  EXPECT_EQ(out.branches[0].second.id, "a");
+  EXPECT_EQ(out.branches[1].second.id, "c");
+}
+
+TEST(MailSpecTest, DeleteRequiresLockAndListedId) {
+  MailSpec spec{1};
+  MailSpec::State s = spec.Initial();
+  s.boxes[0]["m"] = "x";
+  EXPECT_TRUE(spec.Step(s, MailSpec::MakeDelete(0, "m")).undefined);  // no lock
+  s.locked.insert(0);
+  EXPECT_TRUE(spec.Step(s, MailSpec::MakeDelete(0, "zz")).undefined);  // unlisted id
+  auto ok = spec.Step(s, MailSpec::MakeDelete(0, "m"));
+  ASSERT_EQ(ok.branches.size(), 1u);
+  EXPECT_TRUE(ok.branches[0].first.boxes.at(0).empty());
+}
+
+TEST(MailSpecTest, UnlockWithoutLockIsUndefined) {
+  MailSpec spec{1};
+  EXPECT_TRUE(spec.Step(spec.Initial(), MailSpec::MakeUnlock(0)).undefined);
+}
+
+TEST(MailSpecTest, CrashReleasesLocksKeepsMail) {
+  MailSpec spec{1};
+  MailSpec::State s = spec.Initial();
+  s.boxes[0]["m"] = "x";
+  s.locked.insert(0);
+  auto crashed = spec.CrashSteps(s);
+  ASSERT_EQ(crashed.size(), 1u);
+  EXPECT_TRUE(crashed[0].locked.empty());
+  EXPECT_EQ(crashed[0].boxes.at(0).at("m"), "x");
+}
+
+TEST(MailSpecTest, PrepareCollectsObservedAndSyntheticIds) {
+  MailSpec spec{1};
+  refine::History<MailSpec> h;
+  uint64_t d1 = h.Invoke(0, MailSpec::MakeDeliver(0, "a"));
+  MailSpec::Ret ret;
+  ret.id = "msg-123";
+  h.Return(d1, ret);
+  h.Invoke(1, MailSpec::MakeDeliver(0, "b"));  // pending: no observed id
+  spec.Prepare(h.events);
+  // The observed id plus one synthetic per deliver (two delivers).
+  EXPECT_EQ(spec.id_pool.size(), 3u);
+  EXPECT_NE(std::find(spec.id_pool.begin(), spec.id_pool.end(), "msg-123"), spec.id_pool.end());
+}
+
+TEST(MailSpecTest, UnknownUserIsUndefined) {
+  MailSpec spec{1};
+  EXPECT_TRUE(spec.Step(spec.Initial(), MailSpec::MakePickup(5)).undefined);
+}
+
+}  // namespace
+}  // namespace perennial

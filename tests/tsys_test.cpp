@@ -1,0 +1,113 @@
+// Tests for the transition-system DSL (§3.1).
+#include <gtest/gtest.h>
+
+#include "src/tsys/transition.h"
+
+namespace perennial::tsys {
+namespace {
+
+using IntT = Transition<int, int>;
+
+TEST(Tsys, RetLeavesStateAndReturns) {
+  auto t = Ret<int, int>(5);
+  Outcome<int, int> out = t.Step(10);
+  ASSERT_EQ(out.branches.size(), 1u);
+  EXPECT_EQ(out.branches[0].first, 10);
+  EXPECT_EQ(out.branches[0].second, 5);
+  EXPECT_FALSE(out.undefined);
+}
+
+TEST(Tsys, UndefinedIsUndefinedEverywhere) {
+  auto t = Undefined<int, int>();
+  EXPECT_TRUE(t.Step(0).undefined);
+  EXPECT_TRUE(t.Step(42).undefined);
+}
+
+TEST(Tsys, GetsReadsState) {
+  auto t = Gets<int, int>([](const int& s) { return s * 2; });
+  Outcome<int, int> out = t.Step(21);
+  ASSERT_EQ(out.branches.size(), 1u);
+  EXPECT_EQ(out.branches[0].first, 21);  // unchanged
+  EXPECT_EQ(out.branches[0].second, 42);
+}
+
+TEST(Tsys, ModifyTransformsState) {
+  auto t = Modify<int>([](const int& s) { return s + 1; });
+  Outcome<int, Unit> out = t.Step(7);
+  ASSERT_EQ(out.branches.size(), 1u);
+  EXPECT_EQ(out.branches[0].first, 8);
+}
+
+TEST(Tsys, ThenSequencesStateChanges) {
+  auto inc = Modify<int>([](const int& s) { return s + 1; });
+  Transition<int, int> t = inc.Then<int>(
+      [](const Unit&) { return Gets<int, int>([](const int& s) { return s; }); });
+  Outcome<int, int> out = t.Step(1);
+  ASSERT_EQ(out.branches.size(), 1u);
+  EXPECT_EQ(out.branches[0].first, 2);
+  EXPECT_EQ(out.branches[0].second, 2);  // gets sees the modified state
+}
+
+TEST(Tsys, ThenPropagatesUndefined) {
+  auto t = Undefined<int, Unit>().Then<int>([](const Unit&) { return Ret<int, int>(0); });
+  EXPECT_TRUE(t.Step(0).undefined);
+  auto t2 = Modify<int>([](const int& s) { return s; }).Then<int>([](const Unit&) {
+    return Undefined<int, int>();
+  });
+  EXPECT_TRUE(t2.Step(0).undefined);
+}
+
+TEST(Tsys, ChoiceUnionsBranches) {
+  auto t = Choice<int, int>({Ret<int, int>(1), Ret<int, int>(2)});
+  Outcome<int, int> out = t.Step(0);
+  ASSERT_EQ(out.branches.size(), 2u);
+  EXPECT_EQ(out.branches[0].second, 1);
+  EXPECT_EQ(out.branches[1].second, 2);
+}
+
+TEST(Tsys, ChoiceWithUndefinedAlternativeIsUndefined) {
+  auto t = Choice<int, int>({Ret<int, int>(1), Undefined<int, int>()});
+  EXPECT_TRUE(t.Step(0).undefined);
+}
+
+TEST(Tsys, PickEnumeratesValues) {
+  auto t = Pick<int, int>([](const int& s) { return std::vector<int>{s, s + 1, s + 2}; });
+  Outcome<int, int> out = t.Step(10);
+  ASSERT_EQ(out.branches.size(), 3u);
+  EXPECT_EQ(out.branches[2].second, 12);
+}
+
+TEST(Tsys, RequireBlocksWhenFalse) {
+  auto t = Require<int>([](const int& s) { return s > 0; });
+  EXPECT_TRUE(t.Step(0).branches.empty());
+  EXPECT_FALSE(t.Step(0).undefined);
+  EXPECT_EQ(t.Step(1).branches.size(), 1u);
+}
+
+TEST(Tsys, ThenMultipliesBranches) {
+  auto t = Pick<int, int>([](const int&) { return std::vector<int>{1, 2}; });
+  Transition<int, int> seq = t.Then<int>([](const int& v) {
+    return Pick<int, int>([v](const int&) { return std::vector<int>{v * 10, v * 10 + 1}; });
+  });
+  Outcome<int, int> out = seq.Step(0);
+  ASSERT_EQ(out.branches.size(), 4u);  // 2 x 2
+}
+
+TEST(Tsys, Figure3ReadSpecViaDsl) {
+  // The paper's rd_read spec: look up the address; undefined out of bounds.
+  using State = std::vector<uint64_t>;
+  auto rd_read = [](uint64_t a) {
+    return Transition<State, uint64_t>([a](const State& s) {
+      if (a >= s.size()) {
+        return Outcome<State, uint64_t>::Undef();
+      }
+      return Outcome<State, uint64_t>::One(s, s[a]);
+    });
+  };
+  State disk{7, 8};
+  EXPECT_EQ(rd_read(1).Step(disk).branches[0].second, 8u);
+  EXPECT_TRUE(rd_read(2).Step(disk).undefined);
+}
+
+}  // namespace
+}  // namespace perennial::tsys

@@ -1,0 +1,194 @@
+// Tests for the generalized transaction log: unit behavior, log-structured
+// reads, checkpointing, auto-checkpoint on a full log, exhaustive
+// refinement with crashes, and the broken-ordering mutations.
+#include <gtest/gtest.h>
+
+#include "src/refine/explorer.h"
+#include "src/systems/txnlog/txn_harness.h"
+#include "tests/sim_util.h"
+
+namespace perennial::systems {
+namespace {
+
+using perennial::testing::DrainLowestFirst;
+using perennial::testing::SimRun;
+using perennial::testing::SimRunVoid;
+using proc::Task;
+using refine::Explorer;
+using refine::ExplorerOptions;
+using refine::Report;
+
+TEST(TxnHeaderCodec, RoundTrips) {
+  uint64_t committed = 0;
+  uint64_t applied = 0;
+  DecodeTxnHeader(EncodeTxnHeader(7, 3), &committed, &applied);
+  EXPECT_EQ(committed, 7u);
+  EXPECT_EQ(applied, 3u);
+}
+
+TEST(TxnUnit, CommitThenReadFromLog) {
+  goose::World world;
+  TxnLog log(&world, 4, 8);
+  auto body = [&]() -> Task<uint64_t> {
+    std::vector<std::pair<uint64_t, uint64_t>> batch1{{2, 42}};
+    co_await log.CommitBatch(batch1, 1);
+    co_return co_await log.Read(2);
+  };
+  EXPECT_EQ(SimRun(body()), 42u);
+  // The value is only in the log, not yet in the data region.
+  EXPECT_EQ(log.PeekHeaderForTesting().first, 1u);
+}
+
+TEST(TxnUnit, NewestRecordWins) {
+  goose::World world;
+  TxnLog log(&world, 2, 8);
+  auto body = [&]() -> Task<uint64_t> {
+    std::vector<std::pair<uint64_t, uint64_t>> batch2{{0, 1}};
+    co_await log.CommitBatch(batch2, 1);
+    std::vector<std::pair<uint64_t, uint64_t>> batch3{{0, 2}};
+    co_await log.CommitBatch(batch3, 2);
+    std::vector<std::pair<uint64_t, uint64_t>> batch4{{0, 3}};
+    co_await log.CommitBatch(batch4, 3);
+    co_return co_await log.Read(0);
+  };
+  EXPECT_EQ(SimRun(body()), 3u);
+}
+
+TEST(TxnUnit, CheckpointAppliesAndTruncates) {
+  goose::World world;
+  TxnLog log(&world, 2, 8);
+  auto body = [&]() -> Task<uint64_t> {
+    std::vector<std::pair<uint64_t, uint64_t>> batch5{{0, 5}, {1, 6}};
+    co_await log.CommitBatch(batch5, 1);
+    co_await log.Checkpoint();
+    co_return co_await log.Read(0) * 10 + co_await log.Read(1);
+  };
+  EXPECT_EQ(SimRun(body()), 56u);
+  EXPECT_EQ(log.PeekHeaderForTesting(), std::make_pair(uint64_t{0}, uint64_t{0}));
+}
+
+TEST(TxnUnit, FullLogAutoCheckpoints) {
+  goose::World world;
+  TxnLog log(&world, 2, 3);
+  auto body = [&]() -> Task<uint64_t> {
+    std::vector<std::pair<uint64_t, uint64_t>> batch6{{0, 1}};
+    co_await log.CommitBatch(batch6, 1);
+    std::vector<std::pair<uint64_t, uint64_t>> batch7{{0, 2}};
+    co_await log.CommitBatch(batch7, 2);
+    std::vector<std::pair<uint64_t, uint64_t>> batch8{{1, 3}};
+    co_await log.CommitBatch(batch8, 3);
+    // Log full (capacity 3): this commit forces an apply+truncate first.
+    std::vector<std::pair<uint64_t, uint64_t>> batch9{{0, 4}};
+    co_await log.CommitBatch(batch9, 4);
+    co_return co_await log.Read(0) * 10 + co_await log.Read(1);
+  };
+  EXPECT_EQ(SimRun(body()), 43u);
+  EXPECT_EQ(log.PeekHeaderForTesting().first, 1u);  // only the last batch remains
+}
+
+TEST(TxnUnit, RecoveryReplaysCommittedLog) {
+  goose::World world;
+  TxnLog log(&world, 2, 4);
+  auto commit = [&]() -> Task<void> { std::vector<std::pair<uint64_t, uint64_t>> batch10{{0, 9}, {1, 8}};
+    co_await log.CommitBatch(batch10, 1); };
+  SimRunVoid(commit());
+  world.Crash();
+  auto recover = [&]() -> Task<void> { co_await log.Recover([](uint64_t) {}); };
+  SimRunVoid(recover());
+  EXPECT_EQ(log.PeekHeaderForTesting(), std::make_pair(uint64_t{0}, uint64_t{0}));
+  EXPECT_EQ(log.PeekCommitted(0), 9u);
+  EXPECT_EQ(log.PeekCommitted(1), 8u);
+}
+
+TEST(TxnUnit, UncommittedRecordsIgnoredAfterCrash) {
+  goose::World world;
+  TxnLog log(&world, 2, 4);
+  proc::Scheduler sched;
+  {
+    proc::SchedulerScope scope(&sched);
+    auto commit = [&]() -> Task<void> { std::vector<std::pair<uint64_t, uint64_t>> batch11{{0, 9}};
+    co_await log.CommitBatch(batch11, 1); };
+    sched.Spawn(commit());
+    // Steps: enter+lock-yield, acquire+header-read-yield, header read +
+    // record-write-yield, record written + header-write-yield — stop
+    // before the commit header lands.
+    for (int i = 0; i < 4; ++i) {
+      sched.Step(0);
+    }
+    sched.KillAllThreads();
+  }
+  world.Crash();
+  {
+    proc::Scheduler sched2;
+    proc::SchedulerScope scope(&sched2);
+    auto recover = [&]() -> Task<void> { co_await log.Recover([](uint64_t) {}); };
+    sched2.Spawn(recover());
+    DrainLowestFirst(sched2);
+  }
+  EXPECT_EQ(log.PeekCommitted(0), 0u);  // the record never committed
+}
+
+TEST(TxnCheck, ConcurrentBatchesAndReadsRefine) {
+  TxnHarnessOptions options;
+  options.num_addrs = 2;
+  options.client_ops = {{TxnSpec::MakeBatch({{0, 1}, {1, 2}})}, {TxnSpec::MakeRead(0)}};
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<TxnSpec> ex(TxnSpec{2}, [&] { return MakeTxnInstance(options); }, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_FALSE(report.truncated);
+}
+
+TEST(TxnCheck, CheckpointRacesWritersAndCrashes) {
+  TxnHarnessOptions options;
+  options.num_addrs = 2;
+  options.log_capacity = 4;
+  options.client_ops = {{TxnSpec::MakeWrite(0, 5)}, {TxnSpec::MakeCheckpoint()}};
+  ExplorerOptions opts;
+  opts.max_crashes = 2;
+  Explorer<TxnSpec> ex(TxnSpec{2}, [&] { return MakeTxnInstance(options); }, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(TxnCheck, AutoCheckpointPathIsCrashSafe) {
+  TxnHarnessOptions options;
+  options.num_addrs = 1;
+  options.log_capacity = 1;  // every second commit forces apply+truncate
+  options.client_ops = {{TxnSpec::MakeWrite(0, 1), TxnSpec::MakeWrite(0, 2)}};
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<TxnSpec> ex(TxnSpec{1}, [&] { return MakeTxnInstance(options); }, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(TxnMutation, HeaderBeforeRecordsIsCaught) {
+  TxnHarnessOptions options;
+  options.num_addrs = 1;
+  options.client_ops = {{TxnSpec::MakeWrite(0, 5), TxnSpec::MakeWrite(0, 7)}};
+  options.mutations.header_before_records = true;
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<TxnSpec> ex(TxnSpec{1}, [&] { return MakeTxnInstance(options); }, opts);
+  Report report = ex.Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "non-linearizable");
+}
+
+TEST(TxnMutation, TruncateBeforeApplyIsCaught) {
+  TxnHarnessOptions options;
+  options.num_addrs = 1;
+  options.client_ops = {{TxnSpec::MakeWrite(0, 5), TxnSpec::MakeCheckpoint()}};
+  options.mutations.truncate_before_apply = true;
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  Explorer<TxnSpec> ex(TxnSpec{1}, [&] { return MakeTxnInstance(options); }, opts);
+  Report report = ex.Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, "non-linearizable");
+}
+
+}  // namespace
+}  // namespace perennial::systems
