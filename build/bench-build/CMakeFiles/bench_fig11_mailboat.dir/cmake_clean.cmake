@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_mailboat"
+  "../bench/bench_fig11_mailboat.pdb"
+  "CMakeFiles/bench_fig11_mailboat.dir/bench_fig11_mailboat.cpp.o"
+  "CMakeFiles/bench_fig11_mailboat.dir/bench_fig11_mailboat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mailboat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec91_patterns"
+  "../bench/bench_sec91_patterns.pdb"
+  "CMakeFiles/bench_sec91_patterns.dir/bench_sec91_patterns.cpp.o"
+  "CMakeFiles/bench_sec91_patterns.dir/bench_sec91_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec91_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

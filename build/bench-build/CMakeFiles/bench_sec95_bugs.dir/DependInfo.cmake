@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec95_bugs.cpp" "bench-build/CMakeFiles/bench_sec95_bugs.dir/bench_sec95_bugs.cpp.o" "gcc" "bench-build/CMakeFiles/bench_sec95_bugs.dir/bench_sec95_bugs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/pcc_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/mailboat/CMakeFiles/pcc_mailboat.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pcc_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/goosefs/CMakeFiles/pcc_goosefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/pcc_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pcc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec95_bugs"
+  "../bench/bench_sec95_bugs.pdb"
+  "CMakeFiles/bench_sec95_bugs.dir/bench_sec95_bugs.cpp.o"
+  "CMakeFiles/bench_sec95_bugs.dir/bench_sec95_bugs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec95_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_loc"
+  "../bench/bench_table2_loc.pdb"
+  "CMakeFiles/bench_table2_loc.dir/bench_table2_loc.cpp.o"
+  "CMakeFiles/bench_table2_loc.dir/bench_table2_loc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

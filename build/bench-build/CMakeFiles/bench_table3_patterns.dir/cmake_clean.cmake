@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_patterns"
+  "../bench/bench_table3_patterns.pdb"
+  "CMakeFiles/bench_table3_patterns.dir/bench_table3_patterns.cpp.o"
+  "CMakeFiles/bench_table3_patterns.dir/bench_table3_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

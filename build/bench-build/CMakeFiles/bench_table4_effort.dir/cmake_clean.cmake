@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_effort"
+  "../bench/bench_table4_effort.pdb"
+  "CMakeFiles/bench_table4_effort.dir/bench_table4_effort.cpp.o"
+  "CMakeFiles/bench_table4_effort.dir/bench_table4_effort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

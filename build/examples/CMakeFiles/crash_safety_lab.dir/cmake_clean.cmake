@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_safety_lab.dir/crash_safety_lab.cpp.o"
+  "CMakeFiles/crash_safety_lab.dir/crash_safety_lab.cpp.o.d"
+  "crash_safety_lab"
+  "crash_safety_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_safety_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

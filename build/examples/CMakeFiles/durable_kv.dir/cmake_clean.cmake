@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_kv.dir/durable_kv.cpp.o"
+  "CMakeFiles/durable_kv.dir/durable_kv.cpp.o.d"
+  "durable_kv"
+  "durable_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for durable_kv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for durable_kv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_server.dir/mail_server.cpp.o"
+  "CMakeFiles/mail_server.dir/mail_server.cpp.o.d"
+  "mail_server"
+  "mail_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

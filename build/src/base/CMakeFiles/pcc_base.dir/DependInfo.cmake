@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/loc.cc" "src/base/CMakeFiles/pcc_base.dir/loc.cc.o" "gcc" "src/base/CMakeFiles/pcc_base.dir/loc.cc.o.d"
+  "/root/repo/src/base/panic.cc" "src/base/CMakeFiles/pcc_base.dir/panic.cc.o" "gcc" "src/base/CMakeFiles/pcc_base.dir/panic.cc.o.d"
+  "/root/repo/src/base/rand.cc" "src/base/CMakeFiles/pcc_base.dir/rand.cc.o" "gcc" "src/base/CMakeFiles/pcc_base.dir/rand.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/base/CMakeFiles/pcc_base.dir/status.cc.o" "gcc" "src/base/CMakeFiles/pcc_base.dir/status.cc.o.d"
+  "/root/repo/src/base/strutil.cc" "src/base/CMakeFiles/pcc_base.dir/strutil.cc.o" "gcc" "src/base/CMakeFiles/pcc_base.dir/strutil.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/base/CMakeFiles/pcc_base.dir/table.cc.o" "gcc" "src/base/CMakeFiles/pcc_base.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_base.dir/loc.cc.o"
+  "CMakeFiles/pcc_base.dir/loc.cc.o.d"
+  "CMakeFiles/pcc_base.dir/panic.cc.o"
+  "CMakeFiles/pcc_base.dir/panic.cc.o.d"
+  "CMakeFiles/pcc_base.dir/rand.cc.o"
+  "CMakeFiles/pcc_base.dir/rand.cc.o.d"
+  "CMakeFiles/pcc_base.dir/status.cc.o"
+  "CMakeFiles/pcc_base.dir/status.cc.o.d"
+  "CMakeFiles/pcc_base.dir/strutil.cc.o"
+  "CMakeFiles/pcc_base.dir/strutil.cc.o.d"
+  "CMakeFiles/pcc_base.dir/table.cc.o"
+  "CMakeFiles/pcc_base.dir/table.cc.o.d"
+  "libpcc_base.a"
+  "libpcc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

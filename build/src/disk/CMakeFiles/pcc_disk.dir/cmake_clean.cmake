@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_disk.dir/disk.cc.o"
+  "CMakeFiles/pcc_disk.dir/disk.cc.o.d"
+  "libpcc_disk.a"
+  "libpcc_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_goosefs.dir/goosefs.cc.o"
+  "CMakeFiles/pcc_goosefs.dir/goosefs.cc.o.d"
+  "CMakeFiles/pcc_goosefs.dir/posix_fs.cc.o"
+  "CMakeFiles/pcc_goosefs.dir/posix_fs.cc.o.d"
+  "libpcc_goosefs.a"
+  "libpcc_goosefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_goosefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pcc_goosefs.
+# This may be replaced when dependencies are built.

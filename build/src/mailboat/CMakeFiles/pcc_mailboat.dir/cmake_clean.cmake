@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_mailboat.dir/gomail.cc.o"
+  "CMakeFiles/pcc_mailboat.dir/gomail.cc.o.d"
+  "CMakeFiles/pcc_mailboat.dir/mailboat.cc.o"
+  "CMakeFiles/pcc_mailboat.dir/mailboat.cc.o.d"
+  "CMakeFiles/pcc_mailboat.dir/workload.cc.o"
+  "CMakeFiles/pcc_mailboat.dir/workload.cc.o.d"
+  "libpcc_mailboat.a"
+  "libpcc_mailboat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_mailboat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcc_mailboat.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pcc_mailboat.
+# This may be replaced when dependencies are built.

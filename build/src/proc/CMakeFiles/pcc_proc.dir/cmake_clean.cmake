@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_proc.dir/scheduler.cc.o"
+  "CMakeFiles/pcc_proc.dir/scheduler.cc.o.d"
+  "CMakeFiles/pcc_proc.dir/task.cc.o"
+  "CMakeFiles/pcc_proc.dir/task.cc.o.d"
+  "libpcc_proc.a"
+  "libpcc_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

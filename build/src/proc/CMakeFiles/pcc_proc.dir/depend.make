@@ -1,0 +1,2 @@
+# Empty dependencies file for pcc_proc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_smtp.dir/mail_serverd.cc.o"
+  "CMakeFiles/pcc_smtp.dir/mail_serverd.cc.o.d"
+  "CMakeFiles/pcc_smtp.dir/pop3.cc.o"
+  "CMakeFiles/pcc_smtp.dir/pop3.cc.o.d"
+  "CMakeFiles/pcc_smtp.dir/smtp.cc.o"
+  "CMakeFiles/pcc_smtp.dir/smtp.cc.o.d"
+  "libpcc_smtp.a"
+  "libpcc_smtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_smtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pcc_smtp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/ftl/ftl.cc" "src/systems/CMakeFiles/pcc_systems.dir/ftl/ftl.cc.o" "gcc" "src/systems/CMakeFiles/pcc_systems.dir/ftl/ftl.cc.o.d"
+  "/root/repo/src/systems/gc/group_commit.cc" "src/systems/CMakeFiles/pcc_systems.dir/gc/group_commit.cc.o" "gcc" "src/systems/CMakeFiles/pcc_systems.dir/gc/group_commit.cc.o.d"
+  "/root/repo/src/systems/kvs/kv_store.cc" "src/systems/CMakeFiles/pcc_systems.dir/kvs/kv_store.cc.o" "gcc" "src/systems/CMakeFiles/pcc_systems.dir/kvs/kv_store.cc.o.d"
+  "/root/repo/src/systems/repl/replicated_disk.cc" "src/systems/CMakeFiles/pcc_systems.dir/repl/replicated_disk.cc.o" "gcc" "src/systems/CMakeFiles/pcc_systems.dir/repl/replicated_disk.cc.o.d"
+  "/root/repo/src/systems/shadow/shadow_pair.cc" "src/systems/CMakeFiles/pcc_systems.dir/shadow/shadow_pair.cc.o" "gcc" "src/systems/CMakeFiles/pcc_systems.dir/shadow/shadow_pair.cc.o.d"
+  "/root/repo/src/systems/txnlog/txn_log.cc" "src/systems/CMakeFiles/pcc_systems.dir/txnlog/txn_log.cc.o" "gcc" "src/systems/CMakeFiles/pcc_systems.dir/txnlog/txn_log.cc.o.d"
+  "/root/repo/src/systems/wal/wal_pair.cc" "src/systems/CMakeFiles/pcc_systems.dir/wal/wal_pair.cc.o" "gcc" "src/systems/CMakeFiles/pcc_systems.dir/wal/wal_pair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/pcc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/pcc_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pcc_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_systems.dir/ftl/ftl.cc.o"
+  "CMakeFiles/pcc_systems.dir/ftl/ftl.cc.o.d"
+  "CMakeFiles/pcc_systems.dir/gc/group_commit.cc.o"
+  "CMakeFiles/pcc_systems.dir/gc/group_commit.cc.o.d"
+  "CMakeFiles/pcc_systems.dir/kvs/kv_store.cc.o"
+  "CMakeFiles/pcc_systems.dir/kvs/kv_store.cc.o.d"
+  "CMakeFiles/pcc_systems.dir/repl/replicated_disk.cc.o"
+  "CMakeFiles/pcc_systems.dir/repl/replicated_disk.cc.o.d"
+  "CMakeFiles/pcc_systems.dir/shadow/shadow_pair.cc.o"
+  "CMakeFiles/pcc_systems.dir/shadow/shadow_pair.cc.o.d"
+  "CMakeFiles/pcc_systems.dir/txnlog/txn_log.cc.o"
+  "CMakeFiles/pcc_systems.dir/txnlog/txn_log.cc.o.d"
+  "CMakeFiles/pcc_systems.dir/wal/wal_pair.cc.o"
+  "CMakeFiles/pcc_systems.dir/wal/wal_pair.cc.o.d"
+  "libpcc_systems.a"
+  "libpcc_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_test.dir/atomic_test.cpp.o"
+  "CMakeFiles/atomic_test.dir/atomic_test.cpp.o.d"
+  "atomic_test"
+  "atomic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

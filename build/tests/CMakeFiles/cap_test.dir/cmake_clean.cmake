@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_test.dir/cap_test.cpp.o"
+  "CMakeFiles/cap_test.dir/cap_test.cpp.o.d"
+  "cap_test"
+  "cap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

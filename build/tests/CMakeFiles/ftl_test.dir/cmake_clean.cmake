@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_test.dir/ftl_test.cpp.o"
+  "CMakeFiles/ftl_test.dir/ftl_test.cpp.o.d"
+  "ftl_test"
+  "ftl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gomail_test.dir/gomail_test.cpp.o"
+  "CMakeFiles/gomail_test.dir/gomail_test.cpp.o.d"
+  "gomail_test"
+  "gomail_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gomail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goose_test.dir/goose_test.cpp.o"
+  "CMakeFiles/goose_test.dir/goose_test.cpp.o.d"
+  "goose_test"
+  "goose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goosefs_test.dir/goosefs_test.cpp.o"
+  "CMakeFiles/goosefs_test.dir/goosefs_test.cpp.o.d"
+  "goosefs_test"
+  "goosefs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goosefs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

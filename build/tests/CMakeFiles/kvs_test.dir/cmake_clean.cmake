@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvs_test.dir/kvs_test.cpp.o"
+  "CMakeFiles/kvs_test.dir/kvs_test.cpp.o.d"
+  "kvs_test"
+  "kvs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

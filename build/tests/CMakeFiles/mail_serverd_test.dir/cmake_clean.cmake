@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_serverd_test.dir/mail_serverd_test.cpp.o"
+  "CMakeFiles/mail_serverd_test.dir/mail_serverd_test.cpp.o.d"
+  "mail_serverd_test"
+  "mail_serverd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_serverd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

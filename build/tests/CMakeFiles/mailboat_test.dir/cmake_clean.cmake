@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailboat_test.dir/mailboat_test.cpp.o"
+  "CMakeFiles/mailboat_test.dir/mailboat_test.cpp.o.d"
+  "mailboat_test"
+  "mailboat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailboat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_test.dir/patterns_test.cpp.o"
+  "CMakeFiles/patterns_test.dir/patterns_test.cpp.o.d"
+  "patterns_test"
+  "patterns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

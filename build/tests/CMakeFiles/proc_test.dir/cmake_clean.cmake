@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_test.dir/proc_test.cpp.o"
+  "CMakeFiles/proc_test.dir/proc_test.cpp.o.d"
+  "proc_test"
+  "proc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refine_test.dir/refine_test.cpp.o"
+  "CMakeFiles/refine_test.dir/refine_test.cpp.o.d"
+  "refine_test"
+  "refine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

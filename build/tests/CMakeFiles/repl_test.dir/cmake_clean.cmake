@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repl_test.dir/repl_test.cpp.o"
+  "CMakeFiles/repl_test.dir/repl_test.cpp.o.d"
+  "repl_test"
+  "repl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_test.dir/smtp_test.cpp.o"
+  "CMakeFiles/smtp_test.dir/smtp_test.cpp.o.d"
+  "smtp_test"
+  "smtp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

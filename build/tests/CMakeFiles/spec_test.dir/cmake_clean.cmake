@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_test.dir/spec_test.cpp.o"
+  "CMakeFiles/spec_test.dir/spec_test.cpp.o.d"
+  "spec_test"
+  "spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

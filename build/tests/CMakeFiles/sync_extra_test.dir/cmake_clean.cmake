@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_extra_test.dir/sync_extra_test.cpp.o"
+  "CMakeFiles/sync_extra_test.dir/sync_extra_test.cpp.o.d"
+  "sync_extra_test"
+  "sync_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsys_test.dir/tsys_test.cpp.o"
+  "CMakeFiles/tsys_test.dir/tsys_test.cpp.o.d"
+  "tsys_test"
+  "tsys_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txnlog_test.dir/txnlog_test.cpp.o"
+  "CMakeFiles/txnlog_test.dir/txnlog_test.cpp.o.d"
+  "txnlog_test"
+  "txnlog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txnlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

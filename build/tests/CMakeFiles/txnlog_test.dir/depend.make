@@ -1,0 +1,2 @@
+# Empty dependencies file for txnlog_test.
+# This may be replaced when dependencies are built.
