@@ -19,6 +19,7 @@
 #include "src/mailboat/mailboat.h"
 #include "src/refine/explorer.h"
 #include "src/refine/linearize.h"
+#include "src/refine/parallel_explorer.h"
 #include "src/systems/repl/repl_harness.h"
 #include "src/systems/txnlog/txn_log.h"
 #include "tests/sim_util.h"
@@ -187,6 +188,62 @@ void BM_ExplorerReplExhaustive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExplorerReplExhaustive)->Arg(0)->Arg(1);
+
+// The exhaustive-DFS workload used to measure parallel speedup: heavy
+// enough (tens of thousands of executions) that worker fan-out dominates
+// coordination overhead. Arg 0 = the serial reference Explorer; Arg N>0 =
+// ParallelExplorer with N workers. Compare the wall-clock times across
+// args for the speedup (the executions counter must not vary with N).
+void BM_ExplorerExhaustiveWorkers(benchmark::State& state) {
+  using namespace perennial::systems;  // NOLINT
+  ReplHarnessOptions options;
+  options.num_blocks = 1;
+  options.client_ops = {{ReplSpec::MakeWrite(0, 5), ReplSpec::MakeRead(0)},
+                        {ReplSpec::MakeWrite(0, 7)}};
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    refine::ExplorerOptions opts;
+    opts.max_crashes = 1;
+    refine::Report report;
+    if (workers == 0) {
+      refine::Explorer<ReplSpec> ex(ReplSpec{1}, [&] { return MakeReplInstance(options); }, opts);
+      report = ex.Run();
+    } else {
+      opts.num_workers = workers;
+      refine::ParallelExplorer<ReplSpec> ex(ReplSpec{1},
+                                            [&] { return MakeReplInstance(options); }, opts);
+      report = ex.Run();
+    }
+    benchmark::DoNotOptimize(report);
+    state.counters["executions"] = static_cast<double>(report.executions);
+  }
+}
+BENCHMARK(BM_ExplorerExhaustiveWorkers)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Fingerprint pruning on the same workload: identical executions, far
+// fewer linearizability searches (see the deduped counter).
+void BM_ExplorerFingerprintDedup(benchmark::State& state) {
+  using namespace perennial::systems;  // NOLINT
+  ReplHarnessOptions options;
+  options.num_blocks = 1;
+  options.client_ops = {{ReplSpec::MakeWrite(0, 5), ReplSpec::MakeRead(0)},
+                        {ReplSpec::MakeWrite(0, 7)}};
+  for (auto _ : state) {
+    refine::ExplorerOptions opts;
+    opts.max_crashes = 1;
+    opts.dedup_histories = state.range(0) != 0;
+    refine::Explorer<ReplSpec> ex(ReplSpec{1}, [&] { return MakeReplInstance(options); }, opts);
+    refine::Report report = ex.Run();
+    benchmark::DoNotOptimize(report);
+    state.counters["deduped"] = static_cast<double>(report.histories_deduped);
+  }
+}
+BENCHMARK(BM_ExplorerFingerprintDedup)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_RWMutexReadSideNative(benchmark::State& state) {
   goose::World world;

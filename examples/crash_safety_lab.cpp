@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/refine/explorer.h"
+#include "src/refine/parallel_explorer.h"
 #include "src/systems/pattern_harness.h"
 
 namespace {
@@ -82,7 +83,34 @@ int main() {
   Report("[shadow] broken: flip the pointer before writing the data",
          CheckShadow(ShadowPair::Mutations{.flip_before_data = true}, 1));
 
+  std::printf("=============================================================\n");
+  std::printf(" Scaling up: the same check on a worker pool, with progress\n");
+  std::printf("=============================================================\n\n");
+
+  {
+    // Larger bound (crashes may also hit recovery) to give the pool real
+    // work; the parallel aggregate is deterministic, so its verdict and
+    // execution count match a serial run of the same configuration.
+    WalHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2)}, {PairSpec::MakeWrite(3, 4)}};
+    refine::ExplorerOptions opts;
+    opts.max_crashes = 2;
+    opts.num_workers = 4;
+    opts.dedup_histories = true;  // skip re-checking repeated histories
+    opts.progress_interval = 2'000;
+    opts.progress_callback = [](const refine::ExplorerProgress& p) {
+      std::printf("  ... %llu executions, %llu steps, %llu violations so far\n",
+                  static_cast<unsigned long long>(p.executions),
+                  static_cast<unsigned long long>(p.total_steps),
+                  static_cast<unsigned long long>(p.violations));
+    };
+    refine::ParallelExplorer<PairSpec> ex(PairSpec{}, [&] { return MakeWalInstance(options); },
+                                          opts);
+    Report("[wal] correct, 2 crashes allowed, 4 workers + fingerprint dedup", ex.Run());
+  }
+
   std::printf("takeaway: the same checker accepts the disciplined designs and\n");
-  std::printf("produces a concrete schedule + history for every broken one.\n");
+  std::printf("produces a concrete schedule + history for every broken one;\n");
+  std::printf("the parallel explorer reaches the same verdicts faster.\n");
   return 0;
 }

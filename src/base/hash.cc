@@ -1,0 +1,46 @@
+#include "src/base/hash.h"
+
+namespace perennial {
+
+namespace {
+
+// FNV-1a 128-bit parameters (offset basis 0x6c62272e07bb014262b821756295c58d,
+// prime 2^88 + 2^8 + 0x3b).
+constexpr unsigned __int128 FnvOffsetBasis() {
+  return (static_cast<unsigned __int128>(0x6c62272e07bb0142ULL) << 64) | 0x62b821756295c58dULL;
+}
+
+constexpr unsigned __int128 FnvPrime() {
+  return (static_cast<unsigned __int128>(1) << 88) | 0x13bULL;
+}
+
+}  // namespace
+
+Fnv128::Fnv128() : state_(FnvOffsetBasis()) {}
+
+void Fnv128::MixBytes(const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_ ^= p[i];
+    state_ *= FnvPrime();
+  }
+}
+
+void Fnv128::MixU64(uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  MixBytes(bytes, sizeof(bytes));
+}
+
+void Fnv128::MixString(std::string_view s) {
+  MixU64(s.size());
+  MixBytes(s.data(), s.size());
+}
+
+Hash128 Fnv128::digest() const {
+  return Hash128{static_cast<uint64_t>(state_ >> 64), static_cast<uint64_t>(state_)};
+}
+
+}  // namespace perennial

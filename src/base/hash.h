@@ -1,0 +1,49 @@
+// Incremental 128-bit FNV-1a hashing.
+//
+// Used by the refinement checker to fingerprint completed histories so that
+// executions with identical observable behavior are checked against the
+// spec only once per run (explorer.h). 128 bits keep the collision
+// probability negligible even for runs with millions of distinct histories;
+// a collision could at worst suppress one redundant spec check, so the
+// fingerprint width is chosen to make that event practically impossible.
+#ifndef PERENNIAL_SRC_BASE_HASH_H_
+#define PERENNIAL_SRC_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <tuple>
+
+namespace perennial {
+
+// A 128-bit digest, ordered so it can key std::map.
+struct Hash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+  friend bool operator<(const Hash128& a, const Hash128& b) {
+    return std::tie(a.hi, a.lo) < std::tie(b.hi, b.lo);
+  }
+};
+
+// Streaming FNV-1a over a 128-bit state. Mix* calls are order-sensitive;
+// strings are length-prefixed so adjacent fields cannot alias
+// ("ab","c" vs "a","bc").
+class Fnv128 {
+ public:
+  Fnv128();
+
+  void MixBytes(const void* data, std::size_t n);
+  void MixU64(uint64_t v);
+  void MixString(std::string_view s);
+
+  Hash128 digest() const;
+
+ private:
+  unsigned __int128 state_;
+};
+
+}  // namespace perennial
+
+#endif  // PERENNIAL_SRC_BASE_HASH_H_

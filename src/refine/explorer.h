@@ -18,9 +18,26 @@
 //   * deadlock          — live threads, none runnable
 //   * step-bound        — execution exceeded max_steps_per_run (possible
 //                         nontermination, e.g. the §9.5 Pickup loop bug)
+//
+// Parallelism: this header is the single-threaded reference engine. The
+// decision tree it walks is prefix-partitionable — every execution is fully
+// determined by its decision path, and factories are required to be
+// deterministic — so ParallelExplorer (parallel_explorer.h) enumerates
+// decision-path prefixes via EnumerateSubtreePrefixes() and hands each
+// disjoint subtree to a worker that re-runs this engine via
+// RunDfsSubtree(). Two further knobs support that use:
+//   * dedup_histories — fingerprint completed histories (src/base/hash.h)
+//     and skip the linearizability search for repeats. Sound because the
+//     spec check depends only on the history, every execution still runs in
+//     full (crash invariants, UB, deadlock, and step bounds are evaluated
+//     during execution), and a cached violating verdict is re-reported for
+//     every duplicate, so the violation set is unchanged.
+//   * progress_callback — periodic executions/steps/violations counts for
+//     long runs and benches.
 #ifndef PERENNIAL_SRC_REFINE_EXPLORER_H_
 #define PERENNIAL_SRC_REFINE_EXPLORER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -30,6 +47,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/base/hash.h"
 #include "src/base/panic.h"
 #include "src/base/rand.h"
 #include "src/cap/crash_invariant.h"
@@ -106,6 +124,13 @@ struct Instance {
   std::vector<EnvEvent> env_events;
 };
 
+// Cumulative counts handed to ExplorerOptions::progress_callback.
+struct ExplorerProgress {
+  uint64_t executions = 0;
+  uint64_t total_steps = 0;
+  uint64_t violations = 0;
+};
+
 struct ExplorerOptions {
   enum class Mode { kExhaustive, kRandom };
   Mode mode = Mode::kExhaustive;
@@ -125,6 +150,24 @@ struct ExplorerOptions {
   uint64_t seed = 1;
   double crash_probability = 0.05;  // per-step chance of injecting a crash
   double env_probability = 0.05;    // per-step chance of firing an env event
+
+  // Skip the linearizability search for completed histories whose 128-bit
+  // fingerprint was already checked this run (see the header comment for
+  // the soundness argument). Counted in Report::histories_deduped.
+  bool dedup_histories = false;
+
+  // Observability: invoked every progress_interval executions with
+  // cumulative counts. Under ParallelExplorer the callback fires on worker
+  // threads, one caller at a time (serialized by an internal mutex).
+  std::function<void(const ExplorerProgress&)> progress_callback;
+  uint64_t progress_interval = 1024;
+
+  // ParallelExplorer only (ignored by the serial Explorer):
+  int num_workers = 4;  // OS threads exploring disjoint subtrees
+  // Decision-path depth at which the coordinator splits the tree into work
+  // items. Deeper splits yield more, smaller items (better load balance,
+  // more probe overhead); #items grows roughly with branching^depth.
+  int split_depth = 4;
 };
 
 struct Violation {
@@ -140,6 +183,9 @@ struct Report {
   uint64_t total_steps = 0;
   uint64_t crashes_injected = 0;
   uint64_t histories_checked = 0;
+  // Of histories_checked, how many were fingerprint-duplicates whose spec
+  // check was skipped (dedup_histories).
+  uint64_t histories_deduped = 0;
   uint64_t spec_states_explored = 0;
   bool truncated = false;  // hit max_executions before DFS finished
   std::vector<Violation> violations;
@@ -151,6 +197,7 @@ struct Report {
                       " steps=" + std::to_string(total_steps) +
                       " crashes=" + std::to_string(crashes_injected) +
                       " histories=" + std::to_string(histories_checked) +
+                      " deduped=" + std::to_string(histories_deduped) +
                       " spec_states=" + std::to_string(spec_states_explored) +
                       (truncated ? " (TRUNCATED)" : "") +
                       " violations=" + std::to_string(violations.size());
@@ -228,7 +275,9 @@ class RandomDriver : public Driver {
       }
     }
     if (!crashes.empty() && rng_.Chance(crash_p_)) {
-      return crashes[0];
+      // Uniform among crash alternatives (a single draw when there is only
+      // one, so the stream stays comparable with older seeds).
+      return crashes.size() == 1 ? crashes[0] : crashes[rng_.Below(crashes.size())];
     }
     if (!envs.empty() && rng_.Chance(env_p_)) {
       return envs[rng_.Below(envs.size())];
@@ -247,6 +296,33 @@ class RandomDriver : public Driver {
 
 }  // namespace detail
 
+// 128-bit fingerprint of a history's observable events. Two histories with
+// equal fingerprints receive the same verdict from the linearizability
+// checker (the check is a pure function of the events), which is what makes
+// fingerprint pruning sound. Requires Spec::OpName and Spec::RetKey to be
+// injective renderings (true of every spec in this repo).
+template <typename Spec>
+Hash128 FingerprintHistory(const History<Spec>& history) {
+  Fnv128 f;
+  for (const auto& e : history.events) {
+    f.MixU64(static_cast<uint64_t>(e.kind));
+    f.MixU64(e.op_id);
+    switch (e.kind) {
+      case History<Spec>::Kind::kInvoke:
+        f.MixU64(static_cast<uint64_t>(e.client));
+        f.MixString(Spec::OpName(e.op));
+        break;
+      case History<Spec>::Kind::kReturn:
+        f.MixString(Spec::RetKey(e.ret));
+        break;
+      case History<Spec>::Kind::kCrash:
+      case History<Spec>::Kind::kHelped:
+        break;
+    }
+  }
+  return f.digest();
+}
+
 template <typename Spec>
 class Explorer {
  public:
@@ -264,31 +340,94 @@ class Explorer {
                                   options_.env_probability);
       for (uint64_t i = 0; i < options_.random_runs; ++i) {
         RunOnce(driver, &report);
+        NotifyProgress(report);
         if (report.violations.size() >= static_cast<size_t>(options_.max_violations)) {
           break;
         }
       }
       return report;
     }
-    // Exhaustive DFS over decision sequences, replaying from scratch.
-    std::vector<size_t> path;
+    RunDfsSubtree({}, &report);
+    return report;
+  }
+
+  // Exhaustive DFS over decision sequences, replaying from scratch,
+  // restricted to paths that extend `prefix` (empty prefix = whole tree).
+  // The per-worker engine of ParallelExplorer: prefixes come from
+  // EnumerateSubtreePrefixes, so distinct prefixes explore disjoint
+  // subtrees. `keep_going`, if set, is polled after every execution;
+  // returning false abandons the subtree and marks the report truncated.
+  void RunDfsSubtree(std::vector<size_t> prefix, Report* report,
+                     const std::function<bool(const Report&)>& keep_going = nullptr) {
+    const size_t floor = prefix.size();
+    std::vector<size_t> path = std::move(prefix);
     while (true) {
       detail::DfsDriver driver(&path);
-      RunOnce(driver, &report);
-      if (report.violations.size() >= static_cast<size_t>(options_.max_violations)) {
+      RunOnce(driver, report);
+      NotifyProgress(*report);
+      if (report->violations.size() >= static_cast<size_t>(options_.max_violations)) {
         break;
       }
-      if (report.executions >= options_.max_executions) {
-        report.truncated = true;
+      if (report->executions >= options_.max_executions) {
+        report->truncated = true;
+        break;
+      }
+      if (keep_going != nullptr && !keep_going(*report)) {
+        report->truncated = true;
         break;
       }
       // Odometer: advance the deepest decision that still has untried
       // alternatives; drop everything below it. A run that aborted early
       // (violation) consumed fewer decisions than the stale path holds, so
-      // first trim the path to what was actually replayed.
+      // first trim the path to what was actually replayed. Positions inside
+      // the assigned prefix are never advanced — they belong to other
+      // subtrees.
       const std::vector<size_t>& counts = driver.counts();
       PCC_ENSURE(path.size() >= counts.size(), "DFS: path shorter than counts");
       path.resize(counts.size());
+      bool advanced = false;
+      while (path.size() > floor) {
+        if (path.back() + 1 < counts[path.size() - 1]) {
+          ++path.back();
+          advanced = true;
+          break;
+        }
+        path.pop_back();
+      }
+      if (!advanced) {
+        break;  // full bounded subtree explored
+      }
+    }
+  }
+
+  // Coordinator side of the parallel split: enumerates every reachable
+  // decision-path prefix of length min(split_depth, run length) in DFS
+  // order. The returned prefixes partition the execution space — each
+  // decision path extends exactly one of them — so per-prefix
+  // RunDfsSubtree reports can be merged into the serial result. Each probe
+  // run is structure discovery only (its stats are discarded; the worker
+  // that owns the subtree re-runs it for real). Sets *truncated if
+  // max_executions probes did not suffice to finish the enumeration.
+  std::vector<std::vector<size_t>> EnumerateSubtreePrefixes(int split_depth, bool* truncated) {
+    PCC_ENSURE(split_depth >= 0, "split_depth must be non-negative");
+    std::vector<std::vector<size_t>> prefixes;
+    Report scratch;
+    std::vector<size_t> path;
+    while (true) {
+      detail::DfsDriver driver(&path);
+      RunOnce(driver, &scratch);
+      const std::vector<size_t>& counts = driver.counts();
+      PCC_ENSURE(path.size() >= counts.size(), "DFS: path shorter than counts");
+      path.resize(counts.size());
+      const size_t plen = std::min(static_cast<size_t>(split_depth), path.size());
+      prefixes.emplace_back(path.begin(), path.begin() + plen);
+      if (scratch.executions >= options_.max_executions) {
+        *truncated = true;
+        break;
+      }
+      // Advance the odometer over the first split_depth levels only: one
+      // work item per distinct reachable prefix.
+      path.resize(plen);
       bool advanced = false;
       while (!path.empty()) {
         if (path.back() + 1 < counts[path.size() - 1]) {
@@ -299,13 +438,20 @@ class Explorer {
         path.pop_back();
       }
       if (!advanced) {
-        break;  // full bounded space explored
+        break;
       }
     }
-    return report;
+    return prefixes;
   }
 
  private:
+  void NotifyProgress(const Report& report) {
+    if (options_.progress_callback != nullptr && options_.progress_interval > 0 &&
+        report.executions % options_.progress_interval == 0) {
+      options_.progress_callback(ExplorerProgress{report.executions, report.total_steps,
+                                                  static_cast<uint64_t>(report.violations.size())});
+    }
+  }
   proc::Task<void> ClientThread(int client, const std::vector<Op>* ops, Instance<Spec>* inst,
                                 History<Spec>* history) {
     for (const Op& op : *ops) {
@@ -527,12 +673,32 @@ class Explorer {
 
     report->total_steps += steps;
     ++report->histories_checked;
+    if (options_.dedup_histories) {
+      // Fingerprint pruning: identical histories get identical verdicts, so
+      // replay the cached verdict instead of re-running the search. Only
+      // the spec check is skipped — the execution itself (crash invariants,
+      // UB, deadlock, step bound) already ran in full above.
+      Hash128 fp = FingerprintHistory(history);
+      auto it = checked_histories_.find(fp);
+      if (it != checked_histories_.end()) {
+        ++report->histories_deduped;
+        if (it->second.has_value()) {
+          add_violation("non-linearizable", *it->second);
+        }
+        return;
+      }
+      LinearizabilityChecker<Spec> checker(&spec_);
+      std::optional<std::string> why = checker.Check(history);
+      checked_histories_.emplace(fp, why);
+      if (why.has_value()) {
+        add_violation("non-linearizable", *why);
+      }
+      report->spec_states_explored += checker.states_explored();
+      return;
+    }
     LinearizabilityChecker<Spec> checker(&spec_);
     if (auto why = checker.Check(history)) {
-      Violation v{"non-linearizable", *why, trace.empty() ? "(empty)" : trace};
-      if (report->violations.size() < static_cast<size_t>(options_.max_violations)) {
-        report->violations.push_back(std::move(v));
-      }
+      add_violation("non-linearizable", *why);
     }
     report->spec_states_explored += checker.states_explored();
   }
@@ -540,6 +706,8 @@ class Explorer {
   Spec spec_;
   Factory factory_;
   ExplorerOptions options_;
+  // Fingerprint -> cached linearizability verdict (dedup_histories).
+  std::map<Hash128, std::optional<std::string>> checked_histories_;
 };
 
 }  // namespace perennial::refine

@@ -1,0 +1,217 @@
+// Multi-threaded refinement checking: the serial explorer's decision-tree
+// DFS, fanned out across a pool of OS worker threads.
+//
+// Where Explorer (explorer.h) walks every decision path one at a time, the
+// ParallelExplorer splits the tree by decision-path *prefix*:
+//
+//   1. A coordinator replays the first `split_depth` decision levels
+//      (Explorer::EnumerateSubtreePrefixes) and emits one work item per
+//      reachable prefix, in DFS order. Prefixes are mutually disjoint and
+//      jointly exhaustive, so the work items partition the execution space.
+//   2. Each worker owns a private Explorer — and therefore its own
+//      Instance, Scheduler, World, and fingerprint cache — and runs the
+//      ordinary bounded DFS restricted to its item's subtree
+//      (Explorer::RunDfsSubtree). This is safe precisely because Instance
+//      factories are required to be deterministic: replaying a prefix
+//      reconstructs the same execution on any thread.
+//   3. Per-item Reports are merged in item (= DFS) order, so the aggregate
+//      is deterministic regardless of thread timing: executions, steps,
+//      crash counts, and the violation *sequence* are bit-identical to the
+//      serial Explorer whenever the serial run does not stop early
+//      (max_violations larger than the total violation count, no
+//      max_executions truncation). With early stopping, the first
+//      max_violations violations still match the serial ones — each
+//      subtree contributes at most its first max_violations violations,
+//      and the merged list is truncated to the global first
+//      max_violations — but the execution count is larger because workers
+//      cannot know about violations in other subtrees.
+//
+// Shared state across workers is limited to atomics (work-item cursor,
+// global execution budget, progress counters) and a mutex that serializes
+// ExplorerOptions::progress_callback invocations.
+//
+// Random mode is partitioned by run count: worker w performs its share of
+// random_runs with an independent stream forked from `seed` and w, merged
+// in worker order — deterministic for a fixed (seed, num_workers), though
+// not trace-for-trace identical to the serial random walk.
+#ifndef PERENNIAL_SRC_REFINE_PARALLEL_EXPLORER_H_
+#define PERENNIAL_SRC_REFINE_PARALLEL_EXPLORER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/base/rand.h"
+#include "src/refine/explorer.h"
+
+namespace perennial::refine {
+
+template <typename Spec>
+class ParallelExplorer {
+ public:
+  using Factory = typename Explorer<Spec>::Factory;
+
+  // `factory` is invoked concurrently from worker threads; it must be
+  // thread-safe in addition to deterministic (the harness factories in
+  // src/systems/ qualify: they only read their options struct and build
+  // fresh objects).
+  ParallelExplorer(Spec spec, Factory factory, ExplorerOptions options)
+      : spec_(std::move(spec)), factory_(std::move(factory)), options_(options) {}
+
+  Report Run() {
+    if (options_.mode == ExplorerOptions::Mode::kRandom) {
+      return RunRandom();
+    }
+    return RunExhaustive();
+  }
+
+ private:
+  // Worker-side options: progress is reported centrally, from global
+  // counters, not per worker.
+  ExplorerOptions WorkerOptions() const {
+    ExplorerOptions opts = options_;
+    opts.progress_callback = nullptr;
+    return opts;
+  }
+
+  int WorkerCount(size_t items) const {
+    int workers = options_.num_workers > 0 ? options_.num_workers : 1;
+    if (static_cast<size_t>(workers) > items) {
+      workers = static_cast<int>(items);
+    }
+    return workers > 0 ? workers : 1;
+  }
+
+  Report RunExhaustive() {
+    Report aggregate;
+    bool enumeration_truncated = false;
+    std::vector<std::vector<size_t>> items;
+    {
+      Explorer<Spec> probe(spec_, factory_, WorkerOptions());
+      // Clamp like num_workers: a non-positive depth degenerates to one
+      // subtree (the whole tree) rather than tripping the probe's
+      // precondition.
+      items = probe.EnumerateSubtreePrefixes(options_.split_depth > 0 ? options_.split_depth : 0,
+                                             &enumeration_truncated);
+    }
+    std::vector<Report> item_reports(items.size());
+
+    std::atomic<size_t> next_item{0};
+    std::atomic<uint64_t> global_executions{0};
+    std::atomic<uint64_t> global_steps{0};
+    std::atomic<uint64_t> global_violations{0};
+    std::atomic<bool> budget_exhausted{false};
+    std::mutex progress_mu;
+
+    auto worker_main = [&] {
+      Explorer<Spec> engine(spec_, factory_, WorkerOptions());
+      while (true) {
+        size_t i = next_item.fetch_add(1, std::memory_order_relaxed);
+        if (i >= items.size() || budget_exhausted.load(std::memory_order_relaxed)) {
+          break;
+        }
+        Report* report = &item_reports[i];
+        uint64_t seen_steps = 0;
+        uint64_t seen_violations = 0;
+        auto keep_going = [&](const Report& r) {
+          uint64_t executions = global_executions.fetch_add(1, std::memory_order_relaxed) + 1;
+          global_steps.fetch_add(r.total_steps - seen_steps, std::memory_order_relaxed);
+          seen_steps = r.total_steps;
+          global_violations.fetch_add(r.violations.size() - seen_violations,
+                                      std::memory_order_relaxed);
+          seen_violations = r.violations.size();
+          if (options_.progress_callback != nullptr && options_.progress_interval > 0 &&
+              executions % options_.progress_interval == 0) {
+            std::scoped_lock lock(progress_mu);
+            options_.progress_callback(
+                ExplorerProgress{executions, global_steps.load(std::memory_order_relaxed),
+                                 global_violations.load(std::memory_order_relaxed)});
+          }
+          if (executions >= options_.max_executions) {
+            budget_exhausted.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          return true;
+        };
+        engine.RunDfsSubtree(items[i], report, keep_going);
+      }
+    };
+
+    const int workers = WorkerCount(items.size());
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back(worker_main);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+
+    aggregate.truncated = enumeration_truncated;
+    for (const Report& r : item_reports) {
+      MergeInto(&aggregate, r);
+    }
+    TrimViolations(&aggregate);
+    return aggregate;
+  }
+
+  Report RunRandom() {
+    const uint64_t runs = options_.random_runs;
+    const int workers =
+        WorkerCount(static_cast<size_t>(runs < 1'000'000 ? runs : 1'000'000));
+    std::vector<Report> worker_reports(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+      // Even split; the first (runs % workers) workers take one extra.
+      uint64_t share = runs / workers + (static_cast<uint64_t>(w) < runs % workers ? 1 : 0);
+      pool.emplace_back([this, w, share, report = &worker_reports[w]] {
+        ExplorerOptions opts = WorkerOptions();
+        opts.random_runs = share;
+        // Independent stream per worker, derived from the user seed.
+        uint64_t state = options_.seed + static_cast<uint64_t>(w);
+        opts.seed = SplitMix64(state);
+        Explorer<Spec> engine(spec_, factory_, opts);
+        *report = engine.Run();
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    Report aggregate;
+    for (const Report& r : worker_reports) {
+      MergeInto(&aggregate, r);
+    }
+    TrimViolations(&aggregate);
+    return aggregate;
+  }
+
+  static void MergeInto(Report* aggregate, const Report& r) {
+    aggregate->executions += r.executions;
+    aggregate->total_steps += r.total_steps;
+    aggregate->crashes_injected += r.crashes_injected;
+    aggregate->histories_checked += r.histories_checked;
+    aggregate->histories_deduped += r.histories_deduped;
+    aggregate->spec_states_explored += r.spec_states_explored;
+    aggregate->truncated = aggregate->truncated || r.truncated;
+    aggregate->violations.insert(aggregate->violations.end(), r.violations.begin(),
+                                 r.violations.end());
+  }
+
+  void TrimViolations(Report* aggregate) const {
+    if (aggregate->violations.size() > static_cast<size_t>(options_.max_violations)) {
+      aggregate->violations.resize(static_cast<size_t>(options_.max_violations));
+    }
+  }
+
+  Spec spec_;
+  Factory factory_;
+  ExplorerOptions options_;
+};
+
+}  // namespace perennial::refine
+
+#endif  // PERENNIAL_SRC_REFINE_PARALLEL_EXPLORER_H_

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/hash.h"
 #include "src/base/loc.h"
 #include "src/base/rand.h"
 #include "src/base/status.h"
@@ -200,6 +201,40 @@ TEST(Loc, EmptySource) {
 TEST(Loc, CodeAfterBlockCommentOnSameLineCounts) {
   LocCount c = CountSource("/* c */ int x;\n");
   EXPECT_EQ(c.code, 1u);
+}
+
+TEST(Hash, DeterministicAndOrderSensitive) {
+  Fnv128 a;
+  a.MixU64(1);
+  a.MixU64(2);
+  Fnv128 b;
+  b.MixU64(1);
+  b.MixU64(2);
+  EXPECT_EQ(a.digest(), b.digest());
+
+  Fnv128 swapped;
+  swapped.MixU64(2);
+  swapped.MixU64(1);
+  EXPECT_NE(a.digest(), swapped.digest());
+  EXPECT_NE(a.digest(), Hash128{});  // non-trivial state
+}
+
+TEST(Hash, LengthPrefixPreventsStringAliasing) {
+  Fnv128 a;
+  a.MixString("ab");
+  a.MixString("c");
+  Fnv128 b;
+  b.MixString("a");
+  b.MixString("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, Hash128Ordering) {
+  Hash128 small{1, 5};
+  Hash128 large{2, 0};
+  EXPECT_LT(small, large);
+  EXPECT_LT((Hash128{1, 4}), small);  // lo breaks hi ties
+  EXPECT_FALSE(small < small);
 }
 
 TEST(Table, RendersAlignedColumns) {

@@ -645,6 +645,121 @@ TEST(Explorer, RandomModeAlsoWorks) {
   EXPECT_EQ(report.executions, 200u);
 }
 
+TEST(Explorer, OdometerSurvivesEarlyAbortedRuns) {
+  // Regression guard for the DFS odometer's trim path: a run that aborts
+  // early (here: deadlock) consumes fewer decisions than the stale path
+  // recorded by the previous, longer run, so Run() must first trim the
+  // path to the replayed decision count (`path.resize(counts.size())`)
+  // before advancing — and still enumerate the full remaining space.
+  struct TwoLocks {
+    goose::World world;
+    goose::Mutex a{&world};
+    goose::Mutex b{&world};
+    proc::Task<void> LockBoth(goose::Mutex* first, goose::Mutex* second) {
+      co_await first->Lock();
+      co_await second->Lock();
+      co_await second->Unlock();
+      co_await first->Unlock();
+    }
+  };
+  auto factory = [] {
+    auto sys = std::make_shared<TwoLocks>();
+    Instance<RegSpec> inst;
+    inst.keep_alive = sys;
+    inst.world = &sys->world;
+    // Opposite acquisition orders: some interleavings deadlock, others
+    // complete — the DFS sequence mixes early-aborted and full-length runs.
+    inst.client_programs = {
+        [sys](OpRunner<RegSpec>*) { return sys->LockBoth(&sys->a, &sys->b); },
+        [sys](OpRunner<RegSpec>*) { return sys->LockBoth(&sys->b, &sys->a); },
+    };
+    return inst;
+  };
+  ExplorerOptions opts;
+  opts.max_crashes = 0;
+  opts.max_violations = 1 << 20;  // never stop early: enumerate everything
+  Explorer<RegSpec> ex(RegSpec{}, factory, opts);
+  Report report = ex.Run();
+  ASSERT_FALSE(report.truncated);
+  size_t deadlocks = 0;
+  for (const Violation& v : report.violations) {
+    EXPECT_EQ(v.kind, "deadlock");
+    ++deadlocks;
+  }
+  // Both behaviors must be present, and together they must account for
+  // every enumerated execution: aborted runs may not swallow the rest of
+  // the space, completing runs may not be revisited.
+  EXPECT_GT(deadlocks, 0u);
+  EXPECT_GT(report.histories_checked, 0u);
+  EXPECT_EQ(report.executions, report.histories_checked + deadlocks);
+  // The enumeration is deterministic: a second full run sees the identical
+  // space (including the same violation traces, via Summary()).
+  Explorer<RegSpec> again(RegSpec{}, factory, opts);
+  EXPECT_EQ(again.Run().Summary(), report.Summary());
+}
+
+TEST(Explorer, RandomModeSameSeedSameTrace) {
+  // Seed determinism of the random driver (and its uniform crash
+  // sampling): identical options must replay the identical run sequence,
+  // violation for violation, trace for trace.
+  auto factory = [] { return MakeDiskRegisterInstance(true); };  // buggy: wipes on recovery
+  ExplorerOptions opts;
+  opts.mode = ExplorerOptions::Mode::kRandom;
+  opts.random_runs = 300;
+  opts.seed = 123;
+  opts.max_crashes = 1;
+  opts.max_violations = 1 << 20;
+  Explorer<RegSpec> first(RegSpec{}, factory, opts);
+  Report a = first.Run();
+  Explorer<RegSpec> second(RegSpec{}, factory, opts);
+  Report b = second.Run();
+  ASSERT_FALSE(a.ok());  // the wiping recovery is reachable by random crashes
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].trace, b.violations[i].trace);
+  }
+  EXPECT_EQ(a.Summary(), b.Summary());
+}
+
+TEST(Explorer, ProgressCallbackFiresEveryInterval) {
+  std::vector<ExplorerProgress> seen;
+  ExplorerOptions opts;
+  opts.max_crashes = 0;
+  opts.progress_interval = 8;
+  opts.progress_callback = [&](const ExplorerProgress& p) { seen.push_back(p); };
+  Explorer<RegSpec> ex(RegSpec{}, MakeLockedRegisterInstance, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  ASSERT_EQ(seen.size(), report.executions / 8);
+  ASSERT_FALSE(seen.empty());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].executions, 8 * (i + 1));
+    EXPECT_EQ(seen[i].violations, 0u);
+  }
+  EXPECT_LE(seen.back().total_steps, report.total_steps);
+}
+
+TEST(Explorer, DedupHistoriesKeepsVerdictAndCountsChecks) {
+  // Dedup must not change the verdict, only skip redundant spec searches.
+  ExplorerOptions opts;
+  opts.max_crashes = 0;
+  opts.dedup_histories = true;
+  Explorer<RegSpec> ex(RegSpec{}, MakeLockedRegisterInstance, opts);
+  Report report = ex.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  // Three fixed ops produce few distinct histories over many schedules.
+  EXPECT_GT(report.histories_deduped, 0u);
+  EXPECT_LE(report.histories_deduped, report.histories_checked);
+
+  ExplorerOptions off = opts;
+  off.dedup_histories = false;
+  Explorer<RegSpec> baseline(RegSpec{}, MakeLockedRegisterInstance, off);
+  Report base = baseline.Run();
+  EXPECT_EQ(report.executions, base.executions);
+  EXPECT_EQ(report.histories_checked, base.histories_checked);
+  EXPECT_LT(report.spec_states_explored, base.spec_states_explored);
+}
+
 TEST(Explorer, EnvEventFiresWithinBudget) {
   auto factory = [] {
     auto sys = std::make_shared<DiskRegister>();
