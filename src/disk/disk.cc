@@ -37,7 +37,10 @@ proc::Task<Result<Block>> Disk::Read(uint64_t a) {
 proc::Task<Status> Disk::Write(uint64_t a, Block value) {
   co_await proc::Yield();
   if (failed_) {
-    co_return Status::Ok();  // fail-stop: write is absorbed by a dead disk
+    // Fail-stop: the write is absorbed (the disk's contents are gone
+    // anyway), but the caller is told — silently returning Ok here made it
+    // impossible to distinguish an ignored write from a durable one.
+    co_return Status::Failed("disk failed");
   }
   if (a >= blocks_.size()) {
     co_return Status::Invalid("write out of range");

@@ -39,8 +39,9 @@ class Disk : public goose::CrashAware {
   // Reads block `a`. kFailed if the disk has failed; kInvalid out of range.
   proc::Task<Result<Block>> Read(uint64_t a);
 
-  // Writes block `a`. A failed disk silently ignores writes (its contents
-  // are gone anyway); out-of-range is kInvalid.
+  // Writes block `a`. A failed disk ignores the write and reports kFailed
+  // so callers can tell an absorbed write from a durable one; out-of-range
+  // is kInvalid.
   proc::Task<Status> Write(uint64_t a, Block value);
 
   // Fail-stop injection (harness / explorer): from now on reads fail.

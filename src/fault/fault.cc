@@ -1,0 +1,67 @@
+#include "src/fault/fault.h"
+
+#include "src/base/panic.h"
+
+namespace perennial::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransientRead:
+      return "transient-read";
+    case FaultKind::kTransientWrite:
+      return "transient-write";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultKind::kFailSlow:
+      return "fail-slow";
+    case FaultKind::kUnsyncedTail:
+      return "unsynced-tail";
+  }
+  return "unknown-fault";
+}
+
+void FaultSchedule::Arm(FaultKind kind, int target) {
+  armed_.push_back(ArmedFault{kind, target});
+}
+
+bool FaultSchedule::Consume(FaultKind kind, int disk_id) {
+  for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+    if (it->kind != kind) {
+      continue;
+    }
+    if (it->target != kAnyDisk && it->target != disk_id) {
+      continue;
+    }
+    armed_.erase(it);
+    ++injected_[static_cast<size_t>(kind)];
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultSchedule::TornPrefixBytes(uint64_t block_size) const {
+  if (plan_.torn_prefix_bytes == 0) {
+    return block_size / 2;
+  }
+  return plan_.torn_prefix_bytes < block_size ? plan_.torn_prefix_bytes : block_size;
+}
+
+uint64_t FaultSchedule::armed(FaultKind kind) const {
+  uint64_t n = 0;
+  for (const ArmedFault& f : armed_) {
+    if (f.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t FaultSchedule::total_injected() const {
+  uint64_t n = 0;
+  for (uint64_t k : injected_) {
+    n += k;
+  }
+  return n;
+}
+
+}  // namespace perennial::fault

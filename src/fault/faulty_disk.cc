@@ -1,0 +1,81 @@
+#include "src/fault/faulty_disk.h"
+
+#include <string>
+#include <utility>
+
+namespace perennial::fault {
+
+proc::Task<Result<disk::Block>> FaultyDisk::Read(uint64_t a) {
+  if (faults_ != nullptr && !failed() && a < size()) {
+    if (faults_->Consume(FaultKind::kFailSlow, disk_id_)) {
+      for (int i = 0; i < faults_->plan().fail_slow_delay; ++i) {
+        co_await proc::Yield();
+      }
+    }
+    if (faults_->Consume(FaultKind::kTransientRead, disk_id_)) {
+      co_await proc::Yield();
+      co_return Status::Unavailable("transient read fault at block " + std::to_string(a));
+    }
+  }
+  co_return co_await disk::Disk::Read(a);
+}
+
+proc::Task<Status> FaultyDisk::Write(uint64_t a, disk::Block value) {
+  if (faults_ != nullptr && !failed() && a < size()) {
+    if (faults_->Consume(FaultKind::kFailSlow, disk_id_)) {
+      for (int i = 0; i < faults_->plan().fail_slow_delay; ++i) {
+        co_await proc::Yield();
+      }
+    }
+    if (faults_->Consume(FaultKind::kTransientWrite, disk_id_)) {
+      co_await proc::Yield();
+      co_return Status::Unavailable("transient write fault at block " + std::to_string(a));
+    }
+    if (faults_->TornApplies(a) && faults_->Consume(FaultKind::kTornWrite, disk_id_)) {
+      // Capture the current durable image before the write lands: a prior
+      // pending tear of the same block is the durable truth, not memory.
+      disk::Block durable = torn_.count(a) != 0 ? torn_[a] : PeekBlock(a);
+      disk::Block torn_image = std::move(durable);
+      torn_image.resize(value.size(), 0);
+      const uint64_t prefix = faults_->TornPrefixBytes(value.size());
+      for (uint64_t i = 0; i < prefix && i < value.size(); ++i) {
+        torn_image[i] = value[i];
+      }
+      Status s = co_await disk::Disk::Write(a, std::move(value));
+      if (s.ok()) {
+        torn_[a] = std::move(torn_image);
+      }
+      co_return s;
+    }
+  }
+  Status s = co_await disk::Disk::Write(a, std::move(value));
+  if (s.ok()) {
+    // A fresh, un-torn overwrite supersedes any pending tear: the whole
+    // block is atomically durable again.
+    torn_.erase(a);
+  }
+  co_return s;
+}
+
+proc::Task<void> FaultyDisk::Barrier() {
+  co_await proc::Yield();
+  torn_.clear();
+}
+
+void FaultyDisk::OnCrash() {
+  for (auto& [a, image] : torn_) {
+    PokeBlock(a, std::move(image));
+  }
+  torn_.clear();
+  disk::Disk::OnCrash();
+}
+
+disk::Block FaultyDisk::PeekDurable(uint64_t a) const {
+  auto it = torn_.find(a);
+  if (it != torn_.end()) {
+    return it->second;
+  }
+  return PeekBlock(a);
+}
+
+}  // namespace perennial::fault

@@ -1,0 +1,69 @@
+// FaultyDisk: the block-device decorator that realizes FaultSchedule's
+// fault classes on top of the paper's disk model (src/disk/disk.h).
+//
+// Semantics relative to a plain Disk:
+//   * transient read/write — the operation returns kUnavailable and has no
+//     effect; a retry (or any later attempt) succeeds. Distinct from
+//     fail-stop Fail(), which returns kFailed forever.
+//   * torn write — the write lands in memory (later reads observe the full
+//     new value, exactly like a page-cache hit), but until the next
+//     Barrier() — or a fresh overwrite of the same block — a crash persists
+//     only the first TornPrefixBytes of it, with the rest of the block
+//     keeping its previous durable image. This is the multi-sector-write
+//     model SquirrelFS-style checkers use: sectors persist in order, and
+//     power loss can strike between them.
+//   * fail-slow — the operation completes correctly after extra scheduler
+//     yields, widening the window other threads can race into.
+//
+// Barrier() models a write barrier / cache flush: every pending torn image
+// becomes fully durable. A plain Disk needs no barrier because its writes
+// are atomically durable; code written against FaultyDisk that orders its
+// durability with Barrier() is exactly the code that survives torn writes.
+//
+// A FaultyDisk with a null schedule behaves bit-for-bit like Disk (and
+// costs one branch per operation), so systems can hold a FaultyDisk member
+// unconditionally and stay on the fault-free fast path by default.
+#ifndef PERENNIAL_SRC_FAULT_FAULTY_DISK_H_
+#define PERENNIAL_SRC_FAULT_FAULTY_DISK_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/disk/disk.h"
+#include "src/fault/fault.h"
+
+namespace perennial::fault {
+
+class FaultyDisk : public disk::Disk {
+ public:
+  // `disk_id` identifies this device for FaultPlan::target matching (the
+  // replicated disk uses 1 and 2 to mirror d1/d2).
+  FaultyDisk(goose::World* world, uint64_t num_blocks, disk::Block initial,
+             FaultSchedule* faults = nullptr, int disk_id = 0)
+      : disk::Disk(world, num_blocks, std::move(initial)), faults_(faults), disk_id_(disk_id) {}
+
+  proc::Task<Result<disk::Block>> Read(uint64_t a);
+  proc::Task<Status> Write(uint64_t a, disk::Block value);
+
+  // Write barrier: all torn-pending writes become fully durable.
+  proc::Task<void> Barrier();
+
+  // Crash: torn-pending blocks revert to their torn durable image; armed
+  // faults and fail-stop state are untouched (Disk::OnCrash is a no-op).
+  void OnCrash() override;
+
+  // Harness-only: the image a crash right now would leave at `a`.
+  disk::Block PeekDurable(uint64_t a) const;
+  bool HasTornPending() const { return !torn_.empty(); }
+
+ private:
+  FaultSchedule* faults_;
+  int disk_id_;
+  // Block -> durable image while a torn write is pending (cleared by
+  // Barrier, overwrite, or crash).
+  std::map<uint64_t, disk::Block> torn_;
+};
+
+}  // namespace perennial::fault
+
+#endif  // PERENNIAL_SRC_FAULT_FAULTY_DISK_H_

@@ -1,0 +1,70 @@
+// Retry with bounded backoff, deterministic under the cooperative
+// scheduler.
+//
+// Transient faults (StatusCode::kUnavailable) are the retryable class;
+// fail-stop (kFailed) and programming errors (kInvalid) are not — retrying
+// a dead disk forever would turn an environment event into nontermination.
+// Backoff is realized as scheduler yields: each yield is one atomic step
+// the explorer can interleave against, so "waiting longer" is modeled as
+// giving other threads (and the environment) more chances to run, and the
+// whole policy replays identically from a decision path. No wall-clock
+// time is involved anywhere.
+#ifndef PERENNIAL_SRC_FAULT_RETRY_H_
+#define PERENNIAL_SRC_FAULT_RETRY_H_
+
+#include <type_traits>
+#include <utility>
+
+#include "src/base/status.h"
+#include "src/proc/scheduler.h"
+#include "src/proc/task.h"
+
+namespace perennial::fault {
+
+struct RetryPolicy {
+  // 0 = retry until the operation stops returning kUnavailable. Safe in the
+  // modeled environment because transient-fault budgets are finite; bound it
+  // when modeling a caller that must give up.
+  int max_attempts = 0;
+  // Yields inserted before the second attempt; doubles per retry.
+  int backoff_start = 1;
+  // Backoff ceiling ("bounded backoff"): yields per wait never exceed this.
+  int backoff_cap = 4;
+};
+
+inline bool IsRetryable(const Status& s) { return s.code() == StatusCode::kUnavailable; }
+template <typename T>
+bool IsRetryable(const Result<T>& r) {
+  return r.status().code() == StatusCode::kUnavailable;
+}
+
+// Runs `op()` (a callable returning proc::Task<Status> or
+// proc::Task<Result<T>>) until it returns anything other than kUnavailable
+// or the attempt budget runs out; returns the last outcome either way.
+//
+// The callable is held by reference, not copied into the coroutine frame,
+// so it must outlive the returned task. Awaiting the call directly —
+// `co_await RetryWithBackoff(policy, [&]{ ... })` — satisfies this: the
+// lambda temporary outlives the task temporary within the full expression.
+template <typename F>
+std::invoke_result_t<F&> RetryWithBackoff(RetryPolicy policy, F&& op) {
+  int backoff = policy.backoff_start > 0 ? policy.backoff_start : 1;
+  int attempt = 1;
+  while (true) {
+    auto outcome = co_await op();
+    if (!IsRetryable(outcome) || (policy.max_attempts > 0 && attempt >= policy.max_attempts)) {
+      co_return outcome;
+    }
+    for (int i = 0; i < backoff; ++i) {
+      co_await proc::Yield();
+    }
+    if (backoff < policy.backoff_cap) {
+      backoff = backoff * 2 < policy.backoff_cap ? backoff * 2 : policy.backoff_cap;
+    }
+    ++attempt;
+  }
+}
+
+}  // namespace perennial::fault
+
+#endif  // PERENNIAL_SRC_FAULT_RETRY_H_

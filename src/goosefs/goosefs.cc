@@ -160,10 +160,19 @@ proc::Task<Status> GooseFs::Delete(const std::string& dir, const std::string& na
 
 void GooseFs::OnCrash() {
   // Deferred durability: unsynced data dies with the page cache — each
-  // file truncates to its last-synced prefix.
+  // file truncates to its last-synced prefix. An armed kUnsyncedTail fault
+  // instead leaves roughly half of one file's unsynced tail behind: the
+  // kernel wrote back more than Sync() promised, which POSIX permits.
   for (auto& [ino, inode] : inodes_) {
     if (inode.data.size() > inode.synced_len) {
-      inode.data.resize(inode.synced_len);
+      uint64_t keep = inode.synced_len;
+      if (options_.faults != nullptr &&
+          options_.faults->Consume(fault::FaultKind::kUnsyncedTail, static_cast<int>(ino))) {
+        uint64_t tail = inode.data.size() - inode.synced_len;
+        keep += (tail + 1) / 2;
+      }
+      inode.data.resize(keep);
+      inode.synced_len = keep;  // what survived the crash is durable now
     }
   }
   // File descriptors are volatile (§6.2): all lost. Their inode references

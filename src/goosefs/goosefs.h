@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/goose/world.h"
 #include "src/goosefs/filesys.h"
 #include "src/proc/scheduler.h"
@@ -35,6 +36,11 @@ class GooseFs : public Filesys, public goose::CrashAware {
     // file to its last-synced length. Metadata (create/link/delete) stays
     // synchronous, like a journaled file system with delayed allocation.
     bool deferred_durability = false;
+    // Environment faults. With deferred durability, an armed kUnsyncedTail
+    // fault makes a crash keep part of the unsynced tail of one file — the
+    // page cache flushed more than Sync() promised. Sound recovery code may
+    // rely on the synced prefix surviving but never on the tail being gone.
+    fault::FaultSchedule* faults = nullptr;
   };
 
   // The directory layout is fixed at construction (§6.2: directories cannot

@@ -182,6 +182,8 @@ struct Report {
   uint64_t executions = 0;
   uint64_t total_steps = 0;
   uint64_t crashes_injected = 0;
+  // Environment alternatives fired (disk failures, armed faults, ...).
+  uint64_t env_events_fired = 0;
   uint64_t histories_checked = 0;
   // Of histories_checked, how many were fingerprint-duplicates whose spec
   // check was skipped (dedup_histories).
@@ -196,6 +198,7 @@ struct Report {
     std::string out = "executions=" + std::to_string(executions) +
                       " steps=" + std::to_string(total_steps) +
                       " crashes=" + std::to_string(crashes_injected) +
+                      " env=" + std::to_string(env_events_fired) +
                       " histories=" + std::to_string(histories_checked) +
                       " deduped=" + std::to_string(histories_deduped) +
                       " spec_states=" + std::to_string(spec_states_explored) +
@@ -280,7 +283,11 @@ class RandomDriver : public Driver {
       return crashes.size() == 1 ? crashes[0] : crashes[rng_.Below(crashes.size())];
     }
     if (!envs.empty() && rng_.Chance(env_p_)) {
-      return envs[rng_.Below(envs.size())];
+      // Uniform among env alternatives, with the same single-candidate
+      // guard as crashes: one candidate costs one draw, so the stream (and
+      // therefore seed reproducibility) is unchanged by merely *offering*
+      // an env event that is the only one of its kind.
+      return envs.size() == 1 ? envs[0] : envs[rng_.Below(envs.size())];
     }
     if (!threads.empty()) {
       return threads[rng_.Below(threads.size())];
@@ -573,6 +580,7 @@ class Explorer {
           }
           if (alt.kind == detail::AltKind::kEnv) {
             --env_budget[alt.env];
+            ++report->env_events_fired;
             inst.env_events[alt.env].fire();
             continue;
           }
@@ -662,6 +670,7 @@ class Explorer {
         }
         case detail::AltKind::kEnv: {
           --env_budget[alt.env];
+          ++report->env_events_fired;
           inst.env_events[alt.env].fire();
           break;
         }

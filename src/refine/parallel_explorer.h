@@ -193,6 +193,7 @@ class ParallelExplorer {
     aggregate->executions += r.executions;
     aggregate->total_steps += r.total_steps;
     aggregate->crashes_injected += r.crashes_injected;
+    aggregate->env_events_fired += r.env_events_fired;
     aggregate->histories_checked += r.histories_checked;
     aggregate->histories_deduped += r.histories_deduped;
     aggregate->spec_states_explored += r.spec_states_explored;

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/fault/fault.h"
+#include "src/fault/fault_events.h"
 #include "src/refine/explorer.h"
 #include "src/systems/repl/repl_spec.h"
 #include "src/systems/repl/replicated_disk.h"
@@ -19,6 +21,15 @@ struct ReplHarnessOptions {
   ReplicatedDisk::Mutations mutations;
   bool with_disk1_failure_event = false;
   bool with_disk2_failure_event = false;
+  // Environment faults (transient I/O errors, fail-slow, ...) exposed as
+  // explorer env alternatives. Default plan: no faults. Use
+  // ReplicatedDisk::kDisk1/kDisk2 as FaultPlan::target to aim at one disk.
+  fault::FaultPlan fault_plan;
+  // When false, the §5.1 crash invariant is not registered with the
+  // explorer, so defects surface purely as refinement (linearizability)
+  // violations — useful to demonstrate the spec-level symptom of a bug the
+  // invariant would otherwise flag first.
+  bool check_crash_invariants = true;
   // Observe every address at the end to pin down the final durable state.
   bool observe_all = true;
   // Read each address this many times during observation; with a failure
@@ -29,17 +40,21 @@ struct ReplHarnessOptions {
 inline refine::Instance<ReplSpec> MakeReplInstance(const ReplHarnessOptions& options) {
   struct Bundle {
     goose::World world;
+    std::unique_ptr<fault::FaultSchedule> faults;
     std::unique_ptr<ReplicatedDisk> rd;
   };
   auto bundle = std::make_shared<Bundle>();
-  bundle->rd =
-      std::make_unique<ReplicatedDisk>(&bundle->world, options.num_blocks, options.mutations);
+  if (options.fault_plan.AnyBudget()) {
+    bundle->faults = std::make_unique<fault::FaultSchedule>(options.fault_plan);
+  }
+  bundle->rd = std::make_unique<ReplicatedDisk>(&bundle->world, options.num_blocks,
+                                                options.mutations, bundle->faults.get());
   ReplicatedDisk* rd = bundle->rd.get();
 
   refine::Instance<ReplSpec> inst;
   inst.keep_alive = bundle;
   inst.world = &bundle->world;
-  inst.crash_invariants = &rd->crash_invariants();
+  inst.crash_invariants = options.check_crash_invariants ? &rd->crash_invariants() : nullptr;
   inst.client_ops = options.client_ops;
   inst.run_op = [rd](int, uint64_t op_id, ReplSpec::Op op) -> proc::Task<uint64_t> {
     if (op.is_write) {
@@ -63,6 +78,9 @@ inline refine::Instance<ReplSpec> MakeReplInstance(const ReplHarnessOptions& opt
   }
   if (options.with_disk2_failure_event) {
     inst.env_events.push_back(refine::EnvEvent{"fail-d2", 1, [rd] { rd->FailDisk2(); }});
+  }
+  if (bundle->faults != nullptr) {
+    fault::AddFaultEvents(options.fault_plan, bundle->faults.get(), &inst);
   }
   return inst;
 }

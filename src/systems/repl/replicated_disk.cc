@@ -1,6 +1,9 @@
 #include "src/systems/repl/replicated_disk.h"
 
 #include <string>
+#include <utility>
+
+#include "src/fault/retry.h"
 
 namespace perennial::systems {
 
@@ -10,9 +13,11 @@ std::string Key2(uint64_t a) { return "d2[" + std::to_string(a) + "]"; }
 std::string HelpKey(uint64_t a) { return "addr:" + std::to_string(a); }
 }  // namespace
 
-ReplicatedDisk::ReplicatedDisk(goose::World* world, uint64_t num_blocks, Mutations mutations)
+ReplicatedDisk::ReplicatedDisk(goose::World* world, uint64_t num_blocks, Mutations mutations,
+                               fault::FaultSchedule* faults)
     : world_(world),
-      disks_(world, num_blocks, disk::BlockOfU64(0)),
+      d1_(world, num_blocks, disk::BlockOfU64(0), faults, kDisk1),
+      d2_(world, num_blocks, disk::BlockOfU64(0), faults, kDisk2),
       leases_(world),
       mutations_(mutations) {
   InitVolatile();
@@ -20,11 +25,11 @@ ReplicatedDisk::ReplicatedDisk(goose::World* world, uint64_t num_blocks, Mutatio
   // a helping token records a write in flight, or a disk has failed (a
   // failed disk no longer carries state).
   invariants_.Register("disks-agree-or-pending-write", [this] {
-    if (disks_.d1.failed() || disks_.d2.failed()) {
+    if (d1_.failed() || d2_.failed()) {
       return true;
     }
-    for (uint64_t a = 0; a < disks_.d1.size(); ++a) {
-      if (disks_.d1.PeekBlock(a) != disks_.d2.PeekBlock(a) && !help_.Has(HelpKey(a))) {
+    for (uint64_t a = 0; a < d1_.size(); ++a) {
+      if (d1_.PeekBlock(a) != d2_.PeekBlock(a) && !help_.Has(HelpKey(a))) {
         return false;
       }
     }
@@ -34,7 +39,7 @@ ReplicatedDisk::ReplicatedDisk(goose::World* world, uint64_t num_blocks, Mutatio
 
 void ReplicatedDisk::InitVolatile() {
   addrs_.clear();
-  addrs_.resize(disks_.d1.size());
+  addrs_.resize(d1_.size());
   for (uint64_t a = 0; a < addrs_.size(); ++a) {
     addrs_[a].mu = std::make_unique<goose::Mutex>(world_);
     addrs_[a].lease1 = leases_.Issue(Key1(a));
@@ -42,12 +47,29 @@ void ReplicatedDisk::InitVolatile() {
   }
 }
 
+proc::Task<Result<disk::Block>> ReplicatedDisk::RetryRead(fault::FaultyDisk& d, uint64_t a) {
+  if (mutations_.no_retry) {
+    co_return co_await d.Read(a);
+  }
+  co_return co_await fault::RetryWithBackoff(fault::RetryPolicy{},
+                                             [&d, a] { return d.Read(a); });
+}
+
+proc::Task<Status> ReplicatedDisk::RetryWrite(fault::FaultyDisk& d, uint64_t a,
+                                              disk::Block value) {
+  if (mutations_.no_retry) {
+    co_return co_await d.Write(a, std::move(value));
+  }
+  co_return co_await fault::RetryWithBackoff(fault::RetryPolicy{},
+                                             [&d, a, &value] { return d.Write(a, value); });
+}
+
 proc::Task<uint64_t> ReplicatedDisk::Read(uint64_t a) {
   AddrState& addr = addrs_[a];
   co_await addr.mu->Lock();
-  Result<disk::Block> r = co_await disks_.d1.Read(a);
+  Result<disk::Block> r = co_await RetryRead(d1_, a);
   if (!r.ok()) {
-    r = co_await disks_.d2.Read(a);
+    r = co_await RetryRead(d2_, a);
   }
   PCC_ENSURE(r.ok(), "replicated disk: both disks failed");
   uint64_t v = disk::U64OfBlock(r.value());
@@ -67,10 +89,12 @@ proc::Task<void> ReplicatedDisk::Write(uint64_t a, uint64_t v, uint64_t op_id) {
   // Deposit the helping token in the same atomic step as the first write
   // becomes visible: from here until the second write lands, a crash
   // leaves the disks out of sync and recovery completes this operation.
-  (void)co_await disks_.d1.Write(a, disk::BlockOfU64(v));
+  // Transient faults are retried inside RetryWrite; only fail-stop kFailed
+  // falls through, and a dead disk carries no state to diverge.
+  (void)co_await RetryWrite(d1_, a, disk::BlockOfU64(v));
   help_.Deposit(HelpKey(a), cap::PendingOp{-1, op_id});
   if (!mutations_.skip_second_write) {
-    (void)co_await disks_.d2.Write(a, disk::BlockOfU64(v));
+    (void)co_await RetryWrite(d2_, a, disk::BlockOfU64(v));
   }
   help_.Withdraw(HelpKey(a));
   if (!mutations_.skip_locking) {
@@ -86,9 +110,9 @@ proc::Task<void> ReplicatedDisk::Recover(std::function<void(uint64_t)> helped) {
   if (mutations_.recovery_zeroes) {
     // The broken recovery from §1: "make the disks in sync by zeroing
     // them both" — it restores the invariant but destroys data.
-    for (uint64_t a = 0; a < disks_.d1.size(); ++a) {
-      (void)co_await disks_.d1.Write(a, disk::BlockOfU64(0));
-      (void)co_await disks_.d2.Write(a, disk::BlockOfU64(0));
+    for (uint64_t a = 0; a < d1_.size(); ++a) {
+      (void)co_await d1_.Write(a, disk::BlockOfU64(0));
+      (void)co_await d2_.Write(a, disk::BlockOfU64(0));
     }
     help_.Clear();
     InitVolatile();
@@ -96,11 +120,12 @@ proc::Task<void> ReplicatedDisk::Recover(std::function<void(uint64_t)> helped) {
   }
   // Figure 5: copy every block of disk 1 onto disk 2. Completing the copy
   // at `a` consumes the helping token (if any): recovery has linearized
-  // the crashed write (§5.4).
-  for (uint64_t a = 0; a < disks_.d1.size(); ++a) {
-    Result<disk::Block> r = co_await disks_.d1.Read(a);
+  // the crashed write (§5.4). Recovery, too, must survive transient
+  // faults — a dropped copy would leave the disks diverged with no token.
+  for (uint64_t a = 0; a < d1_.size(); ++a) {
+    Result<disk::Block> r = co_await RetryRead(d1_, a);
     if (r.ok()) {
-      (void)co_await disks_.d2.Write(a, std::move(r).value());
+      (void)co_await RetryWrite(d2_, a, std::move(r).value());
       if (std::optional<cap::PendingOp> op = help_.Take(HelpKey(a))) {
         helped(op->op_id);
       }
@@ -112,7 +137,7 @@ proc::Task<void> ReplicatedDisk::Recover(std::function<void(uint64_t)> helped) {
 }
 
 uint64_t ReplicatedDisk::PeekLogical(uint64_t a) const {
-  const disk::Disk& primary = disks_.d1.failed() ? disks_.d2 : disks_.d1;
+  const disk::Disk& primary = d1_.failed() ? d2_ : d1_;
   return disk::U64OfBlock(primary.PeekBlock(a));
 }
 

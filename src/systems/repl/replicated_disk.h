@@ -12,6 +12,15 @@
 //    consumed by recovery when it completes the write (§5.4);
 //  * the crash invariant "disks agree at every address unless a helping
 //    token records the in-flight write" (§5.1), checkable at every step.
+//
+// Environment faults (src/fault): the disks are FaultyDisk instances, so a
+// harness-attached FaultSchedule can strike any read or write with a
+// transient kUnavailable error or a fail-slow delay. The library tolerates
+// them by retrying with bounded backoff (fault/retry.h); only fail-stop
+// kFailed — a genuinely dead disk — makes it give up on a device. The
+// `no_retry` mutation re-creates the classic bug of treating a transient
+// error as success: a dropped disk-1 write leaves the disks diverged with
+// no helping token, which the checker catches.
 #ifndef PERENNIAL_SRC_SYSTEMS_REPL_REPLICATED_DISK_H_
 #define PERENNIAL_SRC_SYSTEMS_REPL_REPLICATED_DISK_H_
 
@@ -23,6 +32,8 @@
 #include "src/cap/helping.h"
 #include "src/cap/lease.h"
 #include "src/disk/disk.h"
+#include "src/fault/fault.h"
+#include "src/fault/faulty_disk.h"
 #include "src/goose/mutex.h"
 #include "src/goose/world.h"
 #include "src/proc/task.h"
@@ -31,6 +42,10 @@ namespace perennial::systems {
 
 class ReplicatedDisk {
  public:
+  // FaultPlan::target values for this system's two devices.
+  static constexpr int kDisk1 = 1;
+  static constexpr int kDisk2 = 2;
+
   // Mutations for the §9.5-style bug-finding evaluation: each re-creates a
   // defect the verification methodology must reject.
   struct Mutations {
@@ -38,16 +53,18 @@ class ReplicatedDisk {
     bool skip_second_write = false;  // rd_write updates only disk 1
     bool recovery_zeroes = false;    // recovery "syncs" by zeroing both disks
     bool skip_recovery = false;      // recovery does nothing
+    bool no_retry = false;           // transient I/O errors treated as success
   };
 
-  ReplicatedDisk(goose::World* world, uint64_t num_blocks, Mutations mutations);
+  ReplicatedDisk(goose::World* world, uint64_t num_blocks, Mutations mutations,
+                 fault::FaultSchedule* faults = nullptr);
   ReplicatedDisk(goose::World* world, uint64_t num_blocks)
       : ReplicatedDisk(world, num_blocks, Mutations{}) {}
 
-  uint64_t size() const { return disks_.d1.size(); }
+  uint64_t size() const { return d1_.size(); }
 
-  // rd_read (Figure 4): returns the logical value at `a`; fails over to
-  // disk 2 when disk 1 has failed.
+  // rd_read (Figure 4): returns the logical value at `a`; retries transient
+  // errors and fails over to disk 2 when disk 1 has failed.
   proc::Task<uint64_t> Read(uint64_t a);
 
   // rd_write (Figure 4): durably stores v at `a` on both disks. `op_id`
@@ -60,8 +77,8 @@ class ReplicatedDisk {
   proc::Task<void> Recover(std::function<void(uint64_t)> helped);
 
   // Fail-stop injection.
-  void FailDisk1() { disks_.d1.Fail(); }
-  void FailDisk2() { disks_.d2.Fail(); }
+  void FailDisk1() { d1_.Fail(); }
+  void FailDisk2() { d2_.Fail(); }
 
   // The crash invariant (§5.1): registered once, checked by the explorer.
   const cap::CrashInvariants& crash_invariants() const { return invariants_; }
@@ -81,8 +98,15 @@ class ReplicatedDisk {
   // (Re-)creates locks and issues fresh leases for every address.
   void InitVolatile();
 
+  // Single disk operation with the library's retry policy (transient
+  // kUnavailable errors are retried with bounded backoff; kFailed is final).
+  // The no_retry mutation degrades both to a single attempt.
+  proc::Task<Result<disk::Block>> RetryRead(fault::FaultyDisk& d, uint64_t a);
+  proc::Task<Status> RetryWrite(fault::FaultyDisk& d, uint64_t a, disk::Block value);
+
   goose::World* world_;
-  disk::TwoDisks disks_;
+  fault::FaultyDisk d1_;
+  fault::FaultyDisk d2_;
   cap::LeaseRegistry leases_;
   cap::HelpRegistry help_;
   cap::CrashInvariants invariants_;

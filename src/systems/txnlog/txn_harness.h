@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/fault.h"
+#include "src/fault/fault_events.h"
 #include "src/refine/explorer.h"
 #include "src/systems/txnlog/txn_log.h"
 #include "src/systems/txnlog/txn_spec.h"
@@ -16,17 +18,30 @@ struct TxnHarnessOptions {
   uint64_t log_capacity = 4;
   std::vector<std::vector<TxnSpec::Op>> client_ops;
   TxnLog::Mutations mutations;
+  // Environment faults for the log device. The harness pins
+  // torn_min_block to at least 1: block 0 is the header, modeled as a
+  // single atomic sector (see txn_log.h); record/data blocks may tear.
+  fault::FaultPlan fault_plan;
   bool observe_all = true;
 };
 
 inline refine::Instance<TxnSpec> MakeTxnInstance(const TxnHarnessOptions& options) {
   struct Bundle {
     goose::World world;
+    std::unique_ptr<fault::FaultSchedule> faults;
     std::unique_ptr<TxnLog> log;
   };
   auto bundle = std::make_shared<Bundle>();
+  fault::FaultPlan plan = options.fault_plan;
+  if (plan.torn_min_block < 1) {
+    plan.torn_min_block = 1;  // the header sector writes atomically
+  }
+  if (plan.AnyBudget()) {
+    bundle->faults = std::make_unique<fault::FaultSchedule>(plan);
+  }
   bundle->log = std::make_unique<TxnLog>(&bundle->world, options.num_addrs,
-                                         options.log_capacity, options.mutations);
+                                         options.log_capacity, options.mutations,
+                                         bundle->faults.get());
   TxnLog* log = bundle->log.get();
 
   refine::Instance<TxnSpec> inst;
@@ -54,6 +69,9 @@ inline refine::Instance<TxnSpec> MakeTxnInstance(const TxnHarnessOptions& option
     for (uint64_t a = 0; a < options.num_addrs; ++a) {
       inst.observer_ops.push_back(TxnSpec::MakeRead(a));
     }
+  }
+  if (bundle->faults != nullptr) {
+    fault::AddFaultEvents(plan, bundle->faults.get(), &inst);
   }
   return inst;
 }

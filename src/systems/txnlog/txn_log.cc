@@ -1,6 +1,9 @@
 #include "src/systems/txnlog/txn_log.h"
 
 #include <string>
+#include <utility>
+
+#include "src/fault/retry.h"
 
 namespace perennial::systems {
 
@@ -28,11 +31,11 @@ std::string BlockKey(uint64_t b) { return "txnlog[" + std::to_string(b) + "]"; }
 }  // namespace
 
 TxnLog::TxnLog(goose::World* world, uint64_t num_addrs, uint64_t log_capacity,
-               Mutations mutations)
+               Mutations mutations, fault::FaultSchedule* faults)
     : world_(world),
       num_addrs_(num_addrs),
       log_capacity_(log_capacity),
-      disk_(world, 1 + log_capacity + num_addrs, EncodeTxnHeader(0, 0)),
+      disk_(world, 1 + log_capacity + num_addrs, EncodeTxnHeader(0, 0), faults),
       leases_(world),
       mutations_(mutations) {
   // Block 0 must start as a valid empty header; other blocks start zeroed
@@ -59,28 +62,46 @@ void TxnLog::InitVolatile() {
   }
 }
 
+proc::Task<disk::Block> TxnLog::ReadRetry(uint64_t a) {
+  Result<disk::Block> r = co_await fault::RetryWithBackoff(
+      fault::RetryPolicy{}, [this, a] { return disk_.Read(a); });
+  co_return std::move(r).value();
+}
+
+proc::Task<void> TxnLog::WriteRetry(uint64_t a, disk::Block value) {
+  Status s = co_await fault::RetryWithBackoff(
+      fault::RetryPolicy{}, [this, a, &value] { return disk_.Write(a, value); });
+  PCC_ENSURE(s.ok(), "txnlog: disk write failed: " + s.ToString());
+}
+
 proc::Task<void> TxnLog::ApplyAndTruncate() {
-  Result<disk::Block> header = co_await disk_.Read(kHeaderBlock);
+  disk::Block header = co_await ReadRetry(kHeaderBlock);
   uint64_t committed = 0;
   uint64_t applied = 0;
-  DecodeTxnHeader(header.value(), &committed, &applied);
+  DecodeTxnHeader(header, &committed, &applied);
   if (mutations_.truncate_before_apply) {
     // Bug: the log is gone before the data region has the records.
-    (void)co_await disk_.Write(kHeaderBlock, EncodeTxnHeader(0, 0));
+    co_await WriteRetry(kHeaderBlock, EncodeTxnHeader(0, 0));
   }
   for (uint64_t i = applied; i < committed; ++i) {
-    Result<disk::Block> record = co_await disk_.Read(kLogBase + i);
+    disk::Block record = co_await ReadRetry(kLogBase + i);
     uint64_t addr = 0;
     uint64_t value = 0;
-    DecodeTxnHeader(record.value(), &addr, &value);
+    DecodeTxnHeader(record, &addr, &value);
     PCC_ENSURE(addr < num_addrs_, "txnlog: corrupt record");
     leases_.Verify(block_leases_[DataBlock(addr)], "txnlog apply");
-    (void)co_await disk_.Write(DataBlock(addr), disk::BlockOfU64(value));
+    co_await WriteRetry(DataBlock(addr), disk::BlockOfU64(value));
   }
   if (!mutations_.truncate_before_apply) {
+    // Barrier: the data-region writes must be fully durable before the
+    // truncation publishes "the log is no longer needed" — a torn data
+    // write surviving past the truncate would lose the record for good.
+    if (!mutations_.no_write_barrier) {
+      co_await disk_.Barrier();
+    }
     // Truncation: one atomic header write; the data region now carries
     // everything the log did.
-    (void)co_await disk_.Write(kHeaderBlock, EncodeTxnHeader(0, 0));
+    co_await WriteRetry(kHeaderBlock, EncodeTxnHeader(0, 0));
   }
 }
 
@@ -90,10 +111,10 @@ proc::Task<void> TxnLog::CommitBatch(std::vector<std::pair<uint64_t, uint64_t>> 
   PCC_ENSURE(records.size() <= log_capacity_, "txnlog: batch exceeds log capacity");
   co_await mu_->Lock();
   leases_.Verify(block_leases_[kHeaderBlock], "txnlog commit");
-  Result<disk::Block> header = co_await disk_.Read(kHeaderBlock);
+  disk::Block header = co_await ReadRetry(kHeaderBlock);
   uint64_t committed = 0;
   uint64_t applied = 0;
-  DecodeTxnHeader(header.value(), &committed, &applied);
+  DecodeTxnHeader(header, &committed, &applied);
   if (committed + records.size() > log_capacity_) {
     co_await ApplyAndTruncate();
     committed = 0;
@@ -102,39 +123,43 @@ proc::Task<void> TxnLog::CommitBatch(std::vector<std::pair<uint64_t, uint64_t>> 
   if (mutations_.header_before_records) {
     // Bug: the commit point precedes the records; a crash in between makes
     // garbage records "committed".
-    (void)co_await disk_.Write(kHeaderBlock,
-                               EncodeTxnHeader(committed + records.size(), applied));
+    co_await WriteRetry(kHeaderBlock, EncodeTxnHeader(committed + records.size(), applied));
     for (size_t i = 0; i < records.size(); ++i) {
-      (void)co_await disk_.Write(kLogBase + committed + i,
-                                 EncodeTxnHeader(records[i].first, records[i].second));
+      co_await WriteRetry(kLogBase + committed + i,
+                          EncodeTxnHeader(records[i].first, records[i].second));
     }
     co_await mu_->Unlock();
     co_return;
   }
   for (size_t i = 0; i < records.size(); ++i) {
     PCC_ENSURE(records[i].first < num_addrs_, "txnlog: address out of range");
-    (void)co_await disk_.Write(kLogBase + committed + i,
-                               EncodeTxnHeader(records[i].first, records[i].second));
+    co_await WriteRetry(kLogBase + committed + i,
+                        EncodeTxnHeader(records[i].first, records[i].second));
+  }
+  // Barrier: record blocks are multi-sector and may be torn by a crash; the
+  // commit header must not claim them until they are fully durable.
+  if (!mutations_.no_write_barrier) {
+    co_await disk_.Barrier();
   }
   // Commit point: one header write makes the whole batch durable.
-  (void)co_await disk_.Write(kHeaderBlock, EncodeTxnHeader(committed + records.size(), applied));
+  co_await WriteRetry(kHeaderBlock, EncodeTxnHeader(committed + records.size(), applied));
   co_await mu_->Unlock();
 }
 
 proc::Task<uint64_t> TxnLog::Read(uint64_t addr) {
   PCC_ENSURE(addr < num_addrs_, "txnlog: address out of range");
   co_await mu_->Lock();
-  Result<disk::Block> header = co_await disk_.Read(kHeaderBlock);
+  disk::Block header = co_await ReadRetry(kHeaderBlock);
   uint64_t committed = 0;
   uint64_t applied = 0;
-  DecodeTxnHeader(header.value(), &committed, &applied);
+  DecodeTxnHeader(header, &committed, &applied);
   // Log-structured read: the newest committed record for `addr` wins.
   std::optional<uint64_t> from_log;
   for (uint64_t i = committed; i > 0; --i) {
-    Result<disk::Block> record = co_await disk_.Read(kLogBase + i - 1);
+    disk::Block record = co_await ReadRetry(kLogBase + i - 1);
     uint64_t record_addr = 0;
     uint64_t value = 0;
-    DecodeTxnHeader(record.value(), &record_addr, &value);
+    DecodeTxnHeader(record, &record_addr, &value);
     if (record_addr == addr) {
       from_log = value;
       break;
@@ -144,8 +169,8 @@ proc::Task<uint64_t> TxnLog::Read(uint64_t addr) {
   if (from_log.has_value()) {
     result = *from_log;
   } else {
-    Result<disk::Block> data = co_await disk_.Read(DataBlock(addr));
-    result = disk::U64OfBlock(data.value());
+    disk::Block data = co_await ReadRetry(DataBlock(addr));
+    result = disk::U64OfBlock(data);
   }
   co_await mu_->Unlock();
   co_return result;

@@ -23,6 +23,15 @@
 // invariant ties the header to the helping token:
 //   applied <= committed <= capacity, and committed > applied ⟺ a pending
 //   batch token is present.
+//
+// Environment-fault discipline (src/fault): the header occupies a single
+// atomic sector (FaultPlan::torn_min_block = 1 in the harness), but record
+// and data blocks are multi-sector and can be torn. The engine therefore
+// issues a write Barrier() between payload writes and the single header
+// write that publishes them — commit: records, barrier, header; checkpoint:
+// data, barrier, truncate. Transient read/write errors are retried with
+// bounded backoff. The `no_write_barrier` mutation re-creates the
+// missing-flush bug.
 #ifndef PERENNIAL_SRC_SYSTEMS_TXNLOG_TXN_LOG_H_
 #define PERENNIAL_SRC_SYSTEMS_TXNLOG_TXN_LOG_H_
 
@@ -36,6 +45,8 @@
 #include "src/cap/helping.h"
 #include "src/cap/lease.h"
 #include "src/disk/disk.h"
+#include "src/fault/fault.h"
+#include "src/fault/faulty_disk.h"
 #include "src/goose/mutex.h"
 #include "src/goose/world.h"
 #include "src/proc/task.h"
@@ -47,11 +58,19 @@ class TxnLog {
   struct Mutations {
     bool header_before_records = false;  // commit header precedes record writes
     bool truncate_before_apply = false;  // checkpoint truncates first, applies after
+    // Skip the write barrier between payload writes and the header write
+    // that publishes them. Harmless on an atomic disk; under torn-write
+    // faults a crash can then commit a half-persisted record (or truncate
+    // the log while the data region is half-applied) — the classic
+    // missing-flush bug the checker must catch.
+    bool no_write_barrier = false;
   };
 
   // `num_addrs` data addresses; at most `log_capacity` records may be
-  // committed-but-uncheckpointed at once.
-  TxnLog(goose::World* world, uint64_t num_addrs, uint64_t log_capacity, Mutations mutations);
+  // committed-but-uncheckpointed at once. `faults`, when set, subjects the
+  // log device to the schedule's transient/torn/fail-slow faults.
+  TxnLog(goose::World* world, uint64_t num_addrs, uint64_t log_capacity, Mutations mutations,
+         fault::FaultSchedule* faults = nullptr);
   TxnLog(goose::World* world, uint64_t num_addrs, uint64_t log_capacity)
       : TxnLog(world, num_addrs, log_capacity, Mutations{}) {}
 
@@ -87,11 +106,16 @@ class TxnLog {
   // Applies records [applied, committed) to the data region and truncates.
   // Caller holds the lock.
   proc::Task<void> ApplyAndTruncate();
+  // Disk I/O with the library's retry policy: transient kUnavailable errors
+  // are retried with bounded backoff (fault/retry.h); anything else is a
+  // bug in this engine's workloads and panics at the existing call sites.
+  proc::Task<disk::Block> ReadRetry(uint64_t a);
+  proc::Task<void> WriteRetry(uint64_t a, disk::Block value);
 
   goose::World* world_;
   uint64_t num_addrs_;
   uint64_t log_capacity_;
-  disk::Disk disk_;
+  fault::FaultyDisk disk_;
   cap::LeaseRegistry leases_;
   cap::HelpRegistry help_;
   cap::CrashInvariants invariants_;

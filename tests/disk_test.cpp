@@ -63,13 +63,13 @@ TEST(DiskTest, FailedDiskReadsFail) {
   EXPECT_EQ(SimRun(body()), StatusCode::kFailed);
 }
 
-TEST(DiskTest, FailedDiskAbsorbsWrites) {
+TEST(DiskTest, FailedDiskAbsorbsWritesAndReportsFailure) {
   goose::World world;
   Disk d(&world, 4, BlockOfU64(5));
   d.Fail();
   auto body = [&]() -> Task<Status> { co_return co_await d.Write(0, BlockOfU64(9)); };
-  EXPECT_TRUE(SimRun(body()).ok());
-  EXPECT_EQ(U64OfBlock(d.PeekBlock(0)), 5u);  // unchanged
+  EXPECT_EQ(SimRun(body()).code(), StatusCode::kFailed);  // caller is told
+  EXPECT_EQ(U64OfBlock(d.PeekBlock(0)), 5u);              // unchanged
 }
 
 TEST(DiskTest, ContentsSurviveCrash) {

@@ -1,0 +1,364 @@
+// Unit tests for the environment fault-injection subsystem (src/fault):
+// FaultSchedule arm/consume, FaultyDisk transient/torn/fail-slow semantics,
+// retry-with-backoff, the FaultPlan -> EnvEvent bridge, and GooseFs
+// unsynced-tail loss.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/disk/disk.h"
+#include "src/fault/fault.h"
+#include "src/fault/fault_events.h"
+#include "src/fault/faulty_disk.h"
+#include "src/fault/retry.h"
+#include "src/goosefs/goosefs.h"
+#include "src/refine/explorer.h"
+#include "tests/sim_util.h"
+
+namespace perennial::fault {
+namespace {
+
+using disk::Block;
+using disk::BlockOfU64;
+using disk::U64OfBlock;
+using perennial::testing::SimRun;
+using proc::Task;
+
+// ---------- FaultSchedule ----------
+
+TEST(FaultSchedule, ConsumeOnlyFiresWhenArmed) {
+  FaultSchedule s{FaultPlan{}};
+  EXPECT_FALSE(s.Consume(FaultKind::kTransientRead, 0));
+  s.Arm(FaultKind::kTransientRead, FaultPlan::kAnyDisk);
+  EXPECT_EQ(s.armed(FaultKind::kTransientRead), 1u);
+  EXPECT_TRUE(s.Consume(FaultKind::kTransientRead, 0));
+  EXPECT_FALSE(s.Consume(FaultKind::kTransientRead, 0));  // consumed
+  EXPECT_EQ(s.injected(FaultKind::kTransientRead), 1u);
+  EXPECT_EQ(s.total_injected(), 1u);
+}
+
+TEST(FaultSchedule, KindsDoNotCrossConsume) {
+  FaultSchedule s{FaultPlan{}};
+  s.Arm(FaultKind::kTransientWrite, FaultPlan::kAnyDisk);
+  EXPECT_FALSE(s.Consume(FaultKind::kTransientRead, 0));
+  EXPECT_FALSE(s.Consume(FaultKind::kTornWrite, 0));
+  EXPECT_TRUE(s.Consume(FaultKind::kTransientWrite, 0));
+}
+
+TEST(FaultSchedule, TargetedFaultOnlyHitsThatDisk) {
+  FaultSchedule s{FaultPlan{}};
+  s.Arm(FaultKind::kTransientWrite, 2);
+  EXPECT_FALSE(s.Consume(FaultKind::kTransientWrite, 1));  // wrong disk
+  EXPECT_TRUE(s.Consume(FaultKind::kTransientWrite, 2));
+}
+
+TEST(FaultSchedule, ArmedFaultsStack) {
+  FaultSchedule s{FaultPlan{}};
+  s.Arm(FaultKind::kTransientRead, FaultPlan::kAnyDisk);
+  s.Arm(FaultKind::kTransientRead, FaultPlan::kAnyDisk);
+  EXPECT_EQ(s.armed(FaultKind::kTransientRead), 2u);
+  EXPECT_TRUE(s.Consume(FaultKind::kTransientRead, 0));
+  EXPECT_TRUE(s.Consume(FaultKind::kTransientRead, 0));
+  EXPECT_FALSE(s.Consume(FaultKind::kTransientRead, 0));
+}
+
+TEST(FaultSchedule, TornPrefixDefaultsToHalfTheBlock) {
+  FaultSchedule s{FaultPlan{}};
+  EXPECT_EQ(s.TornPrefixBytes(16), 8u);
+  FaultPlan plan;
+  plan.torn_prefix_bytes = 3;
+  FaultSchedule s2{plan};
+  EXPECT_EQ(s2.TornPrefixBytes(16), 3u);
+}
+
+TEST(FaultSchedule, TornMinBlockShieldsMetadata) {
+  FaultPlan plan;
+  plan.torn_min_block = 1;
+  FaultSchedule s{plan};
+  EXPECT_FALSE(s.TornApplies(0));
+  EXPECT_TRUE(s.TornApplies(1));
+}
+
+// ---------- FaultyDisk ----------
+
+TEST(FaultyDisk, NullScheduleBehavesLikePlainDisk) {
+  goose::World world;
+  FaultyDisk d(&world, 4, BlockOfU64(0));
+  auto body = [&]() -> Task<uint64_t> {
+    EXPECT_TRUE((co_await d.Write(1, BlockOfU64(7))).ok());
+    co_return U64OfBlock((co_await d.Read(1)).value());
+  };
+  EXPECT_EQ(SimRun(body()), 7u);
+  EXPECT_FALSE(d.HasTornPending());
+}
+
+TEST(FaultyDisk, TransientReadFailsOnceThenSucceeds) {
+  goose::World world;
+  FaultSchedule faults{FaultPlan{}};
+  FaultyDisk d(&world, 4, BlockOfU64(9), &faults);
+  faults.Arm(FaultKind::kTransientRead, FaultPlan::kAnyDisk);
+  auto body = [&]() -> Task<uint64_t> {
+    Result<Block> first = co_await d.Read(0);
+    EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+    Result<Block> second = co_await d.Read(0);
+    co_return U64OfBlock(second.value());
+  };
+  EXPECT_EQ(SimRun(body()), 9u);
+  EXPECT_EQ(faults.injected(FaultKind::kTransientRead), 1u);
+}
+
+TEST(FaultyDisk, TransientWriteHasNoEffect) {
+  goose::World world;
+  FaultSchedule faults{FaultPlan{}};
+  FaultyDisk d(&world, 4, BlockOfU64(5), &faults);
+  faults.Arm(FaultKind::kTransientWrite, FaultPlan::kAnyDisk);
+  auto body = [&]() -> Task<Status> { co_return co_await d.Write(0, BlockOfU64(6)); };
+  EXPECT_EQ(SimRun(body()).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(U64OfBlock(d.PeekBlock(0)), 5u);  // nothing landed
+}
+
+TEST(FaultyDisk, FailStopOutranksArmedFaults) {
+  // A dead disk reports kFailed even with transient faults armed: fail-stop
+  // is not retryable and must not be masked as kUnavailable.
+  goose::World world;
+  FaultSchedule faults{FaultPlan{}};
+  FaultyDisk d(&world, 4, BlockOfU64(0), &faults);
+  faults.Arm(FaultKind::kTransientRead, FaultPlan::kAnyDisk);
+  d.Fail();
+  auto body = [&]() -> Task<StatusCode> {
+    co_return (co_await d.Read(0)).status().code();
+  };
+  EXPECT_EQ(SimRun(body()), StatusCode::kFailed);
+  EXPECT_EQ(faults.injected(FaultKind::kTransientRead), 0u);  // not consumed
+}
+
+TEST(FaultyDisk, TornWriteReadsNewValueButCrashPersistsPrefix) {
+  goose::World world;
+  FaultSchedule faults{FaultPlan{}};
+  FaultyDisk d(&world, 2, BlockOfU64(0), &faults);
+  faults.Arm(FaultKind::kTornWrite, FaultPlan::kAnyDisk);
+  // 16-byte block, two logical "sectors" of 8 bytes each.
+  auto write_body = [&]() -> Task<Status> {
+    Block b(16, 0xFF);
+    co_return co_await d.Write(0, b);
+  };
+  EXPECT_TRUE(SimRun(write_body()).ok());
+  EXPECT_TRUE(d.HasTornPending());
+  // Memory (page cache) sees the whole write...
+  EXPECT_EQ(d.PeekBlock(0), Block(16, 0xFF));
+  // ...but the durable image is only the first half.
+  Block torn = d.PeekDurable(0);
+  ASSERT_EQ(torn.size(), 16u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(torn[i], 0xFF) << "byte " << i;
+  }
+  for (size_t i = 8; i < 16; ++i) {
+    EXPECT_EQ(torn[i], 0x00) << "byte " << i;
+  }
+  world.Crash();
+  EXPECT_EQ(d.PeekBlock(0), torn);
+  EXPECT_FALSE(d.HasTornPending());
+}
+
+TEST(FaultyDisk, BarrierMakesTornWriteDurable) {
+  goose::World world;
+  FaultSchedule faults{FaultPlan{}};
+  FaultyDisk d(&world, 2, BlockOfU64(0), &faults);
+  faults.Arm(FaultKind::kTornWrite, FaultPlan::kAnyDisk);
+  auto body = [&]() -> Task<Status> {
+    Status s = co_await d.Write(0, Block(16, 0xAB));
+    co_await d.Barrier();
+    co_return s;
+  };
+  EXPECT_TRUE(SimRun(body()).ok());
+  EXPECT_FALSE(d.HasTornPending());
+  world.Crash();
+  EXPECT_EQ(d.PeekBlock(0), Block(16, 0xAB));  // barrier made it whole
+}
+
+TEST(FaultyDisk, FreshOverwriteSupersedesPendingTear) {
+  goose::World world;
+  FaultSchedule faults{FaultPlan{}};
+  FaultyDisk d(&world, 2, BlockOfU64(0), &faults);
+  faults.Arm(FaultKind::kTornWrite, FaultPlan::kAnyDisk);
+  auto body = [&]() -> Task<Status> {
+    (void)co_await d.Write(0, Block(16, 0xAB));  // torn
+    co_return co_await d.Write(0, Block(16, 0xCD));  // clean full overwrite
+  };
+  EXPECT_TRUE(SimRun(body()).ok());
+  EXPECT_FALSE(d.HasTornPending());
+  world.Crash();
+  EXPECT_EQ(d.PeekBlock(0), Block(16, 0xCD));
+}
+
+TEST(FaultyDisk, TornMinBlockProtectsHeaderAndStaysArmed) {
+  FaultPlan plan;
+  plan.torn_min_block = 1;
+  goose::World world;
+  FaultSchedule faults{plan};
+  FaultyDisk d(&world, 2, BlockOfU64(0), &faults);
+  faults.Arm(FaultKind::kTornWrite, FaultPlan::kAnyDisk);
+  auto body = [&]() -> Task<Status> {
+    (void)co_await d.Write(0, Block(16, 0x11));  // header: cannot tear
+    co_return co_await d.Write(1, Block(16, 0x22));  // record block: tears
+  };
+  EXPECT_TRUE(SimRun(body()).ok());
+  world.Crash();
+  EXPECT_EQ(d.PeekBlock(0), Block(16, 0x11));  // atomic despite armed fault
+  Block b1 = d.PeekBlock(1);
+  EXPECT_EQ(b1[0], 0x22);
+  EXPECT_EQ(b1[15], 0x00);  // suffix reverted: the tear landed on block 1
+}
+
+TEST(FaultyDisk, FailSlowCompletesCorrectly) {
+  goose::World world;
+  FaultSchedule faults{FaultPlan{}};
+  FaultyDisk d(&world, 2, BlockOfU64(0), &faults);
+  faults.Arm(FaultKind::kFailSlow, FaultPlan::kAnyDisk);
+  auto body = [&]() -> Task<uint64_t> {
+    (void)co_await d.Write(0, BlockOfU64(3));
+    co_return U64OfBlock((co_await d.Read(0)).value());
+  };
+  EXPECT_EQ(SimRun(body()), 3u);
+  EXPECT_EQ(faults.injected(FaultKind::kFailSlow), 1u);
+}
+
+// ---------- RetryWithBackoff ----------
+
+TEST(Retry, RetriesTransientUntilSuccess) {
+  goose::World world;
+  FaultSchedule faults{FaultPlan{}};
+  FaultyDisk d(&world, 2, BlockOfU64(0), &faults);
+  faults.Arm(FaultKind::kTransientWrite, FaultPlan::kAnyDisk);
+  faults.Arm(FaultKind::kTransientWrite, FaultPlan::kAnyDisk);
+  auto body = [&]() -> Task<Status> {
+    co_return co_await RetryWithBackoff(RetryPolicy{},
+                                        [&] { return d.Write(0, BlockOfU64(4)); });
+  };
+  EXPECT_TRUE(SimRun(body()).ok());
+  EXPECT_EQ(U64OfBlock(d.PeekBlock(0)), 4u);
+  EXPECT_EQ(faults.injected(FaultKind::kTransientWrite), 2u);  // both retried through
+}
+
+TEST(Retry, DoesNotRetryFailStop) {
+  goose::World world;
+  FaultyDisk d(&world, 2, BlockOfU64(0));
+  d.Fail();
+  auto body = [&]() -> Task<StatusCode> {
+    Result<Block> r =
+        co_await RetryWithBackoff(RetryPolicy{}, [&] { return d.Read(0); });
+    co_return r.status().code();
+  };
+  // Unbounded policy, yet it returns immediately: kFailed is not retryable.
+  EXPECT_EQ(SimRun(body()), StatusCode::kFailed);
+}
+
+TEST(Retry, BoundedAttemptsGiveUp) {
+  goose::World world;
+  FaultSchedule faults{FaultPlan{}};
+  FaultyDisk d(&world, 2, BlockOfU64(0), &faults);
+  for (int i = 0; i < 5; ++i) {
+    faults.Arm(FaultKind::kTransientRead, FaultPlan::kAnyDisk);
+  }
+  RetryPolicy bounded;
+  bounded.max_attempts = 3;
+  auto body = [&]() -> Task<StatusCode> {
+    Result<Block> r = co_await RetryWithBackoff(bounded, [&] { return d.Read(0); });
+    co_return r.status().code();
+  };
+  EXPECT_EQ(SimRun(body()), StatusCode::kUnavailable);
+  EXPECT_EQ(faults.injected(FaultKind::kTransientRead), 3u);  // one per attempt
+}
+
+// ---------- FaultPlan -> EnvEvent bridge ----------
+
+TEST(FaultEvents, OneEventPerNonZeroBudgetWithStableNames) {
+  FaultPlan plan;
+  plan.transient_reads = 2;
+  plan.torn_writes = 1;
+  FaultSchedule schedule{plan};
+  std::vector<refine::EnvEvent> events = MakeFaultEvents(plan, &schedule);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "fault:transient-read");
+  EXPECT_EQ(events[0].budget, 2);
+  EXPECT_EQ(events[1].name, "fault:torn-write");
+  EXPECT_EQ(events[1].budget, 1);
+  events[1].fire();
+  EXPECT_EQ(schedule.armed(FaultKind::kTornWrite), 1u);
+}
+
+TEST(FaultEvents, TargetedPlanEncodesDiskInName) {
+  FaultPlan plan;
+  plan.transient_writes = 1;
+  plan.target = 2;
+  FaultSchedule schedule{plan};
+  std::vector<refine::EnvEvent> events = MakeFaultEvents(plan, &schedule);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "fault:transient-write@d2");
+  events[0].fire();
+  EXPECT_FALSE(schedule.Consume(FaultKind::kTransientWrite, 1));
+  EXPECT_TRUE(schedule.Consume(FaultKind::kTransientWrite, 2));
+}
+
+TEST(FaultEvents, EmptyPlanYieldsNoEvents) {
+  FaultPlan plan;
+  FaultSchedule schedule{plan};
+  EXPECT_TRUE(MakeFaultEvents(plan, &schedule).empty());
+  EXPECT_FALSE(plan.AnyBudget());
+}
+
+// ---------- GooseFs unsynced-tail loss ----------
+
+TEST(GooseFsFaults, CrashKeepsHalfTheUnsyncedTailWhenArmed) {
+  goose::World world;
+  FaultPlan plan;
+  plan.unsynced_tail = 1;
+  FaultSchedule faults{plan};
+  goosefs::GooseFs::Options options;
+  options.deferred_durability = true;
+  options.faults = &faults;
+  goosefs::GooseFs fs(&world, {"spool"}, options);
+  auto body = [&]() -> Task<Status> {
+    goosefs::Fd fd = (co_await fs.Create("spool", "msg")).value();
+    (void)co_await fs.Append(fd, goosefs::BytesOfString("abcdef"));
+    (void)co_await fs.Sync(fd);
+    (void)co_await fs.Append(fd, goosefs::BytesOfString("ghij"));
+    co_return co_await fs.Close(fd);
+  };
+  EXPECT_TRUE(SimRun(body()).ok());
+  faults.Arm(FaultKind::kUnsyncedTail, FaultPlan::kAnyDisk);
+  world.Crash();
+  // Synced prefix "abcdef" survives; the fault leaves (4+1)/2 = 2 extra
+  // bytes of the unsynced tail behind.
+  auto data = fs.PeekFile("spool", "msg");
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(goosefs::StringOfBytes(*data), "abcdefgh");
+  EXPECT_EQ(faults.injected(FaultKind::kUnsyncedTail), 1u);
+}
+
+TEST(GooseFsFaults, UnarmedCrashTruncatesToSyncedPrefix) {
+  goose::World world;
+  FaultPlan plan;
+  plan.unsynced_tail = 1;  // budget exists but nothing armed
+  FaultSchedule faults{plan};
+  goosefs::GooseFs::Options options;
+  options.deferred_durability = true;
+  options.faults = &faults;
+  goosefs::GooseFs fs(&world, {"spool"}, options);
+  auto body = [&]() -> Task<Status> {
+    goosefs::Fd fd = (co_await fs.Create("spool", "msg")).value();
+    (void)co_await fs.Append(fd, goosefs::BytesOfString("abcdef"));
+    (void)co_await fs.Sync(fd);
+    (void)co_await fs.Append(fd, goosefs::BytesOfString("ghij"));
+    co_return co_await fs.Close(fd);
+  };
+  EXPECT_TRUE(SimRun(body()).ok());
+  world.Crash();
+  auto data = fs.PeekFile("spool", "msg");
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(goosefs::StringOfBytes(*data), "abcdef");
+}
+
+}  // namespace
+}  // namespace perennial::fault
