@@ -1,0 +1,78 @@
+// Machine-readable benchmark output: the `--json <path>` flag shared by
+// bench_sec91_patterns and bench_micro. Each bench collects one PorJsonRow
+// per (system, POR on/off) cell and writes them as a single JSON document
+// (conventionally BENCH_refine.json), so EXPERIMENTS.md tables and CI
+// regression checks can consume checker-reduction numbers without scraping
+// the human-oriented text tables.
+#ifndef PERENNIAL_BENCH_BENCH_JSON_H_
+#define PERENNIAL_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perennial::benchjson {
+
+struct PorJsonRow {
+  std::string system;   // stable slug, e.g. "repl-2writers"
+  bool por = false;     // was sleep-set POR enabled for this run?
+  uint64_t executions = 0;
+  uint64_t deduped = 0;  // histories skipped by fingerprint dedup
+  uint64_t pruned = 0;   // runs aborted by an empty sleep-filtered frontier
+  uint64_t histories = 0;
+  uint64_t violations = 0;
+  double ms = 0;
+};
+
+// Returns the value following "--json" in argv, or nullptr. When `strip`
+// is non-null, every argv entry except the consumed pair is appended to it
+// (for benches that forward remaining args to another parser).
+inline const char* ParseJsonPath(int argc, char** argv, std::vector<char*>* strip) {
+  const char* path = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      path = argv[i + 1];
+      ++i;
+      continue;
+    }
+    if (strip != nullptr) {
+      strip->push_back(argv[i]);
+    }
+  }
+  return path;
+}
+
+// Writes `rows` as {"bench": ..., "rows": [...]}; returns false (with a
+// message on stderr) if the file cannot be opened.
+inline bool WritePorJson(const std::string& path, const std::string& bench,
+                         const std::vector<PorJsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "--json: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench.c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PorJsonRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"system\": \"%s\", \"por\": %s, \"executions\": %llu, "
+                 "\"deduped\": %llu, \"pruned\": %llu, \"histories\": %llu, "
+                 "\"violations\": %llu, \"ms\": %.1f}%s\n",
+                 r.system.c_str(), r.por ? "true" : "false",
+                 static_cast<unsigned long long>(r.executions),
+                 static_cast<unsigned long long>(r.deduped),
+                 static_cast<unsigned long long>(r.pruned),
+                 static_cast<unsigned long long>(r.histories),
+                 static_cast<unsigned long long>(r.violations), r.ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace perennial::benchjson
+
+#endif  // PERENNIAL_BENCH_BENCH_JSON_H_

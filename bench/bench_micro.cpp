@@ -5,8 +5,12 @@
 // checker-throughput numbers in bench_sec91_patterns.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
+#include <vector>
+
+#include "bench/bench_json.h"
 
 #include "src/disk/disk.h"
 #include "src/goose/heap.h"
@@ -225,6 +229,26 @@ BENCHMARK(BM_ExplorerExhaustiveWorkers)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// Sleep-set POR on the same workload: fewer executions (see the counter)
+// at identical verdicts. Arg 0 = POR off (unreduced baseline), Arg 1 = on.
+void BM_ExplorerPartialOrderReduction(benchmark::State& state) {
+  using namespace perennial::systems;  // NOLINT
+  ReplHarnessOptions options;
+  options.num_blocks = 1;
+  options.client_ops = {{ReplSpec::MakeWrite(0, 5), ReplSpec::MakeRead(0)},
+                        {ReplSpec::MakeWrite(0, 7)}};
+  for (auto _ : state) {
+    refine::ExplorerOptions opts;
+    opts.max_crashes = 1;
+    opts.use_por = state.range(0) != 0;
+    refine::Explorer<ReplSpec> ex(ReplSpec{1}, [&] { return MakeReplInstance(options); }, opts);
+    refine::Report report = ex.Run();
+    benchmark::DoNotOptimize(report);
+    state.counters["executions"] = static_cast<double>(report.executions);
+  }
+}
+BENCHMARK(BM_ExplorerPartialOrderReduction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 // Fingerprint pruning on the same workload: identical executions, far
 // fewer linearizability searches (see the deduped counter).
 void BM_ExplorerFingerprintDedup(benchmark::State& state) {
@@ -304,6 +328,73 @@ void BM_MailboatDeliverGooseFs(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboatDeliverGooseFs);
 
+// The --json sweep: the two explorer workloads above, each run once with
+// POR off and once with POR on (fingerprint dedup enabled so the deduped
+// column is populated), timed directly rather than through the
+// google-benchmark loop so each cell is a single comparable run.
+std::vector<perennial::benchjson::PorJsonRow> RunPorJsonSweep() {
+  using namespace perennial::systems;  // NOLINT
+  std::vector<perennial::benchjson::PorJsonRow> rows;
+  struct Workload {
+    std::string slug;
+    ReplHarnessOptions options;
+  };
+  std::vector<Workload> workloads;
+  {
+    Workload w;
+    w.slug = "micro-repl-2writers";
+    w.options.num_blocks = 1;
+    w.options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.slug = "micro-repl-writer-reader";
+    w.options.num_blocks = 1;
+    w.options.client_ops = {{ReplSpec::MakeWrite(0, 5), ReplSpec::MakeRead(0)},
+                            {ReplSpec::MakeWrite(0, 7)}};
+    workloads.push_back(std::move(w));
+  }
+  for (const Workload& w : workloads) {
+    for (bool por : {false, true}) {
+      refine::ExplorerOptions opts;
+      opts.max_crashes = 1;
+      opts.dedup_histories = true;
+      opts.use_por = por;
+      opts.memoize_spec_prefixes = por;  // "after" = the full pruning engine
+      auto start = std::chrono::steady_clock::now();
+      refine::Explorer<ReplSpec> ex(ReplSpec{1}, [&] { return MakeReplInstance(w.options); },
+                                    opts);
+      refine::Report report = ex.Run();
+      double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                            start)
+                      .count();
+      rows.push_back({w.slug, por, report.executions, report.histories_deduped,
+                      report.por_pruned, report.histories_checked,
+                      static_cast<uint64_t>(report.violations.size()), ms});
+    }
+  }
+  return rows;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> passthrough;
+  const char* json_path = perennial::benchjson::ParseJsonPath(argc, argv, &passthrough);
+  if (json_path != nullptr) {
+    auto rows = RunPorJsonSweep();
+    if (!perennial::benchjson::WritePorJson(json_path, "bench_micro", rows)) {
+      return 1;
+    }
+    std::printf("wrote %zu before/after rows to %s\n", rows.size(), json_path);
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

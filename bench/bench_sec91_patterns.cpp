@@ -16,9 +16,12 @@
 //    obligation is what rejects bogus recoveries.
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "bench/bench_json.h"
 #include "src/base/table.h"
 #include "src/mailboat/mail_harness.h"
 #include "src/refine/explorer.h"
@@ -43,9 +46,7 @@ struct RowResult {
 };
 
 template <typename Spec, typename Factory>
-RowResult RunChecker(Spec spec, Factory factory, int max_crashes) {
-  ExplorerOptions opts;
-  opts.max_crashes = max_crashes;
+RowResult RunCheckerOpts(Spec spec, Factory factory, ExplorerOptions opts) {
   auto start = std::chrono::steady_clock::now();
   Explorer<Spec> ex(std::move(spec), factory, opts);
   RowResult row;
@@ -53,6 +54,133 @@ RowResult RunChecker(Spec spec, Factory factory, int max_crashes) {
   row.ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
                .count();
   return row;
+}
+
+template <typename Spec, typename Factory>
+RowResult RunChecker(Spec spec, Factory factory, int max_crashes) {
+  ExplorerOptions opts;
+  opts.max_crashes = max_crashes;
+  return RunCheckerOpts(std::move(spec), std::move(factory), opts);
+}
+
+// One §9.1 pattern, registered once and run under several option sets (the
+// headline table, then the POR before/after sweep). `run` must be a pure
+// function of the options: the harness options are captured by value.
+struct Sec91System {
+  std::string name;  // table label
+  std::string slug;  // stable JSON identifier
+  int max_crashes = 1;
+  std::function<RowResult(ExplorerOptions)> run;
+};
+
+std::vector<Sec91System> BuildSystems() {
+  std::vector<Sec91System> systems;
+  {
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
+    systems.push_back({"Replicated disk (2 writers)", "repl-2writers", 1,
+                       [options](ExplorerOptions opts) {
+                         return RunCheckerOpts(
+                             ReplSpec{1}, [options] { return MakeReplInstance(options); }, opts);
+                       }});
+  }
+  {
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 9)}, {ReplSpec::MakeRead(0)}};
+    options.with_disk1_failure_event = true;
+    systems.push_back({"Replicated disk (failover)", "repl-failover", 1,
+                       [options](ExplorerOptions opts) {
+                         return RunCheckerOpts(
+                             ReplSpec{1}, [options] { return MakeReplInstance(options); }, opts);
+                       }});
+  }
+  {
+    ShadowHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2)}, {PairSpec::MakeWrite(3, 4)}};
+    systems.push_back({"Shadow copy (2 writers)", "shadow-2writers", 1,
+                       [options](ExplorerOptions opts) {
+                         return RunCheckerOpts(
+                             PairSpec{}, [options] { return MakeShadowInstance(options); }, opts);
+                       }});
+  }
+  {
+    WalHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2)}, {PairSpec::MakeWrite(3, 4)}};
+    systems.push_back({"Write-ahead log (2 writers)", "wal-2writers", 1,
+                       [options](ExplorerOptions opts) {
+                         return RunCheckerOpts(
+                             PairSpec{}, [options] { return MakeWalInstance(options); }, opts);
+                       }});
+  }
+  {
+    WalHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2)}};
+    systems.push_back({"Write-ahead log (recovery crash)", "wal-recovery-crash", 2,
+                       [options](ExplorerOptions opts) {
+                         return RunCheckerOpts(
+                             PairSpec{}, [options] { return MakeWalInstance(options); }, opts);
+                       }});
+  }
+  {
+    GcHarnessOptions options;
+    options.client_ops = {{GcSpec::MakeWrite(1)}, {GcSpec::MakeWrite(2)}, {GcSpec::MakeFlush()}};
+    systems.push_back({"Group commit (2 writers + flush)", "group-commit", 1,
+                       [options](ExplorerOptions opts) {
+                         return RunCheckerOpts(
+                             GcSpec{}, [options] { return MakeGcInstance(options); }, opts);
+                       }});
+  }
+  {
+    mailboat::MailHarnessOptions options;
+    options.num_users = 1;
+    options.client_scripts = {
+        {{mailboat::MailAction::Kind::kDeliver, 0, "a"}},
+        {{mailboat::MailAction::Kind::kPickupDeleteAllUnlock, 0, ""}},
+    };
+    systems.push_back({"Mailboat (deliver vs pickup+delete)", "mailboat", 1,
+                       [options](ExplorerOptions opts) {
+                         return RunCheckerOpts(
+                             mailboat::MailSpec{1},
+                             [options] { return mailboat::MakeMailInstance(options); }, opts);
+                       }});
+  }
+  {
+    // Extension: the mini flash translation layer (§1's "lower-level
+    // storage systems like ... flash translation layers").
+    FtlHarnessOptions options;
+    options.num_lbas = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
+    systems.push_back({"Mini-FTL (2 writers; extension)", "ftl-2writers", 1,
+                       [options](ExplorerOptions opts) {
+                         return RunCheckerOpts(
+                             ReplSpec{1}, [options] { return MakeFtlInstance(options); }, opts);
+                       }});
+  }
+  {
+    // Extension beyond the paper: the general transaction-log engine.
+    TxnHarnessOptions options;
+    options.num_addrs = 2;
+    options.client_ops = {{TxnSpec::MakeBatch({{0, 1}, {1, 2}})}, {TxnSpec::MakeRead(0)}};
+    systems.push_back({"Txn log (batch vs reader; extension)", "txnlog", 1,
+                       [options](ExplorerOptions opts) {
+                         return RunCheckerOpts(
+                             TxnSpec{2}, [options] { return MakeTxnInstance(options); }, opts);
+                       }});
+  }
+  {
+    // Extension beyond the paper: the layered KV store (DESIGN.md §4).
+    KvHarnessOptions options;
+    options.num_keys = 2;
+    options.client_ops = {{KvSpec::MakePutPair(0, 1, 1, 2)}, {KvSpec::MakeGet(0)}};
+    systems.push_back({"Durable KV (txn vs reader; extension)", "durable-kv", 1,
+                       [options](ExplorerOptions opts) {
+                         return RunCheckerOpts(
+                             KvSpec{2}, [options] { return MakeKvInstance(options); }, opts);
+                       }});
+  }
+  return systems;
 }
 
 void AddRow(TextTable& table, const std::string& name, const RowResult& row) {
@@ -64,89 +192,72 @@ void AddRow(TextTable& table, const std::string& name, const RowResult& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = perennial::benchjson::ParseJsonPath(argc, argv, nullptr);
+
   std::printf("== Section 9.1: checker verification of every crash-safety pattern ==\n");
   std::printf("(exhaustive over the configured workloads; crashes may also hit recovery)\n\n");
 
+  std::vector<Sec91System> systems = BuildSystems();
+
   TextTable table({"Pattern", "executions", "steps", "crashes", "spec states", "violations",
                    "time"});
-
-  {
-    ReplHarnessOptions options;
-    options.num_blocks = 1;
-    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
-    AddRow(table, "Replicated disk (2 writers)",
-           RunChecker(ReplSpec{1}, [&] { return MakeReplInstance(options); }, 1));
-  }
-  {
-    ReplHarnessOptions options;
-    options.num_blocks = 1;
-    options.client_ops = {{ReplSpec::MakeWrite(0, 9)}, {ReplSpec::MakeRead(0)}};
-    options.with_disk1_failure_event = true;
-    AddRow(table, "Replicated disk (failover)",
-           RunChecker(ReplSpec{1}, [&] { return MakeReplInstance(options); }, 1));
-  }
-  {
-    ShadowHarnessOptions options;
-    options.client_ops = {{PairSpec::MakeWrite(1, 2)}, {PairSpec::MakeWrite(3, 4)}};
-    AddRow(table, "Shadow copy (2 writers)",
-           RunChecker(PairSpec{}, [&] { return MakeShadowInstance(options); }, 1));
-  }
-  {
-    WalHarnessOptions options;
-    options.client_ops = {{PairSpec::MakeWrite(1, 2)}, {PairSpec::MakeWrite(3, 4)}};
-    AddRow(table, "Write-ahead log (2 writers)",
-           RunChecker(PairSpec{}, [&] { return MakeWalInstance(options); }, 1));
-  }
-  {
-    WalHarnessOptions options;
-    options.client_ops = {{PairSpec::MakeWrite(1, 2)}};
-    AddRow(table, "Write-ahead log (recovery crash)",
-           RunChecker(PairSpec{}, [&] { return MakeWalInstance(options); }, 2));
-  }
-  {
-    GcHarnessOptions options;
-    options.client_ops = {{GcSpec::MakeWrite(1)}, {GcSpec::MakeWrite(2)}, {GcSpec::MakeFlush()}};
-    AddRow(table, "Group commit (2 writers + flush)",
-           RunChecker(GcSpec{}, [&] { return MakeGcInstance(options); }, 1));
-  }
-  {
-    mailboat::MailHarnessOptions options;
-    options.num_users = 1;
-    options.client_scripts = {
-        {{mailboat::MailAction::Kind::kDeliver, 0, "a"}},
-        {{mailboat::MailAction::Kind::kPickupDeleteAllUnlock, 0, ""}},
-    };
-    AddRow(table, "Mailboat (deliver vs pickup+delete)",
-           RunChecker(mailboat::MailSpec{1}, [&] { return mailboat::MakeMailInstance(options); },
-                      1));
-  }
-  {
-    // Extension: the mini flash translation layer (§1's "lower-level
-    // storage systems like ... flash translation layers").
-    FtlHarnessOptions options;
-    options.num_lbas = 1;
-    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
-    AddRow(table, "Mini-FTL (2 writers; extension)",
-           RunChecker(ReplSpec{1}, [&] { return MakeFtlInstance(options); }, 1));
-  }
-  {
-    // Extension beyond the paper: the general transaction-log engine.
-    TxnHarnessOptions options;
-    options.num_addrs = 2;
-    options.client_ops = {{TxnSpec::MakeBatch({{0, 1}, {1, 2}})}, {TxnSpec::MakeRead(0)}};
-    AddRow(table, "Txn log (batch vs reader; extension)",
-           RunChecker(TxnSpec{2}, [&] { return MakeTxnInstance(options); }, 1));
-  }
-  {
-    // Extension beyond the paper: the layered KV store (DESIGN.md §4).
-    KvHarnessOptions options;
-    options.num_keys = 2;
-    options.client_ops = {{KvSpec::MakePutPair(0, 1, 1, 2)}, {KvSpec::MakeGet(0)}};
-    AddRow(table, "Durable KV (txn vs reader; extension)",
-           RunChecker(KvSpec{2}, [&] { return MakeKvInstance(options); }, 1));
+  for (const Sec91System& sys : systems) {
+    ExplorerOptions opts;
+    opts.max_crashes = sys.max_crashes;
+    AddRow(table, sys.name, sys.run(opts));
   }
   std::printf("%s\n", table.Render().c_str());
+
+  std::printf("== State-space pruning: before/after per pattern ==\n");
+  std::printf("(before = sleep-set POR and spec-prefix memoization both off; after = both\n");
+  std::printf(" on; workloads identical to the headline table. Verdicts must not change —\n");
+  std::printf(" the tier2-por equivalence suite enforces that.)\n\n");
+  std::vector<perennial::benchjson::PorJsonRow> json_rows;
+  {
+    TextTable por({"Pattern", "execs off", "execs on", "reduction", "spec states on",
+                   "time off", "time on", "speedup"});
+    double total_off_ms = 0;
+    double total_on_ms = 0;
+    uint64_t total_off_execs = 0;
+    uint64_t total_on_execs = 0;
+    for (const Sec91System& sys : systems) {
+      ExplorerOptions opts;
+      opts.max_crashes = sys.max_crashes;
+      opts.use_por = false;
+      opts.memoize_spec_prefixes = false;
+      RowResult off = sys.run(opts);
+      opts.use_por = true;
+      opts.memoize_spec_prefixes = true;
+      RowResult on = sys.run(opts);
+      total_off_ms += off.ms;
+      total_on_ms += on.ms;
+      total_off_execs += off.report.executions;
+      total_on_execs += on.report.executions;
+      for (const RowResult* r : {&off, &on}) {
+        json_rows.push_back({sys.slug, r == &on, r->report.executions,
+                             r->report.histories_deduped, r->report.por_pruned,
+                             r->report.histories_checked,
+                             static_cast<uint64_t>(r->report.violations.size()), r->ms});
+      }
+      por.AddRow({sys.name, WithCommas(off.report.executions),
+                  WithCommas(on.report.executions),
+                  FixedDigits(static_cast<double>(off.report.executions) /
+                                  static_cast<double>(on.report.executions ? on.report.executions
+                                                                           : 1),
+                              1) + "x",
+                  WithCommas(on.report.spec_states_explored), FixedDigits(off.ms, 0) + " ms",
+                  FixedDigits(on.ms, 0) + " ms",
+                  FixedDigits(off.ms / (on.ms > 0 ? on.ms : 1), 1) + "x"});
+    }
+    por.AddRow({"TOTAL", WithCommas(total_off_execs), WithCommas(total_on_execs),
+                FixedDigits(static_cast<double>(total_off_execs) /
+                                static_cast<double>(total_on_execs ? total_on_execs : 1),
+                            1) + "x",
+                "", FixedDigits(total_off_ms, 0) + " ms", FixedDigits(total_on_ms, 0) + " ms",
+                FixedDigits(total_off_ms / (total_on_ms > 0 ? total_on_ms : 1), 1) + "x"});
+    std::printf("%s\n", por.Render().c_str());
+  }
 
   std::printf("== Ablations ==\n\n");
   TextTable ablation({"Configuration", "executions", "crashes", "violations", "time"});
@@ -249,5 +360,13 @@ int main() {
       "pattern row must show 0 violations; the ablation row must show >0 —\n"
       "the helping obligation is what rejects a recovery that lies about\n"
       "completing a committed transaction.\n");
+
+  if (json_path != nullptr) {
+    if (perennial::benchjson::WritePorJson(json_path, "bench_sec91_patterns", json_rows)) {
+      std::printf("\nwrote %zu before/after rows to %s\n", json_rows.size(), json_path);
+    } else {
+      return 1;
+    }
+  }
   return 0;
 }

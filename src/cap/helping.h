@@ -24,6 +24,7 @@
 #include <string>
 
 #include "src/base/panic.h"
+#include "src/proc/footprint.h"
 
 namespace perennial::cap {
 
@@ -41,6 +42,7 @@ class HelpRegistry {
   // threads both claim the in-flight update of one resource, which the
   // locking discipline must prevent.
   void Deposit(const std::string& key, PendingOp op) {
+    RecordMutation(key);
     auto [it, inserted] = tokens_.try_emplace(key, op);
     if (!inserted) {
       RaiseUb("helping: second pending op deposited for '" + key + "'");
@@ -49,6 +51,7 @@ class HelpRegistry {
 
   // Withdraws the token after the operation completes normally.
   void Withdraw(const std::string& key) {
+    RecordMutation(key);
     size_t erased = tokens_.erase(key);
     if (erased == 0) {
       RaiseUb("helping: withdraw of absent token '" + key + "'");
@@ -59,6 +62,7 @@ class HelpRegistry {
   // the operation on the crashed thread's behalf. nullopt when no operation
   // was in flight (the common, already-consistent case).
   std::optional<PendingOp> Take(const std::string& key) {
+    RecordMutation(key);
     auto it = tokens_.find(key);
     if (it == tokens_.end()) {
       return std::nullopt;
@@ -73,6 +77,15 @@ class HelpRegistry {
   void Clear() { tokens_.clear(); }
 
  private:
+  // Registries have no World handle, so keys hash under instance 0 — two
+  // registries' identical keys alias, which only adds dependence (sound).
+  // Token mutations are also invariant-visible: crash invariants consult
+  // Has(), so deposits/withdrawals join the shared invariant resource.
+  void RecordMutation(const std::string& key) {
+    proc::RecordAccess(proc::MixResourceKey(proc::kResRegistry, 0, key), /*write=*/true);
+    proc::RecordAccess(proc::MixResource(proc::kResInvariant, 0), /*write=*/true);
+  }
+
   std::map<std::string, PendingOp> tokens_;
 };
 

@@ -25,6 +25,7 @@
 
 #include "src/base/panic.h"
 #include "src/goose/world.h"
+#include "src/proc/footprint.h"
 
 namespace perennial::cap {
 
@@ -40,12 +41,16 @@ struct Lease {
 
 class LeaseRegistry : public goose::CrashAware {
  public:
-  explicit LeaseRegistry(goose::World* world) : world_(world) { world->Register(this); }
+  explicit LeaseRegistry(goose::World* world)
+      : world_(world), instance_(world->NextResourceId()) {
+    world->Register(this);
+  }
 
   // Synthesizes the lease for `resource` in the current generation.
   // Permitted once per resource per generation (rule 2); recovery calls
   // this after a crash to re-lease every durable resource (rule 3).
   Lease Issue(const std::string& resource) {
+    proc::RecordAccess(KeyRes(resource), /*write=*/true);
     uint64_t gen = world_->generation();
     auto [it, inserted] = issued_.try_emplace(resource, next_serial_);
     if (!inserted) {
@@ -57,6 +62,7 @@ class LeaseRegistry : public goose::CrashAware {
   // Verifies that `lease` is the valid, current-generation lease for its
   // resource; systems call this on every leased write path (rule 1).
   void Verify(const Lease& lease, const char* op) const {
+    proc::RecordAccess(KeyRes(lease.resource), /*write=*/false);
     if (lease.gen != world_->generation()) {
       RaiseUb(std::string(op) + ": lease for '" + lease.resource +
               "' is from a previous crash generation");
@@ -70,6 +76,7 @@ class LeaseRegistry : public goose::CrashAware {
   // Voluntarily returns a lease (e.g. when a resource is destroyed); the
   // resource may then be leased again within the same generation.
   void Release(const Lease& lease) {
+    proc::RecordAccess(KeyRes(lease.resource), /*write=*/true);
     Verify(lease, "Release");
     issued_.erase(lease.resource);
   }
@@ -80,7 +87,12 @@ class LeaseRegistry : public goose::CrashAware {
   void OnCrash() override { issued_.clear(); }
 
  private:
+  uint64_t KeyRes(const std::string& resource) const {
+    return proc::MixResourceKey(proc::kResRegistry, instance_, resource);
+  }
+
   goose::World* world_;
+  uint64_t instance_;  // distinguishes this registry's keys in footprints
   std::map<std::string, uint64_t> issued_;  // resource -> live serial
   uint64_t next_serial_ = 1;
 };

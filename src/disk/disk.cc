@@ -19,12 +19,14 @@ uint64_t U64OfBlock(const Block& b) {
 }
 
 Disk::Disk(goose::World* world, uint64_t num_blocks, Block initial)
-    : blocks_(num_blocks, std::move(initial)) {
+    : base_(world->NextResourceId()), blocks_(num_blocks, std::move(initial)) {
   world->Register(this);
 }
 
 proc::Task<Result<Block>> Disk::Read(uint64_t a) {
   co_await proc::Yield();
+  proc::RecordAccess(MetaRes(), /*write=*/false);  // consults failed_
+  proc::RecordAccess(SectorRes(a), /*write=*/false);
   if (failed_) {
     co_return Status::Failed("disk failed");
   }
@@ -36,6 +38,12 @@ proc::Task<Result<Block>> Disk::Read(uint64_t a) {
 
 proc::Task<Status> Disk::Write(uint64_t a, Block value) {
   co_await proc::Yield();
+  proc::RecordAccess(MetaRes(), /*write=*/false);  // consults failed_
+  proc::RecordAccess(SectorRes(a), /*write=*/true);
+  // Crash invariants read disk contents via PeekBlock, so any sector write
+  // can change the truth of an invariant; the shared invariant resource
+  // makes all such steps mutually dependent (never reordered by POR).
+  proc::RecordAccess(proc::MixResource(proc::kResInvariant, 0), /*write=*/true);
   if (failed_) {
     // Fail-stop: the write is absorbed (the disk's contents are gone
     // anyway), but the caller is told — silently returning Ok here made it

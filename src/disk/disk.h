@@ -16,6 +16,7 @@
 
 #include "src/base/status.h"
 #include "src/goose/world.h"
+#include "src/proc/footprint.h"
 #include "src/proc/scheduler.h"
 #include "src/proc/task.h"
 
@@ -45,7 +46,13 @@ class Disk : public goose::CrashAware {
   proc::Task<Status> Write(uint64_t a, Block value);
 
   // Fail-stop injection (harness / explorer): from now on reads fail.
-  void Fail() { failed_ = true; }
+  // Failure flips invariant-visible state (crash invariants consult
+  // failed()), so it conflicts with every other invariant-visible step.
+  void Fail() {
+    proc::RecordAccess(MetaRes(), /*write=*/true);
+    proc::RecordAccess(proc::MixResource(proc::kResInvariant, 0), /*write=*/true);
+    failed_ = true;
+  }
   bool failed() const { return failed_; }
 
   // Durability: contents survive a crash; a failed disk stays failed.
@@ -56,6 +63,10 @@ class Disk : public goose::CrashAware {
   void PokeBlock(uint64_t a, Block value);
 
  private:
+  uint64_t MetaRes() const { return proc::MixResource(proc::kResDiskMeta, base_); }
+  uint64_t SectorRes(uint64_t a) const { return proc::MixResource(proc::kResDiskSector, base_, a); }
+
+  uint64_t base_;  // world-unique id distinguishing this disk's resources
   std::vector<Block> blocks_;
   bool failed_ = false;
 };

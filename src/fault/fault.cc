@@ -1,8 +1,19 @@
 #include "src/fault/fault.h"
 
 #include "src/base/panic.h"
+#include "src/proc/footprint.h"
+#include "src/proc/scheduler.h"
 
 namespace perennial::fault {
+
+namespace {
+// FaultSchedule has no World pointer, so slots are keyed globally per kind.
+// That merges slots across schedules, which only adds dependence edges — a
+// sound (and in practice free: one schedule per execution) coarsening.
+uint64_t SlotRes(FaultKind kind) {
+  return proc::MixResource(proc::kResFaultSlot, static_cast<uint64_t>(kind));
+}
+}  // namespace
 
 const char* FaultKindName(FaultKind kind) {
   switch (kind) {
@@ -21,10 +32,14 @@ const char* FaultKindName(FaultKind kind) {
 }
 
 void FaultSchedule::Arm(FaultKind kind, int target) {
+  proc::RecordAccess(SlotRes(kind), /*write=*/true);
   armed_.push_back(ArmedFault{kind, target});
 }
 
 bool FaultSchedule::Consume(FaultKind kind, int disk_id) {
+  // Always at least a read: whether a fault fires depends on the armed list,
+  // so a consuming step orders against every Arm of the same kind.
+  proc::RecordAccess(SlotRes(kind), /*write=*/false);
   for (auto it = armed_.begin(); it != armed_.end(); ++it) {
     if (it->kind != kind) {
       continue;
@@ -32,6 +47,7 @@ bool FaultSchedule::Consume(FaultKind kind, int disk_id) {
     if (it->target != kAnyDisk && it->target != disk_id) {
       continue;
     }
+    proc::RecordAccess(SlotRes(kind), /*write=*/true);  // fired: slot state changed
     armed_.erase(it);
     ++injected_[static_cast<size_t>(kind)];
     return true;

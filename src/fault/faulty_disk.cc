@@ -10,10 +10,12 @@ proc::Task<Result<disk::Block>> FaultyDisk::Read(uint64_t a) {
     if (faults_->Consume(FaultKind::kFailSlow, disk_id_)) {
       for (int i = 0; i < faults_->plan().fail_slow_delay; ++i) {
         co_await proc::Yield();
+        proc::RecordPure();  // the delay step itself touches nothing shared
       }
     }
     if (faults_->Consume(FaultKind::kTransientRead, disk_id_)) {
       co_await proc::Yield();
+      proc::RecordPure();  // the error return reaches only caller-local state
       co_return Status::Unavailable("transient read fault at block " + std::to_string(a));
     }
   }
@@ -25,10 +27,12 @@ proc::Task<Status> FaultyDisk::Write(uint64_t a, disk::Block value) {
     if (faults_->Consume(FaultKind::kFailSlow, disk_id_)) {
       for (int i = 0; i < faults_->plan().fail_slow_delay; ++i) {
         co_await proc::Yield();
+        proc::RecordPure();
       }
     }
     if (faults_->Consume(FaultKind::kTransientWrite, disk_id_)) {
       co_await proc::Yield();
+      proc::RecordPure();
       co_return Status::Unavailable("transient write fault at block " + std::to_string(a));
     }
     if (faults_->TornApplies(a) && faults_->Consume(FaultKind::kTornWrite, disk_id_)) {
@@ -42,6 +46,7 @@ proc::Task<Status> FaultyDisk::Write(uint64_t a, disk::Block value) {
         torn_image[i] = value[i];
       }
       Status s = co_await disk::Disk::Write(a, std::move(value));
+      proc::RecordAccess(torn_res_, /*write=*/true);
       if (s.ok()) {
         torn_[a] = std::move(torn_image);
       }
@@ -49,6 +54,11 @@ proc::Task<Status> FaultyDisk::Write(uint64_t a, disk::Block value) {
     }
   }
   Status s = co_await disk::Disk::Write(a, std::move(value));
+  if (TornPossible()) {
+    // Overwrites clear pending tears, so with torn faults in play every
+    // write orders against Barrier and against torn writes of any block.
+    proc::RecordAccess(torn_res_, /*write=*/true);
+  }
   if (s.ok()) {
     // A fresh, un-torn overwrite supersedes any pending tear: the whole
     // block is atomically durable again.
@@ -59,6 +69,14 @@ proc::Task<Status> FaultyDisk::Write(uint64_t a, disk::Block value) {
 
 proc::Task<void> FaultyDisk::Barrier() {
   co_await proc::Yield();
+  if (TornPossible()) {
+    proc::RecordAccess(torn_res_, /*write=*/true);
+    // Flushing pending tears changes the image a crash would leave, which
+    // crash invariants observe via PeekDurable.
+    proc::RecordAccess(proc::MixResource(proc::kResInvariant, 0), /*write=*/true);
+  } else {
+    proc::RecordPure();
+  }
   torn_.clear();
 }
 

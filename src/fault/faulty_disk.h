@@ -40,7 +40,10 @@ class FaultyDisk : public disk::Disk {
   // replicated disk uses 1 and 2 to mirror d1/d2).
   FaultyDisk(goose::World* world, uint64_t num_blocks, disk::Block initial,
              FaultSchedule* faults = nullptr, int disk_id = 0)
-      : disk::Disk(world, num_blocks, std::move(initial)), faults_(faults), disk_id_(disk_id) {}
+      : disk::Disk(world, num_blocks, std::move(initial)),
+        torn_res_(proc::MixResource(proc::kResTornMeta, world->NextResourceId())),
+        faults_(faults),
+        disk_id_(disk_id) {}
 
   proc::Task<Result<disk::Block>> Read(uint64_t a);
   proc::Task<Status> Write(uint64_t a, disk::Block value);
@@ -57,6 +60,11 @@ class FaultyDisk : public disk::Disk {
   bool HasTornPending() const { return !torn_.empty(); }
 
  private:
+  // True when torn writes are in play, i.e. the torn_ map can ever be
+  // non-empty; only then do operations pay the torn-metadata footprint.
+  bool TornPossible() const { return faults_ != nullptr && faults_->plan().torn_writes > 0; }
+
+  uint64_t torn_res_;  // DPOR resource covering the torn_ pending map
   FaultSchedule* faults_;
   int disk_id_;
   // Block -> durable image while a torn write is pending (cleared by

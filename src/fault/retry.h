@@ -57,6 +57,7 @@ std::invoke_result_t<F&> RetryWithBackoff(RetryPolicy policy, F&& op) {
     }
     for (int i = 0; i < backoff; ++i) {
       co_await proc::Yield();
+      proc::RecordPure();  // backoff steps only advance loop-local counters
     }
     if (backoff < policy.backoff_cap) {
       backoff = backoff * 2 < policy.backoff_cap ? backoff * 2 : policy.backoff_cap;

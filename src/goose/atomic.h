@@ -19,6 +19,7 @@
 
 #include "src/base/panic.h"
 #include "src/goose/world.h"
+#include "src/proc/footprint.h"
 #include "src/proc/scheduler.h"
 #include "src/proc/task.h"
 
@@ -27,18 +28,23 @@ namespace perennial::goose {
 class AtomicU64 {
  public:
   AtomicU64(World* world, uint64_t initial)
-      : world_(world), gen_(world->generation()), value_(initial) {}
+      : world_(world),
+        gen_(world->generation()),
+        res_(proc::MixResource(proc::kResSync, world->NextResourceId())),
+        value_(initial) {}
   AtomicU64(const AtomicU64&) = delete;
   AtomicU64& operator=(const AtomicU64&) = delete;
 
   proc::Task<uint64_t> Load() {
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/false);
     CheckGeneration("Load");
     co_return value_.load(std::memory_order_seq_cst);
   }
 
   proc::Task<void> Store(uint64_t value) {
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Store");
     value_.store(value, std::memory_order_seq_cst);
   }
@@ -46,6 +52,7 @@ class AtomicU64 {
   // Returns the NEW value, like Go's atomic.AddUint64.
   proc::Task<uint64_t> Add(uint64_t delta) {
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Add");
     co_return value_.fetch_add(delta, std::memory_order_seq_cst) + delta;
   }
@@ -53,6 +60,10 @@ class AtomicU64 {
   // Returns true iff the swap happened.
   proc::Task<bool> CompareAndSwap(uint64_t expected, uint64_t desired) {
     co_await proc::Yield();
+    // Conservatively a write even when the swap fails: a failed CAS still
+    // read the word, and the sleeping-alternative bookkeeping is cheaper
+    // with one uniform classification.
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("CompareAndSwap");
     uint64_t e = expected;
     co_return value_.compare_exchange_strong(e, desired, std::memory_order_seq_cst);
@@ -69,6 +80,7 @@ class AtomicU64 {
 
   World* world_;
   uint64_t gen_;
+  uint64_t res_;
   // std::atomic carries the native-mode semantics; in simulation the
   // single-step model already serializes accesses.
   std::atomic<uint64_t> value_;

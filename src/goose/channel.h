@@ -28,6 +28,7 @@
 
 #include "src/base/panic.h"
 #include "src/goose/world.h"
+#include "src/proc/footprint.h"
 #include "src/proc/scheduler.h"
 #include "src/proc/task.h"
 
@@ -37,7 +38,10 @@ template <typename T>
 class Chan {
  public:
   Chan(World* world, size_t capacity)
-      : world_(world), gen_(world->generation()), capacity_(capacity == 0 ? 1 : capacity) {}
+      : world_(world),
+        gen_(world->generation()),
+        res_(proc::MixResource(proc::kResSync, world->NextResourceId())),
+        capacity_(capacity == 0 ? 1 : capacity) {}
   Chan(const Chan&) = delete;
   Chan& operator=(const Chan&) = delete;
 
@@ -51,11 +55,15 @@ class Chan {
       co_return;
     }
     co_await proc::Yield();
+    // Channel operations all touch the shared buffer/closed word; like the
+    // mutex, every attempt (including blocked retries) is a footprint write.
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Send");
     proc::Scheduler* sched = proc::CurrentScheduler();
     while (!closed_ && buffer_.size() >= capacity_) {
       waiters_.push_back(sched->current_tid());
       co_await proc::BlockCurrentThread();
+      proc::RecordAccess(res_, /*write=*/true);
       CheckGeneration("Send");
     }
     if (closed_) {
@@ -78,11 +86,13 @@ class Chan {
       co_return value;
     }
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Recv");
     proc::Scheduler* sched = proc::CurrentScheduler();
     while (!closed_ && buffer_.empty()) {
       waiters_.push_back(sched->current_tid());
       co_await proc::BlockCurrentThread();
+      proc::RecordAccess(res_, /*write=*/true);
       CheckGeneration("Recv");
     }
     if (buffer_.empty()) {
@@ -106,6 +116,7 @@ class Chan {
       co_return value;
     }
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("TryRecv");
     if (buffer_.empty()) {
       co_return std::nullopt;
@@ -125,6 +136,7 @@ class Chan {
       co_return;
     }
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Close");
     if (closed_) {
       RaiseUb("Chan::Close of an already-closed channel");
@@ -152,6 +164,7 @@ class Chan {
 
   World* world_;
   uint64_t gen_;
+  uint64_t res_;
   size_t capacity_;
   bool closed_ = false;
   std::deque<T> buffer_;

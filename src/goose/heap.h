@@ -24,6 +24,7 @@
 
 #include "src/base/panic.h"
 #include "src/goose/world.h"
+#include "src/proc/footprint.h"
 #include "src/proc/scheduler.h"
 #include "src/proc/task.h"
 
@@ -65,12 +66,16 @@ struct Slice {
 
 class Heap : public CrashAware {
  public:
-  explicit Heap(World* world) : world_(world) { world_->Register(this); }
+  explicit Heap(World* world)
+      : world_(world), alloc_res_(proc::MixResource(proc::kResHeapAlloc, world->NextResourceId())) {
+    world_->Register(this);
+  }
 
   // --- Pointers ---
 
   template <typename T>
   Ptr<T> New(T value) {
+    proc::RecordAccess(alloc_res_, /*write=*/true);
     auto cell = std::make_unique<Cell<T>>();
     cell->value = std::move(value);
     cells_.push_back(std::move(cell));
@@ -81,6 +86,7 @@ class Heap : public CrashAware {
   template <typename T>
   proc::Task<T> Load(Ptr<T> p) {
     co_await proc::Yield();
+    proc::RecordAccess(CellRes(p.id), /*write=*/false);
     Cell<T>& cell = Resolve<T>(p, "Load");
     if (cell.write_active) {
       RaiseUb("Goose race: load overlaps an in-flight store");
@@ -94,6 +100,7 @@ class Heap : public CrashAware {
   proc::Task<void> Store(Ptr<T> p, T value) {
     co_await proc::Yield();
     {
+      proc::RecordAccess(CellRes(p.id), /*write=*/true);
       Cell<T>& cell = Resolve<T>(p, "Store");
       if (cell.write_active) {
         RaiseUb("Goose race: two stores overlap");
@@ -102,6 +109,7 @@ class Heap : public CrashAware {
     }
     co_await proc::Yield();
     {
+      proc::RecordAccess(CellRes(p.id), /*write=*/true);
       Cell<T>& cell = Resolve<T>(p, "Store");
       cell.value = std::move(value);
       cell.write_active = false;
@@ -112,6 +120,7 @@ class Heap : public CrashAware {
 
   template <typename T>
   Slice<T> NewSlice(uint64_t count, T fill = T{}) {
+    proc::RecordAccess(alloc_res_, /*write=*/true);
     auto arr = std::make_unique<Array<T>>();
     arr->data.assign(count, fill);
     cells_.push_back(std::move(arr));
@@ -120,6 +129,7 @@ class Heap : public CrashAware {
 
   template <typename T>
   Slice<T> SliceFromVector(std::vector<T> values) {
+    proc::RecordAccess(alloc_res_, /*write=*/true);
     auto arr = std::make_unique<Array<T>>();
     uint64_t count = values.size();
     arr->data = std::move(values);
@@ -131,6 +141,7 @@ class Heap : public CrashAware {
   template <typename T>
   proc::Task<T> SliceGet(Slice<T> s, uint64_t i) {
     co_await proc::Yield();
+    proc::RecordAccess(CellRes(s.id), /*write=*/false);
     Array<T>& arr = ResolveArray<T>(s, "SliceGet");
     if (arr.write_active) {
       RaiseUb("Goose race: slice read overlaps an in-flight write");
@@ -144,6 +155,7 @@ class Heap : public CrashAware {
   proc::Task<void> SliceSet(Slice<T> s, uint64_t i, T value) {
     co_await proc::Yield();
     {
+      proc::RecordAccess(CellRes(s.id), /*write=*/true);
       Array<T>& arr = ResolveArray<T>(s, "SliceSet");
       if (arr.write_active) {
         RaiseUb("Goose race: two slice writes overlap");
@@ -153,6 +165,7 @@ class Heap : public CrashAware {
     }
     co_await proc::Yield();
     {
+      proc::RecordAccess(CellRes(s.id), /*write=*/true);
       Array<T>& arr = ResolveArray<T>(s, "SliceSet");
       arr.data[s.off + i] = std::move(value);
       arr.write_active = false;
@@ -165,6 +178,7 @@ class Heap : public CrashAware {
   template <typename T>
   proc::Task<Slice<T>> SliceAppend(Slice<T> s, T value) {
     co_await proc::Yield();
+    proc::RecordAccess(CellRes(s.id), /*write=*/false);
     std::vector<T> copy;
     {
       Array<T>& arr = ResolveArray<T>(s, "SliceAppend");
@@ -183,6 +197,7 @@ class Heap : public CrashAware {
   template <typename T>
   proc::Task<std::vector<T>> SliceCopyOut(Slice<T> s, uint64_t lo, uint64_t hi) {
     co_await proc::Yield();
+    proc::RecordAccess(CellRes(s.id), /*write=*/false);
     Array<T>& arr = ResolveArray<T>(s, "SliceCopyOut");
     if (arr.write_active) {
       RaiseUb("Goose race: slice copy overlaps an in-flight write");
@@ -210,6 +225,7 @@ class Heap : public CrashAware {
 
   template <typename K, typename V>
   GoMap<K, V> NewMap() {
+    proc::RecordAccess(alloc_res_, /*write=*/true);
     cells_.push_back(std::make_unique<MapCell<K, V>>());
     return GoMap<K, V>{cells_.size() - 1, world_->generation()};
   }
@@ -217,6 +233,7 @@ class Heap : public CrashAware {
   template <typename K, typename V>
   proc::Task<void> MapInsert(GoMap<K, V> m, K key, V value) {
     co_await proc::Yield();
+    proc::RecordAccess(CellRes(m.id), /*write=*/true);
     MapCell<K, V>& cell = ResolveMap<K, V>(m, "MapInsert");
     if (cell.active_iterations > 0) {
       RaiseUb("Goose race: map insert during iteration");
@@ -227,6 +244,7 @@ class Heap : public CrashAware {
   template <typename K, typename V>
   proc::Task<std::optional<V>> MapLookup(GoMap<K, V> m, K key) {
     co_await proc::Yield();
+    proc::RecordAccess(CellRes(m.id), /*write=*/false);
     MapCell<K, V>& cell = ResolveMap<K, V>(m, "MapLookup");
     auto it = cell.data.find(key);
     if (it == cell.data.end()) {
@@ -238,6 +256,7 @@ class Heap : public CrashAware {
   template <typename K, typename V>
   proc::Task<void> MapDelete(GoMap<K, V> m, K key) {
     co_await proc::Yield();
+    proc::RecordAccess(CellRes(m.id), /*write=*/true);
     MapCell<K, V>& cell = ResolveMap<K, V>(m, "MapDelete");
     if (cell.active_iterations > 0) {
       RaiseUb("Goose race: map delete during iteration");
@@ -248,6 +267,7 @@ class Heap : public CrashAware {
   template <typename K, typename V>
   proc::Task<uint64_t> MapLen(GoMap<K, V> m) {
     co_await proc::Yield();
+    proc::RecordAccess(CellRes(m.id), /*write=*/false);
     co_return ResolveMap<K, V>(m, "MapLen").data.size();
   }
 
@@ -257,6 +277,10 @@ class Heap : public CrashAware {
   proc::Task<void> MapForEach(GoMap<K, V> m,
                               std::function<proc::Task<void>(const K&, const V&)> visit) {
     co_await proc::Yield();
+    // Iteration steps record reads: they conflict with concurrent mutations
+    // (the §6.1 iterator-invalidation race stays explored) but two
+    // iterations commute.
+    proc::RecordAccess(CellRes(m.id), /*write=*/false);
     std::vector<K> keys;
     {
       MapCell<K, V>& cell = ResolveMap<K, V>(m, "MapForEach");
@@ -268,6 +292,7 @@ class Heap : public CrashAware {
     }
     for (const K& key : keys) {
       co_await proc::Yield();
+      proc::RecordAccess(CellRes(m.id), /*write=*/false);
       MapCell<K, V>& cell = ResolveMap<K, V>(m, "MapForEach");
       auto it = cell.data.find(key);
       PCC_ENSURE(it != cell.data.end(), "MapForEach: entry vanished during legal iteration");
@@ -370,7 +395,14 @@ class Heap : public CrashAware {
     }
   }
 
+  // Cell ids restart from 0 after OnCrash, so the footprint resource is
+  // stamped with the crash generation to keep old and new cells distinct.
+  uint64_t CellRes(uint64_t id) const {
+    return proc::MixResource(proc::kResHeapCell, id, world_->generation());
+  }
+
   World* world_;
+  uint64_t alloc_res_;
   std::vector<std::unique_ptr<CellBase>> cells_;
 };
 

@@ -20,6 +20,7 @@
 
 #include "src/base/panic.h"
 #include "src/goose/world.h"
+#include "src/proc/footprint.h"
 #include "src/proc/scheduler.h"
 #include "src/proc/task.h"
 
@@ -27,7 +28,10 @@ namespace perennial::goose {
 
 class Mutex {
  public:
-  explicit Mutex(World* world) : world_(world), gen_(world->generation()) {}
+  explicit Mutex(World* world)
+      : world_(world),
+        gen_(world->generation()),
+        res_(proc::MixResource(proc::kResSync, world->NextResourceId())) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
@@ -37,11 +41,16 @@ class Mutex {
       co_return;
     }
     co_await proc::Yield();
+    // Every lock-word touch (acquire, blocked retry) is a footprint write:
+    // two lock attempts never commute, and an attempt never commutes with
+    // the unlock that would wake it.
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Lock");
     proc::Scheduler* sched = proc::CurrentScheduler();
     while (locked_) {
       waiters_.push_back(sched->current_tid());
       co_await proc::BlockCurrentThread();
+      proc::RecordAccess(res_, /*write=*/true);
       CheckGeneration("Lock");  // a crash cannot intervene (threads die), but stay defensive
     }
     locked_ = true;
@@ -53,6 +62,7 @@ class Mutex {
       co_return;
     }
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Unlock");
     if (!locked_) {
       RaiseUb("Mutex::Unlock of an unlocked mutex");
@@ -77,6 +87,7 @@ class Mutex {
 
   World* world_;
   uint64_t gen_;
+  uint64_t res_;
   bool locked_ = false;
   std::vector<proc::Scheduler::Tid> waiters_;
   std::mutex native_mu_;

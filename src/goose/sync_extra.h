@@ -15,15 +15,25 @@
 #include "src/base/panic.h"
 #include "src/goose/mutex.h"
 #include "src/goose/world.h"
+#include "src/proc/footprint.h"
 #include "src/proc/scheduler.h"
 #include "src/proc/task.h"
 
 namespace perennial::goose {
 
 // Go's sync.RWMutex: any number of readers, or one writer.
+//
+// Footprints: every operation is a write on the rwlock word. Two RLocks do
+// commute semantically, but they both mutate readers_, and classifying them
+// as reads would require proving the increment commutes with enabledness of
+// every waiter — the uniform write classification is sound and the lost
+// pruning is negligible for the systems here.
 class RWMutex {
  public:
-  explicit RWMutex(World* world) : world_(world), gen_(world->generation()) {}
+  explicit RWMutex(World* world)
+      : world_(world),
+        gen_(world->generation()),
+        res_(proc::MixResource(proc::kResSync, world->NextResourceId())) {}
   RWMutex(const RWMutex&) = delete;
   RWMutex& operator=(const RWMutex&) = delete;
 
@@ -33,11 +43,13 @@ class RWMutex {
       co_return;
     }
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("RLock");
     proc::Scheduler* sched = proc::CurrentScheduler();
     while (writer_) {
       waiters_.push_back(sched->current_tid());
       co_await proc::BlockCurrentThread();
+      proc::RecordAccess(res_, /*write=*/true);
       CheckGeneration("RLock");
     }
     ++readers_;
@@ -49,6 +61,7 @@ class RWMutex {
       co_return;
     }
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("RUnlock");
     if (readers_ == 0) {
       RaiseUb("RWMutex::RUnlock without a read lock");
@@ -65,11 +78,13 @@ class RWMutex {
       co_return;
     }
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Lock");
     proc::Scheduler* sched = proc::CurrentScheduler();
     while (writer_ || readers_ > 0) {
       waiters_.push_back(sched->current_tid());
       co_await proc::BlockCurrentThread();
+      proc::RecordAccess(res_, /*write=*/true);
       CheckGeneration("Lock");
     }
     writer_ = true;
@@ -81,6 +96,7 @@ class RWMutex {
       co_return;
     }
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Unlock");
     if (!writer_) {
       RaiseUb("RWMutex::Unlock without the write lock");
@@ -108,6 +124,7 @@ class RWMutex {
 
   World* world_;
   uint64_t gen_;
+  uint64_t res_;
   int readers_ = 0;
   bool writer_ = false;
   std::vector<proc::Scheduler::Tid> waiters_;
@@ -117,12 +134,18 @@ class RWMutex {
 // Go's sync.WaitGroup.
 class WaitGroup {
  public:
-  explicit WaitGroup(World* world) : world_(world), gen_(world->generation()) {}
+  explicit WaitGroup(World* world)
+      : world_(world),
+        gen_(world->generation()),
+        res_(proc::MixResource(proc::kResSync, world->NextResourceId())) {}
   WaitGroup(const WaitGroup&) = delete;
   WaitGroup& operator=(const WaitGroup&) = delete;
 
-  // Add is host-atomic in native mode (called before spawning workers).
+  // Add is host-atomic in native mode (called before spawning workers). In
+  // simulation it runs inside whichever step is active, so it contributes the
+  // counter word to that step's footprint.
   void Add(int delta) {
+    proc::RecordAccess(res_, /*write=*/true);
     std::scoped_lock lock(native_mu_);
     count_ += delta;
     PCC_ENSURE(count_ >= 0, "WaitGroup: negative counter");
@@ -138,6 +161,7 @@ class WaitGroup {
       co_return;
     }
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Done");
     if (count_ <= 0) {
       RaiseUb("WaitGroup::Done without a matching Add");
@@ -159,11 +183,13 @@ class WaitGroup {
       co_return;
     }
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Wait");
     proc::Scheduler* sched = proc::CurrentScheduler();
     while (count_ > 0) {
       waiters_.push_back(sched->current_tid());
       co_await proc::BlockCurrentThread();
+      proc::RecordAccess(res_, /*write=*/true);
       CheckGeneration("Wait");
     }
   }
@@ -179,6 +205,7 @@ class WaitGroup {
 
   World* world_;
   uint64_t gen_;
+  uint64_t res_;
   int count_ = 0;
   std::vector<proc::Scheduler::Tid> waiters_;
   std::mutex native_mu_;
@@ -191,7 +218,11 @@ class WaitGroup {
 // a sound over-approximation of "wakes one arbitrary waiter").
 class Cond {
  public:
-  Cond(World* world, Mutex* mu) : world_(world), gen_(world->generation()), mu_(mu) {}
+  Cond(World* world, Mutex* mu)
+      : world_(world),
+        gen_(world->generation()),
+        res_(proc::MixResource(proc::kResSync, world->NextResourceId())),
+        mu_(mu) {}
   Cond(const Cond&) = delete;
   Cond& operator=(const Cond&) = delete;
 
@@ -200,10 +231,14 @@ class Cond {
     PCC_ENSURE(proc::CurrentScheduler() != nullptr,
                "Cond is modeled-only (native code should use std primitives)");
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Wait");
     proc::Scheduler* sched = proc::CurrentScheduler();
     waiters_.push_back(sched->current_tid());
     co_await mu_->Unlock();
+    // The unlock's step continues here and re-reads the waiter list, so the
+    // cond word joins that step's footprint alongside the mutex word.
+    proc::RecordAccess(res_, /*write=*/true);
     // If a Signal already arrived (between the unlock and here the list is
     // only cleared by Signal), skip blocking; otherwise block until woken.
     bool still_waiting = false;
@@ -212,6 +247,7 @@ class Cond {
     }
     if (still_waiting) {
       co_await proc::BlockCurrentThread();
+      proc::RecordAccess(res_, /*write=*/true);
     }
     CheckGeneration("Wait");
     co_await mu_->Lock();
@@ -223,6 +259,7 @@ class Cond {
     PCC_ENSURE(proc::CurrentScheduler() != nullptr,
                "Cond is modeled-only (native code should use std primitives)");
     co_await proc::Yield();
+    proc::RecordAccess(res_, /*write=*/true);
     CheckGeneration("Broadcast");
     proc::Scheduler* sched = proc::CurrentScheduler();
     for (proc::Scheduler::Tid tid : waiters_) {
@@ -240,6 +277,7 @@ class Cond {
 
   World* world_;
   uint64_t gen_;
+  uint64_t res_;
   Mutex* mu_;
   std::vector<proc::Scheduler::Tid> waiters_;
 };

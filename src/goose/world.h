@@ -51,8 +51,15 @@ class World {
 
   uint64_t crash_count() const { return generation_; }
 
+  // Allocates a world-unique id for DPOR access footprints (footprint.h).
+  // Deterministic: factories construct primitives in a fixed order, so the
+  // same object gets the same id on every replay of an execution prefix —
+  // which is what lets the explorer compare footprints across executions.
+  uint64_t NextResourceId() { return ++next_resource_id_; }
+
  private:
   uint64_t generation_ = 0;
+  uint64_t next_resource_id_ = 0;
   std::vector<CrashAware*> components_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/panic.h"
+#include "src/proc/footprint.h"
 
 namespace perennial::goosefs {
 
@@ -20,6 +21,7 @@ GooseFs::GooseFs(goose::World* world, std::vector<std::string> dirs, Options opt
 
 proc::Task<Result<Fd>> GooseFs::Create(const std::string& dir, const std::string& name) {
   co_await proc::Yield();
+  proc::RecordOpaque();  // file-system effects are deliberately unmodeled by footprints
   auto dir_it = dirs_.find(dir);
   if (dir_it == dirs_.end()) {
     co_return Status::NotFound("no such directory: " + dir);
@@ -39,6 +41,7 @@ proc::Task<Result<Fd>> GooseFs::Create(const std::string& dir, const std::string
 
 proc::Task<Result<Fd>> GooseFs::Open(const std::string& dir, const std::string& name) {
   co_await proc::Yield();
+  proc::RecordOpaque();
   auto dir_it = dirs_.find(dir);
   if (dir_it == dirs_.end()) {
     co_return Status::NotFound("no such directory: " + dir);
@@ -56,6 +59,7 @@ proc::Task<Result<Fd>> GooseFs::Open(const std::string& dir, const std::string& 
 
 proc::Task<Status> GooseFs::Append(Fd fd, const Bytes& data) {
   co_await proc::Yield();
+  proc::RecordOpaque();
   FdState& state = ResolveFd(fd, "Append");
   if (state.mode != Mode::kAppend) {
     RaiseUb("Append on a read-mode fd");
@@ -70,6 +74,7 @@ proc::Task<Status> GooseFs::Append(Fd fd, const Bytes& data) {
 
 proc::Task<Result<Bytes>> GooseFs::ReadAt(Fd fd, uint64_t off, uint64_t count) {
   co_await proc::Yield();
+  proc::RecordOpaque();
   FdState& state = ResolveFd(fd, "ReadAt");
   if (state.mode != Mode::kRead) {
     RaiseUb("ReadAt on an append-mode fd");
@@ -84,6 +89,7 @@ proc::Task<Result<Bytes>> GooseFs::ReadAt(Fd fd, uint64_t off, uint64_t count) {
 
 proc::Task<Status> GooseFs::Sync(Fd fd) {
   co_await proc::Yield();
+  proc::RecordOpaque();
   FdState& state = ResolveFd(fd, "Sync");
   Inode& inode = inodes_.at(state.ino);
   inode.synced_len = inode.data.size();
@@ -92,6 +98,7 @@ proc::Task<Status> GooseFs::Sync(Fd fd) {
 
 proc::Task<Status> GooseFs::Close(Fd fd) {
   co_await proc::Yield();
+  proc::RecordOpaque();
   FdState& state = ResolveFd(fd, "Close");
   uint64_t ino = state.ino;
   fds_.erase(fd);
@@ -104,6 +111,7 @@ proc::Task<Status> GooseFs::Close(Fd fd) {
 
 proc::Task<Result<std::vector<std::string>>> GooseFs::List(const std::string& dir) {
   co_await proc::Yield();
+  proc::RecordOpaque();
   auto dir_it = dirs_.find(dir);
   if (dir_it == dirs_.end()) {
     co_return Status::NotFound("no such directory: " + dir);
@@ -119,6 +127,7 @@ proc::Task<Result<std::vector<std::string>>> GooseFs::List(const std::string& di
 proc::Task<bool> GooseFs::Link(const std::string& src_dir, const std::string& src_name,
                                const std::string& dst_dir, const std::string& dst_name) {
   co_await proc::Yield();
+  proc::RecordOpaque();
   auto src_dir_it = dirs_.find(src_dir);
   if (src_dir_it == dirs_.end()) {
     co_return false;
@@ -141,6 +150,7 @@ proc::Task<bool> GooseFs::Link(const std::string& src_dir, const std::string& sr
 
 proc::Task<Status> GooseFs::Delete(const std::string& dir, const std::string& name) {
   co_await proc::Yield();
+  proc::RecordOpaque();
   auto dir_it = dirs_.find(dir);
   if (dir_it == dirs_.end()) {
     co_return Status::NotFound("no such directory: " + dir);

@@ -1,0 +1,116 @@
+// Per-step access footprints for dynamic partial-order reduction.
+//
+// Every atomic step of a modeled thread (and every environment-event
+// firing) can *annotate* itself with the shared resources it read or
+// wrote: heap cells, disk sectors, lock words, fault slots, registry
+// entries. The explorer's sleep-set DPOR pass (refine/explorer.h) uses
+// these footprints as its independence relation — two steps commute iff
+// their footprints are disjoint on writes.
+//
+// The design is opaque-by-default, which is what makes it sound for a
+// codebase where not every primitive is annotated: a step that recorded
+// *nothing* is treated as conflicting with everything (no pruning around
+// it), so forgetting an annotation can only cost performance, never
+// soundness. A step that touches no shared state at all (e.g. a backoff
+// spin) says so explicitly with RecordPure(); a primitive whose effects
+// are deliberately unmodeled (e.g. the Goose file system) calls
+// RecordOpaque() so that *other* annotations in the same step cannot make
+// it look transparent.
+//
+// Resource identifiers are 64-bit hashes of (domain, a, b) triples.
+// Collisions merge two resources into one — which only ever *adds*
+// dependence edges, so they too are sound (just pessimal).
+#ifndef PERENNIAL_SRC_PROC_FOOTPRINT_H_
+#define PERENNIAL_SRC_PROC_FOOTPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perennial::proc {
+
+// Resource domains: the first hash input, so that e.g. disk sector 3 and
+// heap cell 3 never alias by construction (up to hash collisions).
+enum ResourceDomain : uint64_t {
+  kResHeapCell = 1,   // (cell id, crash generation)
+  kResHeapAlloc,      // the heap allocator itself (New/NewSlice/...)
+  kResDiskSector,     // (disk instance, sector)
+  kResDiskMeta,       // per-disk failed() flag
+  kResTornMeta,       // per-disk pending torn-write images + Barrier
+  kResFaultSlot,      // per-fault-kind armed-fault list
+  kResSync,           // one per Mutex/RWMutex/Chan/Cond/WaitGroup/Atomic
+  kResHistory,        // the linearizability history (Invoke/Return/...)
+  kResRegistry,       // (registry instance, hashed string key)
+  kResInvariant,      // everything registered crash invariants observe
+};
+
+// SplitMix64-style mix of a (domain, a, b) triple into a resource id.
+constexpr uint64_t MixResource(uint64_t domain, uint64_t a, uint64_t b = 0) {
+  uint64_t x = domain * 0x9E3779B97F4A7C15ull;
+  x ^= a + 0x9E3779B97F4A7C15ull + (x << 6) + (x >> 2);
+  x ^= b + 0xBF58476D1CE4E5B9ull + (x << 6) + (x >> 2);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a for string-keyed resources (help/lease registry keys).
+inline uint64_t MixResourceKey(uint64_t domain, uint64_t instance, const std::string& key) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ull;
+  }
+  return MixResource(domain, instance, h);
+}
+
+// The accesses one atomic step performed. `recorded` distinguishes "this
+// step annotated itself" (possibly with zero accesses: pure) from "this
+// step ran unannotated code" (opaque-by-default). `opaque` is the sticky
+// override for deliberately unmodeled effects.
+struct Footprint {
+  struct Access {
+    uint64_t resource = 0;
+    bool write = false;
+  };
+
+  bool recorded = false;
+  bool opaque = false;
+  std::vector<Access> accesses;
+
+  void Clear() {
+    recorded = false;
+    opaque = false;
+    accesses.clear();
+  }
+};
+
+// A footprint participates in independence reasoning only when it was
+// annotated and not forced opaque.
+inline bool FootprintTransparent(const Footprint& f) { return f.recorded && !f.opaque; }
+
+// Conservative dependence: any untracked step conflicts with everything;
+// tracked steps conflict iff they share a resource at least one writes.
+inline bool FootprintsConflict(const Footprint& a, const Footprint& b) {
+  if (!FootprintTransparent(a) || !FootprintTransparent(b)) {
+    return true;
+  }
+  for (const Footprint::Access& x : a.accesses) {
+    for (const Footprint::Access& y : b.accesses) {
+      if (x.resource == y.resource && (x.write || y.write)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Annotation entry points, callable from anywhere inside modeled code.
+// No-ops outside a collecting scheduler step (native mode, harness code,
+// factory construction), so primitives can call them unconditionally.
+void RecordAccess(uint64_t resource, bool write);
+void RecordPure();    // "this step touched no shared state"
+void RecordOpaque();  // "this step has effects footprints cannot see"
+
+}  // namespace perennial::proc
+
+#endif  // PERENNIAL_SRC_PROC_FOOTPRINT_H_

@@ -39,6 +39,9 @@ bool Scheduler::Step(Tid tid) {
 
   current_ = tid;
   ++steps_;
+  if (collect_footprints_) {
+    footprint_.Clear();
+  }
   // Resuming may throw only via std::terminate paths; modeled exceptions are
   // captured in the root promise and rethrown below.
   h.resume();
@@ -115,6 +118,40 @@ const std::string& Scheduler::thread_name(Tid tid) const {
 void Scheduler::SetResumePoint(std::coroutine_handle<> h) {
   PCC_ENSURE(current_ != kInvalidTid, "SetResumePoint outside Step");
   threads_[static_cast<size_t>(current_)].resume_point = h;
+}
+
+void Scheduler::RecordFootprintAccess(uint64_t resource, bool write) {
+  footprint_.recorded = true;
+  // Merge duplicates (a step re-touching the same cell) so footprints stay
+  // small; these vectors are nested-loop-compared by FootprintsConflict.
+  for (Footprint::Access& a : footprint_.accesses) {
+    if (a.resource == resource) {
+      a.write = a.write || write;
+      return;
+    }
+  }
+  footprint_.accesses.push_back(Footprint::Access{resource, write});
+}
+
+void RecordAccess(uint64_t resource, bool write) {
+  Scheduler* sched = g_current_scheduler;
+  if (sched != nullptr && sched->collecting_footprints()) {
+    sched->RecordFootprintAccess(resource, write);
+  }
+}
+
+void RecordPure() {
+  Scheduler* sched = g_current_scheduler;
+  if (sched != nullptr && sched->collecting_footprints()) {
+    sched->RecordFootprintPure();
+  }
+}
+
+void RecordOpaque() {
+  Scheduler* sched = g_current_scheduler;
+  if (sched != nullptr && sched->collecting_footprints()) {
+    sched->RecordFootprintOpaque();
+  }
 }
 
 }  // namespace perennial::proc

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/proc/footprint.h"
 #include "src/proc/task.h"
 
 namespace perennial::proc {
@@ -74,6 +75,24 @@ class Scheduler {
   // Called by the Yield/Block awaitables to record where to resume.
   void SetResumePoint(std::coroutine_handle<> h);
 
+  // ---- Access-footprint collection (DPOR; see footprint.h) ----
+  // Off by default so native runs and non-POR exploration pay nothing.
+  void EnableFootprintCollection(bool on) { collect_footprints_ = on; }
+  bool collecting_footprints() const { return collect_footprints_; }
+  // Opens a collection window outside Step() — the explorer wraps each
+  // environment-event firing in one so env alternatives get footprints too.
+  void BeginExternalFootprint() { footprint_.Clear(); }
+  // The footprint of the last Step() (or external window). Valid until the
+  // next Step/BeginExternalFootprint.
+  const Footprint& last_footprint() const { return footprint_; }
+  // Merges one access into the current footprint (via proc::RecordAccess).
+  void RecordFootprintAccess(uint64_t resource, bool write);
+  void RecordFootprintPure() { footprint_.recorded = true; }
+  void RecordFootprintOpaque() {
+    footprint_.recorded = true;
+    footprint_.opaque = true;
+  }
+
  private:
   struct Thread {
     Task<void> task;
@@ -87,6 +106,8 @@ class Scheduler {
   Tid current_ = kInvalidTid;
   uint64_t steps_ = 0;
   bool tearing_down_ = false;
+  bool collect_footprints_ = false;
+  Footprint footprint_;
 };
 
 // The scheduler installed on this OS thread, or nullptr in native mode.

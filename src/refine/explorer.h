@@ -19,21 +19,53 @@
 //   * step-bound        — execution exceeded max_steps_per_run (possible
 //                         nontermination, e.g. the §9.5 Pickup loop bug)
 //
+// Partial-order reduction (use_por): the exhaustive DFS prunes schedules
+// with SLEEP SETS over dynamic access footprints (src/proc/footprint.h).
+// When sibling scheduling choices at a decision node are pairwise
+// independent — disjoint footprints, neither a crash nor an environment
+// alternative — exploring one sibling's subtree covers the other orders,
+// so later siblings' subtrees put the explored thread "to sleep": its
+// alternative is filtered from every descendant decision until some step
+// conflicts with the footprint it had at the branch. A node whose every
+// alternative is asleep is redundant in full (counted in
+// Report::por_pruned, no history emitted). Soundness invariants:
+//   * only THREAD alternatives are ever slept — crash points and
+//     environment events are the quantification the checker exists to
+//     cover, and they are pruned by nothing;
+//   * a step with no footprint annotation conflicts with everything
+//     (opaque-by-default, so unannotated code costs pruning, not bugs);
+//   * invariant-visible effects (disk writes, help-registry updates) share
+//     a dedicated resource, so steps crash invariants can observe are
+//     never reordered past one another;
+//   * history appends share a resource, so the set of DISTINCT histories —
+//     and therefore every linearizability verdict — is POR-invariant, and
+//     the DFS-leftmost member of each commutation class is never pruned
+//     (the first violation found is bit-identical with POR on or off).
+// POR engages only in the fully exhaustive regime: preemption bounding
+// already prunes unsoundly (it is a bug-finding heuristic), and sleep sets
+// assume the sibling subtree was explored in full, so max_preemptions >= 0
+// disables POR rather than compound two incomparable reductions.
+//
 // Parallelism: this header is the single-threaded reference engine. The
 // decision tree it walks is prefix-partitionable — every execution is fully
 // determined by its decision path, and factories are required to be
 // deterministic — so ParallelExplorer (parallel_explorer.h) enumerates
 // decision-path prefixes via EnumerateSubtreePrefixes() and hands each
 // disjoint subtree to a worker that re-runs this engine via
-// RunDfsSubtree(). Two further knobs support that use:
+// RunDfsSubtree(). Work items carry the POR bookkeeping for their prefix
+// (the footprints of already-explored sibling alternatives), so workers
+// reconstruct exactly the serial engine's sleep sets. Two further knobs
+// support that use:
 //   * dedup_histories — fingerprint completed histories (src/base/hash.h)
 //     and skip the linearizability search for repeats. Sound because the
 //     spec check depends only on the history, every execution still runs in
 //     full (crash invariants, UB, deadlock, and step bounds are evaluated
 //     during execution), and a cached violating verdict is re-reported for
-//     every duplicate, so the violation set is unchanged.
-//   * progress_callback — periodic executions/steps/violations counts for
-//     long runs and benches.
+//     every duplicate, so the violation set is unchanged. The cache is a
+//     ShardedMemo (memo.h) that ParallelExplorer shares across workers.
+//   * progress_callback — periodic cumulative counts for long runs and
+//     benches, observed after each execution completes (so dedup counts
+//     are post-dedup).
 #ifndef PERENNIAL_SRC_REFINE_EXPLORER_H_
 #define PERENNIAL_SRC_REFINE_EXPLORER_H_
 
@@ -52,10 +84,16 @@
 #include "src/base/rand.h"
 #include "src/cap/crash_invariant.h"
 #include "src/goose/world.h"
+#include "src/proc/footprint.h"
 #include "src/proc/scheduler.h"
 #include "src/proc/task.h"
 #include "src/refine/history.h"
 #include "src/refine/linearize.h"
+#include "src/refine/memo.h"
+
+#ifndef PCC_POR_DEFAULT
+#define PCC_POR_DEFAULT 1
+#endif
 
 namespace perennial::refine {
 
@@ -124,11 +162,16 @@ struct Instance {
   std::vector<EnvEvent> env_events;
 };
 
-// Cumulative counts handed to ExplorerOptions::progress_callback.
+// Cumulative counts handed to ExplorerOptions::progress_callback. All
+// fields are post-execution values: histories_checked/deduped reflect the
+// dedup decision already taken for the execution just finished.
 struct ExplorerProgress {
   uint64_t executions = 0;
   uint64_t total_steps = 0;
   uint64_t violations = 0;
+  uint64_t histories_checked = 0;
+  uint64_t histories_deduped = 0;
+  uint64_t por_pruned = 0;
 };
 
 struct ExplorerOptions {
@@ -155,6 +198,17 @@ struct ExplorerOptions {
   // fingerprint was already checked this run (see the header comment for
   // the soundness argument). Counted in Report::histories_deduped.
   bool dedup_histories = false;
+
+  // Sleep-set dynamic partial-order reduction (header comment). Effective
+  // only for exhaustive mode with unbounded preemptions; the compile-time
+  // default comes from the PCC_POR CMake option.
+  bool use_por = PCC_POR_DEFAULT != 0;
+
+  // Memoize spec-search frontiers per history PREFIX (linearize.h), shared
+  // across executions (and, under ParallelExplorer, workers). Off by
+  // default: it changes Report::spec_states_explored (work skipped via the
+  // cache is not re-counted), which several equivalence tests compare.
+  bool memoize_spec_prefixes = false;
 
   // Observability: invoked every progress_interval executions with
   // cumulative counts. Under ParallelExplorer the callback fires on worker
@@ -188,6 +242,9 @@ struct Report {
   // Of histories_checked, how many were fingerprint-duplicates whose spec
   // check was skipped (dedup_histories).
   uint64_t histories_deduped = 0;
+  // Executions abandoned by sleep-set POR as commutation-equivalent to an
+  // already-explored schedule (counted in executions, no history emitted).
+  uint64_t por_pruned = 0;
   uint64_t spec_states_explored = 0;
   bool truncated = false;  // hit max_executions before DFS finished
   std::vector<Violation> violations;
@@ -201,6 +258,7 @@ struct Report {
                       " env=" + std::to_string(env_events_fired) +
                       " histories=" + std::to_string(histories_checked) +
                       " deduped=" + std::to_string(histories_deduped) +
+                      " por_pruned=" + std::to_string(por_pruned) +
                       " spec_states=" + std::to_string(spec_states_explored) +
                       (truncated ? " (TRUNCATED)" : "") +
                       " violations=" + std::to_string(violations.size());
@@ -220,6 +278,37 @@ struct Alt {
   int thread = -1;  // kThread
   size_t env = 0;   // kEnv
   std::string label;
+};
+
+// One alternative already explored at a DFS decision level: its identity
+// and the footprint its step had when taken. Persisted across odometer
+// iterations (and shipped to ParallelExplorer workers inside their work
+// item) so later siblings can put explored threads to sleep.
+struct TriedAlt {
+  AltKind kind = AltKind::kThread;
+  int thread = -1;
+  proc::Footprint footprint;
+};
+
+// Per-decision-level POR bookkeeping: tried[j] describes selectable
+// alternative j (indices match the decision-path values at this level).
+struct PorLevel {
+  std::vector<TriedAlt> tried;
+};
+
+// A thread put to sleep at some ancestor decision: exploring it here would
+// only commute with the path taken since. `footprint` is the footprint its
+// next step had at the branch point; because nothing executed since
+// conflicts with it (or it would have been woken), that step — and its
+// footprint — are unchanged.
+struct SleepEntry {
+  int thread = -1;
+  proc::Footprint footprint;
+};
+
+// Sleep-set state threaded through one DFS subtree walk.
+struct PorContext {
+  std::vector<PorLevel> levels;
 };
 
 // Supplies one choice index per decision point.
@@ -303,32 +392,15 @@ class RandomDriver : public Driver {
 
 }  // namespace detail
 
-// 128-bit fingerprint of a history's observable events. Two histories with
-// equal fingerprints receive the same verdict from the linearizability
-// checker (the check is a pure function of the events), which is what makes
-// fingerprint pruning sound. Requires Spec::OpName and Spec::RetKey to be
-// injective renderings (true of every spec in this repo).
-template <typename Spec>
-Hash128 FingerprintHistory(const History<Spec>& history) {
-  Fnv128 f;
-  for (const auto& e : history.events) {
-    f.MixU64(static_cast<uint64_t>(e.kind));
-    f.MixU64(e.op_id);
-    switch (e.kind) {
-      case History<Spec>::Kind::kInvoke:
-        f.MixU64(static_cast<uint64_t>(e.client));
-        f.MixString(Spec::OpName(e.op));
-        break;
-      case History<Spec>::Kind::kReturn:
-        f.MixString(Spec::RetKey(e.ret));
-        break;
-      case History<Spec>::Kind::kCrash:
-      case History<Spec>::Kind::kHelped:
-        break;
-    }
-  }
-  return f.digest();
-}
+// One ParallelExplorer work item: a decision-path prefix naming a disjoint
+// subtree, plus the POR bookkeeping accumulated along that prefix (the
+// footprints of sibling alternatives the coordinator's enumeration already
+// explored), so the worker rebuilds the exact sleep sets the serial engine
+// would have at that subtree.
+struct SubtreeWork {
+  std::vector<size_t> prefix;
+  std::vector<detail::PorLevel> por_seed;
+};
 
 template <typename Spec>
 class Explorer {
@@ -336,9 +408,15 @@ class Explorer {
   using Op = typename Spec::Op;
   using Ret = typename Spec::Ret;
   using Factory = std::function<Instance<Spec>()>;
+  using FrontierCache = typename LinearizabilityChecker<Spec>::FrontierCache;
 
   Explorer(Spec spec, Factory factory, ExplorerOptions options)
       : spec_(std::move(spec)), factory_(std::move(factory)), options_(options) {}
+
+  // Cache injection for ParallelExplorer (must outlive the Explorer; may be
+  // shared across threads). By default each Explorer owns private caches.
+  void set_verdict_cache(VerdictCache* cache) { verdict_cache_ = cache; }
+  void set_frontier_cache(FrontierCache* cache) { frontier_cache_ = cache; }
 
   Report Run() {
     Report report;
@@ -346,7 +424,7 @@ class Explorer {
       detail::RandomDriver driver(options_.seed, options_.crash_probability,
                                   options_.env_probability);
       for (uint64_t i = 0; i < options_.random_runs; ++i) {
-        RunOnce(driver, &report);
+        RunOnce(driver, &report, nullptr);
         NotifyProgress(report);
         if (report.violations.size() >= static_cast<size_t>(options_.max_violations)) {
           break;
@@ -354,23 +432,26 @@ class Explorer {
       }
       return report;
     }
-    RunDfsSubtree({}, &report);
+    RunDfsSubtree(SubtreeWork{}, &report);
     return report;
   }
 
   // Exhaustive DFS over decision sequences, replaying from scratch,
-  // restricted to paths that extend `prefix` (empty prefix = whole tree).
-  // The per-worker engine of ParallelExplorer: prefixes come from
-  // EnumerateSubtreePrefixes, so distinct prefixes explore disjoint
-  // subtrees. `keep_going`, if set, is polled after every execution;
-  // returning false abandons the subtree and marks the report truncated.
-  void RunDfsSubtree(std::vector<size_t> prefix, Report* report,
+  // restricted to paths that extend `work.prefix` (empty prefix = whole
+  // tree). The per-worker engine of ParallelExplorer: work items come from
+  // EnumerateSubtreePrefixes, so distinct items explore disjoint subtrees.
+  // `keep_going`, if set, is polled after every execution; returning false
+  // abandons the subtree and marks the report truncated.
+  void RunDfsSubtree(SubtreeWork work, Report* report,
                      const std::function<bool(const Report&)>& keep_going = nullptr) {
-    const size_t floor = prefix.size();
-    std::vector<size_t> path = std::move(prefix);
+    const size_t floor = work.prefix.size();
+    std::vector<size_t> path = std::move(work.prefix);
+    detail::PorContext por;
+    por.levels = std::move(work.por_seed);
+    detail::PorContext* por_ptr = PorActive() ? &por : nullptr;
     while (true) {
       detail::DfsDriver driver(&path);
-      RunOnce(driver, report);
+      RunOnce(driver, report, por_ptr);
       NotifyProgress(*report);
       if (report->violations.size() >= static_cast<size_t>(options_.max_violations)) {
         break;
@@ -385,10 +466,10 @@ class Explorer {
       }
       // Odometer: advance the deepest decision that still has untried
       // alternatives; drop everything below it. A run that aborted early
-      // (violation) consumed fewer decisions than the stale path holds, so
-      // first trim the path to what was actually replayed. Positions inside
-      // the assigned prefix are never advanced — they belong to other
-      // subtrees.
+      // (violation, POR prune) consumed fewer decisions than the stale path
+      // holds, so first trim the path to what was actually replayed.
+      // Positions inside the assigned prefix are never advanced — they
+      // belong to other subtrees.
       const std::vector<size_t>& counts = driver.counts();
       PCC_ENSURE(path.size() >= counts.size(), "DFS: path shorter than counts");
       path.resize(counts.size());
@@ -404,30 +485,54 @@ class Explorer {
       if (!advanced) {
         break;  // full bounded subtree explored
       }
+      // POR bookkeeping below the advanced position is stale (it described
+      // subtrees of the previous sibling); the level being advanced keeps
+      // its explored-sibling list, which is exactly what the new sibling's
+      // sleep sets need.
+      if (por_ptr != nullptr && por.levels.size() > path.size()) {
+        por.levels.resize(path.size());
+      }
     }
   }
 
   // Coordinator side of the parallel split: enumerates every reachable
   // decision-path prefix of length min(split_depth, run length) in DFS
-  // order. The returned prefixes partition the execution space — each
-  // decision path extends exactly one of them — so per-prefix
-  // RunDfsSubtree reports can be merged into the serial result. Each probe
-  // run is structure discovery only (its stats are discarded; the worker
-  // that owns the subtree re-runs it for real). Sets *truncated if
-  // max_executions probes did not suffice to finish the enumeration.
-  std::vector<std::vector<size_t>> EnumerateSubtreePrefixes(int split_depth, bool* truncated) {
+  // order, together with the POR bookkeeping a worker needs to reconstruct
+  // the serial sleep sets (see SubtreeWork). The returned prefixes
+  // partition the execution space — each decision path extends exactly one
+  // of them — so per-item RunDfsSubtree reports can be merged into the
+  // serial result. Each probe run is structure discovery only (its stats
+  // are discarded; the worker that owns the subtree re-runs it for real).
+  // Sets *truncated if max_executions probes did not suffice to finish the
+  // enumeration.
+  std::vector<SubtreeWork> EnumerateSubtreePrefixes(int split_depth, bool* truncated) {
     PCC_ENSURE(split_depth >= 0, "split_depth must be non-negative");
-    std::vector<std::vector<size_t>> prefixes;
+    std::vector<SubtreeWork> items;
     Report scratch;
     std::vector<size_t> path;
+    detail::PorContext por;
+    detail::PorContext* por_ptr = PorActive() ? &por : nullptr;
     while (true) {
       detail::DfsDriver driver(&path);
-      RunOnce(driver, &scratch);
+      RunOnce(driver, &scratch, por_ptr);
       const std::vector<size_t>& counts = driver.counts();
       PCC_ENSURE(path.size() >= counts.size(), "DFS: path shorter than counts");
       path.resize(counts.size());
       const size_t plen = std::min(static_cast<size_t>(split_depth), path.size());
-      prefixes.emplace_back(path.begin(), path.begin() + plen);
+      SubtreeWork item;
+      item.prefix.assign(path.begin(), path.begin() + plen);
+      if (por_ptr != nullptr) {
+        // Ship, per prefix level, the alternatives explored before the one
+        // the prefix takes — the sleep-set candidates a worker cannot
+        // recompute (they belong to sibling subtrees).
+        item.por_seed.resize(plen);
+        for (size_t l = 0; l < plen; ++l) {
+          const std::vector<detail::TriedAlt>& tried = por.levels[l].tried;
+          const size_t keep = std::min(item.prefix[l], tried.size());
+          item.por_seed[l].tried.assign(tried.begin(), tried.begin() + keep);
+        }
+      }
+      items.push_back(std::move(item));
       if (scratch.executions >= options_.max_executions) {
         *truncated = true;
         break;
@@ -447,16 +552,29 @@ class Explorer {
       if (!advanced) {
         break;
       }
+      if (por_ptr != nullptr && por.levels.size() > path.size()) {
+        por.levels.resize(path.size());
+      }
     }
-    return prefixes;
+    return items;
   }
 
  private:
+  // POR is sound only when sibling subtrees are explored in full: random
+  // mode replays nothing, and preemption bounding (itself an unsound
+  // reduction) can exclude exactly the sibling order a sleep set relies
+  // on. Both therefore run unreduced.
+  bool PorActive() const {
+    return options_.use_por && options_.mode == ExplorerOptions::Mode::kExhaustive &&
+           options_.max_preemptions < 0;
+  }
+
   void NotifyProgress(const Report& report) {
     if (options_.progress_callback != nullptr && options_.progress_interval > 0 &&
         report.executions % options_.progress_interval == 0) {
-      options_.progress_callback(ExplorerProgress{report.executions, report.total_steps,
-                                                  static_cast<uint64_t>(report.violations.size())});
+      options_.progress_callback(ExplorerProgress{
+          report.executions, report.total_steps, static_cast<uint64_t>(report.violations.size()),
+          report.histories_checked, report.histories_deduped, report.por_pruned});
     }
   }
   proc::Task<void> ClientThread(int client, const std::vector<Op>* ops, Instance<Spec>* inst,
@@ -490,12 +608,50 @@ class Explorer {
     }
   }
 
-  void RunOnce(detail::Driver& driver, Report* report) {
+  // Sleep-set transition for one taken alternative: entries whose pending
+  // step conflicts with what just ran wake up (their step may now differ);
+  // fully explored earlier siblings that commute with the taken step go to
+  // sleep in its subtree. Only thread alternatives ever sleep.
+  static void AdvanceSleepSet(std::vector<detail::SleepEntry>* sleep,
+                              const detail::PorLevel& level, size_t pick,
+                              const detail::Alt& alt, const proc::Footprint& taken_fp) {
+    if (alt.kind == detail::AltKind::kCrash || alt.kind == detail::AltKind::kProceed) {
+      // A crash kills every thread (tids are even reused by recovery), and
+      // the quiescent proceed point has no runnable threads: no sleeping
+      // entry can remain meaningful.
+      sleep->clear();
+      return;
+    }
+    std::vector<detail::SleepEntry> next;
+    next.reserve(sleep->size() + pick);
+    for (const detail::SleepEntry& e : *sleep) {
+      if (!proc::FootprintsConflict(e.footprint, taken_fp)) {
+        next.push_back(e);
+      }
+    }
+    for (size_t j = 0; j < pick && j < level.tried.size(); ++j) {
+      const detail::TriedAlt& t = level.tried[j];
+      if (t.kind != detail::AltKind::kThread) {
+        continue;
+      }
+      if (!proc::FootprintsConflict(t.footprint, taken_fp)) {
+        next.push_back(detail::SleepEntry{t.thread, t.footprint});
+      }
+    }
+    *sleep = std::move(next);
+  }
+
+  // `por` non-null activates sleep-set pruning for this run (exhaustive
+  // replays only; RandomDriver passes nullptr).
+  void RunOnce(detail::Driver& driver, Report* report, detail::PorContext* por) {
     ++report->executions;
     Instance<Spec> inst = factory_();
     History<Spec> history;
     proc::Scheduler sched;
     proc::SchedulerScope scope(&sched);
+    if (por != nullptr) {
+      sched.EnableFootprintCollection(true);
+    }
 
     for (size_t c = 0; c < inst.client_ops.size(); ++c) {
       sched.Spawn(ClientThread(static_cast<int>(c), &inst.client_ops[c], &inst, &history),
@@ -520,11 +676,49 @@ class Explorer {
     }
     bool observers_started = false;
     uint64_t steps = 0;
+    size_t decision_level = 0;
+    std::vector<detail::SleepEntry> sleep;
     std::string trace;
     auto add_violation = [&](std::string kind, std::string detail_msg) {
       if (report->violations.size() < static_cast<size_t>(options_.max_violations)) {
         report->violations.push_back(
             Violation{std::move(kind), std::move(detail_msg), trace.empty() ? "(empty)" : trace});
+      }
+    };
+
+    // Presents `alts` (already sleep-filtered by the caller) to the driver,
+    // executes nothing itself: returns the chosen index after recording the
+    // trace label and step count.
+    auto choose = [&](const std::vector<detail::Alt>& alts) -> size_t {
+      size_t pick = driver.Choose(alts);
+      PCC_ENSURE(pick < alts.size(), "driver picked an invalid alternative");
+      if (!trace.empty()) {
+        trace += ' ';
+      }
+      trace += alts[pick].label;
+      ++steps;
+      return pick;
+    };
+    // POR bookkeeping after the chosen alternative ran, with the footprint
+    // its step produced; advances the sleep set and persists the footprint
+    // for later siblings at this level.
+    auto after_step = [&](const std::vector<detail::Alt>& alts, size_t pick,
+                          const proc::Footprint& fp) {
+      if (por == nullptr) {
+        ++decision_level;
+        return;
+      }
+      detail::PorLevel& level = por->levels[decision_level];
+      if (pick == level.tried.size()) {
+        level.tried.push_back(detail::TriedAlt{alts[pick].kind, alts[pick].thread, fp});
+      }
+      AdvanceSleepSet(&sleep, level, pick, alts[pick], fp);
+      ++decision_level;
+    };
+    // Ensures a PorLevel exists for the current decision.
+    auto ensure_level = [&] {
+      if (por != nullptr && decision_level == por->levels.size()) {
+        por->levels.emplace_back();
       }
     };
 
@@ -561,14 +755,9 @@ class Explorer {
               alts.push_back(detail::Alt{detail::AltKind::kEnv, -1, i, inst.env_events[i].name});
             }
           }
-          size_t pick = driver.Choose(alts);
-          PCC_ENSURE(pick < alts.size(), "driver picked an invalid alternative");
+          ensure_level();
+          size_t pick = choose(alts);
           const detail::Alt& alt = alts[pick];
-          if (!trace.empty()) {
-            trace += ' ';
-          }
-          trace += alt.label;
-          ++steps;
           if (alt.kind == detail::AltKind::kCrash) {
             ++crashes_used;
             ++report->crashes_injected;
@@ -576,15 +765,19 @@ class Explorer {
             sched.KillAllThreads();
             inst.world->Crash();
             sched.Spawn(RecoveryThread(&inst, &history), "recovery");
+            after_step(alts, pick, proc::Footprint{});
             continue;
           }
           if (alt.kind == detail::AltKind::kEnv) {
             --env_budget[alt.env];
             ++report->env_events_fired;
+            sched.BeginExternalFootprint();
             inst.env_events[alt.env].fire();
+            after_step(alts, pick, sched.last_footprint());
             continue;
           }
           // fall through: proceed to observation
+          after_step(alts, pick, proc::Footprint{});
         }
         observers_started = true;
         if (!has_observers) {
@@ -619,6 +812,15 @@ class Explorer {
         if (preemption_exhausted && last_still_runnable && tid != last_thread) {
           continue;  // switching away now would be one preemption too many
         }
+        if (por != nullptr) {
+          bool asleep = false;
+          for (const detail::SleepEntry& e : sleep) {
+            asleep = asleep || e.thread == tid;
+          }
+          if (asleep) {
+            continue;  // its subtree here commutes with an explored one
+          }
+        }
         alts.push_back(detail::Alt{detail::AltKind::kThread, tid, 0, "t" + std::to_string(tid)});
       }
       if (!observers_started && inst.recover != nullptr && crashes_used < options_.max_crashes) {
@@ -633,15 +835,20 @@ class Explorer {
           alts.push_back(detail::Alt{detail::AltKind::kEnv, -1, i, inst.env_events[i].name});
         }
       }
-
-      size_t pick = driver.Choose(alts);
-      PCC_ENSURE(pick < alts.size(), "driver picked an invalid alternative");
-      const detail::Alt& alt = alts[pick];
-      if (!trace.empty()) {
-        trace += ' ';
+      if (alts.empty()) {
+        // Every runnable thread is asleep and no crash/env alternative
+        // remains: every continuation from here commutes with a schedule
+        // the DFS already explored. Abandon the execution without a
+        // history; the odometer backtracks past this node.
+        PCC_ENSURE(por != nullptr, "empty alternative set without POR");
+        ++report->por_pruned;
+        report->total_steps += steps;
+        return;
       }
-      trace += alt.label;
-      ++steps;
+
+      ensure_level();
+      size_t pick = choose(alts);
+      const detail::Alt& alt = alts[pick];
 
       switch (alt.kind) {
         case detail::AltKind::kThread: {
@@ -656,6 +863,7 @@ class Explorer {
             report->total_steps += steps;
             return;
           }
+          after_step(alts, pick, sched.last_footprint());
           break;
         }
         case detail::AltKind::kCrash: {
@@ -666,12 +874,15 @@ class Explorer {
           inst.world->Crash();
           sched.Spawn(RecoveryThread(&inst, &history), "recovery");
           last_thread = proc::Scheduler::kInvalidTid;  // no thread survived
+          after_step(alts, pick, proc::Footprint{});
           break;
         }
         case detail::AltKind::kEnv: {
           --env_budget[alt.env];
           ++report->env_events_fired;
+          sched.BeginExternalFootprint();
           inst.env_events[alt.env].fire();
+          after_step(alts, pick, sched.last_footprint());
           break;
         }
         case detail::AltKind::kProceed:
@@ -682,30 +893,32 @@ class Explorer {
 
     report->total_steps += steps;
     ++report->histories_checked;
+    LinearizabilityChecker<Spec> checker(&spec_);
+    if (options_.memoize_spec_prefixes) {
+      checker.set_frontier_cache(frontier_cache_);
+    }
     if (options_.dedup_histories) {
       // Fingerprint pruning: identical histories get identical verdicts, so
       // replay the cached verdict instead of re-running the search. Only
       // the spec check is skipped — the execution itself (crash invariants,
       // UB, deadlock, step bound) already ran in full above.
       Hash128 fp = FingerprintHistory(history);
-      auto it = checked_histories_.find(fp);
-      if (it != checked_histories_.end()) {
+      std::optional<std::string> cached;
+      if (verdict_cache_->Lookup(fp, &cached)) {
         ++report->histories_deduped;
-        if (it->second.has_value()) {
-          add_violation("non-linearizable", *it->second);
+        if (cached.has_value()) {
+          add_violation("non-linearizable", *cached);
         }
         return;
       }
-      LinearizabilityChecker<Spec> checker(&spec_);
       std::optional<std::string> why = checker.Check(history);
-      checked_histories_.emplace(fp, why);
+      verdict_cache_->Insert(fp, why);
       if (why.has_value()) {
         add_violation("non-linearizable", *why);
       }
       report->spec_states_explored += checker.states_explored();
       return;
     }
-    LinearizabilityChecker<Spec> checker(&spec_);
     if (auto why = checker.Check(history)) {
       add_violation("non-linearizable", *why);
     }
@@ -715,8 +928,11 @@ class Explorer {
   Spec spec_;
   Factory factory_;
   ExplorerOptions options_;
-  // Fingerprint -> cached linearizability verdict (dedup_histories).
-  std::map<Hash128, std::optional<std::string>> checked_histories_;
+  // Private default caches; ParallelExplorer injects shared ones.
+  VerdictCache own_verdicts_;
+  FrontierCache own_frontiers_;
+  VerdictCache* verdict_cache_ = &own_verdicts_;
+  FrontierCache* frontier_cache_ = &own_frontiers_;
 };
 
 }  // namespace perennial::refine

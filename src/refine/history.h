@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "src/proc/footprint.h"
+
 namespace perennial::refine {
 
 template <typename Spec>
@@ -39,16 +41,24 @@ struct History {
   std::vector<Event> events;
   uint64_t next_op_id = 1;
 
+  // Every append is a write on the shared history resource: event order IS
+  // the observable behavior, so two appending steps never commute and POR
+  // can never merge histories that differ (history counts are POR-invariant).
   uint64_t Invoke(int client, Op op) {
+    proc::RecordAccess(proc::MixResource(proc::kResHistory, 0), /*write=*/true);
     uint64_t id = next_op_id++;
     events.push_back(Event{Kind::kInvoke, id, client, std::move(op), Ret{}});
     return id;
   }
   void Return(uint64_t op_id, Ret ret) {
+    proc::RecordAccess(proc::MixResource(proc::kResHistory, 0), /*write=*/true);
     events.push_back(Event{Kind::kReturn, op_id, -1, Op{}, std::move(ret)});
   }
   void Crash() { events.push_back(Event{Kind::kCrash}); }
-  void Helped(uint64_t op_id) { events.push_back(Event{Kind::kHelped, op_id}); }
+  void Helped(uint64_t op_id) {
+    proc::RecordAccess(proc::MixResource(proc::kResHistory, 0), /*write=*/true);
+    events.push_back(Event{Kind::kHelped, op_id});
+  }
 
   void Clear() {
     events.clear();

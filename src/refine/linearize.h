@@ -21,8 +21,27 @@
 // the workloads used by the explorer are designed to stay within defined
 // behavior, so this arises only when deliberately testing UB exploitation.
 //
-// The search memoizes on (event index, spec state, linearized-pending set),
-// which keeps it polynomial for the small histories the explorer generates.
+// The search runs as a LAYERED BREADTH-FIRST pass: it maintains, per
+// history prefix, the frontier of reachable spec configurations (state,
+// chosen-but-unreturned responses, commit records), closed under "some
+// pending op linearizes now". A history is accepted iff the frontier after
+// the last event is non-empty (or UB was reached). Two properties make the
+// frontier a pure function of the PREFIX, which is what lets it be
+// memoized across histories (memo.h) and shared across explorer workers:
+//
+//  * Every obligation is checked at the event that imposes it. In
+//    particular the helped-op obligation is enforced at the kHelped event
+//    (the op must appear in the commit snapshot taken at the most recent
+//    crash), not at the crash — the crash event cannot know which ops a
+//    later recovery will claim.
+//  * Configurations carry only prefix-determined data: the commit set is
+//    EVERY op id ever linearized (not just the ids some future recovery
+//    will help), plus the snapshot of that set at the last crash.
+//
+// This is equivalent to the DFS formulation: an op helped after crash C
+// must have linearized while still pending, and crashes clear the pending
+// set, so "linearized before C" and "present in C's commit snapshot"
+// coincide.
 //
 // Spec requirements (a "SpecModel"):
 //   using State, Op, Ret;                     // Ret: equality-comparable
@@ -32,21 +51,59 @@
 //   static std::string StateKey(const State&); // canonical, injective
 //   static std::string RetKey(const Ret&);     // canonical, injective
 //   static std::string OpName(const Op&);      // for messages
+//
+// Specs with an optional `Prepare(events)` hook (data-dependent
+// nondeterminism, e.g. Mailboat's message-id pool) read the WHOLE history
+// before stepping; their frontiers are suffix-dependent, so the prefix
+// cache is bypassed for them.
 #ifndef PERENNIAL_SRC_REFINE_LINEARIZE_H_
 #define PERENNIAL_SRC_REFINE_LINEARIZE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "src/base/hash.h"
 #include "src/refine/history.h"
+#include "src/refine/memo.h"
 #include "src/tsys/transition.h"
 
 namespace perennial::refine {
+
+// The spec-side configurations reachable after one history prefix, closed
+// under linearization moves. `undefined` is sticky: some reachable config
+// stepped into spec UB, which accepts every history with this prefix.
+template <typename Spec>
+struct SpecFrontier {
+  using State = typename Spec::State;
+  using Op = typename Spec::Op;
+  using Ret = typename Spec::Ret;
+
+  struct Config {
+    State state;
+    // Invoked, not yet linearized (op_id -> op).
+    std::map<uint64_t, Op> pending;
+    // Linearized with a chosen return value, awaiting the response.
+    std::map<uint64_t, Ret> linearized;
+    // Every op id that ever linearized. Never reset (commit records model
+    // durable facts); pending is derivable from (prefix, committed), so
+    // this also determines the pending set.
+    std::set<uint64_t> committed;
+    // Snapshot of `committed` taken at the most recent crash event; the
+    // kHelped obligation is checked against it.
+    std::set<uint64_t> committed_at_crash;
+  };
+
+  bool undefined = false;
+  std::vector<Config> configs;
+};
 
 template <typename Spec>
 class LinearizabilityChecker {
@@ -55,44 +112,95 @@ class LinearizabilityChecker {
   using Op = typename Spec::Op;
   using Ret = typename Spec::Ret;
   using Hist = History<Spec>;
+  using Frontier = SpecFrontier<Spec>;
+  using FrontierPtr = std::shared_ptr<const Frontier>;
+  using FrontierCache = ShardedMemo<FrontierPtr>;
 
   explicit LinearizabilityChecker(const Spec* spec) : spec_storage_(*spec), spec_(&spec_storage_) {}
+
+  // Optional prefix-frontier memoization (ExplorerOptions::
+  // memoize_spec_prefixes); the cache may be shared across checkers and
+  // threads. Ignored for specs with a Prepare() hook — see header comment.
+  void set_frontier_cache(FrontierCache* cache) { cache_ = cache; }
 
   // nullopt when the history refines the spec; otherwise a description of
   // why no spec interleaving explains it.
   std::optional<std::string> Check(const Hist& history) {
-    events_ = &history.events;
-    visited_.clear();
+    const std::vector<typename Hist::Event>& events = history.events;
     states_explored_ = 0;
+    bool cacheable = cache_ != nullptr;
     // Specs with data-dependent nondeterminism (e.g. Mailboat's random
-    // message ids) may pre-scan the history to bound their branch sets.
-    if constexpr (requires(Spec& s) { s.Prepare(history.events); }) {
-      spec_storage_.Prepare(history.events);
+    // message ids) pre-scan the history to bound their branch sets — their
+    // frontiers depend on the suffix, so they never touch the cache.
+    if constexpr (requires(Spec& s) { s.Prepare(events); }) {
+      spec_storage_.Prepare(events);
+      cacheable = false;
     }
-    // Pre-compute, for each crash event index, the set of ops recovery
-    // helped after it (before any subsequent crash): those must linearize
-    // before that crash.
-    helped_by_crash_.clear();
-    helped_ids_.clear();
-    long last_crash = -1;
-    for (size_t i = 0; i < events_->size(); ++i) {
-      const auto& e = (*events_)[i];
+    // A helped event needs a crash to snapshot against; recovery only
+    // emits kHelped after a crash, so this is a harness-integrity check.
+    bool seen_crash = false;
+    for (const auto& e : events) {
       if (e.kind == Hist::Kind::kCrash) {
-        last_crash = static_cast<long>(i);
-        helped_by_crash_[last_crash];  // ensure entry
-      } else if (e.kind == Hist::Kind::kHelped) {
-        if (last_crash < 0) {
-          return "helped event with no preceding crash";
-        }
-        // Recovery after `last_crash` committed this op; it must have
-        // linearized at some point before that crash. (With repeated
-        // crashes, the token may be consumed by a later recovery than the
-        // crash that stranded the op — the obligation is the same.)
-        helped_by_crash_[last_crash].insert(e.op_id);
-        helped_ids_.insert(e.op_id);
+        seen_crash = true;
+      } else if (e.kind == Hist::Kind::kHelped && !seen_crash) {
+        return "helped event with no preceding crash";
       }
     }
-    if (Search(0, spec_->Initial(), {}, {}, {})) {
+
+    // Prefix fingerprints: fp[i] covers events[0..i).
+    std::vector<Hash128> fp;
+    if (cacheable) {
+      fp.reserve(events.size() + 1);
+      Fnv128 f;
+      fp.push_back(f.digest());
+      for (const auto& e : events) {
+        MixEvent<Spec>(&f, e);
+        fp.push_back(f.digest());
+      }
+    }
+
+    // Resume from the longest cached prefix, if any.
+    FrontierPtr frontier;
+    size_t start = 0;
+    if (cacheable) {
+      for (size_t i = events.size() + 1; i-- > 0;) {
+        FrontierPtr hit;
+        if (cache_->Lookup(fp[i], &hit)) {
+          frontier = std::move(hit);
+          start = i;
+          break;
+        }
+      }
+    }
+    if (frontier == nullptr) {
+      auto base = std::make_shared<Frontier>();
+      typename Frontier::Config init;
+      init.state = spec_->Initial();
+      base->configs.push_back(std::move(init));
+      Close(base.get());
+      frontier = std::move(base);
+      if (cacheable) {
+        cache_->Insert(fp[0], frontier);
+      }
+    }
+
+    for (size_t i = start; i < events.size(); ++i) {
+      if (frontier->undefined) {
+        return std::nullopt;  // spec UB: no further obligations
+      }
+      if (frontier->configs.empty()) {
+        break;  // already inexplicable; later events cannot help
+      }
+      auto next = std::make_shared<Frontier>(ApplyEvent(*frontier, events[i]));
+      Close(next.get());
+      frontier = std::move(next);
+      if (cacheable) {
+        cache_->Insert(fp[i + 1], frontier);
+      }
+    }
+    if (frontier->undefined || !frontier->configs.empty()) {
+      // Leftover pending ops simply never happened; every response (and
+      // every helped-op obligation) was explained.
       return std::nullopt;
     }
     return "no spec interleaving explains this history:\n" + history.ToString();
@@ -101,125 +209,120 @@ class LinearizabilityChecker {
   uint64_t states_explored() const { return states_explored_; }
 
  private:
-  // Pending ops: invoked, not yet linearized. Linearized ops: took effect,
-  // awaiting their response (maps op_id -> chosen return value).
-  using PendingMap = std::map<uint64_t, Op>;
-  using LinearizedMap = std::map<uint64_t, Ret>;
+  using Config = typename Frontier::Config;
 
-  bool Search(size_t idx, const State& state, PendingMap pending, LinearizedMap linearized,
-              std::set<uint64_t> committed) {
-    ++states_explored_;
-    {
-      // Memoize: pending is determined by (idx, linearized), so the key
-      // needs only idx, the state, the linearized set with chosen rets, and
-      // the helped-op commit record (which crashes do not reset).
-      std::string key = std::to_string(idx) + "|" + Spec::StateKey(state) + "|";
-      for (const auto& [id, ret] : linearized) {
-        key += std::to_string(id) + ":" + Spec::RetKey(ret) + ";";
-      }
-      key += "|";
-      for (uint64_t id : committed) {
-        key += std::to_string(id) + ";";
-      }
-      if (!visited_.insert(std::move(key)).second) {
-        return false;  // already explored from here without success
-      }
+  static std::string ConfigKey(const Config& c) {
+    // pending is omitted: it equals (ops invoked since the last crash)
+    // minus committed, both of which the key already determines.
+    std::string key = Spec::StateKey(c.state) + "|";
+    for (const auto& [id, ret] : c.linearized) {
+      key += std::to_string(id) + ":" + Spec::RetKey(ret) + ";";
     }
+    key += "|";
+    for (uint64_t id : c.committed) {
+      key += std::to_string(id) + ";";
+    }
+    key += "|";
+    for (uint64_t id : c.committed_at_crash) {
+      key += std::to_string(id) + ";";
+    }
+    return key;
+  }
 
-    // Move 1: process the next event directly if possible.
-    if (idx == events_->size()) {
-      return true;  // all responses explained; leftover pending ops simply never happened
-    }
-    const auto& e = (*events_)[idx];
-    switch (e.kind) {
-      case Hist::Kind::kInvoke: {
-        PendingMap p2 = pending;
-        p2.emplace(e.op_id, e.op);
-        if (Search(idx + 1, state, std::move(p2), linearized, committed)) {
-          return true;
-        }
-        break;
+  // Consumes one event: maps each config to its successors (possibly none —
+  // a config that cannot explain the event drops out of the frontier).
+  Frontier ApplyEvent(const Frontier& in, const typename Hist::Event& e) {
+    Frontier out;
+    std::unordered_set<std::string> seen;
+    auto emit = [&](Config&& c) {
+      if (seen.insert(ConfigKey(c)).second) {
+        ++states_explored_;
+        out.configs.push_back(std::move(c));
       }
-      case Hist::Kind::kReturn: {
-        auto it = linearized.find(e.op_id);
-        if (it != linearized.end()) {
-          if (it->second == e.ret) {
-            LinearizedMap l2 = linearized;
-            l2.erase(e.op_id);
-            if (Search(idx + 1, state, pending, std::move(l2), committed)) {
-              return true;
-            }
+    };
+    for (const Config& c : in.configs) {
+      switch (e.kind) {
+        case Hist::Kind::kInvoke: {
+          Config c2 = c;
+          c2.pending.emplace(e.op_id, e.op);
+          emit(std::move(c2));
+          break;
+        }
+        case Hist::Kind::kReturn: {
+          auto it = c.linearized.find(e.op_id);
+          if (it != c.linearized.end() && it->second == e.ret) {
+            Config c2 = c;
+            c2.linearized.erase(e.op_id);
+            emit(std::move(c2));
           }
-          // Chosen return value mismatched the actual response: this branch
-          // of linearization choices is wrong; other moves below may fix it
-          // only if the op is still pending (it isn't), so fall through to
-          // the generic linearize-moves which won't contain it. Dead end.
+          // Not linearized, or a mismatched chosen return: dead branch.
+          break;
         }
-        break;  // if not linearized yet, we must linearize it first (move 2)
-      }
-      case Hist::Kind::kHelped: {
-        // Bookkeeping only; the obligation is enforced at the crash event.
-        if (Search(idx + 1, state, pending, linearized, committed)) {
-          return true;
-        }
-        break;
-      }
-      case Hist::Kind::kCrash: {
-        // Every op recovery claims to have helped after this crash must
-        // have committed (linearized) by now.
-        const std::set<uint64_t>& required = helped_by_crash_[static_cast<long>(idx)];
-        bool all_required_done = true;
-        for (uint64_t id : required) {
-          if (committed.find(id) == committed.end()) {
-            all_required_done = false;
-            break;
+        case Hist::Kind::kHelped: {
+          // Recovery committed this op on a crashed thread's behalf, which
+          // is only sound if the op's effect was durable at the crash —
+          // i.e. it linearized before the snapshot taken there.
+          if (c.committed_at_crash.count(e.op_id) > 0) {
+            emit(Config(c));
           }
+          break;
         }
-        if (all_required_done) {
+        case Hist::Kind::kCrash: {
           // The crash discards every pending op and every unreturned
-          // response; the spec takes one crash transition.
-          for (const State& next : spec_->CrashSteps(state)) {
-            if (Search(idx + 1, next, {}, {}, committed)) {
-              return true;
-            }
+          // response; the spec takes one (possibly nondeterministic) crash
+          // transition; commit records survive and are snapshotted.
+          for (const State& next : spec_->CrashSteps(c.state)) {
+            Config c2;
+            c2.state = next;
+            c2.committed = c.committed;
+            c2.committed_at_crash = c.committed;
+            emit(std::move(c2));
+          }
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Closes a frontier under "one pending op linearizes now": any pending op
+  // may take effect at any moment between its invocation and its
+  // response/crash. Sets `undefined` (and stops) if a step leaves the
+  // spec's defined domain.
+  void Close(Frontier* frontier) {
+    std::unordered_set<std::string> seen;
+    for (const Config& c : frontier->configs) {
+      seen.insert(ConfigKey(c));
+    }
+    // frontier->configs doubles as the BFS queue: new configs are appended
+    // and scanned in turn (indices stay valid; vector may reallocate).
+    for (size_t i = 0; i < frontier->configs.size(); ++i) {
+      // Copy: Step may append to configs, invalidating references.
+      const Config c = frontier->configs[i];
+      for (const auto& [id, op] : c.pending) {
+        tsys::Outcome<State, Ret> out = spec_->Step(c.state, op);
+        if (out.undefined) {
+          frontier->undefined = true;
+          return;
+        }
+        for (const auto& [next_state, ret] : out.branches) {
+          Config c2 = c;
+          c2.state = next_state;
+          c2.pending.erase(id);
+          c2.linearized.emplace(id, ret);
+          c2.committed.insert(id);
+          if (seen.insert(ConfigKey(c2)).second) {
+            ++states_explored_;
+            frontier->configs.push_back(std::move(c2));
           }
         }
-        break;  // otherwise: linearize the helped ops first (move 2)
       }
     }
-
-    // Move 2: linearize one pending operation now (before the current
-    // event). Any pending op may take effect at any moment between its
-    // invocation and its response/crash.
-    for (const auto& [id, op] : pending) {
-      tsys::Outcome<State, Ret> out = spec_->Step(state, op);
-      if (out.undefined) {
-        // The spec imposes no obligations beyond undefined behavior.
-        return true;
-      }
-      for (const auto& [next_state, ret] : out.branches) {
-        PendingMap p2 = pending;
-        p2.erase(id);
-        LinearizedMap l2 = linearized;
-        l2.emplace(id, ret);
-        std::set<uint64_t> c2 = committed;
-        if (helped_ids_.count(id) > 0) {
-          c2.insert(id);  // commit record survives crashes
-        }
-        if (Search(idx, next_state, std::move(p2), std::move(l2), std::move(c2))) {
-          return true;
-        }
-      }
-    }
-    return false;
   }
 
   Spec spec_storage_;
   const Spec* spec_;
-  const std::vector<typename Hist::Event>* events_ = nullptr;
-  std::map<long, std::set<uint64_t>> helped_by_crash_;
-  std::set<uint64_t> helped_ids_;
-  std::unordered_set<std::string> visited_;
+  FrontierCache* cache_ = nullptr;
   uint64_t states_explored_ = 0;
 };
 

@@ -1,0 +1,142 @@
+// Memoization caches for the refinement checker.
+//
+// Two artifacts of a refinement run are pure functions of a history (or a
+// history prefix) and can therefore be computed once and reused:
+//
+//   * The linearizability VERDICT of a complete history depends only on the
+//     history's events (the check replays the spec against them). The
+//     128-bit fingerprint (FingerprintHistory) keys a verdict cache shared
+//     across every execution of a run — and, under ParallelExplorer, across
+//     worker threads: whichever worker checks a history first publishes the
+//     verdict, and duplicates replay it instead of re-running the search.
+//
+//   * The FRONTIER of spec configurations reachable after consuming a
+//     history PREFIX depends only on that prefix (linearize.h maintains the
+//     invariant that every per-config obligation is checked at the event
+//     that imposes it, never by looking ahead). Prefix fingerprints key a
+//     frontier cache, so sibling histories that share a prefix — the common
+//     case under DFS exploration, where one decision flips near the leaves —
+//     resume the spec search mid-way instead of from the initial state.
+//
+// Both caches are sharded maps under per-shard mutexes: lock hold times are
+// a lookup or an insert, and 16 shards keep worker collisions negligible at
+// the scale of this repo's benches. Entries are never evicted, but inserts
+// stop at a per-shard cap so a pathological run degrades to cache misses
+// rather than unbounded memory.
+#ifndef PERENNIAL_SRC_REFINE_MEMO_H_
+#define PERENNIAL_SRC_REFINE_MEMO_H_
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/base/hash.h"
+#include "src/refine/history.h"
+
+namespace perennial::refine {
+
+// Mixes one history event into a streaming fingerprint. Factored out of
+// FingerprintHistory so prefix fingerprints can be built incrementally: the
+// fingerprint of events[0..i) is a pure fold of MixEvent over the prefix,
+// and Fnv128 is copyable, so each prefix digest costs O(1) on top of the
+// previous one.
+template <typename Spec>
+void MixEvent(Fnv128* f, const typename History<Spec>::Event& e) {
+  f->MixU64(static_cast<uint64_t>(e.kind));
+  f->MixU64(e.op_id);
+  switch (e.kind) {
+    case History<Spec>::Kind::kInvoke:
+      f->MixU64(static_cast<uint64_t>(e.client));
+      f->MixString(Spec::OpName(e.op));
+      break;
+    case History<Spec>::Kind::kReturn:
+      f->MixString(Spec::RetKey(e.ret));
+      break;
+    case History<Spec>::Kind::kCrash:
+    case History<Spec>::Kind::kHelped:
+      break;
+  }
+}
+
+// 128-bit fingerprint of a history's observable events. Two histories with
+// equal fingerprints receive the same verdict from the linearizability
+// checker (the check is a pure function of the events), which is what makes
+// fingerprint pruning sound. Requires Spec::OpName and Spec::RetKey to be
+// injective renderings (true of every spec in this repo).
+template <typename Spec>
+Hash128 FingerprintHistory(const History<Spec>& history) {
+  Fnv128 f;
+  for (const auto& e : history.events) {
+    MixEvent<Spec>(&f, e);
+  }
+  return f.digest();
+}
+
+// Thread-safe fingerprint-keyed map. V must be copyable (lookups copy the
+// value out under the shard lock; cached values are shared_ptrs or small
+// optionals in practice).
+template <typename V>
+class ShardedMemo {
+ public:
+  static constexpr size_t kShards = 16;
+
+  explicit ShardedMemo(size_t max_entries_per_shard = 1u << 20)
+      : cap_(max_entries_per_shard) {}
+  ShardedMemo(const ShardedMemo&) = delete;
+  ShardedMemo& operator=(const ShardedMemo&) = delete;
+
+  bool Lookup(const Hash128& fp, V* out) const {
+    const Shard& s = shards_[ShardOf(fp)];
+    std::scoped_lock lock(s.mu);
+    auto it = s.entries.find(fp);
+    if (it == s.entries.end()) {
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+
+  // First insert wins (the value is a pure function of the key, so any
+  // racing value is identical); returns false when the shard is at cap and
+  // the entry was dropped.
+  bool Insert(const Hash128& fp, V value) {
+    Shard& s = shards_[ShardOf(fp)];
+    std::scoped_lock lock(s.mu);
+    if (s.entries.size() >= cap_ && s.entries.find(fp) == s.entries.end()) {
+      return false;
+    }
+    s.entries.emplace(fp, std::move(value));
+    return true;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::scoped_lock lock(s.mu);
+      n += s.entries.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<Hash128, V> entries;
+  };
+
+  static size_t ShardOf(const Hash128& fp) { return static_cast<size_t>(fp.lo) % kShards; }
+
+  size_t cap_;
+  std::array<Shard, kShards> shards_;
+};
+
+// Fingerprint -> linearizability verdict (nullopt: history refines the
+// spec; string: why it does not). Shared across ParallelExplorer workers.
+using VerdictCache = ShardedMemo<std::optional<std::string>>;
+
+}  // namespace perennial::refine
+
+#endif  // PERENNIAL_SRC_REFINE_MEMO_H_

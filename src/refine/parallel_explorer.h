@@ -9,11 +9,14 @@
 //      reachable prefix, in DFS order. Prefixes are mutually disjoint and
 //      jointly exhaustive, so the work items partition the execution space.
 //   2. Each worker owns a private Explorer — and therefore its own
-//      Instance, Scheduler, World, and fingerprint cache — and runs the
-//      ordinary bounded DFS restricted to its item's subtree
-//      (Explorer::RunDfsSubtree). This is safe precisely because Instance
-//      factories are required to be deterministic: replaying a prefix
-//      reconstructs the same execution on any thread.
+//      Instance, Scheduler, and World — and runs the ordinary bounded DFS
+//      restricted to its item's subtree (Explorer::RunDfsSubtree). This is
+//      safe precisely because Instance factories are required to be
+//      deterministic: replaying a prefix reconstructs the same execution on
+//      any thread. The verdict and spec-frontier caches (memo.h) are the
+//      exception: they are shared across workers, which is sound because
+//      cached values are pure functions of their fingerprints — sharing
+//      only changes WHO pays for a check, never its outcome.
 //   3. Per-item Reports are merged in item (= DFS) order, so the aggregate
 //      is deterministic regardless of thread timing: executions, steps,
 //      crash counts, and the violation *sequence* are bit-identical to the
@@ -27,8 +30,9 @@
 //      cannot know about violations in other subtrees.
 //
 // Shared state across workers is limited to atomics (work-item cursor,
-// global execution budget, progress counters) and a mutex that serializes
-// ExplorerOptions::progress_callback invocations.
+// global execution budget, progress counters), the sharded memo caches,
+// and a mutex that serializes ExplorerOptions::progress_callback
+// invocations.
 //
 // Random mode is partitioned by run count: worker w performs its share of
 // random_runs with an independent stream forked from `seed` and w, merged
@@ -88,9 +92,18 @@ class ParallelExplorer {
   Report RunExhaustive() {
     Report aggregate;
     bool enumeration_truncated = false;
-    std::vector<std::vector<size_t>> items;
+    // Caches shared across the probe and every worker: a history (or history
+    // prefix) checked by one thread is a cache hit for all. Verdicts and
+    // frontiers are pure functions of their fingerprint, so cross-thread
+    // sharing cannot change any verdict — only Report::histories_deduped
+    // becomes timing-dependent (which worker reaches a fingerprint first).
+    VerdictCache shared_verdicts;
+    typename Explorer<Spec>::FrontierCache shared_frontiers;
+    std::vector<SubtreeWork> items;
     {
       Explorer<Spec> probe(spec_, factory_, WorkerOptions());
+      probe.set_verdict_cache(&shared_verdicts);
+      probe.set_frontier_cache(&shared_frontiers);
       // Clamp like num_workers: a non-positive depth degenerates to one
       // subtree (the whole tree) rather than tripping the probe's
       // precondition.
@@ -103,11 +116,16 @@ class ParallelExplorer {
     std::atomic<uint64_t> global_executions{0};
     std::atomic<uint64_t> global_steps{0};
     std::atomic<uint64_t> global_violations{0};
+    std::atomic<uint64_t> global_checked{0};
+    std::atomic<uint64_t> global_deduped{0};
+    std::atomic<uint64_t> global_pruned{0};
     std::atomic<bool> budget_exhausted{false};
     std::mutex progress_mu;
 
     auto worker_main = [&] {
       Explorer<Spec> engine(spec_, factory_, WorkerOptions());
+      engine.set_verdict_cache(&shared_verdicts);
+      engine.set_frontier_cache(&shared_frontiers);
       while (true) {
         size_t i = next_item.fetch_add(1, std::memory_order_relaxed);
         if (i >= items.size() || budget_exhausted.load(std::memory_order_relaxed)) {
@@ -116,6 +134,9 @@ class ParallelExplorer {
         Report* report = &item_reports[i];
         uint64_t seen_steps = 0;
         uint64_t seen_violations = 0;
+        uint64_t seen_checked = 0;
+        uint64_t seen_deduped = 0;
+        uint64_t seen_pruned = 0;
         auto keep_going = [&](const Report& r) {
           uint64_t executions = global_executions.fetch_add(1, std::memory_order_relaxed) + 1;
           global_steps.fetch_add(r.total_steps - seen_steps, std::memory_order_relaxed);
@@ -123,12 +144,21 @@ class ParallelExplorer {
           global_violations.fetch_add(r.violations.size() - seen_violations,
                                       std::memory_order_relaxed);
           seen_violations = r.violations.size();
+          global_checked.fetch_add(r.histories_checked - seen_checked, std::memory_order_relaxed);
+          seen_checked = r.histories_checked;
+          global_deduped.fetch_add(r.histories_deduped - seen_deduped, std::memory_order_relaxed);
+          seen_deduped = r.histories_deduped;
+          global_pruned.fetch_add(r.por_pruned - seen_pruned, std::memory_order_relaxed);
+          seen_pruned = r.por_pruned;
           if (options_.progress_callback != nullptr && options_.progress_interval > 0 &&
               executions % options_.progress_interval == 0) {
             std::scoped_lock lock(progress_mu);
             options_.progress_callback(
                 ExplorerProgress{executions, global_steps.load(std::memory_order_relaxed),
-                                 global_violations.load(std::memory_order_relaxed)});
+                                 global_violations.load(std::memory_order_relaxed),
+                                 global_checked.load(std::memory_order_relaxed),
+                                 global_deduped.load(std::memory_order_relaxed),
+                                 global_pruned.load(std::memory_order_relaxed)});
           }
           if (executions >= options_.max_executions) {
             budget_exhausted.store(true, std::memory_order_relaxed);
@@ -196,6 +226,7 @@ class ParallelExplorer {
     aggregate->env_events_fired += r.env_events_fired;
     aggregate->histories_checked += r.histories_checked;
     aggregate->histories_deduped += r.histories_deduped;
+    aggregate->por_pruned += r.por_pruned;
     aggregate->spec_states_explored += r.spec_states_explored;
     aggregate->truncated = aggregate->truncated || r.truncated;
     aggregate->violations.insert(aggregate->violations.end(), r.violations.begin(),
