@@ -1,0 +1,155 @@
+// Wall-time regression gate (ctest label tier2-bench): re-runs the two
+// smallest §9.1 bench rows — repl-2writers and wal-recovery-crash — under
+// the same option sets bench_sec91_patterns uses for its POR sweep, and
+// compares against the COMMITTED BENCH_refine.json (path = argv[1]).
+//
+// Failure conditions:
+//  * a cell's execution count differs from the committed row (the state
+//    space changed but the baseline was not regenerated), or
+//  * a cell's wall time exceeds 3x the committed ms (plus a small absolute
+//    floor so sub-millisecond rows do not trip on scheduler noise).
+//
+// The rows are chosen smallest-first so the gate stays cheap enough to run
+// in every tier2 sweep; the full table is regenerated manually with
+// `bench_sec91_patterns --json BENCH_refine.json`.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/refine/explorer.h"
+#include "src/systems/pattern_harness.h"
+#include "src/systems/repl/repl_harness.h"
+
+namespace {
+
+using namespace perennial;           // NOLINT
+using namespace perennial::systems;  // NOLINT
+using refine::ExplorerOptions;
+using refine::Report;
+
+struct BaselineCell {
+  bool found = false;
+  uint64_t executions = 0;
+  double ms = 0;
+};
+
+// Minimal scan of the bench_json.h output format: one row object per line,
+// fields in a fixed order. Robust to whitespace but not to reordering —
+// which is fine, the writer in this repo is the only producer.
+BaselineCell FindCell(const std::string& json, const std::string& slug, bool por) {
+  BaselineCell cell;
+  std::string needle = "\"system\": \"" + slug + "\", \"por\": " + (por ? "true" : "false");
+  size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    return cell;
+  }
+  auto field = [&](const char* name) -> double {
+    std::string key = std::string("\"") + name + "\": ";
+    size_t k = json.find(key, at);
+    if (k == std::string::npos) {
+      return -1;
+    }
+    return std::strtod(json.c_str() + k + key.size(), nullptr);
+  };
+  cell.found = true;
+  cell.executions = static_cast<uint64_t>(field("executions"));
+  cell.ms = field("ms");
+  return cell;
+}
+
+struct Measured {
+  uint64_t executions = 0;
+  double ms = 0;
+};
+
+template <typename Spec, typename Factory>
+Measured RunCell(Spec spec, Factory factory, int max_crashes, bool por) {
+  ExplorerOptions opts;
+  opts.max_crashes = max_crashes;
+  opts.use_por = por;
+  opts.memoize_spec_prefixes = por;  // the sweep's "after" = full engine
+  auto start = std::chrono::steady_clock::now();
+  refine::Explorer<Spec> ex(std::move(spec), factory, opts);
+  Report report = ex.Run();
+  Measured m;
+  m.executions = report.executions;
+  m.ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+             .count();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_check <path/to/BENCH_refine.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "bench_check: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // Sub-millisecond baselines would make a 3x bound trip on scheduler
+  // noise; the floor keeps the gate meaningful only for real regressions.
+  constexpr double kFloorMs = 25.0;
+  int failures = 0;
+
+  auto check = [&](const std::string& slug, bool por, const Measured& m) {
+    BaselineCell base = FindCell(json, slug, por);
+    if (!base.found) {
+      std::fprintf(stderr, "FAIL %s por=%d: no committed baseline row\n", slug.c_str(), por);
+      ++failures;
+      return;
+    }
+    if (m.executions != base.executions) {
+      std::fprintf(stderr,
+                   "FAIL %s por=%d: executions %llu != committed %llu "
+                   "(state space changed; regenerate BENCH_refine.json)\n",
+                   slug.c_str(), por, static_cast<unsigned long long>(m.executions),
+                   static_cast<unsigned long long>(base.executions));
+      ++failures;
+      return;
+    }
+    double allowed = 3.0 * base.ms;
+    if (allowed < kFloorMs) {
+      allowed = kFloorMs;
+    }
+    if (m.ms > allowed) {
+      std::fprintf(stderr, "FAIL %s por=%d: %.1f ms > allowed %.1f ms (baseline %.1f ms)\n",
+                   slug.c_str(), por, m.ms, allowed, base.ms);
+      ++failures;
+      return;
+    }
+    std::printf("ok   %s por=%d: %llu execs, %.1f ms (baseline %.1f ms, allowed %.1f ms)\n",
+                slug.c_str(), por, static_cast<unsigned long long>(m.executions), m.ms, base.ms,
+                allowed);
+  };
+
+  {
+    ReplHarnessOptions options;
+    options.num_blocks = 1;
+    options.client_ops = {{ReplSpec::MakeWrite(0, 5)}, {ReplSpec::MakeWrite(0, 7)}};
+    for (bool por : {false, true}) {
+      check("repl-2writers", por,
+            RunCell(ReplSpec{1}, [&] { return MakeReplInstance(options); }, 1, por));
+    }
+  }
+  {
+    WalHarnessOptions options;
+    options.client_ops = {{PairSpec::MakeWrite(1, 2)}};
+    for (bool por : {false, true}) {
+      check("wal-recovery-crash", por,
+            RunCell(PairSpec{}, [&] { return MakeWalInstance(options); }, 2, por));
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -44,6 +44,34 @@ inline const char* ParseJsonPath(int argc, char** argv, std::vector<char*>* stri
   return path;
 }
 
+// Returns the value following "--filter" in argv, or nullptr. Same
+// consume-and-strip contract as ParseJsonPath; benches treat the value as a
+// case-sensitive substring of a row's name or slug and skip everything
+// else (handy for iterating on one system without paying for the sweep).
+inline const char* ParseFilter(int argc, char** argv, std::vector<char*>* strip) {
+  const char* filter = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--filter" && i + 1 < argc) {
+      filter = argv[i + 1];
+      ++i;
+      continue;
+    }
+    if (strip != nullptr) {
+      strip->push_back(argv[i]);
+    }
+  }
+  return filter;
+}
+
+// Substring match used by --filter: nullptr/empty matches everything.
+inline bool FilterMatches(const char* filter, std::string_view name, std::string_view slug) {
+  if (filter == nullptr || *filter == '\0') {
+    return true;
+  }
+  return name.find(filter) != std::string_view::npos ||
+         slug.find(filter) != std::string_view::npos;
+}
+
 // Writes `rows` as {"bench": ..., "rows": [...]}; returns false (with a
 // message on stderr) if the file cannot be opened.
 inline bool WritePorJson(const std::string& path, const std::string& bench,

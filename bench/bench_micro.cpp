@@ -332,7 +332,7 @@ BENCHMARK(BM_MailboatDeliverGooseFs);
 // POR off and once with POR on (fingerprint dedup enabled so the deduped
 // column is populated), timed directly rather than through the
 // google-benchmark loop so each cell is a single comparable run.
-std::vector<perennial::benchjson::PorJsonRow> RunPorJsonSweep() {
+std::vector<perennial::benchjson::PorJsonRow> RunPorJsonSweep(const char* filter) {
   using namespace perennial::systems;  // NOLINT
   std::vector<perennial::benchjson::PorJsonRow> rows;
   struct Workload {
@@ -356,6 +356,9 @@ std::vector<perennial::benchjson::PorJsonRow> RunPorJsonSweep() {
     workloads.push_back(std::move(w));
   }
   for (const Workload& w : workloads) {
+    if (!perennial::benchjson::FilterMatches(filter, w.slug, w.slug)) {
+      continue;
+    }
     for (bool por : {false, true}) {
       refine::ExplorerOptions opts;
       opts.max_crashes = 1;
@@ -380,10 +383,15 @@ std::vector<perennial::benchjson::PorJsonRow> RunPorJsonSweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Both flags strip themselves from argv (the remainder is handed to
+  // google-benchmark, which rejects flags it does not know).
+  std::vector<char*> after_filter;
+  const char* filter = perennial::benchjson::ParseFilter(argc, argv, &after_filter);
   std::vector<char*> passthrough;
-  const char* json_path = perennial::benchjson::ParseJsonPath(argc, argv, &passthrough);
+  const char* json_path = perennial::benchjson::ParseJsonPath(
+      static_cast<int>(after_filter.size()), after_filter.data(), &passthrough);
   if (json_path != nullptr) {
-    auto rows = RunPorJsonSweep();
+    auto rows = RunPorJsonSweep(filter);
     if (!perennial::benchjson::WritePorJson(json_path, "bench_micro", rows)) {
       return 1;
     }

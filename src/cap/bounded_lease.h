@@ -29,6 +29,7 @@
 
 #include "src/base/panic.h"
 #include "src/goose/world.h"
+#include "src/proc/footprint.h"
 
 namespace perennial::cap {
 
@@ -40,11 +41,18 @@ struct BoundedLease {
 
 class BoundedLeaseRegistry : public goose::CrashAware {
  public:
-  explicit BoundedLeaseRegistry(goose::World* world) : world_(world) { world->Register(this); }
+  explicit BoundedLeaseRegistry(goose::World* world)
+      : world_(world), instance_(world->NextResourceId()) {
+    world->Register(this);
+  }
 
   // Takes the (exclusive) lower-bound lease on `resource`, recording that
   // it currently contains at least `names`.
   BoundedLease Acquire(const std::string& resource, std::vector<std::string> names) {
+    Rec(resource, /*write=*/true);
+    // The serial counter is registry-global: any two acquisitions are
+    // order-dependent (the serials they mint differ).
+    proc::RecordAccess(proc::MixResource(proc::kResRegistry, instance_, ~0ull), /*write=*/true);
     std::scoped_lock host_lock(mu_);
     auto [it, inserted] = held_.try_emplace(resource);
     if (!inserted) {
@@ -58,6 +66,7 @@ class BoundedLeaseRegistry : public goose::CrashAware {
   // Deleting `name` requires the current lease and name ∈ bound; the name
   // leaves the bound (it can only be deleted once).
   void CheckDelete(const BoundedLease& lease, const std::string& name) {
+    Rec(lease.resource, /*write=*/true);  // the bound shrinks
     std::scoped_lock host_lock(mu_);
     Holding& holding = Resolve(lease, "CheckDelete");
     if (holding.bound.erase(name) == 0) {
@@ -69,17 +78,20 @@ class BoundedLeaseRegistry : public goose::CrashAware {
   // Creation by any thread is compatible with the lower bound; the holder
   // may fold a name it learns about into its own bound.
   void ExtendBound(const BoundedLease& lease, const std::string& name) {
+    Rec(lease.resource, /*write=*/true);
     std::scoped_lock host_lock(mu_);
     Resolve(lease, "ExtendBound").bound.insert(name);
   }
 
   void Release(const BoundedLease& lease) {
+    Rec(lease.resource, /*write=*/true);
     std::scoped_lock host_lock(mu_);
     Resolve(lease, "Release");
     held_.erase(lease.resource);
   }
 
   bool IsHeld(const std::string& resource) const {
+    Rec(resource, /*write=*/false);
     std::scoped_lock host_lock(mu_);
     return held_.count(resource) > 0;
   }
@@ -93,6 +105,12 @@ class BoundedLeaseRegistry : public goose::CrashAware {
     std::set<std::string> bound;
   };
 
+  // DPOR access record for one leased resource (src/proc/footprint.h); the
+  // same (instance, key) scheme the help/lease registries use.
+  void Rec(const std::string& resource, bool write) const {
+    proc::RecordAccess(proc::MixResourceKey(proc::kResRegistry, instance_, resource), write);
+  }
+
   Holding& Resolve(const BoundedLease& lease, const char* op) {
     if (lease.gen != world_->generation()) {
       RaiseUb(std::string(op) + ": bounded lease from a previous crash generation");
@@ -105,6 +123,7 @@ class BoundedLeaseRegistry : public goose::CrashAware {
   }
 
   goose::World* world_;
+  uint64_t instance_;  // footprint namespace for this registry
   // Host-level: Mailboat runs natively in benchmarks, so registry state is
   // touched from several OS threads (in simulation the lock is uncontended).
   mutable std::mutex mu_;

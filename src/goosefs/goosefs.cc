@@ -12,16 +12,53 @@ Bytes BytesOfString(const std::string& s) { return Bytes(s.begin(), s.end()); }
 std::string StringOfBytes(const Bytes& b) { return std::string(b.begin(), b.end()); }
 
 GooseFs::GooseFs(goose::World* world, std::vector<std::string> dirs, Options options)
-    : world_(world), options_(options) {
+    : world_(world), options_(options), res_seed_(world->NextResourceId()) {
   for (std::string& d : dirs) {
     dirs_[std::move(d)] = {};
   }
   world_->Register(this);
 }
 
+void GooseFs::BeginOpFootprint() const {
+  if (options_.opaque_footprints) {
+    proc::RecordOpaque();
+  }
+}
+
+void GooseFs::Rec(uint64_t resource, bool write) const {
+  if (!options_.opaque_footprints) {
+    proc::RecordAccess(resource, write);
+  }
+}
+
+uint64_t GooseFs::AllocRes() const { return proc::MixResource(proc::kResFsAlloc, res_seed_); }
+
+uint64_t GooseFs::DirRes(const std::string& dir) const {
+  return proc::MixResourceKey(proc::kResFsDir, res_seed_, dir);
+}
+
+uint64_t GooseFs::EntryRes(const std::string& dir, const std::string& name) const {
+  // Entry ids hang off the directory id so "a/bc" and "ab/c" cannot alias.
+  return proc::MixResourceKey(proc::kResFsEntry, DirRes(dir), name);
+}
+
+uint64_t GooseFs::InodeRes(uint64_t ino) const {
+  return proc::MixResource(proc::kResFsInode, res_seed_, ino);
+}
+
+uint64_t GooseFs::TailRes(uint64_t ino) const {
+  return proc::MixResource(proc::kResFsTail, res_seed_, ino);
+}
+
+uint64_t GooseFs::FdRes(Fd fd) const { return proc::MixResource(proc::kResFsFd, res_seed_, fd); }
+
 proc::Task<Result<Fd>> GooseFs::Create(const std::string& dir, const std::string& name) {
   co_await proc::Yield();
-  proc::RecordOpaque();  // file-system effects are deliberately unmodeled by footprints
+  BeginOpFootprint();
+  // Writes even on failure paths: a failed create still *read* the entry,
+  // and recording the write superset is sound (footprint.h header comment).
+  Rec(DirRes(dir), /*write=*/true);
+  Rec(EntryRes(dir, name), /*write=*/true);
   auto dir_it = dirs_.find(dir);
   if (dir_it == dirs_.end()) {
     co_return Status::NotFound("no such directory: " + dir);
@@ -30,18 +67,24 @@ proc::Task<Result<Fd>> GooseFs::Create(const std::string& dir, const std::string
   if (!inserted) {
     co_return Status::AlreadyExists(dir + "/" + name);
   }
+  // The counters make any two allocating ops order-dependent (the numbers
+  // they hand out differ), exactly like the heap's allocator resource.
+  Rec(AllocRes(), /*write=*/true);
   uint64_t ino = next_ino_++;
+  Rec(InodeRes(ino), /*write=*/true);
   Inode& inode = inodes_[ino];
   inode.nlink = 1;
   inode.open_fds = 1;
   Fd fd = next_fd_++;
+  Rec(FdRes(fd), /*write=*/true);
   fds_[fd] = FdState{ino, Mode::kAppend};
   co_return fd;
 }
 
 proc::Task<Result<Fd>> GooseFs::Open(const std::string& dir, const std::string& name) {
   co_await proc::Yield();
-  proc::RecordOpaque();
+  BeginOpFootprint();
+  Rec(EntryRes(dir, name), /*write=*/false);
   auto dir_it = dirs_.find(dir);
   if (dir_it == dirs_.end()) {
     co_return Status::NotFound("no such directory: " + dir);
@@ -51,19 +94,25 @@ proc::Task<Result<Fd>> GooseFs::Open(const std::string& dir, const std::string& 
     co_return Status::NotFound(dir + "/" + name);
   }
   uint64_t ino = name_it->second;
+  Rec(AllocRes(), /*write=*/true);
+  Rec(InodeRes(ino), /*write=*/true);  // open_fds++ feeds the reclaim decision
   inodes_.at(ino).open_fds++;
   Fd fd = next_fd_++;
+  Rec(FdRes(fd), /*write=*/true);
   fds_[fd] = FdState{ino, Mode::kRead};
   co_return fd;
 }
 
 proc::Task<Status> GooseFs::Append(Fd fd, const Bytes& data) {
   co_await proc::Yield();
-  proc::RecordOpaque();
+  BeginOpFootprint();
+  Rec(FdRes(fd), /*write=*/false);
   FdState& state = ResolveFd(fd, "Append");
   if (state.mode != Mode::kAppend) {
     RaiseUb("Append on a read-mode fd");
   }
+  Rec(InodeRes(state.ino), /*write=*/true);
+  Rec(TailRes(state.ino), /*write=*/true);  // superset: deferred mode leaves it
   Inode& inode = inodes_.at(state.ino);
   inode.data.insert(inode.data.end(), data.begin(), data.end());
   if (!options_.deferred_durability) {
@@ -74,11 +123,13 @@ proc::Task<Status> GooseFs::Append(Fd fd, const Bytes& data) {
 
 proc::Task<Result<Bytes>> GooseFs::ReadAt(Fd fd, uint64_t off, uint64_t count) {
   co_await proc::Yield();
-  proc::RecordOpaque();
+  BeginOpFootprint();
+  Rec(FdRes(fd), /*write=*/false);
   FdState& state = ResolveFd(fd, "ReadAt");
   if (state.mode != Mode::kRead) {
     RaiseUb("ReadAt on an append-mode fd");
   }
+  Rec(InodeRes(state.ino), /*write=*/false);
   const Bytes& contents = inodes_.at(state.ino).data;
   if (off >= contents.size()) {
     co_return Bytes{};
@@ -89,8 +140,11 @@ proc::Task<Result<Bytes>> GooseFs::ReadAt(Fd fd, uint64_t off, uint64_t count) {
 
 proc::Task<Status> GooseFs::Sync(Fd fd) {
   co_await proc::Yield();
-  proc::RecordOpaque();
+  BeginOpFootprint();
+  Rec(FdRes(fd), /*write=*/false);
   FdState& state = ResolveFd(fd, "Sync");
+  Rec(InodeRes(state.ino), /*write=*/false);  // reads the current length
+  Rec(TailRes(state.ino), /*write=*/true);
   Inode& inode = inodes_.at(state.ino);
   inode.synced_len = inode.data.size();
   co_return Status::Ok();
@@ -98,9 +152,11 @@ proc::Task<Status> GooseFs::Sync(Fd fd) {
 
 proc::Task<Status> GooseFs::Close(Fd fd) {
   co_await proc::Yield();
-  proc::RecordOpaque();
+  BeginOpFootprint();
+  Rec(FdRes(fd), /*write=*/true);
   FdState& state = ResolveFd(fd, "Close");
   uint64_t ino = state.ino;
+  Rec(InodeRes(ino), /*write=*/true);  // open_fds--, possibly reclaim
   fds_.erase(fd);
   Inode& inode = inodes_.at(ino);
   PCC_ENSURE(inode.open_fds > 0, "Close: fd refcount underflow");
@@ -111,7 +167,10 @@ proc::Task<Status> GooseFs::Close(Fd fd) {
 
 proc::Task<Result<std::vector<std::string>>> GooseFs::List(const std::string& dir) {
   co_await proc::Yield();
-  proc::RecordOpaque();
+  BeginOpFootprint();
+  // Membership aggregate: every op that adds or removes a name in `dir`
+  // writes DirRes(dir), so List conflicts with exactly those.
+  Rec(DirRes(dir), /*write=*/false);
   auto dir_it = dirs_.find(dir);
   if (dir_it == dirs_.end()) {
     co_return Status::NotFound("no such directory: " + dir);
@@ -127,7 +186,10 @@ proc::Task<Result<std::vector<std::string>>> GooseFs::List(const std::string& di
 proc::Task<bool> GooseFs::Link(const std::string& src_dir, const std::string& src_name,
                                const std::string& dst_dir, const std::string& dst_name) {
   co_await proc::Yield();
-  proc::RecordOpaque();
+  BeginOpFootprint();
+  Rec(EntryRes(src_dir, src_name), /*write=*/false);
+  Rec(DirRes(dst_dir), /*write=*/true);
+  Rec(EntryRes(dst_dir, dst_name), /*write=*/true);
   auto src_dir_it = dirs_.find(src_dir);
   if (src_dir_it == dirs_.end()) {
     co_return false;
@@ -144,13 +206,16 @@ proc::Task<bool> GooseFs::Link(const std::string& src_dir, const std::string& sr
   if (!inserted) {
     co_return false;
   }
+  Rec(InodeRes(src_it->second), /*write=*/true);  // nlink++
   inodes_.at(src_it->second).nlink++;
   co_return true;
 }
 
 proc::Task<Status> GooseFs::Delete(const std::string& dir, const std::string& name) {
   co_await proc::Yield();
-  proc::RecordOpaque();
+  BeginOpFootprint();
+  Rec(DirRes(dir), /*write=*/true);
+  Rec(EntryRes(dir, name), /*write=*/true);
   auto dir_it = dirs_.find(dir);
   if (dir_it == dirs_.end()) {
     co_return Status::NotFound("no such directory: " + dir);
@@ -160,6 +225,7 @@ proc::Task<Status> GooseFs::Delete(const std::string& dir, const std::string& na
     co_return Status::NotFound(dir + "/" + name);
   }
   uint64_t ino = name_it->second;
+  Rec(InodeRes(ino), /*write=*/true);  // nlink--, possibly reclaim
   dir_it->second.erase(name_it);
   Inode& inode = inodes_.at(ino);
   PCC_ENSURE(inode.nlink > 0, "Delete: nlink underflow");

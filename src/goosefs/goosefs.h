@@ -41,6 +41,12 @@ class GooseFs : public Filesys, public goose::CrashAware {
     // page cache flushed more than Sync() promised. Sound recovery code may
     // rely on the synced prefix surviving but never on the tail being gone.
     fault::FaultSchedule* faults = nullptr;
+    // Record every operation as footprint-opaque instead of with precise
+    // per-inode/per-entry access records (the pre-PR-4 behavior). Opaque
+    // steps conflict with everything, so this only disables DPOR pruning
+    // around file-system steps — it never changes verdicts. Kept as a
+    // soundness control: equivalence tests diff precise-vs-opaque runs.
+    bool opaque_footprints = false;
   };
 
   // The directory layout is fixed at construction (§6.2: directories cannot
@@ -96,8 +102,23 @@ class GooseFs : public Filesys, public goose::CrashAware {
   FdState& ResolveFd(Fd fd, const char* op);
   void MaybeReclaim(uint64_t ino);
 
+  // --- DPOR access records (src/proc/footprint.h; see DESIGN.md §10) ---
+  // Each op announces the resources it may touch; failure paths record the
+  // success-path superset, which only adds conflicts (sound, pessimal).
+  // With options_.opaque_footprints the op is marked opaque instead and the
+  // Rec() calls become no-ops.
+  void BeginOpFootprint() const;
+  void Rec(uint64_t resource, bool write) const;
+  uint64_t AllocRes() const;
+  uint64_t DirRes(const std::string& dir) const;
+  uint64_t EntryRes(const std::string& dir, const std::string& name) const;
+  uint64_t InodeRes(uint64_t ino) const;
+  uint64_t TailRes(uint64_t ino) const;
+  uint64_t FdRes(Fd fd) const;
+
   goose::World* world_;
   Options options_;
+  uint64_t res_seed_ = 0;  // per-instance footprint namespace
   std::map<std::string, std::map<std::string, uint64_t>> dirs_;
   std::map<uint64_t, Inode> inodes_;
   std::map<Fd, FdState> fds_;

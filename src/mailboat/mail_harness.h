@@ -37,6 +37,9 @@ struct MailHarnessOptions {
   // Deferred-durability extension: buffer file data until Sync.
   bool deferred_durability = false;
   bool sync_on_deliver = true;
+  // Soundness control for footprint-equivalence tests: run the GooseFs with
+  // blanket-opaque footprints (no DPOR pruning around fs steps).
+  bool opaque_fs_footprints = false;
 };
 
 namespace detail {
@@ -77,7 +80,8 @@ inline refine::Instance<MailSpec> MakeMailInstance(const MailHarnessOptions& opt
   auto bundle = std::make_shared<Bundle>();
   bundle->fs = std::make_unique<goosefs::GooseFs>(
       &bundle->world, Mailboat::DirLayout(options.num_users),
-      goosefs::GooseFs::Options{.deferred_durability = options.deferred_durability});
+      goosefs::GooseFs::Options{.deferred_durability = options.deferred_durability,
+                                .opaque_footprints = options.opaque_fs_footprints});
   Mailboat::Options mail_options;
   mail_options.num_users = options.num_users;
   mail_options.chunk_size = options.chunk_size;

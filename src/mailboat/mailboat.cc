@@ -4,6 +4,7 @@
 
 #include "src/base/panic.h"
 #include "src/base/strutil.h"
+#include "src/proc/footprint.h"
 
 namespace perennial::mailboat {
 
@@ -13,7 +14,9 @@ Mailboat::Mailboat(goose::World* world, goosefs::Filesys* fs, Options options, M
       options_(options),
       mutations_(mutations),
       dir_leases_(world),
-      rng_(options.rng_seed) {
+      rng_(options.rng_seed),
+      rng_res_(proc::MixResource(proc::kResRng, world->NextResourceId())),
+      lease_res_seed_(world->NextResourceId()) {
   InitVolatile();
 }
 
@@ -37,6 +40,9 @@ void Mailboat::InitVolatile() {
 }
 
 uint64_t Mailboat::NextRandomId() {
+  // The draw order is shared state: it decides which ids concurrent
+  // deliveries end up with, so two drawing steps never commute.
+  proc::RecordAccess(rng_res_, /*write=*/true);
   std::scoped_lock lock(rng_mu_);
   return rng_.Next();
 }
@@ -75,6 +81,8 @@ proc::Task<std::vector<Message>> Mailboat::Pickup(uint64_t user) {
   // names just listed; the holder may delete exactly those, and concurrent
   // deliveries remain free to add more.
   {
+    proc::RecordAccess(proc::MixResource(proc::kResRegistry, lease_res_seed_, user),
+                       /*write=*/true);
     std::scoped_lock host_lock(pickup_leases_mu_);
     pickup_leases_[user] = dir_leases_.Acquire(UserDir(user), names.value());
   }
@@ -150,6 +158,9 @@ proc::Task<std::string> Mailboat::DeliverChunked(uint64_t user, uint64_t len,
 proc::Task<void> Mailboat::Delete(uint64_t user, const std::string& id) {
   PCC_ENSURE(user < options_.num_users, "Delete: no such user");
   {
+    // CheckDelete shrinks the lease's bound: a write, not just a lookup.
+    proc::RecordAccess(proc::MixResource(proc::kResRegistry, lease_res_seed_, user),
+                       /*write=*/true);
     std::scoped_lock host_lock(pickup_leases_mu_);
     auto lease_it = pickup_leases_.find(user);
     if (lease_it == pickup_leases_.end()) {
@@ -168,6 +179,8 @@ proc::Task<void> Mailboat::Delete(uint64_t user, const std::string& id) {
 proc::Task<void> Mailboat::Unlock(uint64_t user) {
   PCC_ENSURE(user < options_.num_users, "Unlock: no such user");
   {
+    proc::RecordAccess(proc::MixResource(proc::kResRegistry, lease_res_seed_, user),
+                       /*write=*/true);
     std::scoped_lock host_lock(pickup_leases_mu_);
     auto lease_it = pickup_leases_.find(user);
     if (lease_it != pickup_leases_.end()) {

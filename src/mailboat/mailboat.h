@@ -124,6 +124,12 @@ class Mailboat : public MailApi {
   std::map<uint64_t, cap::BoundedLease> pickup_leases_;  // volatile, per user
   std::mutex rng_mu_;  // host-level: id generation is not a modeled effect
   Rng rng_;
+  // DPOR footprints for the shared state above (DESIGN.md §10): the rng
+  // draw order determines the ids every Deliver picks, and the pickup-lease
+  // table is read/written across Pickup/Delete/Unlock, so steps touching
+  // them must never look independent to the sleep-set reduction.
+  uint64_t rng_res_ = 0;
+  uint64_t lease_res_seed_ = 0;
 };
 
 }  // namespace perennial::mailboat

@@ -42,6 +42,17 @@ enum ResourceDomain : uint64_t {
   kResHistory,        // the linearizability history (Invoke/Return/...)
   kResRegistry,       // (registry instance, hashed string key)
   kResInvariant,      // everything registered crash invariants observe
+  // GooseFs resources (one `a` seed per file-system instance). The scheme
+  // is documented in DESIGN.md §10; inode and fd numbers are never reused
+  // across crashes (the counters survive OnCrash), so unlike heap cells
+  // these ids need no crash-generation component.
+  kResFsAlloc,        // the ino/fd counters (Create/Open number their results)
+  kResFsDir,          // (fs instance, dir) — directory membership, read by List
+  kResFsEntry,        // (fs instance, dir/name) — one directory entry
+  kResFsInode,        // (fs instance, ino) — data + nlink + open-fd count
+  kResFsTail,         // (fs instance, ino) — the synced-length watermark
+  kResFsFd,           // (fs instance, fd) — one descriptor slot
+  kResRng,            // a shared deterministic id pool (Mailboat's rng)
 };
 
 // SplitMix64-style mix of a (domain, a, b) triple into a resource id.

@@ -424,7 +424,7 @@ class Explorer {
       detail::RandomDriver driver(options_.seed, options_.crash_probability,
                                   options_.env_probability);
       for (uint64_t i = 0; i < options_.random_runs; ++i) {
-        RunOnce(driver, &report, nullptr);
+        RunOnce(driver, &report, nullptr, /*common_decisions=*/0);
         NotifyProgress(report);
         if (report.violations.size() >= static_cast<size_t>(options_.max_violations)) {
           break;
@@ -449,9 +449,16 @@ class Explorer {
     detail::PorContext por;
     por.levels = std::move(work.por_seed);
     detail::PorContext* por_ptr = PorActive() ? &por : nullptr;
+    // Decisions this run provably shares with the previous run of THIS
+    // explorer: after the odometer bumps the decision at level a, levels
+    // 0..a-1 replay identically, so the histories agree on every event the
+    // previous run recorded before decision a (frontier-spine reuse). The
+    // first run shares nothing — even its work prefix replays decisions
+    // some OTHER explorer took.
+    size_t common_decisions = 0;
     while (true) {
       detail::DfsDriver driver(&path);
-      RunOnce(driver, report, por_ptr);
+      RunOnce(driver, report, por_ptr, common_decisions);
       NotifyProgress(*report);
       if (report->violations.size() >= static_cast<size_t>(options_.max_violations)) {
         break;
@@ -485,6 +492,7 @@ class Explorer {
       if (!advanced) {
         break;  // full bounded subtree explored
       }
+      common_decisions = path.size() - 1;  // everything before the bumped level
       // POR bookkeeping below the advanced position is stale (it described
       // subtrees of the previous sibling); the level being advanced keeps
       // its explored-sibling list, which is exactly what the new sibling's
@@ -514,7 +522,8 @@ class Explorer {
     detail::PorContext* por_ptr = PorActive() ? &por : nullptr;
     while (true) {
       detail::DfsDriver driver(&path);
-      RunOnce(driver, &scratch, por_ptr);
+      // Probe runs never claim a shared prefix: structure discovery only.
+      RunOnce(driver, &scratch, por_ptr, /*common_decisions=*/0);
       const std::vector<size_t>& counts = driver.counts();
       PCC_ENSURE(path.size() >= counts.size(), "DFS: path shorter than counts");
       path.resize(counts.size());
@@ -642,9 +651,29 @@ class Explorer {
   }
 
   // `por` non-null activates sleep-set pruning for this run (exhaustive
-  // replays only; RandomDriver passes nullptr).
-  void RunOnce(detail::Driver& driver, Report* report, detail::PorContext* por) {
+  // replays only; RandomDriver passes nullptr). `common_decisions` is the
+  // caller's guarantee that this run's first decisions replay the previous
+  // run's — the basis for resuming the linearizability search mid-history
+  // (frontier-spine reuse) and for skipping footprint re-collection on
+  // pure-replay steps.
+  void RunOnce(detail::Driver& driver, Report* report, detail::PorContext* por,
+               size_t common_decisions) {
     ++report->executions;
+    // Events shared with the previous run: everything recorded before the
+    // first differing decision. Chained through spine_valid_events_ so the
+    // guarantee holds against the checker's retained spine even across
+    // intermediate runs that never reached the checker (POR prunes, early
+    // violations, dedup hits).
+    size_t common_events = 0;
+    if (common_decisions > 0) {
+      PCC_ENSURE(common_decisions < prev_events_at_decision_.size(),
+                 "spine reuse: shared decisions exceed the previous run");
+      common_events = prev_events_at_decision_[common_decisions];
+    }
+    const size_t spine_reuse = std::min(spine_valid_events_, common_events);
+    spine_valid_events_ = spine_reuse;  // pessimistic default; Check resets it
+    prev_events_at_decision_.clear();
+
     Instance<Spec> inst = factory_();
     History<Spec> history;
     proc::Scheduler sched;
@@ -688,8 +717,10 @@ class Explorer {
 
     // Presents `alts` (already sleep-filtered by the caller) to the driver,
     // executes nothing itself: returns the chosen index after recording the
-    // trace label and step count.
+    // trace label and step count. The history-event watermark per decision
+    // feeds the next run's frontier-spine reuse.
     auto choose = [&](const std::vector<detail::Alt>& alts) -> size_t {
+      prev_events_at_decision_.push_back(history.events.size());
       size_t pick = driver.Choose(alts);
       PCC_ENSURE(pick < alts.size(), "driver picked an invalid alternative");
       if (!trace.empty()) {
@@ -698,6 +729,29 @@ class Explorer {
       trace += alts[pick].label;
       ++steps;
       return pick;
+    };
+    // Replay shortcut: when this decision re-takes an alternative whose
+    // footprint the POR bookkeeping already holds (tried[pick] exists),
+    // deterministic replay makes re-collecting it redundant — return the
+    // cached footprint and disable collection for the step. A fresh
+    // alternative (pick == tried.size(), including the odometer's bumped
+    // level and the truncated seeds of parallel work items) collects
+    // normally.
+    auto replay_footprint = [&](const std::vector<detail::Alt>& alts,
+                                size_t pick) -> const proc::Footprint* {
+      if (por == nullptr) {
+        return nullptr;
+      }
+      const detail::PorLevel& level = por->levels[decision_level];
+      if (pick >= level.tried.size()) {
+        sched.EnableFootprintCollection(true);
+        return nullptr;
+      }
+      const detail::TriedAlt& t = level.tried[pick];
+      PCC_ENSURE(t.kind == alts[pick].kind && t.thread == alts[pick].thread,
+                 "POR replay divergence: cached alternative does not match");
+      sched.EnableFootprintCollection(false);
+      return &t.footprint;
     };
     // POR bookkeeping after the chosen alternative ran, with the footprint
     // its step produced; advances the sleep set and persists the footprint
@@ -771,9 +825,10 @@ class Explorer {
           if (alt.kind == detail::AltKind::kEnv) {
             --env_budget[alt.env];
             ++report->env_events_fired;
+            const proc::Footprint* cached = replay_footprint(alts, pick);
             sched.BeginExternalFootprint();
             inst.env_events[alt.env].fire();
-            after_step(alts, pick, sched.last_footprint());
+            after_step(alts, pick, cached != nullptr ? *cached : sched.last_footprint());
             continue;
           }
           // fall through: proceed to observation
@@ -856,6 +911,7 @@ class Explorer {
             ++preemptions_used;
           }
           last_thread = alt.thread;
+          const proc::Footprint* cached = replay_footprint(alts, pick);
           try {
             sched.Step(alt.thread);
           } catch (const UbViolation& ub) {
@@ -863,7 +919,7 @@ class Explorer {
             report->total_steps += steps;
             return;
           }
-          after_step(alts, pick, sched.last_footprint());
+          after_step(alts, pick, cached != nullptr ? *cached : sched.last_footprint());
           break;
         }
         case detail::AltKind::kCrash: {
@@ -880,9 +936,10 @@ class Explorer {
         case detail::AltKind::kEnv: {
           --env_budget[alt.env];
           ++report->env_events_fired;
+          const proc::Footprint* cached = replay_footprint(alts, pick);
           sched.BeginExternalFootprint();
           inst.env_events[alt.env].fire();
-          after_step(alts, pick, sched.last_footprint());
+          after_step(alts, pick, cached != nullptr ? *cached : sched.last_footprint());
           break;
         }
         case detail::AltKind::kProceed:
@@ -893,10 +950,16 @@ class Explorer {
 
     report->total_steps += steps;
     ++report->histories_checked;
-    LinearizabilityChecker<Spec> checker(&spec_);
-    if (options_.memoize_spec_prefixes) {
-      checker.set_frontier_cache(frontier_cache_);
-    }
+    checker_.set_frontier_cache(options_.memoize_spec_prefixes ? frontier_cache_ : nullptr);
+    // Runs the persistent checker, resuming its retained frontier spine at
+    // the deepest event this history provably shares with the spine's
+    // source. After a Check the spine covers THIS history in full, so the
+    // next run's guarantee is bounded only by its own shared prefix.
+    auto check_history = [&]() -> std::optional<std::string> {
+      std::optional<std::string> why = checker_.Check(history, spine_reuse);
+      spine_valid_events_ = static_cast<size_t>(-1);
+      return why;
+    };
     if (options_.dedup_histories) {
       // Fingerprint pruning: identical histories get identical verdicts, so
       // replay the cached verdict instead of re-running the search. Only
@@ -911,23 +974,32 @@ class Explorer {
         }
         return;
       }
-      std::optional<std::string> why = checker.Check(history);
+      std::optional<std::string> why = check_history();
       verdict_cache_->Insert(fp, why);
       if (why.has_value()) {
         add_violation("non-linearizable", *why);
       }
-      report->spec_states_explored += checker.states_explored();
+      report->spec_states_explored += checker_.states_explored();
       return;
     }
-    if (auto why = checker.Check(history)) {
+    if (auto why = check_history()) {
       add_violation("non-linearizable", *why);
     }
-    report->spec_states_explored += checker.states_explored();
+    report->spec_states_explored += checker_.states_explored();
   }
 
   Spec spec_;
   Factory factory_;
   ExplorerOptions options_;
+  // The persistent linearizability checker: its frontier spine (and dedup
+  // arena) carries over between executions, which is what RunOnce's
+  // spine_reuse resumes into.
+  LinearizabilityChecker<Spec> checker_{&spec_};
+  // Events of the checker spine's source history known to coincide with the
+  // NEXT run's history (chained across runs that skip the checker).
+  size_t spine_valid_events_ = 0;
+  // Per-decision history-event watermarks of the previous RunOnce.
+  std::vector<size_t> prev_events_at_decision_;
   // Private default caches; ParallelExplorer injects shared ones.
   VerdictCache own_verdicts_;
   FrontierCache own_frontiers_;

@@ -55,7 +55,23 @@
 // Specs with an optional `Prepare(events)` hook (data-dependent
 // nondeterminism, e.g. Mailboat's message-id pool) read the WHOLE history
 // before stepping; their frontiers are suffix-dependent, so the prefix
-// cache is bypassed for them.
+// cache — and the cross-history spine below — is bypassed for them.
+//
+// HOT PATH (PR 4): the checker owns a per-search ARENA that is reset, not
+// freed, between histories. Frontiers live in a spine_ vector where
+// spine_[i] is the closed frontier after events[0..i); deriving a frontier
+// clears and refills the next slot in place, configs are deduplicated by
+// 128-bit fingerprints (seen_, a retained hash set) instead of serialized
+// string keys, and shared_ptr frontiers are materialized ONLY on the
+// memo-cache insert path. Check(history, reuse_events) additionally lets
+// the caller resume from a retained spine prefix: the explorer's DFS
+// odometer knows how many leading events the new history shares with the
+// previous one, so consecutive executions skip re-deriving the common
+// prefix entirely (no memo cache required). spine_states_[i] retains the
+// cumulative states_explored count a from-scratch run would have at slot i,
+// so resuming reports bit-identical spec_states_explored — which is what
+// keeps serial and parallel reports equal even though workers resume from
+// different depths.
 #ifndef PERENNIAL_SRC_REFINE_LINEARIZE_H_
 #define PERENNIAL_SRC_REFINE_LINEARIZE_H_
 
@@ -125,16 +141,27 @@ class LinearizabilityChecker {
 
   // nullopt when the history refines the spec; otherwise a description of
   // why no spec interleaving explains it.
-  std::optional<std::string> Check(const Hist& history) {
+  //
+  // `reuse_events`: the caller guarantees that the first `reuse_events`
+  // events of `history` are identical to the first `reuse_events` events of
+  // the history passed to the PREVIOUS Check call on this checker (0 = no
+  // guarantee). The search then resumes from the deepest retained spine
+  // frontier at or below that depth. The reported states_explored is
+  // unaffected by where the search resumed (see the header comment), so
+  // callers may pass any sound value without perturbing reports.
+  std::optional<std::string> Check(const Hist& history, size_t reuse_events = 0) {
     const std::vector<typename Hist::Event>& events = history.events;
     states_explored_ = 0;
     bool cacheable = cache_ != nullptr;
+    bool resumable = true;
     // Specs with data-dependent nondeterminism (e.g. Mailboat's random
     // message ids) pre-scan the history to bound their branch sets — their
-    // frontiers depend on the suffix, so they never touch the cache.
+    // frontiers depend on the suffix, so they never touch the cache and
+    // never resume from a previous history's spine.
     if constexpr (requires(Spec& s) { s.Prepare(events); }) {
       spec_storage_.Prepare(events);
       cacheable = false;
+      resumable = false;
     }
     // A helped event needs a crash to snapshot against; recovery only
     // emits kHelped after a crash, so this is a harness-integrity check.
@@ -147,58 +174,81 @@ class LinearizabilityChecker {
       }
     }
 
-    // Prefix fingerprints: fp[i] covers events[0..i).
-    std::vector<Hash128> fp;
+    // Prefix fingerprints: fp_[i] covers events[0..i).
     if (cacheable) {
-      fp.reserve(events.size() + 1);
+      fp_.clear();
+      fp_.reserve(events.size() + 1);
       Fnv128 f;
-      fp.push_back(f.digest());
+      fp_.push_back(f.digest());
       for (const auto& e : events) {
         MixEvent<Spec>(&f, e);
-        fp.push_back(f.digest());
+        fp_.push_back(f.digest());
       }
     }
 
-    // Resume from the longest cached prefix, if any.
-    FrontierPtr frontier;
-    size_t start = 0;
+    // Pick the resume point: the deepest spine frontier within the BOTH
+    // shared AND contiguously-valid prefix (spine_ok_ — a memo-cache hit
+    // can leave a hole of stale slots below it, see below), or slot 0
+    // (built on first use; rebuilt every time for Prepare specs, whose
+    // Initial may observe prepared data).
+    size_t resume = 0;
+    if (resumable && spine_ok_ > 0) {
+      resume = std::min(std::min(reuse_events, spine_ok_ - 1), events.size());
+    } else {
+      EnsureSlot(0);
+      BuildInitial(&spine_[0]);
+      spine_states_[0] = 0;
+      spine_ok_ = 1;
+    }
+    const size_t pre_hit_resume = resume;
+    // A cached prefix deeper than the spine wins. The hit is used BY
+    // POINTER (never copied into the spine — gc-sized frontiers make that
+    // copy the dominant cost); the slot it logically occupies stays stale,
+    // which the spine_ok_ update below accounts for. Cache-resumed work is
+    // not re-counted (the documented memoize_spec_prefixes semantics), so
+    // the cumulative counts restart at zero there.
+    FrontierPtr hit;
+    size_t hit_at = static_cast<size_t>(-1);
     if (cacheable) {
-      for (size_t i = events.size() + 1; i-- > 0;) {
-        FrontierPtr hit;
-        if (cache_->Lookup(fp[i], &hit)) {
-          frontier = std::move(hit);
-          start = i;
+      for (size_t i = events.size() + 1; i-- > resume + 1;) {
+        if (cache_->Lookup(fp_[i], &hit)) {
+          hit_at = i;
+          resume = i;
           break;
         }
       }
-    }
-    if (frontier == nullptr) {
-      auto base = std::make_shared<Frontier>();
-      typename Frontier::Config init;
-      init.state = spec_->Initial();
-      base->configs.push_back(std::move(init));
-      Close(base.get());
-      frontier = std::move(base);
-      if (cacheable) {
-        cache_->Insert(fp[0], frontier);
+      if (!cache_->Contains(fp_[0])) {
+        cache_->Insert(fp_[0], std::make_shared<Frontier>(spine_[0]));
       }
     }
 
-    for (size_t i = start; i < events.size(); ++i) {
-      if (frontier->undefined) {
-        return std::nullopt;  // spec UB: no further obligations
+    states_explored_ = hit_at == static_cast<size_t>(-1) ? spine_states_[resume] : 0;
+    size_t idx = resume;
+    while (idx < events.size()) {
+      // Resize BEFORE binding cur: EnsureSlot may reallocate the spine.
+      EnsureSlot(idx + 1);
+      const Frontier& cur = idx == hit_at ? *hit : spine_[idx];
+      if (cur.undefined) {
+        break;  // spec UB: no further obligations
       }
-      if (frontier->configs.empty()) {
+      if (cur.configs.empty()) {
         break;  // already inexplicable; later events cannot help
       }
-      auto next = std::make_shared<Frontier>(ApplyEvent(*frontier, events[i]));
-      Close(next.get());
-      frontier = std::move(next);
-      if (cacheable) {
-        cache_->Insert(fp[i + 1], frontier);
+      DeriveNext(cur, events[idx], &spine_[idx + 1]);
+      spine_states_[idx + 1] = states_explored_;
+      ++idx;
+      if (cacheable && !cache_->Contains(fp_[idx])) {
+        cache_->Insert(fp_[idx], std::make_shared<Frontier>(spine_[idx]));
       }
     }
-    if (frontier->undefined || !frontier->configs.empty()) {
+    // The next Check may only resume from slots that hold THIS history's
+    // frontiers contiguously from slot 0. A cache hit deeper than the
+    // resume point leaves slots (pre_hit_resume, resume] stale (the hit
+    // itself was never written into the spine), so contiguous validity
+    // stops at the pre-hit resume point.
+    spine_ok_ = hit_at == static_cast<size_t>(-1) ? idx + 1 : pre_hit_resume + 1;
+    const Frontier& fin = idx == hit_at ? *hit : spine_[idx];
+    if (fin.undefined || !fin.configs.empty()) {
       // Leftover pending ops simply never happened; every response (and
       // every helped-op obligation) was explained.
       return std::nullopt;
@@ -208,36 +258,94 @@ class LinearizabilityChecker {
 
   uint64_t states_explored() const { return states_explored_; }
 
+  // Arena introspection for the reset-between-histories regression test:
+  // retained capacity must plateau across same-shaped histories.
+  struct ArenaStats {
+    size_t spine_slots = 0;       // frontier slots ever materialized
+    size_t config_capacity = 0;   // sum of per-slot config vector capacities
+    size_t seen_buckets = 0;      // dedup hash-set bucket count
+  };
+  ArenaStats arena_stats() const {
+    ArenaStats s;
+    s.spine_slots = spine_.size();
+    for (const Frontier& f : spine_) {
+      s.config_capacity += f.configs.capacity();
+    }
+    s.seen_buckets = seen_.bucket_count();
+    return s;
+  }
+
  private:
   using Config = typename Frontier::Config;
 
-  static std::string ConfigKey(const Config& c) {
-    // pending is omitted: it equals (ops invoked since the last crash)
-    // minus committed, both of which the key already determines.
-    std::string key = Spec::StateKey(c.state) + "|";
-    for (const auto& [id, ret] : c.linearized) {
-      key += std::to_string(id) + ":" + Spec::RetKey(ret) + ";";
+  struct Hash128Hasher {
+    size_t operator()(const Hash128& h) const { return static_cast<size_t>(h.lo); }
+  };
+
+  void EnsureSlot(size_t i) {
+    if (spine_.size() <= i) {
+      spine_.resize(i + 1);
     }
-    key += "|";
-    for (uint64_t id : c.committed) {
-      key += std::to_string(id) + ";";
+    if (spine_states_.size() <= i) {
+      spine_states_.resize(i + 1, 0);
     }
-    key += "|";
-    for (uint64_t id : c.committed_at_crash) {
-      key += std::to_string(id) + ";";
-    }
-    return key;
   }
 
-  // Consumes one event: maps each config to its successors (possibly none —
-  // a config that cannot explain the event drops out of the frontier).
-  Frontier ApplyEvent(const Frontier& in, const typename Hist::Event& e) {
-    Frontier out;
-    std::unordered_set<std::string> seen;
+  // 128-bit config fingerprint for frontier dedup (replaces the serialized
+  // string key: no per-config heap allocation beyond the Key renderings).
+  // pending is omitted: it equals (ops invoked since the last crash) minus
+  // committed, both of which the fingerprint already determines. Collisions
+  // would merge two distinct configs; at 128 bits that is as improbable as
+  // the history-fingerprint collisions the dedup layer already accepts.
+  static Hash128 ConfigFp(const Config& c) {
+    Fnv128 f;
+    if constexpr (requires(Fnv128* fp, const State& s) { Spec::MixState(fp, s); }) {
+      Spec::MixState(&f, c.state);
+    } else {
+      f.MixString(Spec::StateKey(c.state));
+    }
+    f.MixU64(c.linearized.size());
+    for (const auto& [id, ret] : c.linearized) {
+      f.MixU64(id);
+      f.MixString(Spec::RetKey(ret));
+    }
+    f.MixU64(c.committed.size());
+    for (uint64_t id : c.committed) {
+      f.MixU64(id);
+    }
+    f.MixU64(c.committed_at_crash.size());
+    for (uint64_t id : c.committed_at_crash) {
+      f.MixU64(id);
+    }
+    return f.digest();
+  }
+
+  // The initial frontier: the spec's initial state, trivially closed (no
+  // pending ops exist before the first event, so closure is a no-op).
+  void BuildInitial(Frontier* out) {
+    out->undefined = false;
+    out->configs.clear();
+    Config init;
+    init.state = spec_->Initial();
+    out->configs.push_back(std::move(init));
+  }
+
+  // Consumes one event — maps each config of `in` to its successors
+  // (possibly none: a config that cannot explain the event drops out) —
+  // then closes the result under "one pending op linearizes now": any
+  // pending op may take effect at any moment between its invocation and its
+  // response/crash. Sets out->undefined (and stops) if a step leaves the
+  // spec's defined domain. `out` is reused storage: cleared, not freed.
+  // One seen_ set spans both phases, which matches the old two-set scheme
+  // exactly (the closure seeded its set with every event-phase config).
+  void DeriveNext(const Frontier& in, const typename Hist::Event& e, Frontier* out) {
+    out->undefined = false;
+    out->configs.clear();
+    seen_.clear();
     auto emit = [&](Config&& c) {
-      if (seen.insert(ConfigKey(c)).second) {
+      if (seen_.insert(ConfigFp(c)).second) {
         ++states_explored_;
-        out.configs.push_back(std::move(c));
+        out->configs.push_back(std::move(c));
       }
     };
     for (const Config& c : in.configs) {
@@ -282,39 +390,24 @@ class LinearizabilityChecker {
         }
       }
     }
-    return out;
-  }
-
-  // Closes a frontier under "one pending op linearizes now": any pending op
-  // may take effect at any moment between its invocation and its
-  // response/crash. Sets `undefined` (and stops) if a step leaves the
-  // spec's defined domain.
-  void Close(Frontier* frontier) {
-    std::unordered_set<std::string> seen;
-    for (const Config& c : frontier->configs) {
-      seen.insert(ConfigKey(c));
-    }
-    // frontier->configs doubles as the BFS queue: new configs are appended
-    // and scanned in turn (indices stay valid; vector may reallocate).
-    for (size_t i = 0; i < frontier->configs.size(); ++i) {
+    // out->configs doubles as the BFS queue: new configs are appended and
+    // scanned in turn (indices stay valid; the vector may reallocate).
+    for (size_t i = 0; i < out->configs.size(); ++i) {
       // Copy: Step may append to configs, invalidating references.
-      const Config c = frontier->configs[i];
+      const Config c = out->configs[i];
       for (const auto& [id, op] : c.pending) {
-        tsys::Outcome<State, Ret> out = spec_->Step(c.state, op);
-        if (out.undefined) {
-          frontier->undefined = true;
+        tsys::Outcome<State, Ret> res = spec_->Step(c.state, op);
+        if (res.undefined) {
+          out->undefined = true;
           return;
         }
-        for (const auto& [next_state, ret] : out.branches) {
+        for (const auto& [next_state, ret] : res.branches) {
           Config c2 = c;
           c2.state = next_state;
           c2.pending.erase(id);
           c2.linearized.emplace(id, ret);
           c2.committed.insert(id);
-          if (seen.insert(ConfigKey(c2)).second) {
-            ++states_explored_;
-            frontier->configs.push_back(std::move(c2));
-          }
+          emit(std::move(c2));
         }
       }
     }
@@ -324,6 +417,14 @@ class LinearizabilityChecker {
   const Spec* spec_;
   FrontierCache* cache_ = nullptr;
   uint64_t states_explored_ = 0;
+  // --- Per-search arena: reset between histories, never freed ---
+  std::vector<Frontier> spine_;          // spine_[i]: frontier after events[0..i)
+  std::vector<uint64_t> spine_states_;   // cumulative states count at spine_[i]
+  // Slots [0, spine_ok_) hold the LAST-CHECKED history's frontiers with no
+  // stale holes; only these are eligible resume points for the next Check.
+  size_t spine_ok_ = 0;
+  std::unordered_set<Hash128, Hash128Hasher> seen_;  // per-event config dedup
+  std::vector<Hash128> fp_;              // prefix fingerprints (cacheable runs)
 };
 
 }  // namespace perennial::refine

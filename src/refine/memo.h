@@ -88,6 +88,15 @@ class ShardedMemo {
   ShardedMemo(const ShardedMemo&) = delete;
   ShardedMemo& operator=(const ShardedMemo&) = delete;
 
+  // Presence test without copying the value out. Used to skip building a
+  // value that would lose the first-insert-wins race anyway (the frontier
+  // cache only heap-allocates a shared frontier for genuinely new prefixes).
+  bool Contains(const Hash128& fp) const {
+    const Shard& s = shards_[ShardOf(fp)];
+    std::scoped_lock lock(s.mu);
+    return s.entries.find(fp) != s.entries.end();
+  }
+
   bool Lookup(const Hash128& fp, V* out) const {
     const Shard& s = shards_[ShardOf(fp)];
     std::scoped_lock lock(s.mu);

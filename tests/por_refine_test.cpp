@@ -172,8 +172,26 @@ TEST(PorEquivalence, MailboatDeliverVsPickup) {
   };
   ExplorerOptions opts;
   opts.max_crashes = 1;
-  // GooseFs steps are footprint-opaque (deliberately unmodeled), so little
-  // to no reduction is expected here — the point is verdict invariance.
+  // GooseFs ops carry per-inode/per-entry footprints, so the deliver and
+  // pickup threads commute whenever they touch disjoint fs state — POR must
+  // both prune AND preserve the full set of distinct histories.
+  ExpectPorEquivalence(mailboat::MailSpec{1}, [&] { return mailboat::MakeMailInstance(options); },
+                       opts, /*expect_reduction=*/true);
+}
+
+TEST(PorEquivalence, MailboatOpaqueFootprintsStillEquivalent) {
+  // Soundness control: the same workload with blanket-opaque fs footprints.
+  // Opaque steps conflict with everything, so this checks the fallback path
+  // (no fs pruning) still agrees with full enumeration.
+  mailboat::MailHarnessOptions options;
+  options.num_users = 1;
+  options.opaque_fs_footprints = true;
+  options.client_scripts = {
+      {{mailboat::MailAction::Kind::kDeliver, 0, "a"}},
+      {{mailboat::MailAction::Kind::kPickupDeleteAllUnlock, 0, ""}},
+  };
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
   ExpectPorEquivalence(mailboat::MailSpec{1}, [&] { return mailboat::MakeMailInstance(options); },
                        opts, /*expect_reduction=*/false);
 }
@@ -370,6 +388,79 @@ TEST(PorFirstViolation, KvMutations) {
   }
 }
 
+// GooseFs footprint soundness: precise per-inode/per-entry footprints must
+// be a conservative superset of each op's real accesses. If they were not,
+// sleep sets could prune the schedule that manifests a bug. Each seeded
+// Mailboat mutation is explored twice under POR — precise footprints vs
+// blanket-opaque ones — and the first counterexample must be bit-identical
+// (both orders are subsequences of the same unpruned DFS order, and sleep
+// sets never prune the leftmost execution of a commutation class).
+TEST(PorFootprintSoundness, MailboatMutationsPreciseVsOpaque) {
+  auto run_both = [](mailboat::MailHarnessOptions options, ExplorerOptions opts) {
+    opts.use_por = true;
+    opts.max_violations = 1;
+    options.opaque_fs_footprints = true;
+    Report opaque =
+        Explorer<mailboat::MailSpec>(mailboat::MailSpec{1},
+                                     [&] { return mailboat::MakeMailInstance(options); }, opts)
+            .Run();
+    options.opaque_fs_footprints = false;
+    Report precise =
+        Explorer<mailboat::MailSpec>(mailboat::MailSpec{1},
+                                     [&] { return mailboat::MakeMailInstance(options); }, opts)
+            .Run();
+    EXPECT_LE(precise.executions, opaque.executions);
+    EXPECT_EQ(precise.ok(), opaque.ok())
+        << "precise:\n" << precise.Summary() << "\nopaque:\n" << opaque.Summary();
+    ExpectSameViolations(precise, opaque);
+    return precise;
+  };
+  {
+    SCOPED_TRACE("pickup_512_loop");
+    mailboat::MailHarnessOptions options;
+    options.num_users = 1;
+    options.read_size = 2;
+    options.client_scripts = {{{mailboat::MailAction::Kind::kDeliver, 0, "xy"},
+                               {mailboat::MailAction::Kind::kPickupUnlock, 0, ""}}};
+    options.mutations.pickup_512_loop = true;
+    options.observe_mailboxes = false;
+    ExplorerOptions opts;
+    opts.max_crashes = 0;
+    opts.max_steps_per_run = 300;
+    Report r = run_both(options, opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.violations[0].kind, "step-bound");
+  }
+  {
+    SCOPED_TRACE("deliver_in_place");
+    mailboat::MailHarnessOptions options;
+    options.num_users = 1;
+    options.chunk_size = 1;  // several appends per message
+    options.client_scripts = {
+        {{mailboat::MailAction::Kind::kDeliver, 0, "abc"}},
+        {{mailboat::MailAction::Kind::kPickupUnlock, 0, ""}},
+    };
+    options.mutations.deliver_in_place = true;
+    ExplorerOptions opts;
+    opts.max_crashes = 0;
+    Report r = run_both(options, opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.violations[0].kind, "non-linearizable");
+  }
+  {
+    SCOPED_TRACE("recovery_deletes_mail");
+    mailboat::MailHarnessOptions options;
+    options.num_users = 1;
+    options.client_scripts = {{{mailboat::MailAction::Kind::kDeliver, 0, "precious"}}};
+    options.mutations.recovery_deletes_mail = true;
+    ExplorerOptions opts;
+    opts.max_crashes = 1;
+    Report r = run_both(options, opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.violations[0].kind, "non-linearizable");
+  }
+}
+
 // Fault-injection variants: POR must not interfere with env (fault)
 // alternatives — they are never slept, and fault slot mutations conflict
 // with every consumer via the kResFaultSlot resource.
@@ -528,6 +619,15 @@ TEST(PorMemo, SpecPrefixMemoizationChangesNoVerdict) {
     options.client_ops = {{PairSpec::MakeWrite(1, 2), PairSpec::MakeWrite(3, 4)}};
     options.mutations.apply_before_commit = true;
     check(PairSpec{}, [&] { return MakeWalInstance(options); }, /*expect_bug=*/true);
+  }
+  {
+    // Group commit: deep histories whose shared prefixes interleave memo
+    // cache hits with spine resume. Regression for a stale-spine bug: a
+    // cache hit deeper than the resume point used to leave a hole of
+    // previous-history frontiers that a later resume could land in.
+    GcHarnessOptions options;
+    options.client_ops = {{GcSpec::MakeWrite(1)}, {GcSpec::MakeWrite(2)}, {GcSpec::MakeFlush()}};
+    check(GcSpec{}, [&] { return MakeGcInstance(options); }, /*expect_bug=*/false);
   }
 }
 
