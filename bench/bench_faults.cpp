@@ -13,10 +13,13 @@
 // plotting script; a human-readable summary line count at the end on
 // stderr.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "src/fault/fault.h"
 #include "src/refine/explorer.h"
 #include "src/systems/repl/repl_harness.h"
@@ -32,34 +35,67 @@ using refine::Report;
 
 int g_rows = 0;
 
+// Durable-run support: Ctrl-C drains the row in flight (its checkpoint is
+// flushed when --checkpoint is set) and later rows cancel immediately,
+// each emitting an outcome="canceled" row.
+refine::CancelToken g_sigint_cancel;
+
+void OnSigint(int) { g_sigint_cancel.RequestCancel(); }
+
+uint64_t g_deadline_ms = 0;                   // per row
+const char* g_checkpoint_base = nullptr;      // <base>.<cell>.ckpt per row
+const char* g_resume_base = nullptr;
+
+// One checkpoint file per row, keyed (and fingerprint-guarded) by the
+// row's cell name.
+ExplorerOptions ApplyDurable(ExplorerOptions opts, const std::string& cell) {
+  opts.wall_deadline_ms = g_deadline_ms;
+  opts.cancel_token = &g_sigint_cancel;
+  opts.run_id = cell;
+  if (g_checkpoint_base != nullptr) {
+    opts.checkpoint_path = std::string(g_checkpoint_base) + "." + cell + ".ckpt";
+  }
+  if (g_resume_base != nullptr) {
+    opts.resume_path = std::string(g_resume_base) + "." + cell + ".ckpt";
+  }
+  return opts;
+}
+
 void EmitRow(const std::string& system, const std::string& fault, int budget,
-             const std::string& variant, const std::function<Report()>& run) {
+             const std::string& variant,
+             const std::function<Report(const std::string&)>& run) {
+  const std::string cell = system + "-" + fault + "-" + std::to_string(budget) +
+                           (variant == "fixed" ? "" : "-" + variant);
   auto start = std::chrono::steady_clock::now();
-  Report report = run();
+  Report report = run(cell);
   double ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
   std::printf(
       "{\"system\":\"%s\",\"fault\":\"%s\",\"budget\":%d,\"variant\":\"%s\","
       "\"executions\":%llu,\"steps\":%llu,\"crashes\":%llu,\"env_fired\":%llu,"
-      "\"histories\":%llu,\"violations\":%zu,\"first_violation\":\"%s\",\"ms\":%.1f}\n",
+      "\"histories\":%llu,\"violations\":%zu,\"first_violation\":\"%s\",\"ms\":%.1f,"
+      "\"peak_rss\":%llu,\"outcome\":\"%s\"}\n",
       system.c_str(), fault.c_str(), budget, variant.c_str(),
       static_cast<unsigned long long>(report.executions),
       static_cast<unsigned long long>(report.total_steps),
       static_cast<unsigned long long>(report.crashes_injected),
       static_cast<unsigned long long>(report.env_events_fired),
       static_cast<unsigned long long>(report.histories_checked), report.violations.size(),
-      report.violations.empty() ? "" : report.violations[0].kind.c_str(), ms);
+      report.violations.empty() ? "" : report.violations[0].kind.c_str(), ms,
+      static_cast<unsigned long long>(benchjson::PeakRssBytes()),
+      refine::OutcomeName(report.outcome));
   ++g_rows;
 }
 
 template <typename Spec, typename Factory>
-std::function<Report()> Sweep(Spec spec, Factory factory, int max_violations = 1 << 20) {
-  return [spec, factory, max_violations] {
+std::function<Report(const std::string&)> Sweep(Spec spec, Factory factory,
+                                                int max_violations = 1 << 20) {
+  return [spec, factory, max_violations](const std::string& cell) {
     ExplorerOptions opts;
     opts.max_crashes = 1;
     opts.max_violations = max_violations;
     opts.dedup_histories = true;
-    Explorer<Spec> ex(spec, factory, opts);
+    Explorer<Spec> ex(spec, factory, ApplyDurable(opts, cell));
     return ex.Run();
   };
 }
@@ -79,7 +115,15 @@ fault::FaultPlan PlanFor(const std::string& fault, int budget) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* deadline = benchjson::ParseValueFlag(argc, argv, "--deadline-ms", nullptr);
+  if (deadline != nullptr) {
+    g_deadline_ms = std::strtoull(deadline, nullptr, 10);
+  }
+  g_checkpoint_base = benchjson::ParseValueFlag(argc, argv, "--checkpoint", nullptr);
+  g_resume_base = benchjson::ParseValueFlag(argc, argv, "--resume", nullptr);
+  std::signal(SIGINT, OnSigint);
+
   // Replicated disk: one write, faults on the mirror path.
   for (const std::string& fault :
        {std::string("transient-read"), std::string("transient-write"), std::string("fail-slow"),

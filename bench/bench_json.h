@@ -7,6 +7,8 @@
 #ifndef PERENNIAL_BENCH_BENCH_JSON_H_
 #define PERENNIAL_BENCH_BENCH_JSON_H_
 
+#include <sys/resource.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -24,35 +26,31 @@ struct PorJsonRow {
   uint64_t histories = 0;
   uint64_t violations = 0;
   double ms = 0;
+  // Appended after ms so bench_check's fixed-order scan stays valid.
+  uint64_t peak_rss = 0;          // process peak RSS after the run (bytes)
+  std::string outcome = "complete";  // RunOutcome name; "deadline"/"canceled"/"oom" = partial row
 };
 
-// Returns the value following "--json" in argv, or nullptr. When `strip`
-// is non-null, every argv entry except the consumed pair is appended to it
-// (for benches that forward remaining args to another parser).
-inline const char* ParseJsonPath(int argc, char** argv, std::vector<char*>* strip) {
-  const char* path = nullptr;
-  for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
-      path = argv[i + 1];
-      ++i;
-      continue;
-    }
-    if (strip != nullptr) {
-      strip->push_back(argv[i]);
-    }
+// Process-wide peak resident set size in bytes (Linux reports KiB). Peak,
+// not current: a row's value includes every earlier row, which is fine for
+// the question the field answers ("did this sweep fit the budget?").
+inline uint64_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0;
   }
-  return path;
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
 }
 
-// Returns the value following "--filter" in argv, or nullptr. Same
-// consume-and-strip contract as ParseJsonPath; benches treat the value as a
-// case-sensitive substring of a row's name or slug and skip everything
-// else (handy for iterating on one system without paying for the sweep).
-inline const char* ParseFilter(int argc, char** argv, std::vector<char*>* strip) {
-  const char* filter = nullptr;
+// Returns the value following `flag` in argv, or nullptr. When `strip` is
+// non-null, every argv entry except the consumed pair is appended to it
+// (for benches that forward remaining args to another parser).
+inline const char* ParseValueFlag(int argc, char** argv, std::string_view flag,
+                                  std::vector<char*>* strip) {
+  const char* value = nullptr;
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--filter" && i + 1 < argc) {
-      filter = argv[i + 1];
+    if (std::string_view(argv[i]) == flag && i + 1 < argc) {
+      value = argv[i + 1];
       ++i;
       continue;
     }
@@ -60,7 +58,20 @@ inline const char* ParseFilter(int argc, char** argv, std::vector<char*>* strip)
       strip->push_back(argv[i]);
     }
   }
-  return filter;
+  return value;
+}
+
+// Returns the value following "--json" in argv, or nullptr.
+inline const char* ParseJsonPath(int argc, char** argv, std::vector<char*>* strip) {
+  return ParseValueFlag(argc, argv, "--json", strip);
+}
+
+// Returns the value following "--filter" in argv, or nullptr. Benches treat
+// the value as a case-sensitive substring of a row's name or slug and skip
+// everything else (handy for iterating on one system without paying for the
+// sweep).
+inline const char* ParseFilter(int argc, char** argv, std::vector<char*>* strip) {
+  return ParseValueFlag(argc, argv, "--filter", strip);
 }
 
 // Substring match used by --filter: nullptr/empty matches everything.
@@ -87,13 +98,15 @@ inline bool WritePorJson(const std::string& path, const std::string& bench,
     std::fprintf(f,
                  "    {\"system\": \"%s\", \"por\": %s, \"executions\": %llu, "
                  "\"deduped\": %llu, \"pruned\": %llu, \"histories\": %llu, "
-                 "\"violations\": %llu, \"ms\": %.1f}%s\n",
+                 "\"violations\": %llu, \"ms\": %.1f, \"peak_rss\": %llu, "
+                 "\"outcome\": \"%s\"}%s\n",
                  r.system.c_str(), r.por ? "true" : "false",
                  static_cast<unsigned long long>(r.executions),
                  static_cast<unsigned long long>(r.deduped),
                  static_cast<unsigned long long>(r.pruned),
                  static_cast<unsigned long long>(r.histories),
                  static_cast<unsigned long long>(r.violations), r.ms,
+                 static_cast<unsigned long long>(r.peak_rss), r.outcome.c_str(),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -15,7 +15,9 @@
 //    committed transaction while still claiming help): shows the helping
 //    obligation is what rejects bogus recoveries.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <utility>
@@ -45,8 +47,46 @@ struct RowResult {
   double ms = 0;
 };
 
+// Durable-run support (--deadline-ms / --checkpoint / --resume / Ctrl-C):
+// every row polls this token, so one SIGINT drains the row in flight,
+// flushes its checkpoint (when --checkpoint is set), and lets the bench
+// finish writing whatever JSON it has. RequestCancel is a relaxed atomic
+// store — async-signal-safe.
+refine::CancelToken g_sigint_cancel;
+
+void OnSigint(int) { g_sigint_cancel.RequestCancel(); }
+
+// Per-row durability knobs. Checkpoints are per CELL (one file per table
+// row), named <base>.<cell>.ckpt, with run_id = cell so a resume against
+// the wrong cell's file is rejected by the config fingerprint. A completed
+// cell's checkpoint replays instantly on resume, so re-running the whole
+// bench with --resume regenerates the full JSON while only paying for the
+// cells the interrupted run never finished.
+struct DurableCfg {
+  uint64_t deadline_ms = 0;  // per row, not per sweep
+  const char* checkpoint_base = nullptr;
+  const char* resume_base = nullptr;
+
+  ExplorerOptions Apply(ExplorerOptions opts, const std::string& cell) const {
+    opts.wall_deadline_ms = deadline_ms;
+    opts.run_id = cell;
+    if (checkpoint_base != nullptr) {
+      opts.checkpoint_path = std::string(checkpoint_base) + "." + cell + ".ckpt";
+    }
+    if (resume_base != nullptr) {
+      opts.resume_path = std::string(resume_base) + "." + cell + ".ckpt";
+    }
+    return opts;
+  }
+};
+
+DurableCfg g_durable;
+
 template <typename Spec, typename Factory>
 RowResult RunCheckerOpts(Spec spec, Factory factory, ExplorerOptions opts) {
+  if (opts.cancel_token == nullptr) {
+    opts.cancel_token = &g_sigint_cancel;
+  }
   auto start = std::chrono::steady_clock::now();
   Explorer<Spec> ex(std::move(spec), factory, opts);
   RowResult row;
@@ -196,10 +236,14 @@ std::vector<Sec91System> BuildSystems() {
 }
 
 void AddRow(TextTable& table, const std::string& name, const RowResult& row) {
+  std::string time = FixedDigits(row.ms, 0) + " ms";
+  if (row.report.outcome != refine::RunOutcome::kComplete) {
+    time += std::string(" (") + refine::OutcomeName(row.report.outcome) + ")";
+  }
   table.AddRow({name, WithCommas(row.report.executions), WithCommas(row.report.total_steps),
                 WithCommas(row.report.crashes_injected),
                 WithCommas(row.report.spec_states_explored),
-                std::to_string(row.report.violations.size()), FixedDigits(row.ms, 0) + " ms"});
+                std::to_string(row.report.violations.size()), time});
 }
 
 }  // namespace
@@ -207,6 +251,13 @@ void AddRow(TextTable& table, const std::string& name, const RowResult& row) {
 int main(int argc, char** argv) {
   const char* json_path = perennial::benchjson::ParseJsonPath(argc, argv, nullptr);
   const char* filter = perennial::benchjson::ParseFilter(argc, argv, nullptr);
+  const char* deadline = perennial::benchjson::ParseValueFlag(argc, argv, "--deadline-ms", nullptr);
+  if (deadline != nullptr) {
+    g_durable.deadline_ms = std::strtoull(deadline, nullptr, 10);
+  }
+  g_durable.checkpoint_base = perennial::benchjson::ParseValueFlag(argc, argv, "--checkpoint", nullptr);
+  g_durable.resume_base = perennial::benchjson::ParseValueFlag(argc, argv, "--resume", nullptr);
+  std::signal(SIGINT, OnSigint);
 
   std::printf("== Section 9.1: checker verification of every crash-safety pattern ==\n");
   std::printf("(exhaustive over the configured workloads; crashes may also hit recovery)\n\n");
@@ -224,7 +275,7 @@ int main(int argc, char** argv) {
   for (const Sec91System& sys : systems) {
     ExplorerOptions opts;
     opts.max_crashes = sys.max_crashes;
-    AddRow(table, sys.name, sys.run(opts));
+    AddRow(table, sys.name, sys.run(g_durable.Apply(opts, sys.slug + ".head")));
   }
   std::printf("%s\n", table.Render().c_str());
 
@@ -245,10 +296,10 @@ int main(int argc, char** argv) {
       opts.max_crashes = sys.max_crashes;
       opts.use_por = false;
       opts.memoize_spec_prefixes = false;
-      RowResult off = sys.run(opts);
+      RowResult off = sys.run(g_durable.Apply(opts, sys.slug + ".off"));
       opts.use_por = true;
       opts.memoize_spec_prefixes = true;
-      RowResult on = sys.run(opts);
+      RowResult on = sys.run(g_durable.Apply(opts, sys.slug + ".on"));
       total_off_ms += off.ms;
       total_on_ms += on.ms;
       total_off_execs += off.report.executions;
@@ -257,7 +308,9 @@ int main(int argc, char** argv) {
         json_rows.push_back({sys.slug, r == &on, r->report.executions,
                              r->report.histories_deduped, r->report.por_pruned,
                              r->report.histories_checked,
-                             static_cast<uint64_t>(r->report.violations.size()), r->ms});
+                             static_cast<uint64_t>(r->report.violations.size()), r->ms,
+                             perennial::benchjson::PeakRssBytes(),
+                             refine::OutcomeName(r->report.outcome)});
       }
       por.AddRow({sys.name, WithCommas(off.report.executions),
                   WithCommas(on.report.executions),
@@ -342,6 +395,7 @@ int main(int argc, char** argv) {
                           {ReplSpec::MakeWrite(0, 7)}};
     ExplorerOptions opts;
     opts.max_crashes = 1;
+    opts.cancel_token = &g_sigint_cancel;
     auto time_run = [&](auto&& run) {
       auto start = std::chrono::steady_clock::now();
       Report report = run();

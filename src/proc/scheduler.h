@@ -46,7 +46,17 @@ class Scheduler {
 
   // Threads that can be stepped right now (spawned, not done, not blocked).
   std::vector<Tid> RunnableThreads() const;
-  bool HasRunnable() const { return !RunnableThreads().empty(); }
+  // Non-allocating predicate: the explorer asks this (via Deadlocked) at
+  // every decision point, where materializing the RunnableThreads vector
+  // would be a heap allocation per query.
+  bool HasRunnable() const {
+    for (const Thread& t : threads_) {
+      if (!t.done && !t.blocked) {
+        return true;
+      }
+    }
+    return false;
+  }
 
   bool AllDone() const;
   // True when some thread is still live but nothing can run: a deadlock in

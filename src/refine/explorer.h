@@ -70,7 +70,9 @@
 #define PERENNIAL_SRC_REFINE_EXPLORER_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
@@ -87,9 +89,11 @@
 #include "src/proc/footprint.h"
 #include "src/proc/scheduler.h"
 #include "src/proc/task.h"
+#include "src/refine/checkpoint.h"
 #include "src/refine/history.h"
 #include "src/refine/linearize.h"
 #include "src/refine/memo.h"
+#include "src/refine/run_state.h"
 
 #ifndef PCC_POR_DEFAULT
 #define PCC_POR_DEFAULT 1
@@ -222,94 +226,61 @@ struct ExplorerOptions {
   // items. Deeper splits yield more, smaller items (better load balance,
   // more probe overhead); #items grows roughly with branching^depth.
   int split_depth = 4;
+
+  // ---- Durable runs (checkpoint.h; DESIGN.md §11) ----
+  // All default off: a run with none of these set pays nothing for them.
+  // A triggered stop never aborts the process — the engine rolls back the
+  // execution in flight, flushes a checkpoint (when checkpoint_path is
+  // set), and returns a partial Report tagged with the outcome.
+
+  // Wall-clock budget for the whole run, measured from Run() (or the first
+  // RunDfsSubtree a ParallelExplorer worker executes). 0 = none.
+  uint64_t wall_deadline_ms = 0;
+  // Budget for ACCOUNTED memory: the linearizer's retained arena plus the
+  // memo caches (which also get per-cache byte caps with whole-shard
+  // eviction, at max_memory_bytes / 4 each). Deliberately accounting-based
+  // rather than RSS so the oom outcome is deterministic and testable; the
+  // bench harness reports true peak RSS separately. 0 = none.
+  uint64_t max_memory_bytes = 0;
+  // Cooperative cancellation (e.g. a SIGINT handler); polled at every
+  // decision point. Not owned; may be shared across engines.
+  CancelToken* cancel_token = nullptr;
+  // Deterministic cancellation once N decisions have been made across the
+  // run — the testing hook behind the interrupt/resume bit-identity suite
+  // (a SIGINT at a reproducible point). It only fires after the run has
+  // COMPLETED at least one execution: a resumed leg replays the decisions
+  // of the execution it interrupted, so a threshold inside the first
+  // execution would re-trigger at the identical point every leg and never
+  // make progress. 0 = off.
+  uint64_t cancel_after_decisions = 0;
+  // Write a checkpoint here on any durability stop, on completion, and at
+  // the checkpoint_every_* cadence. Empty = never write.
+  std::string checkpoint_path;
+  // Load-and-continue from this checkpoint at Run() start. A missing,
+  // torn, corrupt, version-bumped, or configuration-mismatched file is
+  // rejected (stderr warning) and the run starts from scratch.
+  std::string resume_path;
+  // Periodic checkpoint cadence while the run is healthy: every N
+  // executions and/or every N seconds (whichever fires first). 0 = only on
+  // stop/completion. Exhaustive mode only.
+  uint64_t checkpoint_every_execs = 0;
+  uint64_t checkpoint_every_secs = 0;
+  // Distinguishes otherwise identically-configured runs of different
+  // systems: mixed into the checkpoint config fingerprint so e.g. a
+  // wal-recovery checkpoint cannot resume a repl-2writers sweep.
+  std::string run_id;
+  // ParallelExplorer: a worker whose heartbeat counter has not moved for
+  // this long while it owns a work item is considered stuck — the
+  // coordinator's watchdog writes a recovery checkpoint of everything else
+  // and requests cancellation. 0 = no watchdog.
+  uint64_t stuck_worker_timeout_ms = 0;
 };
 
-struct Violation {
-  std::string kind;
-  std::string detail;
-  std::string trace;
-
-  std::string ToString() const { return kind + ": " + detail + "\n  schedule: " + trace; }
-};
-
-struct Report {
-  uint64_t executions = 0;
-  uint64_t total_steps = 0;
-  uint64_t crashes_injected = 0;
-  // Environment alternatives fired (disk failures, armed faults, ...).
-  uint64_t env_events_fired = 0;
-  uint64_t histories_checked = 0;
-  // Of histories_checked, how many were fingerprint-duplicates whose spec
-  // check was skipped (dedup_histories).
-  uint64_t histories_deduped = 0;
-  // Executions abandoned by sleep-set POR as commutation-equivalent to an
-  // already-explored schedule (counted in executions, no history emitted).
-  uint64_t por_pruned = 0;
-  uint64_t spec_states_explored = 0;
-  bool truncated = false;  // hit max_executions before DFS finished
-  std::vector<Violation> violations;
-
-  bool ok() const { return violations.empty(); }
-
-  std::string Summary() const {
-    std::string out = "executions=" + std::to_string(executions) +
-                      " steps=" + std::to_string(total_steps) +
-                      " crashes=" + std::to_string(crashes_injected) +
-                      " env=" + std::to_string(env_events_fired) +
-                      " histories=" + std::to_string(histories_checked) +
-                      " deduped=" + std::to_string(histories_deduped) +
-                      " por_pruned=" + std::to_string(por_pruned) +
-                      " spec_states=" + std::to_string(spec_states_explored) +
-                      (truncated ? " (TRUNCATED)" : "") +
-                      " violations=" + std::to_string(violations.size());
-    for (const Violation& v : violations) {
-      out += "\n  " + v.ToString();
-    }
-    return out;
-  }
-};
+// Violation, Report, RunOutcome, CancelToken, and the detail:: POR
+// bookkeeping types moved to run_state.h (shared with the durable-run
+// layer); SubtreeWork and SubtreeCursor live there too.
 
 namespace detail {
-
-enum class AltKind { kThread, kCrash, kEnv, kProceed };
-
-struct Alt {
-  AltKind kind;
-  int thread = -1;  // kThread
-  size_t env = 0;   // kEnv
-  std::string label;
-};
-
-// One alternative already explored at a DFS decision level: its identity
-// and the footprint its step had when taken. Persisted across odometer
-// iterations (and shipped to ParallelExplorer workers inside their work
-// item) so later siblings can put explored threads to sleep.
-struct TriedAlt {
-  AltKind kind = AltKind::kThread;
-  int thread = -1;
-  proc::Footprint footprint;
-};
-
-// Per-decision-level POR bookkeeping: tried[j] describes selectable
-// alternative j (indices match the decision-path values at this level).
-struct PorLevel {
-  std::vector<TriedAlt> tried;
-};
-
-// A thread put to sleep at some ancestor decision: exploring it here would
-// only commute with the path taken since. `footprint` is the footprint its
-// next step had at the branch point; because nothing executed since
-// conflicts with it (or it would have been woken), that step — and its
-// footprint — are unchanged.
-struct SleepEntry {
-  int thread = -1;
-  proc::Footprint footprint;
-};
-
-// Sleep-set state threaded through one DFS subtree walk.
-struct PorContext {
-  std::vector<PorLevel> levels;
-};
 
 // Supplies one choice index per decision point.
 class Driver {
@@ -392,15 +363,31 @@ class RandomDriver : public Driver {
 
 }  // namespace detail
 
-// One ParallelExplorer work item: a decision-path prefix naming a disjoint
-// subtree, plus the POR bookkeeping accumulated along that prefix (the
-// footprints of sibling alternatives the coordinator's enumeration already
-// explored), so the worker rebuilds the exact sleep sets the serial engine
-// would have at that subtree.
-struct SubtreeWork {
-  std::vector<size_t> prefix;
-  std::vector<detail::PorLevel> por_seed;
-};
+// Fingerprint of every option that shapes the decision tree a run
+// explores. Stamped into checkpoints so a resume can only continue a run
+// over the same space. Durability knobs (deadline, memory budget,
+// checkpoint cadence) and parallelism knobs (num_workers, split_depth) are
+// deliberately EXCLUDED: interrupting a run because of a deadline and
+// resuming it without one — possibly on a different worker count — is the
+// whole point, and resumed work items come from the checkpoint, not from
+// re-enumeration.
+inline uint64_t ExplorationConfigFp(const ExplorerOptions& options) {
+  Fnv128 f;
+  f.MixString("pcc-exploration-config-v1");
+  f.MixString(options.run_id);
+  f.MixU64(options.mode == ExplorerOptions::Mode::kExhaustive ? 0 : 1);
+  f.MixU64(static_cast<uint64_t>(static_cast<int64_t>(options.max_crashes)));
+  f.MixU64(static_cast<uint64_t>(static_cast<int64_t>(options.max_preemptions)));
+  f.MixU64(options.max_steps_per_run);
+  f.MixU64(options.max_executions);
+  f.MixU64(static_cast<uint64_t>(static_cast<int64_t>(options.max_violations)));
+  f.MixU64(options.random_runs);
+  f.MixU64(options.seed);
+  f.MixU64(options.dedup_histories ? 1 : 0);
+  f.MixU64(options.use_por ? 1 : 0);
+  f.MixU64(options.memoize_spec_prefixes ? 1 : 0);
+  return f.digest().lo;
+}
 
 template <typename Spec>
 class Explorer {
@@ -419,21 +406,23 @@ class Explorer {
   void set_frontier_cache(FrontierCache* cache) { frontier_cache_ = cache; }
 
   Report Run() {
-    Report report;
-    if (options_.mode == ExplorerOptions::Mode::kRandom) {
-      detail::RandomDriver driver(options_.seed, options_.crash_probability,
-                                  options_.env_probability);
-      for (uint64_t i = 0; i < options_.random_runs; ++i) {
-        RunOnce(driver, &report, nullptr, /*common_decisions=*/0);
-        NotifyProgress(report);
-        if (report.violations.size() >= static_cast<size_t>(options_.max_violations)) {
-          break;
-        }
-      }
-      return report;
-    }
-    RunDfsSubtree(SubtreeWork{}, &report);
+    EnsureDurabilityInit();
+    Report report =
+        options_.mode == ExplorerOptions::Mode::kRandom ? RunRandomMode() : RunExhaustiveMode();
+    report.outcome = stop_cause_;
     return report;
+  }
+
+  // The durability stop cause so far (kComplete while none). Sticky: once a
+  // stop triggers, every later RunDfsSubtree call on this engine drains
+  // immediately — which is exactly what ParallelExplorer's cancel drain
+  // relies on.
+  RunOutcome stop_cause() const { return stop_cause_; }
+
+  // Accounted retained memory: the linearizer arena plus the (possibly
+  // shared) memo caches. The max_memory_bytes comparison base.
+  size_t approx_memory_bytes() const {
+    return checker_.approx_retained_bytes() + verdict_cache_->bytes() + frontier_cache_->bytes();
   }
 
   // Exhaustive DFS over decision sequences, replaying from scratch,
@@ -442,13 +431,33 @@ class Explorer {
   // EnumerateSubtreePrefixes, so distinct items explore disjoint subtrees.
   // `keep_going`, if set, is polled after every execution; returning false
   // abandons the subtree and marks the report truncated.
+  //
+  // `cursor`, if set, receives where the walk stopped: finished (the
+  // subtree is fully explored, or max_violations ended the run the same
+  // way an uninterrupted one would) or the exact decision path + POR
+  // bookkeeping of the next execution. Resuming with that cursor as a new
+  // work item (prefix = next_path, por_seed = por_levels, floor = floor)
+  // continues the walk as if it had never stopped.
   void RunDfsSubtree(SubtreeWork work, Report* report,
-                     const std::function<bool(const Report&)>& keep_going = nullptr) {
-    const size_t floor = work.prefix.size();
+                     const std::function<bool(const Report&)>& keep_going = nullptr,
+                     SubtreeCursor* cursor = nullptr) {
+    EnsureDurabilityInit();
+    const size_t floor = work.floor == SubtreeWork::kNoFloor ? work.prefix.size() : work.floor;
     std::vector<size_t> path = std::move(work.prefix);
     detail::PorContext por;
     por.levels = std::move(work.por_seed);
     detail::PorContext* por_ptr = PorActive() ? &por : nullptr;
+    auto capture = [&](bool finished) {
+      if (cursor == nullptr) {
+        return;
+      }
+      cursor->finished = finished;
+      cursor->floor = floor;
+      if (!finished) {
+        cursor->next_path = path;
+        cursor->por_levels = por.levels;
+      }
+    };
     // Decisions this run provably shares with the previous run of THIS
     // explorer: after the odometer bumps the decision at level a, levels
     // 0..a-1 replay identically, so the histories agree on every event the
@@ -457,20 +466,43 @@ class Explorer {
     // some OTHER explorer took.
     size_t common_decisions = 0;
     while (true) {
+      // Boundary poll: a stop already requested (or a deadline/memory
+      // trigger the amortized decision-point poll has not reached yet)
+      // ends the walk BETWEEN executions, with `path` untouched — the
+      // cursor names the execution that never started.
+      if (StopAtBoundary()) {
+        report->truncated = true;
+        capture(false);
+        return;
+      }
       detail::DfsDriver driver(&path);
-      RunOnce(driver, report, por_ptr, common_decisions);
+      if (!RunOnce(driver, report, por_ptr, common_decisions)) {
+        // Durability stop mid-execution: RunOnce rolled its counters back,
+        // and `path` still holds the aborted execution's decisions (the
+        // prefix it replayed plus what it chose before the stop) — replay
+        // is deterministic, so resuming from this exact path re-runs the
+        // execution as if it had never been attempted.
+        report->truncated = true;
+        capture(false);
+        return;
+      }
+      ++execs_completed_;
       NotifyProgress(*report);
+      // max_violations ends the run exactly like an uninterrupted one
+      // (finished, nothing to resume). Checked before keep_going fires, as
+      // the legacy loop did — the parallel global-execution counter never
+      // observes a subtree's stopping execution.
       if (report->violations.size() >= static_cast<size_t>(options_.max_violations)) {
-        break;
+        capture(true);
+        return;
       }
-      if (report->executions >= options_.max_executions) {
-        report->truncated = true;
-        break;
-      }
-      if (keep_going != nullptr && !keep_going(*report)) {
-        report->truncated = true;
-        break;
-      }
+      const bool hit_max_executions = report->executions >= options_.max_executions;
+      // The global-budget callback observes every other completed execution
+      // (ParallelExplorer aggregates progress through it); it runs before
+      // the odometer advances, but its verdict applies after, so the
+      // cursor a stop captures names the NEXT execution.
+      const bool keep =
+          hit_max_executions || keep_going == nullptr || keep_going(*report);
       // Odometer: advance the deepest decision that still has untried
       // alternatives; drop everything below it. A run that aborted early
       // (violation, POR prune) consumed fewer decisions than the stale path
@@ -489,10 +521,6 @@ class Explorer {
         }
         path.pop_back();
       }
-      if (!advanced) {
-        break;  // full bounded subtree explored
-      }
-      common_decisions = path.size() - 1;  // everything before the bumped level
       // POR bookkeeping below the advanced position is stale (it described
       // subtrees of the previous sibling); the level being advanced keeps
       // its explored-sibling list, which is exactly what the new sibling's
@@ -500,6 +528,24 @@ class Explorer {
       if (por_ptr != nullptr && por.levels.size() > path.size()) {
         por.levels.resize(path.size());
       }
+      // Budget stops (legacy priority order): resumable whenever the
+      // subtree still has work (`advanced`).
+      if (hit_max_executions) {
+        report->truncated = true;
+        capture(!advanced);
+        return;
+      }
+      if (!keep) {
+        report->truncated = true;
+        capture(!advanced);
+        return;
+      }
+      if (!advanced) {
+        capture(true);
+        return;  // full bounded subtree explored
+      }
+      common_decisions = path.size() - 1;  // everything before the bumped level
+      MaybePeriodicCheckpoint(path, por.levels, *report);
     }
   }
 
@@ -520,10 +566,15 @@ class Explorer {
     std::vector<size_t> path;
     detail::PorContext por;
     detail::PorContext* por_ptr = PorActive() ? &por : nullptr;
+    EnsureDurabilityInit();
     while (true) {
       detail::DfsDriver driver(&path);
       // Probe runs never claim a shared prefix: structure discovery only.
-      RunOnce(driver, &scratch, por_ptr, /*common_decisions=*/0);
+      // A durability stop during enumeration abandons it; the caller
+      // checks stop_cause() and falls back to a single whole-tree item.
+      if (StopAtBoundary() || !RunOnce(driver, &scratch, por_ptr, /*common_decisions=*/0)) {
+        break;
+      }
       const std::vector<size_t>& counts = driver.counts();
       PCC_ENSURE(path.size() >= counts.size(), "DFS: path shorter than counts");
       path.resize(counts.size());
@@ -569,6 +620,8 @@ class Explorer {
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   // POR is sound only when sibling subtrees are explored in full: random
   // mode replays nothing, and preemption bounding (itself an unsound
   // reduction) can exclude exactly the sibling order a sleep set relies
@@ -576,6 +629,245 @@ class Explorer {
   bool PorActive() const {
     return options_.use_por && options_.mode == ExplorerOptions::Mode::kExhaustive &&
            options_.max_preemptions < 0;
+  }
+
+  // ---- Durable-run machinery ----
+
+  // Lazily arms the durability checks: Run() is not the only entry point
+  // (ParallelExplorer workers call RunDfsSubtree directly), and the
+  // deadline is measured from whichever entry came first. When nothing
+  // durability-related is configured, durability_active_ stays false and
+  // the per-decision poll is a single branch on a plain bool.
+  void EnsureDurabilityInit() {
+    if (durability_init_) {
+      return;
+    }
+    durability_init_ = true;
+    durability_active_ = options_.wall_deadline_ms > 0 || options_.max_memory_bytes > 0 ||
+                         options_.cancel_token != nullptr || options_.cancel_after_decisions > 0;
+    if (options_.wall_deadline_ms > 0) {
+      deadline_ = Clock::now() + std::chrono::milliseconds(options_.wall_deadline_ms);
+    }
+    if (options_.max_memory_bytes > 0) {
+      // Each memo cache gets a quarter of the budget with whole-shard
+      // eviction (memo.h); the linearizer arena takes what remains. The
+      // caps keep steady-state usage under the budget; the oom stop is the
+      // backstop when the arena alone exceeds it.
+      verdict_cache_->set_max_bytes(options_.max_memory_bytes / 4);
+      frontier_cache_->set_max_bytes(options_.max_memory_bytes / 4);
+    }
+  }
+
+  // The per-decision poll. Token and decision-count checks are O(1) every
+  // call; the clock and memory walks are amortized (every 256 decisions) —
+  // StopAtBoundary() forces them between executions, so coarse-grained
+  // stops are never missed, only decision-granular ones delayed.
+  bool StopRequested() {
+    if (stop_cause_ != RunOutcome::kComplete) {
+      return true;
+    }
+    if (options_.cancel_token != nullptr && options_.cancel_token->canceled()) {
+      stop_cause_ = RunOutcome::kCanceled;
+      return true;
+    }
+    if (options_.cancel_after_decisions > 0 &&
+        decisions_total_ >= options_.cancel_after_decisions && execs_completed_ > 0) {
+      stop_cause_ = RunOutcome::kCanceled;
+      return true;
+    }
+    if ((++poll_gate_ & 0xFF) == 0) {
+      return CheckDeadlineAndMemory();
+    }
+    return false;
+  }
+
+  bool CheckDeadlineAndMemory() {
+    if (options_.wall_deadline_ms > 0 && Clock::now() >= deadline_) {
+      stop_cause_ = RunOutcome::kDeadline;
+      return true;
+    }
+    if (options_.max_memory_bytes > 0 && approx_memory_bytes() > options_.max_memory_bytes) {
+      stop_cause_ = RunOutcome::kOom;
+      return true;
+    }
+    return false;
+  }
+
+  // Execution-boundary poll: unamortized, so deadline and memory budget
+  // are enforced at least once per execution even when the decision-point
+  // gate never fires.
+  bool StopAtBoundary() {
+    if (!durability_active_) {
+      return false;
+    }
+    if (stop_cause_ != RunOutcome::kComplete) {
+      return true;
+    }
+    if (options_.cancel_token != nullptr && options_.cancel_token->canceled()) {
+      stop_cause_ = RunOutcome::kCanceled;
+      return true;
+    }
+    return CheckDeadlineAndMemory();
+  }
+
+  Report RunRandomMode() {
+    Report report;
+    detail::RandomDriver driver(options_.seed, options_.crash_probability,
+                                options_.env_probability);
+    for (uint64_t i = 0; i < options_.random_runs; ++i) {
+      if (StopAtBoundary() || !RunOnce(driver, &report, nullptr, /*common_decisions=*/0)) {
+        // Random runs are not resumable (the RNG stream has no durable
+        // cursor); a durability stop just ends the sampling early with the
+        // outcome tagged.
+        report.truncated = true;
+        break;
+      }
+      ++execs_completed_;
+      NotifyProgress(report);
+      if (report.violations.size() >= static_cast<size_t>(options_.max_violations)) {
+        break;
+      }
+    }
+    return report;
+  }
+
+  Report RunExhaustiveMode() {
+    std::vector<CheckpointSubtree> items;
+    bool resumed = TryResume(&items);
+    if (!resumed) {
+      items.emplace_back();  // one pending whole-tree item, floor 0
+    }
+    for (size_t i = 0; i < items.size(); ++i) {
+      CheckpointSubtree& item = items[i];
+      if (item.state == CheckpointSubtree::State::kDone) {
+        continue;
+      }
+      SubtreeWork work;
+      if (item.state == CheckpointSubtree::State::kInProgress) {
+        work.prefix = item.next_path;
+        work.por_seed = item.por_levels;
+        work.floor = item.floor;
+      } else {
+        work.prefix = item.prefix;
+        work.por_seed = item.por_levels;
+        work.floor = item.floor;
+      }
+      // Arm the periodic-checkpoint hook with this item's context: a
+      // snapshot marks items before i done, i in-progress at the hook's
+      // cursor, and the rest pending.
+      periodic_hook_ = [this, &items, i](const std::vector<size_t>& next_path,
+                                         const std::vector<detail::PorLevel>& por_levels) {
+        CheckpointSubtree& cur = items[i];
+        cur.state = CheckpointSubtree::State::kInProgress;
+        cur.next_path = next_path;
+        cur.por_levels = por_levels;
+        WriteCheckpoint(items, /*parallel=*/false);
+      };
+      SubtreeCursor cursor;
+      RunDfsSubtree(std::move(work), &item.partial, /*keep_going=*/nullptr, &cursor);
+      periodic_hook_ = nullptr;
+      if (cursor.finished) {
+        item.state = CheckpointSubtree::State::kDone;
+        item.next_path.clear();
+        item.por_levels.clear();
+      } else {
+        item.state = CheckpointSubtree::State::kInProgress;
+        item.next_path = std::move(cursor.next_path);
+        item.por_levels = std::move(cursor.por_levels);
+        item.floor = cursor.floor;
+      }
+      if (stop_cause_ != RunOutcome::kComplete) {
+        break;  // drain: later items stay pending in the checkpoint
+      }
+    }
+    if (!options_.checkpoint_path.empty()) {
+      // Written on completion too: resuming a finished checkpoint returns
+      // the full report without re-running anything.
+      WriteCheckpoint(items, /*parallel=*/false);
+    }
+    Report aggregate;
+    aggregate.resumed = resumed;
+    for (const CheckpointSubtree& item : items) {
+      MergeReport(&aggregate, item.partial);
+    }
+    TrimReportViolations(&aggregate, options_.max_violations);
+    return aggregate;
+  }
+
+  // Loads options_.resume_path if set and valid; restores the work items
+  // and the verdict cache. Any rejection (torn, corrupt, version bump,
+  // config mismatch) warns on stderr and returns false — the caller
+  // starts from scratch, which is always sound.
+  bool TryResume(std::vector<CheckpointSubtree>* items) {
+    if (options_.resume_path.empty()) {
+      return false;
+    }
+    CheckpointData data;
+    Status st = LoadCheckpoint(options_.resume_path, ExplorationConfigFp(options_), &data);
+    if (!st.ok()) {
+      std::fprintf(stderr, "[explorer] resume rejected, starting fresh: %s\n",
+                   st.ToString().c_str());
+      return false;
+    }
+    *items = std::move(data.subtrees);
+    for (CheckpointSubtree& item : *items) {
+      // The interruption is healed by resuming: the final report's
+      // truncated/outcome reflect THIS run, not the interrupted one.
+      item.partial.truncated = false;
+      item.partial.outcome = RunOutcome::kComplete;
+    }
+    for (const auto& [fp, verdict] : data.verdicts) {
+      verdict_cache_->Insert(fp, verdict, VerdictEntryBytes(verdict));
+    }
+    return true;
+  }
+
+  void WriteCheckpoint(const std::vector<CheckpointSubtree>& items, bool parallel) {
+    if (options_.checkpoint_path.empty()) {
+      return;
+    }
+    CheckpointData data;
+    data.config_fp = ExplorationConfigFp(options_);
+    data.parallel = parallel;
+    data.outcome = stop_cause_;
+    data.subtrees = items;
+    if (options_.dedup_histories) {
+      verdict_cache_->ForEach([&](const Hash128& fp, const std::optional<std::string>& verdict) {
+        data.verdicts.emplace_back(fp, verdict);
+      });
+    }
+    Status st = SaveCheckpoint(options_.checkpoint_path, data);
+    if (!st.ok()) {
+      std::fprintf(stderr, "[explorer] checkpoint write failed: %s\n", st.ToString().c_str());
+      return;
+    }
+    last_checkpoint_time_ = Clock::now();
+  }
+
+  // Periodic-cadence gate, called once per completed execution from the
+  // DFS loop (serial runs only; parallel periodic checkpoints are the
+  // coordinator's job).
+  void MaybePeriodicCheckpoint(const std::vector<size_t>& next_path,
+                               const std::vector<detail::PorLevel>& por_levels,
+                               const Report& report) {
+    if (periodic_hook_ == nullptr || options_.checkpoint_path.empty()) {
+      return;
+    }
+    bool due = false;
+    if (options_.checkpoint_every_execs > 0 &&
+        report.executions >= last_checkpoint_execs_ + options_.checkpoint_every_execs) {
+      due = true;
+    }
+    if (!due && options_.checkpoint_every_secs > 0 &&
+        Clock::now() >= last_checkpoint_time_ +
+                            std::chrono::seconds(options_.checkpoint_every_secs)) {
+      due = true;
+    }
+    if (!due) {
+      return;
+    }
+    last_checkpoint_execs_ = report.executions;
+    periodic_hook_(next_path, por_levels);
   }
 
   void NotifyProgress(const Report& report) {
@@ -656,8 +948,18 @@ class Explorer {
   // run's — the basis for resuming the linearizability search mid-history
   // (frontier-spine reuse) and for skipping footprint re-collection on
   // pure-replay steps.
-  void RunOnce(detail::Driver& driver, Report* report, detail::PorContext* por,
+  //
+  // Returns false when a durability stop (cancel/deadline/oom) abandoned
+  // the execution mid-run. Every Report counter it had touched is rolled
+  // back to its entry value, so an aborted execution is indistinguishable
+  // from one that never started — the caller re-runs the same decision
+  // path on resume and deterministic replay reproduces it exactly.
+  bool RunOnce(detail::Driver& driver, Report* report, detail::PorContext* por,
                size_t common_decisions) {
+    const uint64_t entry_executions = report->executions;
+    const uint64_t entry_crashes = report->crashes_injected;
+    const uint64_t entry_env = report->env_events_fired;
+    const size_t entry_violations = report->violations.size();
     ++report->executions;
     // Events shared with the previous run: everything recorded before the
     // first differing decision. Chained through spine_valid_events_ so the
@@ -721,6 +1023,7 @@ class Explorer {
     // feeds the next run's frontier-spine reuse.
     auto choose = [&](const std::vector<detail::Alt>& alts) -> size_t {
       prev_events_at_decision_.push_back(history.events.size());
+      ++decisions_total_;
       size_t pick = driver.Choose(alts);
       PCC_ENSURE(pick < alts.size(), "driver picked an invalid alternative");
       if (!trace.empty()) {
@@ -777,12 +1080,25 @@ class Explorer {
     };
 
     while (true) {
+      // Durability poll, once per decision point (amortized clock/memory
+      // reads inside StopRequested). An abandoned execution is rolled back
+      // wholesale — see the function comment.
+      if (durability_active_ && StopRequested()) {
+        report->executions = entry_executions;
+        report->crashes_injected = entry_crashes;
+        report->env_events_fired = entry_env;
+        if (report->violations.size() > entry_violations) {
+          report->violations.resize(entry_violations);
+        }
+        return false;
+      }
+
       // Crash invariants must hold at every step (§5.1).
       if (inst.crash_invariants != nullptr) {
         if (auto broken = inst.crash_invariants->FirstViolation()) {
           add_violation("crash-invariant", "invariant '" + *broken + "' does not hold");
           report->total_steps += steps;
-          return;
+          return true;
         }
       }
 
@@ -844,14 +1160,14 @@ class Explorer {
       if (sched.Deadlocked()) {
         add_violation("deadlock", "live threads but none runnable\n" + history.ToString());
         report->total_steps += steps;
-        return;
+        return true;
       }
       if (steps >= options_.max_steps_per_run) {
         add_violation("step-bound",
                       "execution exceeded " + std::to_string(options_.max_steps_per_run) +
                           " steps (possible nontermination)");
         report->total_steps += steps;
-        return;
+        return true;
       }
 
       // Build the alternatives for this decision point.
@@ -898,7 +1214,7 @@ class Explorer {
         PCC_ENSURE(por != nullptr, "empty alternative set without POR");
         ++report->por_pruned;
         report->total_steps += steps;
-        return;
+        return true;
       }
 
       ensure_level();
@@ -917,7 +1233,7 @@ class Explorer {
           } catch (const UbViolation& ub) {
             add_violation("undefined-behavior", ub.what() + ("\n" + history.ToString()));
             report->total_steps += steps;
-            return;
+            return true;
           }
           after_step(alts, pick, cached != nullptr ? *cached : sched.last_footprint());
           break;
@@ -972,20 +1288,21 @@ class Explorer {
         if (cached.has_value()) {
           add_violation("non-linearizable", *cached);
         }
-        return;
+        return true;
       }
       std::optional<std::string> why = check_history();
-      verdict_cache_->Insert(fp, why);
+      verdict_cache_->Insert(fp, why, VerdictEntryBytes(why));
       if (why.has_value()) {
         add_violation("non-linearizable", *why);
       }
       report->spec_states_explored += checker_.states_explored();
-      return;
+      return true;
     }
     if (auto why = check_history()) {
       add_violation("non-linearizable", *why);
     }
     report->spec_states_explored += checker_.states_explored();
+    return true;
   }
 
   Spec spec_;
@@ -1005,6 +1322,23 @@ class Explorer {
   FrontierCache own_frontiers_;
   VerdictCache* verdict_cache_ = &own_verdicts_;
   FrontierCache* frontier_cache_ = &own_frontiers_;
+
+  // ---- Durable-run state ----
+  bool durability_init_ = false;
+  bool durability_active_ = false;  // false => the per-decision poll is one branch
+  RunOutcome stop_cause_ = RunOutcome::kComplete;
+  // Executions completed by THIS engine (replays included) — gates the
+  // cancel_after_decisions hook so every resume leg makes progress.
+  uint64_t execs_completed_ = 0;
+  Clock::time_point deadline_{};
+  uint64_t decisions_total_ = 0;  // across every execution of this engine
+  uint64_t poll_gate_ = 0;        // amortizes clock/memory reads in StopRequested
+  uint64_t last_checkpoint_execs_ = 0;
+  Clock::time_point last_checkpoint_time_ = Clock::now();
+  // Set by RunExhaustiveMode around each item; invoked by the DFS loop at
+  // the periodic cadence with the would-be-next cursor position.
+  std::function<void(const std::vector<size_t>&, const std::vector<detail::PorLevel>&)>
+      periodic_hook_;
 };
 
 }  // namespace perennial::refine

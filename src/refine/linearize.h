@@ -218,7 +218,8 @@ class LinearizabilityChecker {
         }
       }
       if (!cache_->Contains(fp_[0])) {
-        cache_->Insert(fp_[0], std::make_shared<Frontier>(spine_[0]));
+        cache_->Insert(fp_[0], std::make_shared<Frontier>(spine_[0]),
+                       FrontierEntryBytes(spine_[0]));
       }
     }
 
@@ -238,7 +239,8 @@ class LinearizabilityChecker {
       spine_states_[idx + 1] = states_explored_;
       ++idx;
       if (cacheable && !cache_->Contains(fp_[idx])) {
-        cache_->Insert(fp_[idx], std::make_shared<Frontier>(spine_[idx]));
+        cache_->Insert(fp_[idx], std::make_shared<Frontier>(spine_[idx]),
+                       FrontierEntryBytes(spine_[idx]));
       }
     }
     // The next Check may only resume from slots that hold THIS history's
@@ -275,8 +277,35 @@ class LinearizabilityChecker {
     return s;
   }
 
+  // Approximate bytes retained by the arena between histories — the
+  // explorer's memory-budget input (ExplorerOptions::max_memory_bytes).
+  // Deliberately an ACCOUNTING estimate, not RSS: capacities times element
+  // sizes, so the number is a deterministic function of the exploration
+  // path and a resumed run observes the same budget pressure as an
+  // uninterrupted one. Config's nested maps/sets are folded in as a flat
+  // per-config constant; the explorer polls this at execution granularity,
+  // so a per-element walk would dominate small specs.
+  size_t approx_retained_bytes() const {
+    size_t b = spine_.capacity() * sizeof(Frontier);
+    for (const Frontier& f : spine_) {
+      b += f.configs.capacity() * (sizeof(Config) + 64);
+    }
+    b += spine_states_.capacity() * sizeof(uint64_t);
+    b += seen_.bucket_count() * (sizeof(Hash128) + sizeof(void*));
+    b += fp_.capacity() * sizeof(Hash128);
+    return b;
+  }
+
  private:
   using Config = typename Frontier::Config;
+
+  // Byte estimate for one cached frontier — deterministic in the frontier's
+  // CONTENT (config count, never vector capacity) so insert-time accounting
+  // replays identically across interrupted and uninterrupted runs.
+  static size_t FrontierEntryBytes(const Frontier& f) {
+    return sizeof(Hash128) + sizeof(FrontierPtr) + sizeof(Frontier) + 48 +
+           f.configs.size() * (sizeof(Config) + 64);
+  }
 
   struct Hash128Hasher {
     size_t operator()(const Hash128& h) const { return static_cast<size_t>(h.lo); }

@@ -631,6 +631,44 @@ TEST(PorMemo, SpecPrefixMemoizationChangesNoVerdict) {
   }
 }
 
+TEST(PorMemo, ByteCappedCachesChangeNoVerdict) {
+  // Whole-shard eviction under a byte cap may only convert cache hits into
+  // misses: executions, histories checked, and every verdict are unchanged;
+  // only the dedup/memo hit rates may drop. The accounted total must never
+  // exceed the cap (Insert drops the entry rather than overshooting), which
+  // is what keeps checkpoint restore eviction-free and deterministic.
+  GcHarnessOptions options;
+  options.client_ops = {{GcSpec::MakeWrite(1)}, {GcSpec::MakeWrite(2)}, {GcSpec::MakeFlush()}};
+  ExplorerOptions opts;
+  opts.max_crashes = 1;
+  opts.max_violations = 1 << 20;
+  opts.dedup_histories = true;
+  opts.memoize_spec_prefixes = true;
+  Report baseline = Explorer<GcSpec>(GcSpec{}, [&] { return MakeGcInstance(options); }, opts).Run();
+  ASSERT_GT(baseline.histories_deduped, 0u);
+
+  constexpr size_t kCap = 2048;
+  refine::VerdictCache verdicts;
+  Explorer<GcSpec>::FrontierCache frontiers;
+  verdicts.set_max_bytes(kCap);
+  frontiers.set_max_bytes(kCap);
+  Explorer<GcSpec> capped(GcSpec{}, [&] { return MakeGcInstance(options); }, opts);
+  capped.set_verdict_cache(&verdicts);
+  capped.set_frontier_cache(&frontiers);
+  Report r = capped.Run();
+
+  EXPECT_GT(verdicts.evictions(), 0u);
+  EXPECT_LE(verdicts.bytes(), kCap);
+  EXPECT_LE(frontiers.bytes(), kCap);
+  EXPECT_EQ(r.executions, baseline.executions);
+  EXPECT_EQ(r.total_steps, baseline.total_steps);
+  EXPECT_EQ(r.crashes_injected, baseline.crashes_injected);
+  EXPECT_EQ(r.histories_checked, baseline.histories_checked);
+  EXPECT_LE(r.histories_deduped, baseline.histories_deduped);
+  EXPECT_EQ(r.ok(), baseline.ok());
+  ExpectSameViolations(r, baseline);
+}
+
 // ---------- Progress callback: post-dedup counts, monotone ----------
 
 TEST(PorProgress, CallbackObservesPostDedupCountsMonotonically) {
