@@ -12,6 +12,13 @@
 // The rows are chosen smallest-first so the gate stays cheap enough to run
 // in every tier2 sweep; the full table is regenerated manually with
 // `bench_sec91_patterns --json BENCH_refine.json`.
+//
+// A third cell re-runs the cheapest PCT deep-bug row (pct-kv-deadlock-deep
+// at a quarter budget, seed 1). PCT runs are seed-deterministic, so any
+// change to the draw order — priority assignment, change-point placement,
+// crash/env draws — shows up as an executions mismatch against the
+// committed row; the pct rows are regenerated with
+// `bench_pct --json BENCH_refine.json`.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -20,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/pct_suite.h"
 #include "src/refine/explorer.h"
 #include "src/systems/pattern_harness.h"
 #include "src/systems/repl/repl_harness.h"
@@ -151,5 +159,29 @@ int main(int argc, char** argv) {
             RunCell(PairSpec{}, [&] { return MakeWalInstance(options); }, 2, por));
     }
   }
+  ForEachDeepBug([&](const DeepBugInfo& info, auto spec, auto factory) {
+    if (std::string(info.slug) != "pct-kv-deadlock-deep") {
+      return;
+    }
+    using Spec = decltype(spec);
+    ExplorerOptions opts = PctSuiteOptions(info, /*seed=*/1);
+    opts.random_runs = info.budget / 4;
+    auto start = std::chrono::steady_clock::now();
+    refine::Explorer<Spec> ex(spec, factory, opts);
+    Report report = ex.Run();
+    Measured m;
+    m.executions = report.executions;
+    m.ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+               .count();
+    // The committed row was produced by a run that found the bug; a PCT
+    // draw-order change that loses it would still match on executions if
+    // every slice ran to its run budget, so pin the find as well.
+    if (report.violations.empty()) {
+      std::fprintf(stderr, "FAIL pct-kv-deadlock-deep-b%llu: quarter-budget PCT lost the bug\n",
+                   static_cast<unsigned long long>(info.budget / 4));
+      ++failures;
+    }
+    check("pct-kv-deadlock-deep-b" + std::to_string(info.budget / 4), false, m);
+  });
   return failures == 0 ? 0 : 1;
 }

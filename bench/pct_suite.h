@@ -1,0 +1,119 @@
+// The PCT deep-bug suite: seeded bugs that bounded DFS provably misses at a
+// fixed execution budget while PCT (d=3) finds them within the same budget
+// for every seed in kPctSuiteSeeds. Shared by tests/pct_refine_test.cpp
+// (the bug-finding regression) and bench/bench_pct.cpp (the bugs-found-vs-
+// budget table and `--replay <trace>`).
+//
+// Why these workloads: the exhaustive DFS enumerates suffix-first (the
+// odometer advances the deepest decision before any earlier one), so a bug
+// whose trigger is an EARLY deviation — an early preemption or an early
+// crash — sits behind the entire benign suffix subtree. Each suite entry
+// plants the trigger window near the front of the schedule and pads the
+// tail with benign concurrent work (extra puts, a reader client), which
+// multiplies DFS's walk-back cost combinatorially but leaves PCT's per-run
+// hit probability (>= 1/(n * k^(d-1))) essentially unchanged.
+//
+// The budgets are calibrated with deliberate slack on both sides: DFS at
+// `budget` executions truncates with zero violations (measured need: 6768 /
+// 15511 / 3948 executions), while PCT finds each bug within `budget` runs
+// for every suite seed. Both sides are deterministic, so the regression
+// test pins them exactly.
+#ifndef PERENNIAL_BENCH_PCT_SUITE_H_
+#define PERENNIAL_BENCH_PCT_SUITE_H_
+
+#include <cstdint>
+
+#include "src/refine/explorer.h"
+#include "src/systems/kvs/kv_harness.h"
+#include "src/systems/pattern_harness.h"
+#include "src/systems/txnlog/txn_harness.h"
+
+namespace perennial::systems {
+
+struct DeepBugInfo {
+  const char* slug;     // stable row / trace run_id, "pct-" prefixed
+  const char* kind;     // expected violation kind
+  uint64_t budget;      // executions: DFS misses here, PCT finds here
+  double crash_probability;  // PCT crash draw for this workload
+  int max_crashes;
+};
+
+inline constexpr uint64_t kPctSuiteSeeds[] = {1, 2, 3, 4};
+inline constexpr int kPctSuiteDepth = 3;
+inline constexpr uint64_t kPctSuiteChangeBudget = 64;
+
+// PCT options for one suite entry. The swarm variants in the test/bench
+// split the same budget across swarm_seeds batches, so total executions
+// stay comparable.
+inline refine::ExplorerOptions PctSuiteOptions(const DeepBugInfo& info, uint64_t seed) {
+  refine::ExplorerOptions opts;
+  opts.mode = refine::ExplorerOptions::Mode::kPct;
+  opts.max_crashes = info.max_crashes;
+  opts.max_violations = 1;
+  opts.random_runs = info.budget;
+  opts.seed = seed;
+  opts.pct_depth = kPctSuiteDepth;
+  opts.pct_change_budget = kPctSuiteChangeBudget;
+  opts.crash_probability = info.crash_probability;
+  opts.env_probability = 0.05;
+  return opts;
+}
+
+// Bounded-DFS options at the same execution budget.
+inline refine::ExplorerOptions DfsSuiteOptions(const DeepBugInfo& info) {
+  refine::ExplorerOptions opts;
+  opts.max_crashes = info.max_crashes;
+  opts.max_violations = 1;
+  opts.max_executions = info.budget;
+  return opts;
+}
+
+// Visits every suite entry as visit(info, spec, factory). The factory
+// captures its harness options by value, so the lambda outlives this call.
+template <typename Visitor>
+void ForEachDeepBug(Visitor&& visit) {
+  {
+    // Lock-order deadlock whose window is the two clients' FIRST lock
+    // acquisitions; the trailing single-key puts are pure suffix padding.
+    // Measured: DFS needs 6768 executions, PCT finds in <= 1000 runs.
+    KvHarnessOptions options;
+    options.num_keys = 2;
+    options.client_ops = {
+        {KvSpec::MakePutPair(0, 1, 1, 2), KvSpec::MakePut(0, 5), KvSpec::MakePut(1, 6)},
+        {KvSpec::MakePutPair(1, 3, 0, 4), KvSpec::MakePut(1, 7), KvSpec::MakePut(0, 8)}};
+    options.mutations.unordered_locks = true;
+    visit(DeepBugInfo{"pct-kv-deadlock-deep", "deadlock", 1000, 0.0, 0}, KvSpec{2},
+          [options] { return MakeKvInstance(options); });
+  }
+  {
+    // Crash inside the early checkpoint's truncate-before-apply window;
+    // the post-checkpoint writes and the reader client are benign suffix.
+    // Measured: DFS needs 15511 executions, PCT finds in <= 2000 runs.
+    TxnHarnessOptions options;
+    options.num_addrs = 2;
+    options.client_ops = {
+        {TxnSpec::MakeWrite(0, 5), TxnSpec::MakeCheckpoint(), TxnSpec::MakeWrite(1, 9),
+         TxnSpec::MakeWrite(0, 3)},
+        {TxnSpec::MakeRead(1), TxnSpec::MakeRead(0), TxnSpec::MakeRead(1), TxnSpec::MakeRead(0)}};
+    options.mutations.truncate_before_apply = true;
+    visit(DeepBugInfo{"pct-txn-truncate-deep", "non-linearizable", 2000, 0.15, 1}, TxnSpec{2},
+          [options] { return MakeTxnInstance(options); });
+  }
+  {
+    // Crash in the first op's apply-before-commit window; the client's
+    // trailing single-key puts and the reader client are benign suffix.
+    // Measured: DFS needs 3948 executions, PCT finds in <= 2000 runs.
+    KvHarnessOptions options;
+    options.num_keys = 2;
+    options.client_ops = {
+        {KvSpec::MakePutPair(0, 1, 1, 2), KvSpec::MakePut(0, 5), KvSpec::MakePut(1, 6)},
+        {KvSpec::MakeGet(0), KvSpec::MakeGet(1), KvSpec::MakeGet(0), KvSpec::MakeGet(1)}};
+    options.mutations.apply_before_commit = true;
+    visit(DeepBugInfo{"pct-kv-apply-commit-deep", "non-linearizable", 2000, 0.15, 1}, KvSpec{2},
+          [options] { return MakeKvInstance(options); });
+  }
+}
+
+}  // namespace perennial::systems
+
+#endif  // PERENNIAL_BENCH_PCT_SUITE_H_

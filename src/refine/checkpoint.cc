@@ -89,6 +89,12 @@ void PutReport(std::string* out, const Report& r) {
     PutString(out, v.kind);
     PutString(out, v.detail);
     PutString(out, v.trace);
+    PutU64(out, v.schedule.size());
+    for (const ScheduleDecision& d : v.schedule) {
+      PutU8(out, static_cast<uint8_t>(d.kind));
+      PutU64(out, static_cast<uint64_t>(static_cast<int64_t>(d.thread)));
+      PutU32(out, d.env);
+    }
   }
 }
 
@@ -253,6 +259,21 @@ Report GetReport(Cursor* c) {
     v.kind = c->GetString();
     v.detail = c->GetString();
     v.trace = c->GetString();
+    uint64_t nsched = c->GetU64();
+    if (!c->NeedCount(nsched, 13)) return r;
+    v.schedule.reserve(nsched);
+    for (uint64_t j = 0; j < nsched && !c->failed; ++j) {
+      ScheduleDecision d;
+      uint8_t kind = c->GetU8();
+      if (kind > static_cast<uint8_t>(detail::AltKind::kProceed)) {
+        c->failed = true;
+        break;
+      }
+      d.kind = static_cast<detail::AltKind>(kind);
+      d.thread = static_cast<int>(static_cast<int64_t>(c->GetU64()));
+      d.env = c->GetU32();
+      v.schedule.push_back(d);
+    }
     r.violations.push_back(std::move(v));
   }
   return r;

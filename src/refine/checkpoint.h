@@ -42,7 +42,10 @@
 
 namespace perennial::refine {
 
-inline constexpr uint32_t kCheckpointVersion = 1;
+// v2: Violations carry their recorded decision schedule (the replayable
+// witness minimize.h shrinks), and PCT/swarm runs reuse CheckpointSubtree
+// with prefix = {batch, lo, hi} and next_path = {next_run}.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 // One work-item subtree's durable state. The engines use this struct
 // directly as their in-memory work list, so checkpointing is a snapshot of

@@ -73,6 +73,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
@@ -179,7 +180,7 @@ struct ExplorerProgress {
 };
 
 struct ExplorerOptions {
-  enum class Mode { kExhaustive, kRandom };
+  enum class Mode { kExhaustive, kRandom, kPct };
   Mode mode = Mode::kExhaustive;
 
   int max_crashes = 1;                  // crashes injected per execution
@@ -192,15 +193,49 @@ struct ExplorerOptions {
   uint64_t max_executions = 2'000'000;  // DFS safety cap
   int max_violations = 3;               // stop collecting after this many
 
-  // Random mode:
-  uint64_t random_runs = 1000;
+  // Random and PCT modes:
+  uint64_t random_runs = 1000;      // executions sampled (per swarm batch in PCT mode)
   uint64_t seed = 1;
   double crash_probability = 0.05;  // per-step chance of injecting a crash
   double env_probability = 0.05;    // per-step chance of firing an env event
 
+  // ---- PCT mode (mode == kPct; DESIGN.md §12) ----
+  // Priority-based randomized exploration with the PCT bug-finding bound
+  // (Burckhardt et al.): every thread gets a random priority, the highest-
+  // priority runnable thread always runs, and d-1 priority-change points
+  // drawn uniformly over the step budget demote the running thread below
+  // every initial priority. A bug of depth d (one needing d specific
+  // ordering constraints) is found per run with probability >=
+  // 1/(n * k^(d-1)) for n threads and k steps — a guarantee exhaustive DFS
+  // under an execution budget cannot make, because DFS covers the decision
+  // tree suffix-first and a bug needing an EARLY deviation sits at the far
+  // end of its enumeration order. Crash and environment alternatives stay
+  // in scope via the same per-step probability draws random mode uses, so
+  // crash placement and fault injection are sampled on top of the PCT
+  // thread schedule. Every run's seed is derived from (seed, batch, run
+  // index) alone, so reports are bit-identical across serial/parallel
+  // engines, worker counts, and checkpoint/resume splits (dedup counters
+  // excepted — see dedup_histories note below).
+  int pct_depth = 3;                 // d: targeted bug depth (d-1 change points)
+  uint64_t pct_change_budget = 256;  // k: steps the change points are drawn over
+
+  // Swarm mode: > 0 runs that many independent seed batches of random_runs
+  // PCT executions each (batch b reseeds from (seed, b)), merged into one
+  // report in batch order. With swarm_vary_depth the batches cycle
+  // pct_depth over {d-1, d, d+1} (floored at 2) so one sweep covers
+  // several bug depths. Batches ride the checkpoint/resume machinery:
+  // work items are (batch, run-range) slices, so an interrupted swarm
+  // resumes to the uninterrupted report.
+  uint64_t swarm_seeds = 0;
+  bool swarm_vary_depth = false;
+
   // Skip the linearizability search for completed histories whose 128-bit
   // fingerprint was already checked this run (see the header comment for
-  // the soundness argument). Counted in Report::histories_deduped.
+  // the soundness argument). Counted in Report::histories_deduped. In PCT
+  // mode dedup stays sound (verdicts are pure functions of the history)
+  // but the deduped COUNTER is excluded from the bit-identity contract:
+  // which run pays for a fingerprint depends on cache sharing across
+  // workers and on resume splits.
   bool dedup_histories = false;
 
   // Sleep-set dynamic partial-order reduction (header comment). Effective
@@ -262,7 +297,8 @@ struct ExplorerOptions {
   std::string resume_path;
   // Periodic checkpoint cadence while the run is healthy: every N
   // executions and/or every N seconds (whichever fires first). 0 = only on
-  // stop/completion. Exhaustive mode only.
+  // stop/completion. Exhaustive and PCT modes (plain random mode is not
+  // resumable).
   uint64_t checkpoint_every_execs = 0;
   uint64_t checkpoint_every_secs = 0;
   // Distinguishes otherwise identically-configured runs of different
@@ -352,13 +388,207 @@ class RandomDriver : public Driver {
     if (!threads.empty()) {
       return threads[rng_.Below(threads.size())];
     }
-    return rng_.Below(alts.size());
+    // No thread alternatives — the quiescent point offering
+    // [proceed, CRASH, env...]. The declined draws above already said "no
+    // crash, no env" for this step, so take the proceed alternative. (The
+    // old fallback drew uniformly over the remainder, which made the
+    // quiescent crash a coin flip even with crash_probability = 0 — a
+    // crash-choice bias that skewed every random-mode sample toward
+    // crashing exactly at the quiescent point.)
+    for (size_t i = 0; i < alts.size(); ++i) {
+      if (alts[i].kind == AltKind::kProceed) {
+        return i;
+      }
+    }
+    return alts.size() == 1 ? 0 : rng_.Below(alts.size());
   }
 
  private:
   Rng rng_;
   double crash_p_;
   double env_p_;
+};
+
+// The seed of PCT run `run` of batch `batch`: a pure function of the
+// top-level seed and the two indices, so ANY partition of the run space —
+// serial loop, parallel slices, resume legs — reproduces the identical
+// per-run executions.
+inline uint64_t PctRunSeed(uint64_t seed, uint64_t batch, uint64_t run) {
+  uint64_t state = seed;
+  (void)SplitMix64(state);
+  state += (batch + 1) * 0x9E3779B97F4A7C15ull;
+  (void)SplitMix64(state);
+  state += (run + 1) * 0xBF58476D1CE4E5B9ull;
+  return SplitMix64(state);
+}
+
+// PCT (Burckhardt et al., ASPLOS 2010): every thread gets a random initial
+// priority >= d, the highest-priority runnable thread always runs, and d-1
+// priority-change points drawn uniformly over the step budget k demote the
+// running thread to d-1-j (below every initial priority). A depth-d bug is
+// hit with probability >= 1/(n * k^(d-1)). Crash and environment
+// alternatives are sampled with the same per-step probability draws (and
+// the same single-candidate guards) as RandomDriver, layered on top of the
+// PCT thread schedule. Fully deterministic in the seed: priorities are
+// assigned in alternative order and ties break toward the first maximum.
+class PctDriver : public Driver {
+ public:
+  PctDriver(uint64_t seed, int depth, uint64_t change_budget, double crash_p, double env_p)
+      : rng_(seed), crash_p_(crash_p), env_p_(env_p) {
+    depth_ = depth < 1 ? 1 : depth;
+    if (change_budget < 1) {
+      change_budget = 1;
+    }
+    // d-1 change points in [1, k], sorted so the back is the next one due.
+    for (int j = 0; j < depth_ - 1; ++j) {
+      change_points_.push_back(1 + rng_.Below(change_budget));
+    }
+    std::sort(change_points_.begin(), change_points_.end(), std::greater<uint64_t>());
+  }
+
+  size_t Choose(const std::vector<Alt>& alts) override {
+    std::vector<size_t> threads;
+    std::vector<size_t> crashes;
+    std::vector<size_t> envs;
+    for (size_t i = 0; i < alts.size(); ++i) {
+      switch (alts[i].kind) {
+        case AltKind::kThread:
+          threads.push_back(i);
+          break;
+        case AltKind::kCrash:
+          crashes.push_back(i);
+          break;
+        case AltKind::kEnv:
+          envs.push_back(i);
+          break;
+        case AltKind::kProceed:
+          break;
+      }
+    }
+    if (!crashes.empty() && rng_.Chance(crash_p_)) {
+      return crashes.size() == 1 ? crashes[0] : crashes[rng_.Below(crashes.size())];
+    }
+    if (!envs.empty() && rng_.Chance(env_p_)) {
+      return envs.size() == 1 ? envs[0] : envs[rng_.Below(envs.size())];
+    }
+    if (threads.empty()) {
+      for (size_t i = 0; i < alts.size(); ++i) {
+        if (alts[i].kind == AltKind::kProceed) {
+          return i;
+        }
+      }
+      return alts.size() == 1 ? 0 : rng_.Below(alts.size());
+    }
+    ++steps_;
+    // Unseen threads draw their initial priority now, in alternative order
+    // (deterministic). Collisions are possible and harmless: ties break
+    // toward the first maximum, uniformly shifting probability mass rather
+    // than invalidating the bound.
+    for (size_t i : threads) {
+      const int tid = alts[i].thread;
+      if (priority_.find(tid) == priority_.end()) {
+        priority_[tid] = static_cast<int64_t>(depth_) + static_cast<int64_t>(rng_.Below(1u << 20));
+      }
+    }
+    auto argmax = [&]() -> size_t {
+      size_t best = threads[0];
+      int64_t best_p = priority_[alts[best].thread];
+      for (size_t k = 1; k < threads.size(); ++k) {
+        const int64_t p = priority_[alts[threads[k]].thread];
+        if (p > best_p) {
+          best_p = p;
+          best = threads[k];
+        }
+      }
+      return best;
+    };
+    size_t pick = argmax();
+    // Change points due at this step demote the would-run thread to
+    // d-1-j (the j-th firing), then re-resolve; several points landing on
+    // one step demote successive maxima.
+    while (!change_points_.empty() && steps_ >= change_points_.back()) {
+      change_points_.pop_back();
+      priority_[alts[pick].thread] = static_cast<int64_t>(depth_ - 1) - fired_;
+      ++fired_;
+      pick = argmax();
+    }
+    return pick;
+  }
+
+ private:
+  Rng rng_;
+  double crash_p_;
+  double env_p_;
+  int depth_ = 1;
+  uint64_t steps_ = 0;                   // thread decisions seen so far
+  int64_t fired_ = 0;                    // change points already fired
+  std::vector<uint64_t> change_points_;  // descending; back() fires next
+  std::map<int, int64_t> priority_;      // tid -> current priority
+};
+
+// Replays a recorded ScheduleDecision sequence as a list of INTENTS rather
+// than indices: at each decision point the remaining intents are scanned in
+// order, intents with no matching alternative are dropped, and the first
+// match is taken. Index-free matching is what lets the minimizer delete
+// decisions from the middle of a schedule and still replay the remainder
+// meaningfully. When the intents run out the replay finishes
+// deterministically: first thread alternative, else proceed, else
+// alternative 0. `consumed()` is the subsequence actually taken;
+// replaying consumed(X) reproduces the replay of X decision-for-decision
+// (defaults depend only on the execution state, which matching preserves).
+class ScheduleReplayDriver : public Driver {
+ public:
+  explicit ScheduleReplayDriver(std::vector<ScheduleDecision> schedule)
+      : schedule_(std::move(schedule)) {}
+
+  size_t Choose(const std::vector<Alt>& alts) override {
+    while (pos_ < schedule_.size()) {
+      const ScheduleDecision& d = schedule_[pos_];
+      for (size_t i = 0; i < alts.size(); ++i) {
+        if (Matches(d, alts[i])) {
+          ++pos_;
+          consumed_.push_back(d);
+          return i;
+        }
+      }
+      ++pos_;  // intent impossible here: drop it, try the next
+    }
+    return DefaultPick(alts);
+  }
+
+  const std::vector<ScheduleDecision>& consumed() const { return consumed_; }
+
+ private:
+  static bool Matches(const ScheduleDecision& d, const Alt& a) {
+    if (d.kind != a.kind) {
+      return false;
+    }
+    if (d.kind == AltKind::kThread) {
+      return d.thread == a.thread;
+    }
+    if (d.kind == AltKind::kEnv) {
+      return static_cast<size_t>(d.env) == a.env;
+    }
+    return true;  // crash / proceed carry no payload
+  }
+
+  static size_t DefaultPick(const std::vector<Alt>& alts) {
+    for (size_t i = 0; i < alts.size(); ++i) {
+      if (alts[i].kind == AltKind::kThread) {
+        return i;
+      }
+    }
+    for (size_t i = 0; i < alts.size(); ++i) {
+      if (alts[i].kind == AltKind::kProceed) {
+        return i;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<ScheduleDecision> schedule_;
+  size_t pos_ = 0;
+  std::vector<ScheduleDecision> consumed_;
 };
 
 }  // namespace detail
@@ -372,10 +602,15 @@ class RandomDriver : public Driver {
 // whole point, and resumed work items come from the checkpoint, not from
 // re-enumeration.
 inline uint64_t ExplorationConfigFp(const ExplorerOptions& options) {
+  auto double_bits = [](double d) {
+    uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
   Fnv128 f;
-  f.MixString("pcc-exploration-config-v1");
+  f.MixString("pcc-exploration-config-v2");
   f.MixString(options.run_id);
-  f.MixU64(options.mode == ExplorerOptions::Mode::kExhaustive ? 0 : 1);
+  f.MixU64(static_cast<uint64_t>(options.mode));
   f.MixU64(static_cast<uint64_t>(static_cast<int64_t>(options.max_crashes)));
   f.MixU64(static_cast<uint64_t>(static_cast<int64_t>(options.max_preemptions)));
   f.MixU64(options.max_steps_per_run);
@@ -383,6 +618,12 @@ inline uint64_t ExplorationConfigFp(const ExplorerOptions& options) {
   f.MixU64(static_cast<uint64_t>(static_cast<int64_t>(options.max_violations)));
   f.MixU64(options.random_runs);
   f.MixU64(options.seed);
+  f.MixU64(double_bits(options.crash_probability));
+  f.MixU64(double_bits(options.env_probability));
+  f.MixU64(static_cast<uint64_t>(static_cast<int64_t>(options.pct_depth)));
+  f.MixU64(options.pct_change_budget);
+  f.MixU64(options.swarm_seeds);
+  f.MixU64(options.swarm_vary_depth ? 1 : 0);
   f.MixU64(options.dedup_histories ? 1 : 0);
   f.MixU64(options.use_por ? 1 : 0);
   f.MixU64(options.memoize_spec_prefixes ? 1 : 0);
@@ -407,10 +648,117 @@ class Explorer {
 
   Report Run() {
     EnsureDurabilityInit();
-    Report report =
-        options_.mode == ExplorerOptions::Mode::kRandom ? RunRandomMode() : RunExhaustiveMode();
+    Report report;
+    switch (options_.mode) {
+      case ExplorerOptions::Mode::kRandom:
+        report = RunRandomMode();
+        break;
+      case ExplorerOptions::Mode::kPct:
+        report = RunPctMode();
+        break;
+      case ExplorerOptions::Mode::kExhaustive:
+        report = RunExhaustiveMode();
+        break;
+    }
     report.outcome = stop_cause_;
     return report;
+  }
+
+  // Re-executes one run driving decisions from a recorded schedule
+  // (intent-based, skip-unmatched — see detail::ScheduleReplayDriver).
+  // Returns the single-execution Report; a recorded violation witness
+  // replayed here reproduces its violation. `consumed`, if non-null,
+  // receives the intents actually taken: ReplaySchedule(consumed(X))
+  // reproduces ReplaySchedule(X) exactly, the canonicalization the
+  // minimizer's termination argument rests on.
+  Report ReplaySchedule(const std::vector<ScheduleDecision>& schedule,
+                        std::vector<ScheduleDecision>* consumed = nullptr) {
+    EnsureDurabilityInit();
+    Report report;
+    detail::ScheduleReplayDriver driver(schedule);
+    RunOnce(driver, &report, nullptr, /*common_decisions=*/0);
+    if (consumed != nullptr) {
+      *consumed = driver.consumed();
+    }
+    report.outcome = stop_cause_;
+    return report;
+  }
+
+  // Slice granularity of the PCT work list (runs per work item): the load-
+  // balance unit for the parallel engine and the resume granularity cap.
+  static constexpr uint64_t kPctChunkRuns = 64;
+
+  // The PCT/swarm work list: (batch, run-range) slices encoded in
+  // CheckpointSubtree::prefix as {batch, lo, hi}, sliced in chunks of
+  // kPctChunkRuns for parallel load balance. Serial and parallel engines
+  // build the IDENTICAL list, so their checkpoints interconvert and the
+  // merged report is independent of who ran which slice.
+  std::vector<CheckpointSubtree> BuildPctItems() const {
+    std::vector<CheckpointSubtree> items;
+    const uint64_t batches = options_.swarm_seeds == 0 ? 1 : options_.swarm_seeds;
+    for (uint64_t b = 0; b < batches; ++b) {
+      for (uint64_t lo = 0; lo < options_.random_runs; lo += kPctChunkRuns) {
+        const uint64_t hi = std::min(options_.random_runs, lo + kPctChunkRuns);
+        CheckpointSubtree item;
+        item.prefix = {static_cast<size_t>(b), static_cast<size_t>(lo),
+                       static_cast<size_t>(hi)};
+        items.push_back(std::move(item));
+      }
+    }
+    return items;
+  }
+
+  // Runs PCT executions [start, hi) of batch `batch` into `report` — the
+  // PCT analogue of RunDfsSubtree, shared by the serial mode loop and
+  // ParallelExplorer workers. Each run is seeded by PctRunSeed(seed, batch,
+  // run) alone. Returns true when the slice completed (max_violations ends
+  // it the same way an uninterrupted slice would); false on a durability
+  // stop or keep_going veto, with *next_run naming the first run not
+  // completed — the resume cursor.
+  bool RunPctSlice(uint64_t batch, uint64_t start, uint64_t hi, Report* report,
+                   const std::function<bool(const Report&)>& keep_going = nullptr,
+                   uint64_t* next_run = nullptr) {
+    EnsureDurabilityInit();
+    const int depth = PctBatchDepth(batch);
+    for (uint64_t r = start; r < hi; ++r) {
+      if (StopAtBoundary()) {
+        report->truncated = true;
+        if (next_run != nullptr) {
+          *next_run = r;
+        }
+        return false;
+      }
+      detail::PctDriver driver(detail::PctRunSeed(options_.seed, batch, r), depth,
+                               options_.pct_change_budget, options_.crash_probability,
+                               options_.env_probability);
+      if (!RunOnce(driver, report, nullptr, /*common_decisions=*/0)) {
+        report->truncated = true;
+        if (next_run != nullptr) {
+          *next_run = r;
+        }
+        return false;
+      }
+      ++execs_completed_;
+      NotifyProgress(*report);
+      if (report->violations.size() >= static_cast<size_t>(options_.max_violations)) {
+        if (next_run != nullptr) {
+          *next_run = r + 1;
+        }
+        return true;
+      }
+      if (keep_going != nullptr && !keep_going(*report)) {
+        report->truncated = true;
+        if (next_run != nullptr) {
+          *next_run = r + 1;
+        }
+        return false;
+      }
+      MaybePeriodicCheckpoint({static_cast<size_t>(r + 1)}, {}, *report);
+    }
+    if (next_run != nullptr) {
+      *next_run = hi;
+    }
+    return true;
   }
 
   // The durability stop cause so far (kComplete while none). Sticky: once a
@@ -622,6 +970,18 @@ class Explorer {
  private:
   using Clock = std::chrono::steady_clock;
 
+  // The PCT depth batch `batch` runs at: pct_depth, or — under
+  // swarm_vary_depth — cycling {d-1, d, d+1} (floored at 2) so one swarm
+  // sweep covers several bug depths.
+  int PctBatchDepth(uint64_t batch) const {
+    int d = options_.pct_depth < 1 ? 1 : options_.pct_depth;
+    if (!options_.swarm_vary_depth) {
+      return d;
+    }
+    d += static_cast<int>(batch % 3) - 1;
+    return d < 2 ? 2 : d;
+  }
+
   // POR is sound only when sibling subtrees are explored in full: random
   // mode replays nothing, and preemption bounding (itself an unsound
   // reduction) can exclude exactly the sibling order a sleep set relies
@@ -729,6 +1089,65 @@ class Explorer {
       }
     }
     return report;
+  }
+
+  // Serial PCT/swarm driver: the same item loop as RunExhaustiveMode but
+  // over BuildPctItems slices, with run-granular resume (next_path holds
+  // the single cursor value: the next run index of the in-progress slice).
+  // A slice that hit max_violations counts as finished — like the
+  // exhaustive engine, later slices still run and the aggregate is trimmed,
+  // which keeps the report a pure function of the item list.
+  Report RunPctMode() {
+    std::vector<CheckpointSubtree> items;
+    bool resumed = TryResume(&items);
+    if (!resumed) {
+      items = BuildPctItems();
+    }
+    for (size_t i = 0; i < items.size(); ++i) {
+      CheckpointSubtree& item = items[i];
+      if (item.state == CheckpointSubtree::State::kDone) {
+        continue;
+      }
+      PCC_ENSURE(item.prefix.size() == 3, "PCT checkpoint item: malformed slice");
+      const uint64_t batch = item.prefix[0];
+      const uint64_t hi = item.prefix[2];
+      uint64_t start = item.prefix[1];
+      if (item.state == CheckpointSubtree::State::kInProgress && !item.next_path.empty()) {
+        start = item.next_path[0];
+      }
+      last_checkpoint_execs_ = 0;  // cadence is per-slice (partial resets)
+      periodic_hook_ = [this, &items, i](const std::vector<size_t>& next_path,
+                                         const std::vector<detail::PorLevel>&) {
+        CheckpointSubtree& cur = items[i];
+        cur.state = CheckpointSubtree::State::kInProgress;
+        cur.next_path = next_path;
+        WriteCheckpoint(items, /*parallel=*/false);
+      };
+      uint64_t next_run = start;
+      const bool finished = RunPctSlice(batch, start, hi, &item.partial,
+                                        /*keep_going=*/nullptr, &next_run);
+      periodic_hook_ = nullptr;
+      if (finished) {
+        item.state = CheckpointSubtree::State::kDone;
+        item.next_path.clear();
+      } else {
+        item.state = CheckpointSubtree::State::kInProgress;
+        item.next_path = {static_cast<size_t>(next_run)};
+      }
+      if (stop_cause_ != RunOutcome::kComplete) {
+        break;  // drain: later slices stay pending in the checkpoint
+      }
+    }
+    if (!options_.checkpoint_path.empty()) {
+      WriteCheckpoint(items, /*parallel=*/false);
+    }
+    Report aggregate;
+    aggregate.resumed = resumed;
+    for (const CheckpointSubtree& item : items) {
+      MergeReport(&aggregate, item.partial);
+    }
+    TrimReportViolations(&aggregate, options_.max_violations);
+    return aggregate;
   }
 
   Report RunExhaustiveMode() {
@@ -1010,10 +1429,12 @@ class Explorer {
     size_t decision_level = 0;
     std::vector<detail::SleepEntry> sleep;
     std::string trace;
+    schedule_log_.clear();
     auto add_violation = [&](std::string kind, std::string detail_msg) {
       if (report->violations.size() < static_cast<size_t>(options_.max_violations)) {
-        report->violations.push_back(
-            Violation{std::move(kind), std::move(detail_msg), trace.empty() ? "(empty)" : trace});
+        Violation v{std::move(kind), std::move(detail_msg), trace.empty() ? "(empty)" : trace};
+        v.schedule = schedule_log_;
+        report->violations.push_back(std::move(v));
       }
     };
 
@@ -1030,6 +1451,8 @@ class Explorer {
         trace += ' ';
       }
       trace += alts[pick].label;
+      schedule_log_.push_back(ScheduleDecision{alts[pick].kind, alts[pick].thread,
+                                               static_cast<uint32_t>(alts[pick].env)});
       ++steps;
       return pick;
     };
@@ -1317,6 +1740,9 @@ class Explorer {
   size_t spine_valid_events_ = 0;
   // Per-decision history-event watermarks of the previous RunOnce.
   std::vector<size_t> prev_events_at_decision_;
+  // Every decision of the execution currently inside RunOnce, in order —
+  // copied into each Violation as its machine-replayable witness.
+  std::vector<ScheduleDecision> schedule_log_;
   // Private default caches; ParallelExplorer injects shared ones.
   VerdictCache own_verdicts_;
   FrontierCache own_frontiers_;

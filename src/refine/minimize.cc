@@ -1,0 +1,154 @@
+#include "src/refine/minimize.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace perennial::refine {
+
+namespace {
+
+// One decision per line, matching ScheduleDecisionLabel's vocabulary but
+// parse-friendly: "t <tid>", "crash", "env <idx>", "observe".
+std::string DecisionLine(const ScheduleDecision& d) {
+  switch (d.kind) {
+    case detail::AltKind::kThread:
+      return "t " + std::to_string(d.thread);
+    case detail::AltKind::kCrash:
+      return "crash";
+    case detail::AltKind::kEnv:
+      return "env " + std::to_string(d.env);
+    case detail::AltKind::kProceed:
+      return "observe";
+  }
+  return "observe";
+}
+
+bool ParseDecisionLine(const std::string& line, ScheduleDecision* d) {
+  std::istringstream in(line);
+  std::string tag;
+  if (!(in >> tag)) {
+    return false;
+  }
+  if (tag == "crash") {
+    d->kind = detail::AltKind::kCrash;
+    return true;
+  }
+  if (tag == "observe") {
+    d->kind = detail::AltKind::kProceed;
+    return true;
+  }
+  if (tag == "t") {
+    d->kind = detail::AltKind::kThread;
+    return static_cast<bool>(in >> d->thread);
+  }
+  if (tag == "env") {
+    d->kind = detail::AltKind::kEnv;
+    return static_cast<bool>(in >> d->env);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FormatTrace(const TraceFile& trace) {
+  std::string out = "pcc-trace v1\n";
+  out += "run_id " + trace.run_id + "\n";
+  out += "kind " + trace.kind + "\n";
+  out += "seed " + std::to_string(trace.seed) + "\n";
+  out += "decisions " + std::to_string(trace.schedule.size()) + "\n";
+  for (const ScheduleDecision& d : trace.schedule) {
+    out += DecisionLine(d) + "\n";
+  }
+  return out;
+}
+
+Status ParseTrace(const std::string& text, TraceFile* out) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "pcc-trace v1") {
+    return Status::Invalid("trace: missing 'pcc-trace v1' header");
+  }
+  TraceFile trace;
+  uint64_t decisions = 0;
+  bool have_decisions = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key) || key.empty()) {
+      continue;  // blank line
+    }
+    if (key == "run_id") {
+      ls >> trace.run_id;
+    } else if (key == "kind") {
+      ls >> trace.kind;
+    } else if (key == "seed") {
+      if (!(ls >> trace.seed)) {
+        return Status::Invalid("trace: bad seed line");
+      }
+    } else if (key == "decisions") {
+      if (!(ls >> decisions)) {
+        return Status::Invalid("trace: bad decisions line");
+      }
+      have_decisions = true;
+      break;
+    } else {
+      return Status::Invalid("trace: unknown key '" + key + "'");
+    }
+  }
+  if (!have_decisions) {
+    return Status::Invalid("trace: missing decisions count");
+  }
+  trace.schedule.reserve(decisions < (1u << 20) ? decisions : 0);
+  for (uint64_t i = 0; i < decisions; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::Invalid("trace: truncated after " + std::to_string(i) + " of " +
+                             std::to_string(decisions) + " decisions");
+    }
+    ScheduleDecision d;
+    if (!ParseDecisionLine(line, &d)) {
+      return Status::Invalid("trace: bad decision line '" + line + "'");
+    }
+    trace.schedule.push_back(d);
+  }
+  *out = std::move(trace);
+  return Status::Ok();
+}
+
+Status SaveTrace(const std::string& path, const TraceFile& trace) {
+  const std::string text = FormatTrace(trace);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Failed("trace: cannot create " + path + ": " + std::strerror(errno));
+  }
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (std::fclose(f) != 0) {
+    ok = false;
+  }
+  if (!ok) {
+    return Status::Failed("trace: write failed for " + path + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status LoadTrace(const std::string& path, TraceFile* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("trace: cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    return Status::Failed("trace: read failed for " + path);
+  }
+  return ParseTrace(text, out);
+}
+
+}  // namespace perennial::refine

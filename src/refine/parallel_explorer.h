@@ -60,6 +60,13 @@
 // not trace-for-trace identical to the serial random walk. Random walks
 // have no durable cursor, so durability stops end them early (outcome
 // tagged, nothing checkpointed).
+//
+// PCT/swarm mode gets the full durable treatment instead: the work list is
+// Explorer::BuildPctItems() — (batch, run-range) slices whose per-run seeds
+// are pure functions of (seed, batch, run) — so unlike plain random mode
+// the parallel report is bit-identical to the serial one for any worker
+// count (dedup counters excepted), and slices checkpoint/resume at run
+// granularity exactly like DFS subtrees.
 #ifndef PERENNIAL_SRC_REFINE_PARALLEL_EXPLORER_H_
 #define PERENNIAL_SRC_REFINE_PARALLEL_EXPLORER_H_
 
@@ -98,6 +105,9 @@ class ParallelExplorer {
     cause_.store(RunOutcome::kComplete, std::memory_order_relaxed);
     if (options_.mode == ExplorerOptions::Mode::kRandom) {
       return RunRandom();
+    }
+    if (options_.mode == ExplorerOptions::Mode::kPct) {
+      return RunPct();
     }
     return RunExhaustive();
   }
@@ -426,6 +436,238 @@ class ParallelExplorer {
     }
     verdict_snapshot_source_ = nullptr;
     aggregate.truncated = enumeration_truncated;
+    aggregate.resumed = resumed;
+    for (const CheckpointSubtree& item : items) {
+      MergeReport(&aggregate, item.partial);
+    }
+    TrimReportViolations(&aggregate, options_.max_violations);
+    aggregate.outcome = cause_.load(std::memory_order_relaxed);
+    return aggregate;
+  }
+
+  // PCT/swarm: the same claim-commit worker pool as RunExhaustive, over the
+  // slice list BuildPctItems() builds (or the checkpoint restores). Every
+  // run's executions depend only on (seed, batch, run index), and slices
+  // are merged in list order, so the aggregate is bit-identical to the
+  // serial RunPctMode for any worker count — the shared verdict cache only
+  // moves Report::histories_deduped between slices (documented exclusion).
+  Report RunPct() {
+    Report aggregate;
+    const bool deadline_armed = options_.wall_deadline_ms > 0;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(options_.wall_deadline_ms);
+    VerdictCache shared_verdicts;
+    typename Explorer<Spec>::FrontierCache shared_frontiers;
+    verdict_snapshot_source_ = &shared_verdicts;
+
+    std::vector<CheckpointSubtree> items;
+    const bool resumed = TryResume(&items, &shared_verdicts);
+    if (!resumed) {
+      Explorer<Spec> lister(spec_, factory_, options_);
+      items = lister.BuildPctItems();
+    }
+
+    const int workers = WorkerCount(items.size());
+    std::atomic<size_t> next_item{0};
+    std::atomic<uint64_t> global_executions{0};
+    std::atomic<uint64_t> global_steps{0};
+    std::atomic<uint64_t> global_violations{0};
+    std::atomic<uint64_t> global_checked{0};
+    std::atomic<uint64_t> global_deduped{0};
+    std::atomic<uint64_t> global_pruned{0};
+    std::mutex progress_mu;
+    std::mutex state_mu;  // guards every CheckpointSubtree field in `items`
+    std::vector<std::atomic<uint64_t>> heartbeats(workers);
+    std::vector<std::atomic<size_t>> active(workers);
+
+    auto worker_main = [&](int w) {
+      Explorer<Spec> engine(spec_, factory_, WorkerOptions());
+      engine.set_verdict_cache(&shared_verdicts);
+      engine.set_frontier_cache(&shared_frontiers);
+      while (true) {
+        if (StopRequested()) {
+          break;
+        }
+        const size_t i = next_item.fetch_add(1, std::memory_order_relaxed);
+        if (i >= items.size()) {
+          break;
+        }
+        uint64_t batch = 0;
+        uint64_t start = 0;
+        uint64_t hi = 0;
+        Report local;
+        {
+          std::scoped_lock lock(state_mu);
+          CheckpointSubtree& item = items[i];
+          if (item.state == CheckpointSubtree::State::kDone) {
+            continue;
+          }
+          PCC_ENSURE(item.prefix.size() == 3, "PCT work item: malformed slice");
+          batch = item.prefix[0];
+          hi = item.prefix[2];
+          start = item.state == CheckpointSubtree::State::kInProgress && !item.next_path.empty()
+                      ? item.next_path[0]
+                      : item.prefix[1];
+          // Resume-exactness: the slice accumulates ONTO the restored
+          // partial, so per-slice max_violations fires where it would have
+          // in the uninterrupted run.
+          local = item.partial;
+        }
+        active[w].store(i + 1, std::memory_order_relaxed);
+        uint64_t seen_steps = local.total_steps;
+        uint64_t seen_violations = local.violations.size();
+        uint64_t seen_checked = local.histories_checked;
+        uint64_t seen_deduped = local.histories_deduped;
+        uint64_t seen_pruned = local.por_pruned;
+        auto keep_going = [&](const Report& r) {
+          heartbeats[w].fetch_add(1, std::memory_order_relaxed);
+          uint64_t executions = global_executions.fetch_add(1, std::memory_order_relaxed) + 1;
+          global_steps.fetch_add(r.total_steps - seen_steps, std::memory_order_relaxed);
+          seen_steps = r.total_steps;
+          global_violations.fetch_add(r.violations.size() - seen_violations,
+                                      std::memory_order_relaxed);
+          seen_violations = r.violations.size();
+          global_checked.fetch_add(r.histories_checked - seen_checked, std::memory_order_relaxed);
+          seen_checked = r.histories_checked;
+          global_deduped.fetch_add(r.histories_deduped - seen_deduped, std::memory_order_relaxed);
+          seen_deduped = r.histories_deduped;
+          global_pruned.fetch_add(r.por_pruned - seen_pruned, std::memory_order_relaxed);
+          seen_pruned = r.por_pruned;
+          if (options_.progress_callback != nullptr && options_.progress_interval > 0 &&
+              executions % options_.progress_interval == 0) {
+            std::scoped_lock lock(progress_mu);
+            options_.progress_callback(
+                ExplorerProgress{executions, global_steps.load(std::memory_order_relaxed),
+                                 global_violations.load(std::memory_order_relaxed),
+                                 global_checked.load(std::memory_order_relaxed),
+                                 global_deduped.load(std::memory_order_relaxed),
+                                 global_pruned.load(std::memory_order_relaxed)});
+          }
+          if (options_.cancel_token != nullptr && options_.cancel_token->canceled()) {
+            RequestStop(RunOutcome::kCanceled);
+          }
+          if (deadline_armed && Clock::now() >= deadline) {
+            RequestStop(RunOutcome::kDeadline);
+          }
+          return !StopRequested();
+        };
+        uint64_t next_run = start;
+        const bool finished = engine.RunPctSlice(batch, start, hi, &local, keep_going, &next_run);
+        {
+          std::scoped_lock lock(state_mu);
+          CheckpointSubtree& item = items[i];
+          item.partial = std::move(local);
+          if (finished) {
+            item.state = CheckpointSubtree::State::kDone;
+            item.next_path.clear();
+          } else {
+            item.state = CheckpointSubtree::State::kInProgress;
+            item.next_path = {static_cast<size_t>(next_run)};
+          }
+        }
+        active[w].store(0, std::memory_order_relaxed);
+        if (engine.stop_cause() != RunOutcome::kComplete) {
+          RequestStop(engine.stop_cause());
+          break;
+        }
+      }
+      active[w].store(0, std::memory_order_relaxed);
+    };
+
+    // Maintenance thread: same periodic-checkpoint + watchdog jobs as the
+    // exhaustive coordinator.
+    const bool want_periodic = !options_.checkpoint_path.empty() &&
+                               (options_.checkpoint_every_execs > 0 ||
+                                options_.checkpoint_every_secs > 0);
+    const bool want_watchdog = options_.stuck_worker_timeout_ms > 0;
+    std::mutex maint_mu;
+    std::condition_variable maint_cv;
+    bool maint_done = false;
+    std::thread maint;
+    if (want_periodic || want_watchdog) {
+      maint = std::thread([&] {
+        uint64_t tick_ms = 1000;
+        if (want_watchdog) {
+          tick_ms = std::min(tick_ms, std::max<uint64_t>(options_.stuck_worker_timeout_ms / 4, 5));
+        }
+        if (want_periodic && options_.checkpoint_every_execs > 0) {
+          tick_ms = std::min<uint64_t>(tick_ms, 20);
+        }
+        std::vector<uint64_t> last_hb(workers, 0);
+        std::vector<Clock::time_point> last_beat(workers, Clock::now());
+        std::vector<bool> flagged(workers, false);
+        uint64_t last_ckpt_execs = 0;
+        Clock::time_point last_ckpt_time = Clock::now();
+        std::unique_lock lk(maint_mu);
+        while (!maint_done) {
+          maint_cv.wait_for(lk, std::chrono::milliseconds(tick_ms));
+          if (maint_done) {
+            break;
+          }
+          const Clock::time_point now = Clock::now();
+          if (want_periodic) {
+            bool due = options_.checkpoint_every_execs > 0 &&
+                       global_executions.load(std::memory_order_relaxed) >=
+                           last_ckpt_execs + options_.checkpoint_every_execs;
+            if (!due && options_.checkpoint_every_secs > 0 &&
+                now >= last_ckpt_time + std::chrono::seconds(options_.checkpoint_every_secs)) {
+              due = true;
+            }
+            if (due) {
+              last_ckpt_execs = global_executions.load(std::memory_order_relaxed);
+              last_ckpt_time = now;
+              WriteSnapshot(items, &state_mu);
+            }
+          }
+          if (want_watchdog) {
+            for (int w = 0; w < workers; ++w) {
+              const uint64_t hb = heartbeats[w].load(std::memory_order_relaxed);
+              const bool busy = active[w].load(std::memory_order_relaxed) != 0;
+              if (!busy || hb != last_hb[w]) {
+                last_hb[w] = hb;
+                last_beat[w] = now;
+                flagged[w] = false;
+                continue;
+              }
+              if (!flagged[w] &&
+                  now - last_beat[w] >=
+                      std::chrono::milliseconds(options_.stuck_worker_timeout_ms)) {
+                flagged[w] = true;
+                std::fprintf(stderr,
+                             "[parallel-explorer] worker %d stuck on PCT item %zu for %llu ms; "
+                             "flushing recovery checkpoint and canceling\n",
+                             w, active[w].load(std::memory_order_relaxed) - 1,
+                             static_cast<unsigned long long>(options_.stuck_worker_timeout_ms));
+                WriteSnapshot(items, &state_mu);
+                RequestStop(RunOutcome::kCanceled);
+              }
+            }
+          }
+        }
+      });
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back(worker_main, w);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    if (maint.joinable()) {
+      {
+        std::scoped_lock lock(maint_mu);
+        maint_done = true;
+      }
+      maint_cv.notify_all();
+      maint.join();
+    }
+
+    if (!options_.checkpoint_path.empty()) {
+      WriteSnapshot(items, /*mu=*/nullptr);
+    }
+    verdict_snapshot_source_ = nullptr;
     aggregate.resumed = resumed;
     for (const CheckpointSubtree& item : items) {
       MergeReport(&aggregate, item.partial);

@@ -60,10 +60,44 @@ class CancelToken {
   std::atomic<bool> canceled_{false};
 };
 
+namespace detail {
+enum class AltKind { kThread, kCrash, kEnv, kProceed };
+}  // namespace detail
+
+// One decision of a recorded schedule: which alternative KIND the driver
+// took and its identity — the thread id for kThread, the env-event index
+// for kEnv (crash and proceed carry no payload). A violating execution's
+// full decision sequence, stored as ScheduleDecisions, is a replayable
+// witness: deterministic factories plus intent-based replay
+// (Explorer::ReplaySchedule) reconstruct the execution — and therefore the
+// violation — from the sequence alone. The minimizer (minimize.h) shrinks
+// these sequences and the trace-file format persists them.
+struct ScheduleDecision {
+  detail::AltKind kind = detail::AltKind::kThread;
+  int thread = -1;   // kThread only
+  uint32_t env = 0;  // kEnv only
+  bool operator==(const ScheduleDecision&) const = default;
+};
+
+inline std::string ScheduleDecisionLabel(const ScheduleDecision& d) {
+  switch (d.kind) {
+    case detail::AltKind::kThread: return "t" + std::to_string(d.thread);
+    case detail::AltKind::kCrash: return "CRASH";
+    case detail::AltKind::kEnv: return "env" + std::to_string(d.env);
+    case detail::AltKind::kProceed: return "observe";
+  }
+  return "?";
+}
+
 struct Violation {
   std::string kind;
   std::string detail;
   std::string trace;
+  // The decision sequence of the execution that manifested the violation
+  // (every decision, in order). Excluded from ToString — the trace string
+  // above is the human-readable rendering; this is the machine-replayable
+  // one.
+  std::vector<ScheduleDecision> schedule;
 
   std::string ToString() const { return kind + ": " + detail + "\n  schedule: " + trace; }
 };
@@ -138,8 +172,6 @@ inline void TrimReportViolations(Report* aggregate, int max_violations) {
 }
 
 namespace detail {
-
-enum class AltKind { kThread, kCrash, kEnv, kProceed };
 
 struct Alt {
   AltKind kind;
