@@ -1,0 +1,119 @@
+#include "src/crashreal/journal_fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/base/panic.h"
+#include "src/crashreal/killswitch.h"
+
+namespace perennial::crashreal {
+
+JournalFs::JournalFs(const std::string& journal_path) {
+  jfd_ = ::open(journal_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC, 0644);
+  PCC_ENSURE(jfd_ >= 0, "JournalFs: cannot open journal " + journal_path);
+}
+
+JournalFs::~JournalFs() {
+  if (jfd_ >= 0) {
+    ::close(jfd_);
+  }
+}
+
+void JournalFs::Line(const std::string& line) {
+  std::string buf = line + "\n";
+  size_t done = 0;
+  while (done < buf.size()) {
+    ssize_t n = ::write(jfd_, buf.data() + done, buf.size() - done);
+    if (n < 0) {
+      PCC_ENSURE(errno == EINTR, "JournalFs: journal write failed");
+      continue;
+    }
+    done += static_cast<size_t>(n);
+  }
+  // No fsync: the journal only needs to survive SIGKILL (page cache does
+  // that); it is a harness artifact, not part of the system under test.
+}
+
+void JournalFs::OnPosixHook(const char* point, const std::string& dir) {
+  // A *.dirsync point fires after fsync(dir) returned success: record it
+  // before crossing the killswitch so a kill at this point still counts
+  // the completed sync.
+  const char* dot = std::strrchr(point, '.');
+  if (dot != nullptr && std::strcmp(dot, ".dirsync") == 0) {
+    Line("dirsync " + dir);
+  }
+  Cross(point);
+}
+
+proc::Task<Result<goosefs::Fd>> JournalFs::Create(const std::string& dir,
+                                                  const std::string& name) {
+  Cross("fs.create");
+  Line("create " + dir + " " + name);
+  Result<goosefs::Fd> r = co_await inner_->Create(dir, name);
+  if (!r.ok()) {
+    Line("create-fail " + dir + " " + name);
+  } else {
+    created_[r.value()] = {dir, name};
+  }
+  co_return r;
+}
+
+proc::Task<Result<goosefs::Fd>> JournalFs::Open(const std::string& dir, const std::string& name) {
+  co_return co_await inner_->Open(dir, name);
+}
+
+proc::Task<Status> JournalFs::Append(goosefs::Fd fd, const goosefs::Bytes& data) {
+  Cross("fs.append");
+  co_return co_await inner_->Append(fd, data);
+}
+
+proc::Task<Result<goosefs::Bytes>> JournalFs::ReadAt(goosefs::Fd fd, uint64_t off,
+                                                     uint64_t count) {
+  co_return co_await inner_->ReadAt(fd, off, count);
+}
+
+proc::Task<Status> JournalFs::Sync(goosefs::Fd fd) {
+  Cross("fs.sync");
+  Status s = co_await inner_->Sync(fd);
+  if (s.ok()) {
+    auto it = created_.find(fd);
+    if (it != created_.end()) {
+      struct stat st;
+      PCC_ENSURE(::fstat(static_cast<int>(fd), &st) == 0, "JournalFs: fstat after sync");
+      Line("sync " + it->second.first + " " + it->second.second + " " +
+           std::to_string(st.st_size));
+    }
+  }
+  co_return s;
+}
+
+proc::Task<Status> JournalFs::Close(goosefs::Fd fd) {
+  created_.erase(fd);
+  co_return co_await inner_->Close(fd);
+}
+
+proc::Task<Result<std::vector<std::string>>> JournalFs::List(const std::string& dir) {
+  co_return co_await inner_->List(dir);
+}
+
+proc::Task<bool> JournalFs::Link(const std::string& src_dir, const std::string& src_name,
+                                 const std::string& dst_dir, const std::string& dst_name) {
+  Cross("fs.link");
+  Line("link " + src_dir + " " + src_name + " " + dst_dir + " " + dst_name);
+  bool ok = co_await inner_->Link(src_dir, src_name, dst_dir, dst_name);
+  if (!ok) {
+    Line("link-fail " + src_dir + " " + src_name + " " + dst_dir + " " + dst_name);
+  }
+  co_return ok;
+}
+
+proc::Task<Status> JournalFs::Delete(const std::string& dir, const std::string& name) {
+  Cross("fs.delete");
+  Line("delete " + dir + " " + name);
+  co_return co_await inner_->Delete(dir, name);
+}
+
+}  // namespace perennial::crashreal

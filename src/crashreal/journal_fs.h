@@ -1,0 +1,77 @@
+// JournalFs: a Filesys decorator recording durability-relevant effects, so
+// the parent can project power-loss semantics onto a SIGKILLed child's
+// directory tree (DESIGN.md §13).
+//
+// SIGKILL alone cannot lose state: everything the child wrote sits in the
+// kernel page cache and survives process death. To emulate power loss the
+// parent must *remove* what a real power cut would have removed — directory
+// entries never covered by a directory fsync, and file data beyond the last
+// file fsync. JournalFs supplies the evidence: an append-only journal file
+// in the workdir (itself surviving SIGKILL via the page cache) with one
+// line per effect:
+//
+//   create <dir> <name>          intent, written BEFORE the syscall
+//   create-fail <dir> <name>     the create did not happen after all
+//   link <sdir> <sname> <ddir> <dname>     intent
+//   link-fail <sdir> <sname> <ddir> <dname>
+//   delete <dir> <name>          intent
+//   sync <dir> <name> <len>      fsync(file) returned success at length len
+//   dirsync <dir>                fsync(directory fd) returned success
+//
+// Intents are written before their syscalls so they always precede the
+// dirsync fired inside PosixFilesys (whose hook this decorator installs);
+// the projection (projection.h) treats an intent whose entry is absent or
+// never dirsynced as lost, which corresponds to killing the op slightly
+// earlier — a state the spec already allows for in-flight operations.
+//
+// The decorator also feeds every op boundary and PosixFilesys hook point to
+// the killswitch, providing the kill-point surface for the mailboat rounds.
+#ifndef PERENNIAL_SRC_CRASHREAL_JOURNAL_FS_H_
+#define PERENNIAL_SRC_CRASHREAL_JOURNAL_FS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/goosefs/filesys.h"
+#include "src/goosefs/posix_fs.h"
+
+namespace perennial::crashreal {
+
+class JournalFs : public goosefs::Filesys {
+ public:
+  // Two-phase: construct with the journal path (O_TRUNC), then point the
+  // inner PosixFilesys's Options::hook at OnPosixHook and SetInner it.
+  explicit JournalFs(const std::string& journal_path);
+  ~JournalFs() override;
+
+  void SetInner(goosefs::PosixFilesys* inner) { inner_ = inner; }
+
+  // PosixFilesys hook trampoline: journals *.dirsync points, then crosses
+  // the killswitch with the point name.
+  void OnPosixHook(const char* point, const std::string& dir);
+
+  proc::Task<Result<goosefs::Fd>> Create(const std::string& dir, const std::string& name) override;
+  proc::Task<Result<goosefs::Fd>> Open(const std::string& dir, const std::string& name) override;
+  proc::Task<Status> Append(goosefs::Fd fd, const goosefs::Bytes& data) override;
+  proc::Task<Result<goosefs::Bytes>> ReadAt(goosefs::Fd fd, uint64_t off, uint64_t count) override;
+  proc::Task<Status> Sync(goosefs::Fd fd) override;
+  proc::Task<Status> Close(goosefs::Fd fd) override;
+  proc::Task<Result<std::vector<std::string>>> List(const std::string& dir) override;
+  proc::Task<bool> Link(const std::string& src_dir, const std::string& src_name,
+                        const std::string& dst_dir, const std::string& dst_name) override;
+  proc::Task<Status> Delete(const std::string& dir, const std::string& name) override;
+
+ private:
+  void Line(const std::string& line);
+
+  goosefs::PosixFilesys* inner_ = nullptr;
+  int jfd_ = -1;
+  // Created fds -> (dir, name), for sync lines.
+  std::map<goosefs::Fd, std::pair<std::string, std::string>> created_;
+};
+
+}  // namespace perennial::crashreal
+
+#endif  // PERENNIAL_SRC_CRASHREAL_JOURNAL_FS_H_

@@ -1,0 +1,73 @@
+#include "src/crashreal/killswitch.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+
+#include <cstring>
+#include <new>
+
+#include "src/base/panic.h"
+
+namespace perennial::crashreal {
+
+namespace {
+RoundShm* g_shm = nullptr;
+uint64_t g_kill_at = 0;
+uint64_t g_crossings = 0;
+}  // namespace
+
+void ArmKillSwitch(RoundShm* shm, uint64_t kill_at) {
+  g_shm = shm;
+  g_kill_at = kill_at;
+  g_crossings = 0;
+}
+
+void DisarmKillSwitch() {
+  g_shm = nullptr;
+  g_kill_at = 0;
+  g_crossings = 0;
+}
+
+void Cross(const char* point) {
+  if (g_shm == nullptr) {
+    return;
+  }
+  ++g_crossings;
+  g_shm->hooks_crossed.store(g_crossings, std::memory_order_release);
+  std::strncpy(g_shm->last_point, point, sizeof(g_shm->last_point) - 1);
+  if (g_kill_at != 0 && g_crossings == g_kill_at) {
+    // Die exactly here. SIGKILL is uncatchable: no destructors, no buffered
+    // flushes — the kernel state at this instant is the surviving state.
+    ::raise(SIGKILL);
+  }
+}
+
+uint64_t Crossings() { return g_crossings; }
+
+RoundShm* MapRoundShm() {
+  void* p = ::mmap(nullptr, sizeof(RoundShm), PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  PCC_ENSURE(p != MAP_FAILED, "crashreal: mmap failed");
+  return new (p) RoundShm();
+}
+
+void UnmapRoundShm(RoundShm* shm) {
+  if (shm != nullptr) {
+    ::munmap(shm, sizeof(RoundShm));
+  }
+}
+
+void ResetRoundShm(RoundShm* shm) {
+  shm->ops_started.store(0);
+  shm->ops_done.store(0);
+  shm->hooks_crossed.store(0);
+  shm->phase.store(0);
+  shm->result_count.store(0);
+  shm->spool_leftover.store(0);
+  std::memset(shm->last_point, 0, sizeof(shm->last_point));
+  for (ResultSlot& slot : shm->results) {
+    slot = ResultSlot{};
+  }
+}
+
+}  // namespace perennial::crashreal

@@ -1,0 +1,44 @@
+// The killswitch: deterministic self-SIGKILL at instrumented syscall
+// boundaries (DESIGN.md §13).
+//
+// A SIGKILL sent by the parent at a wall-clock moment is not reproducible —
+// the same seed would die at a different syscall every run. Instead the
+// child counts its own crossings of named hook points (PosixDisk and
+// PosixFilesys fire them between pwrites, before/after fsync, around
+// directory-entry syscalls) and raises SIGKILL on itself the instant the
+// armed crossing count is reached. The crossing count is mirrored into the
+// shared-memory page continuously, so the parent knows exactly where death
+// struck; SIGKILL cannot be caught, so there is no cleanup path to distort
+// the surviving state.
+//
+// kill_at == 0 arms in profile mode: crossings are counted and mirrored but
+// the process never dies (used to learn a round's hook count, and to run
+// clean validation rounds).
+//
+// The switch is process-global (hooks reach it from deep inside the disk
+// and fs layers) and is only meaningful in the single-threaded child.
+#ifndef PERENNIAL_SRC_CRASHREAL_KILLSWITCH_H_
+#define PERENNIAL_SRC_CRASHREAL_KILLSWITCH_H_
+
+#include <cstdint>
+
+#include "src/crashreal/shm.h"
+
+namespace perennial::crashreal {
+
+// Child side, immediately after fork: start counting crossings, die at
+// crossing `kill_at` (0 = never).
+void ArmKillSwitch(RoundShm* shm, uint64_t kill_at);
+
+// Makes Cross() a no-op again (parent side safety; children just exit).
+void DisarmKillSwitch();
+
+// A hook crossing. No-op when unarmed.
+void Cross(const char* point);
+
+// Crossings since ArmKillSwitch (child-local mirror of shm->hooks_crossed).
+uint64_t Crossings();
+
+}  // namespace perennial::crashreal
+
+#endif  // PERENNIAL_SRC_CRASHREAL_KILLSWITCH_H_

@@ -1,0 +1,162 @@
+#include "src/crashreal/projection.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace perennial::crashreal {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Failed(what + ": " + std::strerror(errno));
+}
+
+struct FileKey {
+  std::string dir;
+  std::string name;
+  auto operator<=>(const FileKey&) const = default;
+};
+
+}  // namespace
+
+Result<DirListing> ListDirs(const std::string& root, const std::vector<std::string>& dirs) {
+  DirListing out;
+  for (const std::string& dir : dirs) {
+    std::string path = root + "/" + dir;
+    DIR* d = ::opendir(path.c_str());
+    if (d == nullptr) {
+      return ErrnoStatus("opendir " + path);
+    }
+    auto& names = out[dir];
+    while (struct dirent* ent = ::readdir(d)) {
+      std::string name = ent->d_name;
+      if (name == "." || name == "..") {
+        continue;
+      }
+      names.insert(std::move(name));
+    }
+    ::closedir(d);
+  }
+  return out;
+}
+
+Result<DirListing> ApplyPowerFailProjection(const std::string& root,
+                                            const std::string& journal_path,
+                                            const std::vector<std::string>& dirs,
+                                            const DirListing& base) {
+  // Pass 1: replay the journal into the durability model.
+  //   durable  — entries a power cut must keep (base + dirsynced pendings)
+  //   pending  — entries created/linked but whose directory is not yet synced
+  //   synced_len — last successful file-fsync length of created-this-round
+  //                files (absent = never synced = truncate to 0)
+  DirListing durable = base;
+  DirListing pending;
+  std::map<FileKey, uint64_t> synced_len;
+  std::set<FileKey> created_this_round;
+
+  std::ifstream in(journal_path);
+  if (!in) {
+    return Status::Failed("cannot read journal " + journal_path);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string verb;
+    ls >> verb;
+    if (verb == "create") {
+      std::string dir, name;
+      ls >> dir >> name;
+      pending[dir].insert(name);
+      created_this_round.insert({dir, name});
+    } else if (verb == "create-fail") {
+      std::string dir, name;
+      ls >> dir >> name;
+      pending[dir].erase(name);
+      created_this_round.erase({dir, name});
+    } else if (verb == "link") {
+      std::string sd, sn, dd, dn;
+      ls >> sd >> sn >> dd >> dn;
+      pending[dd].insert(dn);
+      // The destination shares the source inode: when the source was
+      // created this round its durable length is whatever the source had
+      // fsynced (0 if unsynced). A pre-round source is fully durable — the
+      // new *entry* still needs its dirsync, but the data needs no
+      // truncation, so the destination is not marked created-this-round.
+      if (created_this_round.count({sd, sn}) != 0) {
+        created_this_round.insert({dd, dn});
+        auto it = synced_len.find({sd, sn});
+        synced_len[{dd, dn}] = it != synced_len.end() ? it->second : 0;
+      }
+    } else if (verb == "link-fail") {
+      std::string sd, sn, dd, dn;
+      ls >> sd >> sn >> dd >> dn;
+      pending[dd].erase(dn);
+      created_this_round.erase({dd, dn});
+      synced_len.erase({dd, dn});
+    } else if (verb == "delete") {
+      // Applied immediately, from both sets (see header: no resurrection).
+      std::string dir, name;
+      ls >> dir >> name;
+      durable[dir].erase(name);
+      pending[dir].erase(name);
+    } else if (verb == "sync") {
+      std::string dir, name;
+      uint64_t len = 0;
+      ls >> dir >> name >> len;
+      synced_len[{dir, name}] = len;
+    } else if (verb == "dirsync") {
+      std::string dir;
+      ls >> dir;
+      auto it = pending.find(dir);
+      if (it != pending.end()) {
+        durable[dir].insert(it->second.begin(), it->second.end());
+        it->second.clear();
+      }
+    } else if (!verb.empty()) {
+      return Status::Failed("journal: unknown verb '" + verb + "' in: " + line);
+    }
+  }
+
+  // Pass 2: materialize — prune live entries outside the durable set and
+  // truncate created-this-round survivors to their synced length.
+  Result<DirListing> live = ListDirs(root, dirs);
+  if (!live.ok()) {
+    return live.status();
+  }
+  DirListing projected;
+  for (const std::string& dir : dirs) {
+    const auto& names = live.value()[dir];
+    const auto& keep = durable[dir];
+    for (const std::string& name : names) {
+      std::string path = root + "/" + dir + "/" + name;
+      if (keep.count(name) == 0) {
+        if (::unlink(path.c_str()) != 0) {
+          return ErrnoStatus("projection unlink " + path);
+        }
+        continue;
+      }
+      if (created_this_round.count({dir, name}) != 0) {
+        auto it = synced_len.find({dir, name});
+        uint64_t len = it != synced_len.end() ? it->second : 0;
+        if (::truncate(path.c_str(), static_cast<off_t>(len)) != 0) {
+          return ErrnoStatus("projection truncate " + path);
+        }
+      }
+      projected[dir].insert(name);
+    }
+    // Entries in `keep` but not live were deleted by the child after their
+    // dirsync — that unlink is durable-immediately too, nothing to do.
+    projected.try_emplace(dir);
+  }
+  return projected;
+}
+
+}  // namespace perennial::crashreal

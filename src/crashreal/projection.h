@@ -1,0 +1,55 @@
+// Power-fail projection: given a SIGKILLed child's directory tree (which
+// still holds *everything* the child wrote — the page cache survives
+// process death) and the JournalFs journal it left behind, prune the tree
+// down to what a real power cut at the kill instant could have preserved
+// under the POSIX durability contract (DESIGN.md §13).
+//
+// The projection is deliberately the *weakest* legal state — the fewest
+// entries and shortest files POSIX lets a power cut keep:
+//
+//  * A directory entry created (create/link) this round is durable only
+//    once a later `dirsync <dir>` line covers it; otherwise it is pruned.
+//  * A delete is applied immediately (no resurrection): GooseFs models
+//    unlink metadata synchronously, and keeping the entry would test a
+//    laxer contract than the model promises, not a stricter one.
+//  * A file created this round is truncated to the length of its last
+//    successful `sync` line — zero if it was never synced. Link propagates
+//    the synced length from the source (spool) name, so an unsynced
+//    deliver surfaces as a zero-length mailbox message.
+//
+// Pruning only ever *removes* effects of in-flight or not-yet-synced
+// operations; a fully completed operation (all its lines present, ending
+// in dirsync) is always kept intact. That makes every projected state one
+// the atomic spec already brackets — any divergence the validator then
+// reports is a genuine durability gap, not a projection artifact.
+#ifndef PERENNIAL_SRC_CRASHREAL_PROJECTION_H_
+#define PERENNIAL_SRC_CRASHREAL_PROJECTION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace perennial::crashreal {
+
+// Durable listing of `dirs` under `root` before the round started: the
+// projection keeps these entries unconditionally (they were durable when
+// the child forked). Key: directory name, value: file names.
+using DirListing = std::map<std::string, std::set<std::string>>;
+
+// Reads the current (post-SIGKILL, pre-projection) listing from disk.
+Result<DirListing> ListDirs(const std::string& root, const std::vector<std::string>& dirs);
+
+// Applies the projection in place under `root`. `base` is the durable
+// pre-round listing; `journal_path` the JournalFs output. Returns the
+// projected listing (what survived).
+Result<DirListing> ApplyPowerFailProjection(const std::string& root,
+                                            const std::string& journal_path,
+                                            const std::vector<std::string>& dirs,
+                                            const DirListing& base);
+
+}  // namespace perennial::crashreal
+
+#endif  // PERENNIAL_SRC_CRASHREAL_PROJECTION_H_

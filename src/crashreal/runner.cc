@@ -1,0 +1,784 @@
+#include "src/crashreal/runner.h"
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "src/base/panic.h"
+#include "src/base/rand.h"
+#include "src/crashreal/journal_fs.h"
+#include "src/crashreal/killswitch.h"
+#include "src/crashreal/projection.h"
+#include "src/crashreal/shm.h"
+#include "src/crashreal/workload.h"
+#include "src/disk/posix_disk.h"
+#include "src/goosefs/posix_fs.h"
+#include "src/mailboat/mail_harness.h"
+#include "src/refine/explorer.h"
+#include "src/systems/txnlog/txn_harness.h"
+
+namespace perennial::crashreal {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Failed(what + ": " + std::strerror(errno));
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir " + path);
+  }
+  return Status::Ok();
+}
+
+// ---- child protocol -------------------------------------------------------
+
+// How a child ended. kDied covers aborts (a PCC_ENSURE tripping inside the
+// engine IS a divergence finding, not a harness failure) and hangs.
+enum class ChildEnd { kClean, kKilled, kDied, kHung };
+
+// Forks, runs `body` in the child (which then _exit(0)s), and reaps it.
+// Status is reserved for harness trouble (fork/waitpid failing).
+Result<ChildEnd> RunChild(const std::function<void()>& body) {
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    return ErrnoStatus("fork");
+  }
+  if (pid == 0) {
+    body();
+    ::_exit(0);
+  }
+  // Backstop: a wedged child (liveness bug) must fail the round, not the
+  // whole soak process.
+  constexpr int kTimeoutMs = 60'000;
+  int status = 0;
+  for (int waited_ms = 0;; waited_ms += 2) {
+    pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      break;
+    }
+    if (r < 0) {
+      return ErrnoStatus("waitpid");
+    }
+    if (waited_ms >= kTimeoutMs) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      return ChildEnd::kHung;
+    }
+    ::usleep(2000);
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+    return ChildEnd::kClean;
+  }
+  if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+    return ChildEnd::kKilled;
+  }
+  return ChildEnd::kDied;
+}
+
+// ---- divergence recording -------------------------------------------------
+
+std::string OneLine(std::string s) {
+  for (char& c : s) {
+    if (c == '\n') {
+      c = ';';
+    }
+  }
+  return s;
+}
+
+void RecordDivergence(const CrashRealConfig& config, uint64_t round, uint64_t kill_at,
+                      const std::string& classification, const std::string& detail,
+                      SoakSummary* summary) {
+  Divergence d;
+  d.round = round;
+  d.kill_at = kill_at;
+  d.classification = classification;
+  d.detail = detail;
+
+  CrashTrace t;
+  t.system = config.system;
+  t.regime = config.regime;
+  t.seed = config.seed;
+  t.round = round;
+  t.kill_at = kill_at;
+  t.ops_per_round = config.ops_per_round;
+  t.num_addrs = config.num_addrs;
+  t.log_capacity = config.log_capacity;
+  t.num_users = config.num_users;
+  t.sync_on_deliver = config.sync_on_deliver;
+  t.fsync_dirs = config.fsync_dirs;
+  t.mutations = config.mutation_names;
+  t.classification = classification;
+  t.detail = OneLine(detail);
+  std::string dir = config.artifact_dir.empty() ? config.workdir : config.artifact_dir;
+  std::string path = dir + "/crashreal-" + config.system + "-" + config.regime + "-r" +
+                     std::to_string(round) + ".trace";
+  if (SaveCrashTrace(path, t).ok()) {
+    d.trace_path = path;
+  }
+  summary->divergences.push_back(std::move(d));
+}
+
+// ---- model cross-runs -----------------------------------------------------
+
+refine::ExplorerOptions CrossCheckOptions() {
+  refine::ExplorerOptions opts;
+  opts.mode = refine::ExplorerOptions::Mode::kExhaustive;
+  opts.max_crashes = 1;
+  opts.max_violations = 1;
+  opts.max_executions = 200'000;
+  opts.dedup_histories = true;
+  return opts;
+}
+
+// Cross-runs a small window of the round's ops under the modeled engine.
+// Returns true when the model ALSO reports a spec violation — the bug is in
+// the engine, not in the gap between model and reality.
+bool ModelViolatesTxn(const CrashRealConfig& config, const std::vector<TxnOp>& ops,
+                      uint64_t done) {
+  systems::TxnHarnessOptions topts;
+  topts.num_addrs = config.num_addrs;
+  topts.log_capacity = config.log_capacity;
+  topts.mutations = config.txn_mutations;
+  if (config.regime == "powerfail") {
+    // The modeled analogue of the volatile write cache: writes may tear and
+    // an unsynced tail of them may vanish at the crash.
+    topts.fault_plan.torn_writes = 1;
+    topts.fault_plan.unsynced_tail = 2;
+  }
+  // A window of ops around the kill keeps the exhaustive run tractable; the
+  // commit/checkpoint bug classes all manifest within a couple of ops.
+  size_t lo = done > 1 ? static_cast<size_t>(done - 1) : 0;
+  size_t hi = std::min(ops.size(), static_cast<size_t>(done + 2));
+  if (lo >= hi) {
+    lo = 0;
+    hi = std::min<size_t>(ops.size(), 2);
+  }
+  std::vector<systems::TxnSpec::Op> client;
+  for (size_t i = lo; i < hi; ++i) {
+    if (ops[i].kind == TxnOp::Kind::kCheckpoint) {
+      client.push_back(systems::TxnSpec::MakeCheckpoint());
+    } else {
+      client.push_back(systems::TxnSpec::MakeBatch(ops[i].records));
+    }
+  }
+  topts.client_ops = {client};
+  systems::TxnSpec spec;
+  spec.num_addrs = config.num_addrs;
+  refine::Explorer<systems::TxnSpec> engine(
+      spec, [topts] { return systems::MakeTxnInstance(topts); }, CrossCheckOptions());
+  return !engine.Run().violations.empty();
+}
+
+bool ModelViolatesMail(const CrashRealConfig& config, const std::vector<MailOp>& ops,
+                       uint64_t done) {
+  mailboat::MailHarnessOptions mopts;
+  mopts.num_users = config.num_users;
+  mopts.chunk_size = 2;
+  mopts.read_size = 2;
+  mopts.mutations = config.mail_mutations;
+  mopts.deferred_durability = config.regime == "powerfail";
+  mopts.sync_on_deliver = config.sync_on_deliver;
+  size_t lo = done > 1 ? static_cast<size_t>(done - 1) : 0;
+  size_t hi = std::min(ops.size(), static_cast<size_t>(done + 2));
+  if (lo >= hi) {
+    lo = 0;
+    hi = std::min<size_t>(ops.size(), 2);
+  }
+  std::vector<mailboat::MailAction> script;
+  for (size_t i = lo; i < hi; ++i) {
+    mailboat::MailAction a;
+    a.user = ops[i].user;
+    if (ops[i].kind == MailOp::Kind::kDeliver) {
+      a.kind = mailboat::MailAction::Kind::kDeliver;
+      a.contents = "m" + std::to_string(i);  // spec-level identity only
+    } else {
+      a.kind = mailboat::MailAction::Kind::kPickupDeleteAllUnlock;
+    }
+    script.push_back(std::move(a));
+  }
+  mopts.client_scripts = {script};
+  mailboat::MailSpec spec;
+  spec.num_users = mopts.num_users;
+  refine::Explorer<mailboat::MailSpec> engine(
+      spec, [mopts] { return mailboat::MakeMailInstance(mopts); }, CrossCheckOptions());
+  return !engine.Run().violations.empty();
+}
+
+// Divergence classification (runner.h header comment). A hung child is an
+// implementation bug by definition — the spec requires operations and
+// recovery to return.
+template <typename Ops>
+std::string Classify(const CrashRealConfig& config, const Ops& ops, uint64_t done, bool hung,
+                     bool (*model_violates)(const CrashRealConfig&, const Ops&, uint64_t)) {
+  if (hung) {
+    return "implementation-bug";
+  }
+  if (!config.classify) {
+    return "unclassified";
+  }
+  return model_violates(config, ops, done) ? "implementation-bug" : "model-too-weak";
+}
+
+// ---- TxnLog soak ----------------------------------------------------------
+
+std::string TxnImagePath(const CrashRealConfig& config) { return config.workdir + "/txnlog.img"; }
+
+uint64_t TxnBlocks(const CrashRealConfig& config) {
+  return 1 + config.log_capacity + config.num_addrs;
+}
+
+Status FormatTxnImage(const CrashRealConfig& config) {
+  auto d = disk::PosixDisk::Open(TxnImagePath(config), TxnBlocks(config),
+                                 systems::EncodeTxnHeader(0, 0), disk::PosixDisk::Options{},
+                                 /*format=*/true);
+  return d.ok() ? Status::Ok() : d.status();
+}
+
+// The child-A workload body: recover, then run ops, reporting progress.
+void TxnWorkloadChild(const CrashRealConfig& config, RoundShm* shm, uint64_t round,
+                      uint64_t kill_at, const std::vector<TxnOp>& ops) {
+  shm->phase.store(static_cast<int>(ChildPhase::kWorkloadRunning));
+  ArmKillSwitch(shm, kill_at);
+  disk::PosixDisk::Options dopts;
+  dopts.writeback = config.regime == "powerfail";
+  dopts.flush_shuffle_seed = MixSeed(config.seed, round, 7);
+  dopts.hook = [](const char* point) { Cross(point); };
+  auto dr = disk::PosixDisk::Open(TxnImagePath(config), TxnBlocks(config),
+                                  systems::EncodeTxnHeader(0, 0), std::move(dopts),
+                                  /*format=*/false);
+  PCC_ENSURE(dr.ok(), "crashreal: open txn image: " + dr.status().ToString());
+  std::unique_ptr<disk::PosixDisk> dev = std::move(dr).value();
+  goose::World world;
+  systems::TxnLog log(&world, dev.get(), config.num_addrs, config.log_capacity,
+                      config.txn_mutations);
+  world.Crash();  // recovery runs post-crash generation; invalidates ctor leases
+  proc::RunSyncVoid(log.Recover([](uint64_t) {}));
+  for (size_t i = 0; i < ops.size(); ++i) {
+    Cross("op.start");
+    shm->ops_started.fetch_add(1, std::memory_order_release);
+    if (ops[i].kind == TxnOp::Kind::kCheckpoint) {
+      proc::RunSyncVoid(log.Checkpoint());
+    } else {
+      proc::RunSyncVoid(log.CommitBatch(ops[i].records, i));
+    }
+    shm->ops_done.fetch_add(1, std::memory_order_release);
+  }
+  shm->phase.store(static_cast<int>(ChildPhase::kWorkloadDone));
+  DisarmKillSwitch();
+}
+
+// The child-B recovery body: recover on a synchronous device, dump every
+// address into the result slots.
+void TxnRecoveryChild(const CrashRealConfig& config, RoundShm* shm) {
+  shm->phase.store(static_cast<int>(ChildPhase::kRecoveryRunning));
+  auto dr = disk::PosixDisk::Open(TxnImagePath(config), TxnBlocks(config),
+                                  systems::EncodeTxnHeader(0, 0), disk::PosixDisk::Options{},
+                                  /*format=*/false);
+  PCC_ENSURE(dr.ok(), "crashreal: reopen txn image: " + dr.status().ToString());
+  std::unique_ptr<disk::PosixDisk> dev = std::move(dr).value();
+  goose::World world;
+  systems::TxnLog log(&world, dev.get(), config.num_addrs, config.log_capacity,
+                      config.txn_mutations);
+  world.Crash();  // recovery runs post-crash generation; invalidates ctor leases
+  proc::RunSyncVoid(log.Recover([](uint64_t) {}));
+  for (uint64_t a = 0; a < config.num_addrs; ++a) {
+    uint64_t value = proc::RunSync(log.Read(a));
+    uint64_t idx = shm->result_count.fetch_add(1);
+    PCC_ENSURE(idx < kMaxResults, "crashreal: result slots exhausted");
+    shm->results[idx] = ResultSlot{a, value, 0, 0};
+  }
+  shm->phase.store(static_cast<int>(ChildPhase::kRecoveryDone));
+}
+
+Status RunTxnSoak(const CrashRealConfig& config, RoundShm* shm, SoakSummary* summary) {
+  Status fs = FormatTxnImage(config);
+  if (!fs.ok()) {
+    return fs;
+  }
+  std::map<uint64_t, uint64_t> state;  // expected durable value per address
+  uint64_t h_est = 0;                  // hook crossings of the last clean round
+  for (uint64_t round = 0; round < config.rounds; ++round) {
+    std::vector<TxnOp> ops = GenTxnOps(config.seed, round, config.ops_per_round,
+                                       config.num_addrs, config.log_capacity);
+    uint64_t kill_at = 0;  // round 0 profiles the crossing count
+    if (round > 0 && h_est > 0) {
+      Rng rng(MixSeed(config.seed, round, 11));
+      kill_at = 1 + rng.Below(h_est);
+    }
+    ResetRoundShm(shm);
+    Result<ChildEnd> a_end =
+        RunChild([&] { TxnWorkloadChild(config, shm, round, kill_at, ops); });
+    if (!a_end.ok()) {
+      return a_end.status();
+    }
+    summary->rounds += 1;
+    uint64_t done = shm->ops_done.load();
+    uint64_t started = shm->ops_started.load();
+    uint64_t crossed = shm->hooks_crossed.load();
+    summary->hook_crossings += crossed;
+    std::string where = std::string("round ") + std::to_string(round) + " kill_at " +
+                        std::to_string(kill_at) + " at '" + shm->last_point + "' ops " +
+                        std::to_string(done) + "/" + std::to_string(started) + "/" +
+                        std::to_string(ops.size());
+    if (a_end.value() == ChildEnd::kClean) {
+      summary->clean += 1;
+      h_est = crossed > 0 ? crossed : h_est;
+    } else if (a_end.value() == ChildEnd::kKilled && kill_at > 0) {
+      summary->killed += 1;
+    } else {
+      RecordDivergence(config, round, kill_at,
+                       Classify(config, ops, done, a_end.value() == ChildEnd::kHung,
+                                ModelViolatesTxn),
+                       "workload child died outside the kill plan: " + where, summary);
+      Status ffs = FormatTxnImage(config);  // restart from a clean image
+      if (!ffs.ok()) {
+        return ffs;
+      }
+      state.clear();
+      continue;
+    }
+    // Note: in the powerfail regime the dead child's write-back cache IS
+    // the power cut — the backing file already holds the projected state,
+    // so (unlike mailboat) no parent-side pruning happens here.
+    Result<ChildEnd> b_end = RunChild([&] { TxnRecoveryChild(config, shm); });
+    if (!b_end.ok()) {
+      return b_end.status();
+    }
+    if (b_end.value() != ChildEnd::kClean) {
+      RecordDivergence(config, round, kill_at,
+                       Classify(config, ops, done, b_end.value() == ChildEnd::kHung,
+                                ModelViolatesTxn),
+                       "recovery child crashed: " + where, summary);
+      Status ffs = FormatTxnImage(config);
+      if (!ffs.ok()) {
+        return ffs;
+      }
+      state.clear();
+      continue;
+    }
+    // Validate: the dump must be the fold of the completed ops, or of one
+    // more when the kill struck inside an op whose commit point had landed.
+    std::map<uint64_t, uint64_t> dump;
+    uint64_t results = shm->result_count.load();
+    for (uint64_t i = 0; i < results && i < kMaxResults; ++i) {
+      dump[shm->results[i].a] = shm->results[i].b;
+    }
+    auto fold_to = [&](uint64_t n) {
+      std::map<uint64_t, uint64_t> s = state;
+      for (uint64_t a = 0; a < config.num_addrs; ++a) {
+        s.try_emplace(a, 0);
+      }
+      for (uint64_t i = 0; i < n && i < ops.size(); ++i) {
+        FoldTxn(&s, ops[i]);
+      }
+      return s;
+    };
+    std::map<uint64_t, uint64_t> at_done = fold_to(done);
+    bool match = dump == at_done;
+    if (!match && started > done) {
+      match = dump == fold_to(done + 1);
+    }
+    if (!match) {
+      std::string diff;
+      for (const auto& [a, v] : dump) {
+        auto it = at_done.find(a);
+        if (it == at_done.end() || it->second != v) {
+          diff += " addr " + std::to_string(a) + " got " + std::to_string(v) + " want " +
+                  std::to_string(it == at_done.end() ? 0 : it->second);
+        }
+      }
+      RecordDivergence(config, round, kill_at,
+                       Classify(config, ops, done, false, ModelViolatesTxn),
+                       "post-recovery state mismatch: " + where + diff, summary);
+      if (summary->divergences.size() >= 8) {
+        return Status::Ok();  // baseline is broken; further rounds add noise
+      }
+    }
+    state = std::move(dump);  // ground truth carries into the next round
+    if (config.cross_check_every > 0 && match && round % config.cross_check_every == 0 &&
+        ModelViolatesTxn(config, ops, done)) {
+      RecordDivergence(config, round, kill_at, "model-too-strong",
+                       "model reports a violation real storage never exhibits: " + where,
+                       summary);
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- Mailboat soak --------------------------------------------------------
+
+std::string MailRoot(const CrashRealConfig& config) { return config.workdir + "/mail"; }
+std::string JournalPath(const CrashRealConfig& config) { return config.workdir + "/journal.txt"; }
+
+Status FormatMailTree(const CrashRealConfig& config) {
+  Status s = EnsureDir(MailRoot(config));
+  if (!s.ok()) {
+    return s;
+  }
+  goosefs::PosixFilesys fs(MailRoot(config), goosefs::PosixFilesys::Options{});
+  return fs.EnsureDirs(mailboat::Mailboat::DirLayout(config.num_users), /*clear_contents=*/true);
+}
+
+mailboat::Mailboat::Options MailOptions(const CrashRealConfig& config, uint64_t round) {
+  mailboat::Mailboat::Options mopts;
+  mopts.num_users = config.num_users;
+  mopts.chunk_size = 512;  // multi-chunk appends for the longer bodies
+  mopts.read_size = 512;
+  mopts.rng_seed = MixSeed(config.seed, round, 5);
+  mopts.sync_on_deliver = config.sync_on_deliver;
+  return mopts;
+}
+
+void MailWorkloadChild(const CrashRealConfig& config, RoundShm* shm, uint64_t round,
+                       uint64_t kill_at, const std::vector<MailOp>& ops) {
+  shm->phase.store(static_cast<int>(ChildPhase::kWorkloadRunning));
+  ArmKillSwitch(shm, kill_at);
+  JournalFs journal(JournalPath(config));
+  goosefs::PosixFilesys::Options fopts;
+  fopts.fsync_dirs = config.fsync_dirs;
+  fopts.hook = [&journal](const char* point, const std::string& dir) {
+    journal.OnPosixHook(point, dir);
+  };
+  goosefs::PosixFilesys fs(MailRoot(config), std::move(fopts));
+  // clear_contents=false: surviving state — including a killed predecessor's
+  // temp files — must be kept for Recover to deal with.
+  Status es = fs.EnsureDirs(mailboat::Mailboat::DirLayout(config.num_users),
+                            /*clear_contents=*/false);
+  PCC_ENSURE(es.ok(), "crashreal: EnsureDirs: " + es.ToString());
+  journal.SetInner(&fs);
+  goose::World world;
+  mailboat::Mailboat mail(&world, &journal, MailOptions(config, round), config.mail_mutations);
+  world.Crash();  // recovery runs post-crash generation; invalidates ctor leases
+  proc::RunSyncVoid(mail.Recover());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    Cross("op.start");
+    shm->ops_started.fetch_add(1, std::memory_order_release);
+    if (ops[i].kind == MailOp::Kind::kDeliver) {
+      (void)proc::RunSync(
+          mail.Deliver(ops[i].user, goosefs::BytesOfString(MailContents(config.seed, round, i))));
+    } else {
+      std::vector<mailboat::Message> msgs = proc::RunSync(mail.Pickup(ops[i].user));
+      for (const mailboat::Message& m : msgs) {
+        proc::RunSyncVoid(mail.Delete(ops[i].user, m.id));
+      }
+      proc::RunSyncVoid(mail.Unlock(ops[i].user));
+    }
+    shm->ops_done.fetch_add(1, std::memory_order_release);
+  }
+  shm->phase.store(static_cast<int>(ChildPhase::kWorkloadDone));
+  DisarmKillSwitch();
+}
+
+void MailRecoveryChild(const CrashRealConfig& config, RoundShm* shm, uint64_t round) {
+  shm->phase.store(static_cast<int>(ChildPhase::kRecoveryRunning));
+  goosefs::PosixFilesys::Options fopts;
+  fopts.fsync_dirs = config.fsync_dirs;
+  goosefs::PosixFilesys fs(MailRoot(config), std::move(fopts));
+  Status es = fs.EnsureDirs(mailboat::Mailboat::DirLayout(config.num_users),
+                            /*clear_contents=*/false);
+  PCC_ENSURE(es.ok(), "crashreal: EnsureDirs (recovery): " + es.ToString());
+  goose::World world;
+  mailboat::Mailboat mail(&world, &fs, MailOptions(config, round), config.mail_mutations);
+  world.Crash();  // recovery runs post-crash generation; invalidates ctor leases
+  proc::RunSyncVoid(mail.Recover());
+  auto spool = proc::RunSync(fs.List("spool"));
+  PCC_ENSURE(spool.ok(), "crashreal: list spool: " + spool.status().ToString());
+  shm->spool_leftover.store(spool.value().size());
+  for (uint64_t u = 0; u < config.num_users; ++u) {
+    std::vector<mailboat::Message> msgs = proc::RunSync(mail.Pickup(u));
+    for (const mailboat::Message& m : msgs) {
+      ResultSlot slot{u, 0, 0, 0};
+      std::optional<MailTag> tag = ParseMailTag(m.contents);
+      if (!tag.has_value()) {
+        slot.d = kMsgUnparsed;
+      } else {
+        slot.b = tag->round;
+        slot.c = tag->op;
+        slot.d = m.contents == MailContents(config.seed, tag->round, tag->op) ? kMsgFull
+                                                                              : kMsgCorrupt;
+      }
+      uint64_t idx = shm->result_count.fetch_add(1);
+      PCC_ENSURE(idx < kMaxResults, "crashreal: result slots exhausted");
+      shm->results[idx] = slot;
+    }
+    proc::RunSyncVoid(mail.Unlock(u));
+  }
+  shm->phase.store(static_cast<int>(ChildPhase::kRecoveryDone));
+}
+
+// Drops empty mailboxes so "user has no mail" and "user never had mail"
+// compare equal.
+MailState Normalized(MailState s) {
+  for (auto it = s.begin(); it != s.end();) {
+    it = it->second.empty() ? s.erase(it) : std::next(it);
+  }
+  return s;
+}
+
+Status RunMailSoak(const CrashRealConfig& config, RoundShm* shm, SoakSummary* summary) {
+  Status fs = FormatMailTree(config);
+  if (!fs.ok()) {
+    return fs;
+  }
+  std::vector<std::string> dirs = mailboat::Mailboat::DirLayout(config.num_users);
+  MailState state;
+  uint64_t h_est = 0;
+  for (uint64_t round = 0; round < config.rounds; ++round) {
+    std::vector<MailOp> ops =
+        GenMailOps(config.seed, round, config.ops_per_round, config.num_users);
+    uint64_t kill_at = 0;
+    if (round > 0 && h_est > 0) {
+      Rng rng(MixSeed(config.seed, round, 12));
+      kill_at = 1 + rng.Below(h_est);
+    }
+    // The durable pre-round listing anchors the power-fail projection.
+    Result<DirListing> base = ListDirs(MailRoot(config), dirs);
+    if (!base.ok()) {
+      return base.status();
+    }
+    ResetRoundShm(shm);
+    Result<ChildEnd> a_end =
+        RunChild([&] { MailWorkloadChild(config, shm, round, kill_at, ops); });
+    if (!a_end.ok()) {
+      return a_end.status();
+    }
+    summary->rounds += 1;
+    uint64_t done = shm->ops_done.load();
+    uint64_t started = shm->ops_started.load();
+    uint64_t crossed = shm->hooks_crossed.load();
+    summary->hook_crossings += crossed;
+    std::string where = std::string("round ") + std::to_string(round) + " kill_at " +
+                        std::to_string(kill_at) + " at '" + shm->last_point + "' ops " +
+                        std::to_string(done) + "/" + std::to_string(started) + "/" +
+                        std::to_string(ops.size());
+    bool round_ok = true;
+    if (a_end.value() == ChildEnd::kClean) {
+      summary->clean += 1;
+      h_est = crossed > 0 ? crossed : h_est;
+    } else if (a_end.value() == ChildEnd::kKilled && kill_at > 0) {
+      summary->killed += 1;
+    } else {
+      RecordDivergence(config, round, kill_at,
+                       Classify(config, ops, done, a_end.value() == ChildEnd::kHung,
+                                ModelViolatesMail),
+                       "workload child died outside the kill plan: " + where, summary);
+      round_ok = false;
+    }
+    if (round_ok && config.regime == "powerfail") {
+      Result<DirListing> projected = ApplyPowerFailProjection(MailRoot(config),
+                                                              JournalPath(config), dirs,
+                                                              base.value());
+      if (!projected.ok()) {
+        return projected.status();
+      }
+    }
+    if (round_ok) {
+      Result<ChildEnd> b_end = RunChild([&] { MailRecoveryChild(config, shm, round); });
+      if (!b_end.ok()) {
+        return b_end.status();
+      }
+      if (b_end.value() != ChildEnd::kClean) {
+        RecordDivergence(config, round, kill_at,
+                         Classify(config, ops, done, b_end.value() == ChildEnd::kHung,
+                                  ModelViolatesMail),
+                         "recovery child crashed: " + where, summary);
+        round_ok = false;
+      }
+    }
+    if (!round_ok) {
+      Status ffs = FormatMailTree(config);  // restart from a clean tree
+      if (!ffs.ok()) {
+        return ffs;
+      }
+      state.clear();
+      continue;
+    }
+    // Validate the dump.
+    std::string bad_contents;
+    MailState dump;
+    uint64_t results = shm->result_count.load();
+    for (uint64_t i = 0; i < results && i < kMaxResults; ++i) {
+      const ResultSlot& slot = shm->results[i];
+      if (slot.d != kMsgFull) {
+        bad_contents += " user " + std::to_string(slot.a) +
+                        (slot.d == kMsgCorrupt
+                             ? " corrupt message r" + std::to_string(slot.b) + " o" +
+                                   std::to_string(slot.c)
+                             : " unparseable message");
+      } else {
+        dump[slot.a].insert(MailTag{slot.b, slot.c});
+      }
+    }
+    uint64_t spool_leftover = shm->spool_leftover.load();
+    MailState expected = state;
+    for (uint64_t i = 0; i < done && i < ops.size(); ++i) {
+      FoldMail(&expected, ops[i], round, i);
+    }
+    expected = Normalized(std::move(expected));
+    dump = Normalized(std::move(dump));
+    bool match = bad_contents.empty() && spool_leftover == 0 && dump == expected;
+    if (!match && bad_contents.empty() && spool_leftover == 0 && started > done &&
+        done < ops.size()) {
+      const MailOp& inflight = ops[done];
+      if (inflight.kind == MailOp::Kind::kDeliver) {
+        MailState with = expected;
+        with[inflight.user].insert(MailTag{round, done});
+        match = dump == Normalized(std::move(with));
+      } else {
+        // In-flight purge: that user's surviving box is any subset of the
+        // pre-purge contents; everyone else must match exactly.
+        MailState d2 = dump;
+        MailState e2 = expected;
+        std::set<MailTag> du = d2[inflight.user];
+        std::set<MailTag> eu = e2[inflight.user];
+        d2.erase(inflight.user);
+        e2.erase(inflight.user);
+        match = d2 == e2 && std::includes(eu.begin(), eu.end(), du.begin(), du.end());
+      }
+    }
+    if (!match) {
+      std::string detail = "post-recovery mailbox mismatch: " + where;
+      if (!bad_contents.empty()) {
+        detail += ";" + bad_contents;
+      }
+      if (spool_leftover != 0) {
+        detail += "; spool has " + std::to_string(spool_leftover) + " leftovers after Recover";
+      }
+      detail += "; surviving " + std::to_string(results) + " messages, expected " +
+                std::to_string([&] {
+                  size_t n = 0;
+                  for (const auto& [u, box] : expected) {
+                    n += box.size();
+                  }
+                  return n;
+                }());
+      RecordDivergence(config, round, kill_at,
+                       Classify(config, ops, done, false, ModelViolatesMail), detail, summary);
+      if (summary->divergences.size() >= 8) {
+        return Status::Ok();
+      }
+    }
+    state = std::move(dump);
+    if (config.cross_check_every > 0 && match && round % config.cross_check_every == 0 &&
+        ModelViolatesMail(config, ops, done)) {
+      RecordDivergence(config, round, kill_at, "model-too-strong",
+                       "model reports a violation real storage never exhibits: " + where,
+                       summary);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+bool ApplyMutationName(const std::string& name, CrashRealConfig* config) {
+  if (name == "no_write_barrier") {
+    config->txn_mutations.no_write_barrier = true;
+  } else if (name == "header_before_records") {
+    config->txn_mutations.header_before_records = true;
+  } else if (name == "truncate_before_apply") {
+    config->txn_mutations.truncate_before_apply = true;
+  } else if (name == "deliver_in_place") {
+    config->mail_mutations.deliver_in_place = true;
+  } else if (name == "recovery_deletes_mail") {
+    config->mail_mutations.recovery_deletes_mail = true;
+  } else if (name == "pickup_512_loop") {
+    config->mail_mutations.pickup_512_loop = true;
+  } else if (name == "no_sync_on_deliver") {
+    config->sync_on_deliver = false;
+  } else if (name == "no_dir_fsync") {
+    config->fsync_dirs = false;
+  } else {
+    return false;
+  }
+  config->mutation_names.push_back(name);
+  return true;
+}
+
+CrashRealConfig ConfigFromTrace(const CrashTrace& trace, const std::string& workdir) {
+  CrashRealConfig config;
+  config.system = trace.system;
+  config.regime = trace.regime;
+  config.seed = trace.seed;
+  config.rounds = trace.round + 1;
+  config.ops_per_round = trace.ops_per_round;
+  config.num_addrs = trace.num_addrs;
+  config.log_capacity = trace.log_capacity;
+  config.num_users = trace.num_users;
+  config.workdir = workdir;
+  for (const std::string& m : trace.mutations) {
+    PCC_ENSURE(ApplyMutationName(m, &config), "crashreal trace: unknown mutation " + m);
+  }
+  // The explicit fields win over what the mutation names implied (a trace
+  // written by an older bench may carry only the fields).
+  config.sync_on_deliver = trace.sync_on_deliver;
+  config.fsync_dirs = trace.fsync_dirs;
+  return config;
+}
+
+Result<SoakSummary> RunSoak(const CrashRealConfig& config) {
+  if (config.system != "txnlog" && config.system != "mailboat") {
+    return Status::Invalid("crashreal: bad system '" + config.system + "'");
+  }
+  if (config.regime != "kill" && config.regime != "powerfail") {
+    return Status::Invalid("crashreal: bad regime '" + config.regime + "'");
+  }
+  if (config.workdir.empty()) {
+    return Status::Invalid("crashreal: workdir is required");
+  }
+  Status ds = EnsureDir(config.workdir);
+  if (!ds.ok()) {
+    return ds;
+  }
+  if (!config.artifact_dir.empty()) {
+    Status as = EnsureDir(config.artifact_dir);
+    if (!as.ok()) {
+      return as;
+    }
+  }
+  RoundShm* shm = MapRoundShm();
+  if (shm == nullptr) {
+    return Status::Failed("crashreal: mmap of the round page failed");
+  }
+  SoakSummary summary;
+  Status s = config.system == "txnlog" ? RunTxnSoak(config, shm, &summary)
+                                       : RunMailSoak(config, shm, &summary);
+  UnmapRoundShm(shm);
+  if (!s.ok()) {
+    return s;
+  }
+  return summary;
+}
+
+Result<SoakSummary> ReplayTrace(const CrashRealConfig& config, const CrashTrace& trace,
+                                bool* reproduced) {
+  CrashRealConfig replay = config;
+  replay.rounds = trace.round + 1;
+  Result<SoakSummary> summary = RunSoak(replay);
+  if (!summary.ok()) {
+    return summary;
+  }
+  *reproduced = false;
+  for (const Divergence& d : summary.value().divergences) {
+    if (d.round == trace.round && (trace.classification.empty() || trace.classification == "unclassified" ||
+                                   d.classification == trace.classification)) {
+      *reproduced = true;
+    }
+  }
+  return summary;
+}
+
+}  // namespace perennial::crashreal

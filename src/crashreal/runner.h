@@ -1,0 +1,119 @@
+// The cross-process crash harness (DESIGN.md §13).
+//
+// A soak is a sequence of kill/recover rounds against REAL storage. Each
+// round forks a workload child that runs the engine natively (no modeled
+// scheduler) over PosixDisk / PosixFilesys, self-reports progress through a
+// shared-memory page, and SIGKILLs itself at a seeded killswitch crossing;
+// the parent then forks a fresh recovery child that runs the engine's
+// Recover and dumps the surviving state, which the parent validates against
+// the same atomic spec the refinement checker uses (fold of the completed
+// ops, bracketing the one possibly-in-flight op).
+//
+// Two regimes (posix_disk.h):
+//  * "kill" — plain process death. The kernel page cache survives, so no
+//    data is lost; this validates the recovery path against arbitrary
+//    crash points, not durability.
+//  * "powerfail" — additionally discards what a power cut could discard:
+//    TxnLog runs over a write-back PosixDisk whose cache dies with the
+//    child; Mailboat's directory tree is pruned by the journal projection
+//    (projection.h). The write-barrier and dir-fsync bugs are only
+//    observable here.
+//
+// On divergence the parent classifies it by cross-running an equivalent
+// small workload under the MODELED engine (GooseFs / FaultyDisk) with the
+// same mutations:
+//  * the model also violates its spec  -> "implementation-bug"
+//  * the model is clean               -> "model-too-weak" (real storage
+//    exhibits a crash behavior the model does not capture)
+// and a periodic probe on clean rounds reports "model-too-strong" when the
+// model flags a violation real storage never exhibits. Every divergence is
+// persisted as a pcc-crashreal trace (trace.h) replayable with
+// `bench_crashreal --replay <file>`.
+#ifndef PERENNIAL_SRC_CRASHREAL_RUNNER_H_
+#define PERENNIAL_SRC_CRASHREAL_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/crashreal/trace.h"
+#include "src/mailboat/mailboat.h"
+#include "src/systems/txnlog/txn_log.h"
+
+namespace perennial::crashreal {
+
+struct CrashRealConfig {
+  std::string system = "txnlog";     // "txnlog" | "mailboat"
+  std::string regime = "powerfail";  // "kill" | "powerfail"
+  uint64_t seed = 1;
+  uint64_t rounds = 200;
+  uint64_t ops_per_round = 6;
+
+  // TxnLog shape (kept small so the model cross-run stays tractable).
+  uint64_t num_addrs = 6;
+  uint64_t log_capacity = 4;
+  systems::TxnLog::Mutations txn_mutations;
+
+  // Mailboat shape.
+  uint64_t num_users = 3;
+  bool sync_on_deliver = true;
+  bool fsync_dirs = true;
+  mailboat::Mailboat::Mutations mail_mutations;
+
+  // Scratch directory for the disk image / mail tree / journal; created if
+  // missing, REUSED if present (pass a fresh one per soak).
+  std::string workdir;
+  // Where divergence traces land ("" = workdir).
+  std::string artifact_dir;
+
+  // Classify divergences via the modeled engine (slower per divergence).
+  bool classify = true;
+  // Every Nth clean round, also cross-run the model and report
+  // "model-too-strong" if it violates where real storage did not (0 = off).
+  uint64_t cross_check_every = 0;
+
+  // Names of the enabled mutations (bench --mutate spelling), recorded in
+  // trace artifacts so replay can rebuild this config.
+  std::vector<std::string> mutation_names;
+};
+
+// Applies one --mutate flag by name; returns false for an unknown name.
+// Names: no_write_barrier, header_before_records, truncate_before_apply,
+// deliver_in_place, recovery_deletes_mail, pickup_512_loop,
+// no_sync_on_deliver, no_dir_fsync.
+bool ApplyMutationName(const std::string& name, CrashRealConfig* config);
+
+// Rebuilds the soak configuration a trace artifact was recorded under.
+CrashRealConfig ConfigFromTrace(const CrashTrace& trace, const std::string& workdir);
+
+struct Divergence {
+  uint64_t round = 0;
+  uint64_t kill_at = 0;
+  std::string classification;  // implementation-bug | model-too-weak | model-too-strong
+  std::string detail;
+  std::string trace_path;  // saved artifact ("" if saving failed)
+};
+
+struct SoakSummary {
+  uint64_t rounds = 0;      // rounds executed
+  uint64_t killed = 0;      // rounds where the child died at its kill point
+  uint64_t clean = 0;       // rounds the child finished (profile + overshoot)
+  uint64_t hook_crossings = 0;  // total killswitch crossings observed
+  std::vector<Divergence> divergences;
+  bool ok() const { return divergences.empty(); }
+};
+
+// Runs the soak. A non-ok status is a HARNESS failure (fork/waitpid/IO
+// trouble), not a divergence — divergences are data, in the summary.
+Result<SoakSummary> RunSoak(const CrashRealConfig& config);
+
+// Replays a trace artifact: re-runs the soak (everything is seeded) up to
+// and including the diverging round. Sets *reproduced when a divergence
+// with the trace's classification occurred at the trace's round.
+Result<SoakSummary> ReplayTrace(const CrashRealConfig& config, const CrashTrace& trace,
+                                bool* reproduced);
+
+}  // namespace perennial::crashreal
+
+#endif  // PERENNIAL_SRC_CRASHREAL_RUNNER_H_

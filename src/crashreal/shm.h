@@ -1,0 +1,67 @@
+// Shared-memory handshake between the crashreal parent and its children.
+//
+// One RoundShm page is mmap'd MAP_SHARED|MAP_ANONYMOUS before each fork, so
+// a SIGKILLed child leaves behind an exact record of how far it got: ops
+// started/completed, killswitch hook crossings, and the last named hook
+// point it passed. The recovery child reuses the same page to dump the
+// recovered state (one ResultSlot per address / surviving message) for the
+// parent to validate against the spec's allowed post-crash states.
+//
+// Everything is lock-free atomics or plain bytes written single-threadedly
+// by the current child; the parent only reads after waitpid().
+#ifndef PERENNIAL_SRC_CRASHREAL_SHM_H_
+#define PERENNIAL_SRC_CRASHREAL_SHM_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace perennial::crashreal {
+
+// txnlog: {addr, value, 0, 0} per address.
+// mailboat: {user, round, op, flags} per surviving message.
+struct ResultSlot {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  uint64_t d = 0;
+};
+
+// ResultSlot::d flags for mailboat dumps.
+inline constexpr uint64_t kMsgFull = 1;      // contents match the workload exactly
+inline constexpr uint64_t kMsgCorrupt = 2;   // tag parsed but contents wrong/partial
+inline constexpr uint64_t kMsgUnparsed = 4;  // contents match no workload op
+
+enum class ChildPhase : int {
+  kInit = 0,
+  kWorkloadRunning = 1,
+  kWorkloadDone = 2,
+  kRecoveryRunning = 10,
+  kRecoveryDone = 11,
+};
+
+inline constexpr uint64_t kMaxResults = 512;
+
+struct RoundShm {
+  std::atomic<uint64_t> ops_started{0};
+  std::atomic<uint64_t> ops_done{0};
+  std::atomic<uint64_t> hooks_crossed{0};
+  std::atomic<int> phase{0};
+  char last_point[48] = {};
+  std::atomic<uint64_t> result_count{0};
+  // Recovery-side extra facts (mailboat: spool entries left after Recover).
+  std::atomic<uint64_t> spool_leftover{0};
+  ResultSlot results[kMaxResults];
+};
+
+static_assert(std::atomic<uint64_t>::is_always_lock_free, "shm counters must be lock-free");
+static_assert(std::atomic<int>::is_always_lock_free, "shm phase must be lock-free");
+
+// mmap/munmap helpers (MAP_SHARED | MAP_ANONYMOUS, zeroed).
+RoundShm* MapRoundShm();
+void UnmapRoundShm(RoundShm* shm);
+// Reset between rounds (parent side, no children alive).
+void ResetRoundShm(RoundShm* shm);
+
+}  // namespace perennial::crashreal
+
+#endif  // PERENNIAL_SRC_CRASHREAL_SHM_H_

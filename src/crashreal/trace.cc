@@ -1,0 +1,126 @@
+#include "src/crashreal/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace perennial::crashreal {
+
+std::string FormatCrashTrace(const CrashTrace& trace) {
+  std::ostringstream out;
+  out << "pcc-crashreal v1\n";
+  out << "system " << trace.system << "\n";
+  out << "regime " << trace.regime << "\n";
+  out << "seed " << trace.seed << "\n";
+  out << "round " << trace.round << "\n";
+  out << "kill_at " << trace.kill_at << "\n";
+  out << "ops_per_round " << trace.ops_per_round << "\n";
+  out << "num_addrs " << trace.num_addrs << "\n";
+  out << "log_capacity " << trace.log_capacity << "\n";
+  out << "num_users " << trace.num_users << "\n";
+  out << "sync_on_deliver " << (trace.sync_on_deliver ? 1 : 0) << "\n";
+  out << "fsync_dirs " << (trace.fsync_dirs ? 1 : 0) << "\n";
+  for (const std::string& m : trace.mutations) {
+    out << "mutate " << m << "\n";
+  }
+  out << "classification " << trace.classification << "\n";
+  out << "detail " << trace.detail << "\n";
+  return out.str();
+}
+
+Status ParseCrashTrace(const std::string& text, CrashTrace* out) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "pcc-crashreal v1") {
+    return Status::Invalid("crashreal trace: bad header: " + line);
+  }
+  *out = CrashTrace{};
+  out->mutations.clear();
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    auto rest = [&ls]() {
+      std::string r;
+      std::getline(ls, r);
+      if (!r.empty() && r[0] == ' ') {
+        r.erase(0, 1);
+      }
+      return r;
+    };
+    if (key == "system") {
+      ls >> out->system;
+    } else if (key == "regime") {
+      ls >> out->regime;
+    } else if (key == "seed") {
+      ls >> out->seed;
+    } else if (key == "round") {
+      ls >> out->round;
+    } else if (key == "kill_at") {
+      ls >> out->kill_at;
+    } else if (key == "ops_per_round") {
+      ls >> out->ops_per_round;
+    } else if (key == "num_addrs") {
+      ls >> out->num_addrs;
+    } else if (key == "log_capacity") {
+      ls >> out->log_capacity;
+    } else if (key == "num_users") {
+      ls >> out->num_users;
+    } else if (key == "sync_on_deliver") {
+      int v = 1;
+      ls >> v;
+      out->sync_on_deliver = v != 0;
+    } else if (key == "fsync_dirs") {
+      int v = 1;
+      ls >> v;
+      out->fsync_dirs = v != 0;
+    } else if (key == "mutate") {
+      std::string m;
+      ls >> m;
+      out->mutations.push_back(m);
+    } else if (key == "classification") {
+      ls >> out->classification;
+    } else if (key == "detail") {
+      out->detail = rest();
+    } else {
+      return Status::Invalid("crashreal trace: unknown key '" + key + "'");
+    }
+    if (ls.fail() && key != "detail") {
+      return Status::Invalid("crashreal trace: malformed line: " + line);
+    }
+  }
+  if (out->system != "txnlog" && out->system != "mailboat") {
+    return Status::Invalid("crashreal trace: bad system '" + out->system + "'");
+  }
+  if (out->regime != "kill" && out->regime != "powerfail") {
+    return Status::Invalid("crashreal trace: bad regime '" + out->regime + "'");
+  }
+  return Status::Ok();
+}
+
+Status SaveCrashTrace(const std::string& path, const CrashTrace& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Failed("cannot write " + path);
+  }
+  out << FormatCrashTrace(trace);
+  out.close();
+  if (!out) {
+    return Status::Failed("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status LoadCrashTrace(const std::string& path, CrashTrace* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::Failed("cannot read " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCrashTrace(buf.str(), out);
+}
+
+}  // namespace perennial::crashreal

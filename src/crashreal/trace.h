@@ -1,0 +1,53 @@
+// Replayable crash-harness divergence artifact ("pcc-crashreal v1").
+//
+// Mirrors the refinement checker's pcc-trace files (src/refine/minimize.h):
+// plain text, self-contained, one-command repro. Because every workload op
+// and kill point is a pure function of (seed, round), the artifact needs no
+// schedule — the header alone lets `bench_crashreal --replay <file>` re-run
+// the soak from round 0 up to the diverging round (state carries across
+// rounds, so earlier rounds must be replayed too) and check that the same
+// divergence with the same classification reappears.
+//
+// Format: first line `pcc-crashreal v1`, then `key value` lines; `mutate`
+// may repeat (one enabled mutation flag per line); `detail` holds the rest
+// of its line verbatim.
+#ifndef PERENNIAL_SRC_CRASHREAL_TRACE_H_
+#define PERENNIAL_SRC_CRASHREAL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace perennial::crashreal {
+
+struct CrashTrace {
+  std::string system;  // "txnlog" | "mailboat"
+  std::string regime;  // "kill" | "powerfail"
+  uint64_t seed = 0;
+  uint64_t round = 0;    // the diverging round
+  uint64_t kill_at = 0;  // hook crossing the child was killed at (0: clean round)
+  uint64_t ops_per_round = 0;
+  // TxnLog shape.
+  uint64_t num_addrs = 0;
+  uint64_t log_capacity = 0;
+  // Mailboat shape.
+  uint64_t num_users = 0;
+  bool sync_on_deliver = true;
+  bool fsync_dirs = true;
+  // Enabled mutation flags, by bench_crashreal --mutate name.
+  std::vector<std::string> mutations;
+  std::string classification;  // implementation-bug | model-too-weak | model-too-strong
+  std::string detail;          // human-readable divergence description
+};
+
+std::string FormatCrashTrace(const CrashTrace& trace);
+Status ParseCrashTrace(const std::string& text, CrashTrace* out);
+
+Status SaveCrashTrace(const std::string& path, const CrashTrace& trace);
+Status LoadCrashTrace(const std::string& path, CrashTrace* out);
+
+}  // namespace perennial::crashreal
+
+#endif  // PERENNIAL_SRC_CRASHREAL_TRACE_H_

@@ -1,0 +1,88 @@
+#include "src/crashreal/workload.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/base/rand.h"
+
+namespace perennial::crashreal {
+
+uint64_t MixSeed(uint64_t seed, uint64_t round, uint64_t salt) {
+  uint64_t st = seed ^ (round * 0x9E3779B97F4A7C15ull) ^ (salt * 0xBF58476D1CE4E5B9ull);
+  return SplitMix64(st);
+}
+
+std::vector<TxnOp> GenTxnOps(uint64_t seed, uint64_t round, uint64_t ops, uint64_t num_addrs,
+                             uint64_t log_capacity) {
+  Rng rng(MixSeed(seed, round, 1));
+  std::vector<TxnOp> out;
+  out.reserve(ops);
+  for (uint64_t i = 0; i < ops; ++i) {
+    if (i > 0 && rng.Chance(0.2)) {
+      out.push_back(TxnOp{TxnOp::Kind::kCheckpoint, {}});
+      continue;
+    }
+    TxnOp op;
+    uint64_t n = 1 + rng.Below(std::min<uint64_t>(3, log_capacity));
+    for (uint64_t j = 0; j < n; ++j) {
+      // Values are globally unique so a stale block is unmistakable.
+      op.records.emplace_back(rng.Below(num_addrs), MixSeed(seed, round, (i << 8) | j) | 1);
+    }
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+void FoldTxn(std::map<uint64_t, uint64_t>* state, const TxnOp& op) {
+  for (const auto& [addr, value] : op.records) {
+    (*state)[addr] = value;
+  }
+}
+
+std::vector<MailOp> GenMailOps(uint64_t seed, uint64_t round, uint64_t ops, uint64_t num_users) {
+  Rng rng(MixSeed(seed, round, 2));
+  std::vector<MailOp> out;
+  out.reserve(ops);
+  for (uint64_t i = 0; i < ops; ++i) {
+    MailOp op;
+    op.user = rng.Below(num_users);
+    op.kind = rng.Chance(0.2) ? MailOp::Kind::kPurge : MailOp::Kind::kDeliver;
+    out.push_back(op);
+  }
+  return out;
+}
+
+std::string MailContents(uint64_t seed, uint64_t round, uint64_t op) {
+  char head[96];
+  std::snprintf(head, sizeof(head), "mail r%" PRIu64 " o%" PRIu64 " s%016" PRIx64 "\n", round, op,
+                seed);
+  std::string body(head);
+  // Length spans the 512-byte pickup read granularity (short messages,
+  // exactly-one-chunk messages, multi-chunk messages all occur).
+  Rng rng(MixSeed(seed, round, 3 + op));
+  uint64_t len = rng.Range(64, 1500);
+  while (body.size() < len) {
+    body.push_back(static_cast<char>('a' + (rng.Next() % 26)));
+  }
+  return body;
+}
+
+std::optional<MailTag> ParseMailTag(const std::string& contents) {
+  MailTag tag;
+  uint64_t seed_in_msg = 0;
+  if (std::sscanf(contents.c_str(), "mail r%" SCNu64 " o%" SCNu64 " s%016" SCNx64 "\n", &tag.round,
+                  &tag.op, &seed_in_msg) != 3) {
+    return std::nullopt;
+  }
+  return tag;
+}
+
+void FoldMail(MailState* state, const MailOp& op, uint64_t round, uint64_t op_index) {
+  if (op.kind == MailOp::Kind::kDeliver) {
+    (*state)[op.user].insert(MailTag{round, op_index});
+  } else {
+    (*state)[op.user].clear();
+  }
+}
+
+}  // namespace perennial::crashreal

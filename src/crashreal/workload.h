@@ -1,0 +1,71 @@
+// Seeded workload generation for the crash harness.
+//
+// Every op, value, message body, and kill point is a pure function of
+// (seed, round, op index), so a round — and therefore a divergence — is
+// replayable from the trace header alone. The expected post-crash states
+// are computed by folding the generated ops over the carried state.
+#ifndef PERENNIAL_SRC_CRASHREAL_WORKLOAD_H_
+#define PERENNIAL_SRC_CRASHREAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace perennial::crashreal {
+
+// Deterministic per-(seed, round, salt) stream seed; every harness draw
+// derives from this so a round is a pure function of the trace header.
+uint64_t MixSeed(uint64_t seed, uint64_t round, uint64_t salt);
+
+// ---- TxnLog ----
+
+struct TxnOp {
+  enum class Kind { kBatch, kCheckpoint };
+  Kind kind = Kind::kBatch;
+  std::vector<std::pair<uint64_t, uint64_t>> records;  // (addr, value) for kBatch
+};
+
+// `ops` operations for round `round`: mostly small commit batches, with a
+// checkpoint roughly every fifth op (batch sizes bounded by log_capacity).
+std::vector<TxnOp> GenTxnOps(uint64_t seed, uint64_t round, uint64_t ops, uint64_t num_addrs,
+                             uint64_t log_capacity);
+
+// Applies `op` to the address map (checkpoints are value-invisible).
+void FoldTxn(std::map<uint64_t, uint64_t>* state, const TxnOp& op);
+
+// ---- Mailboat ----
+
+struct MailOp {
+  enum class Kind { kDeliver, kPurge };  // purge = pickup + delete all + unlock
+  Kind kind = Kind::kDeliver;
+  uint64_t user = 0;
+};
+
+// A message's identity across rounds: which op of which round wrote it.
+struct MailTag {
+  uint64_t round = 0;
+  uint64_t op = 0;
+  auto operator<=>(const MailTag&) const = default;
+};
+
+std::vector<MailOp> GenMailOps(uint64_t seed, uint64_t round, uint64_t ops, uint64_t num_users);
+
+// The exact message body op `op` of round `round` delivers: a parseable
+// tag line followed by deterministic padding with a length that crosses
+// the 512-byte pickup read granularity.
+std::string MailContents(uint64_t seed, uint64_t round, uint64_t op);
+
+// Recovers the tag from a message body (nullopt: not a workload message).
+std::optional<MailTag> ParseMailTag(const std::string& contents);
+
+// Mailbox-set fold: deliver adds its tag to `user`'s box, purge empties it.
+using MailState = std::map<uint64_t, std::set<MailTag>>;
+void FoldMail(MailState* state, const MailOp& op, uint64_t round, uint64_t op_index);
+
+}  // namespace perennial::crashreal
+
+#endif  // PERENNIAL_SRC_CRASHREAL_WORKLOAD_H_

@@ -1,0 +1,66 @@
+// BlockDev: the abstract block-device surface systems code is written
+// against, so the same engine (TxnLog) runs unmodified over either
+//
+//  * the modeled disks (disk::Disk / fault::FaultyDisk) under the
+//    refinement checker, with simulated crash semantics, or
+//  * disk::PosixDisk, a real file accessed with pwrite/fsync, under the
+//    cross-process crash harness (src/crashreal) that validates the
+//    simulated semantics against an actual kernel.
+//
+// Semantics every implementation must provide:
+//  * Blocks are sector-like: a successful Write of block `a` is atomic
+//    with respect to crashes (the modeled header-sector assumption;
+//    PosixDisk lays one block per 512-byte sector to inherit it from
+//    real hardware).
+//  * Write durability may be deferred: a crash can lose writes issued
+//    since the last successful Barrier(). Barrier() returning Ok is the
+//    durability point (FaultyDisk: torn images flushed; PosixDisk:
+//    fsync, plus write-back flush in the harness's power-fail regime).
+//  * Read returns the last value written (crash or not, reads are
+//    always coherent with the program's own writes).
+//
+// PeekBlock/PokeBlock are harness-only escapes (invariants, formatting,
+// tests); they are not modeled steps.
+#ifndef PERENNIAL_SRC_DISK_BLOCKDEV_H_
+#define PERENNIAL_SRC_DISK_BLOCKDEV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/proc/task.h"
+
+namespace perennial::disk {
+
+// A disk block (see disk.h; sizes are small and may vary per write).
+using Block = std::vector<uint8_t>;
+
+class BlockDev {
+ public:
+  virtual ~BlockDev() = default;
+
+  virtual uint64_t size() const = 0;
+
+  // Reads block `a`. kFailed on a failed device; kInvalid out of range.
+  virtual proc::Task<Result<Block>> Read(uint64_t a) = 0;
+
+  // Writes block `a` (atomic per block; durability deferred to Barrier).
+  virtual proc::Task<Status> Write(uint64_t a, Block value) = 0;
+
+  // Write barrier: every prior successful Write is durable once this
+  // returns Ok. A failed barrier (real fsync can fail) leaves the
+  // durability of unflushed writes undefined and must never be treated
+  // as success.
+  virtual proc::Task<Status> Barrier() = 0;
+
+  // Harness-only: current (volatile) contents of block `a`. The returned
+  // reference is valid until the next operation on the device.
+  virtual const Block& PeekBlock(uint64_t a) const = 0;
+
+  // Harness-only: raw overwrite (formatting, seeding test states).
+  virtual void PokeBlock(uint64_t a, Block value) = 0;
+};
+
+}  // namespace perennial::disk
+
+#endif  // PERENNIAL_SRC_DISK_BLOCKDEV_H_

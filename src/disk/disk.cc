@@ -57,6 +57,12 @@ proc::Task<Status> Disk::Write(uint64_t a, Block value) {
   co_return Status::Ok();
 }
 
+proc::Task<Status> Disk::Barrier() {
+  co_await proc::Yield();
+  proc::RecordPure();
+  co_return Status::Ok();
+}
+
 const Block& Disk::PeekBlock(uint64_t a) const {
   PCC_ENSURE(a < blocks_.size(), "PeekBlock out of range");
   return blocks_[a];

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/disk/blockdev.h"
 #include "src/goose/world.h"
 #include "src/proc/footprint.h"
 #include "src/proc/scheduler.h"
@@ -22,28 +23,29 @@
 
 namespace perennial::disk {
 
-// A disk block. Simulated configurations use small blocks (a few bytes) to
-// keep checker state spaces tight; the size is uniform per disk.
-using Block = std::vector<uint8_t>;
-
 // Convenience: a block holding a little-endian uint64 (checker workloads).
 Block BlockOfU64(uint64_t value);
 uint64_t U64OfBlock(const Block& b);
 
-class Disk : public goose::CrashAware {
+class Disk : public BlockDev, public goose::CrashAware {
  public:
   // All blocks start as `initial` (conventionally zeroes).
   Disk(goose::World* world, uint64_t num_blocks, Block initial);
 
-  uint64_t size() const { return blocks_.size(); }
+  uint64_t size() const override { return blocks_.size(); }
 
   // Reads block `a`. kFailed if the disk has failed; kInvalid out of range.
-  proc::Task<Result<Block>> Read(uint64_t a);
+  proc::Task<Result<Block>> Read(uint64_t a) override;
 
   // Writes block `a`. A failed disk ignores the write and reports kFailed
   // so callers can tell an absorbed write from a durable one; out-of-range
   // is kInvalid.
-  proc::Task<Status> Write(uint64_t a, Block value);
+  proc::Task<Status> Write(uint64_t a, Block value) override;
+
+  // The base disk is synchronously durable (every write survives a crash),
+  // so a barrier is a pure step. FaultyDisk overrides this with real
+  // deferred-durability semantics.
+  proc::Task<Status> Barrier() override;
 
   // Fail-stop injection (harness / explorer): from now on reads fail.
   // Failure flips invariant-visible state (crash invariants consult
@@ -59,8 +61,8 @@ class Disk : public goose::CrashAware {
   void OnCrash() override {}
 
   // Harness-only accessors.
-  const Block& PeekBlock(uint64_t a) const;
-  void PokeBlock(uint64_t a, Block value);
+  const Block& PeekBlock(uint64_t a) const override;
+  void PokeBlock(uint64_t a, Block value) override;
 
  private:
   uint64_t MetaRes() const { return proc::MixResource(proc::kResDiskMeta, base_); }

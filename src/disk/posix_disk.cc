@@ -1,0 +1,236 @@
+#include "src/disk/posix_disk.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/base/rand.h"
+
+namespace perennial::disk {
+
+namespace {
+
+Status ErrnoStatus(const char* op, int err) {
+  return Status::Failed(std::string(op) + ": " + std::strerror(err));
+}
+
+int64_t RawPwrite(int fd, const void* buf, uint64_t n, int64_t off) {
+  return ::pwrite(fd, buf, n, static_cast<off_t>(off));
+}
+
+int64_t RawPread(int fd, void* buf, uint64_t n, int64_t off) {
+  return ::pread(fd, buf, n, static_cast<off_t>(off));
+}
+
+}  // namespace
+
+Status PosixDisk::PwriteAll(int fd, const uint8_t* buf, uint64_t n, int64_t off,
+                            const PwriteFn& pw) {
+  uint64_t done = 0;
+  while (done < n) {
+    int64_t w = pw(fd, buf + done, n - done, off + static_cast<int64_t>(done));
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("pwrite", errno);
+    }
+    if (w == 0) {
+      return Status::Failed("pwrite: wrote 0 bytes");
+    }
+    done += static_cast<uint64_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status PosixDisk::PreadAll(int fd, uint8_t* buf, uint64_t n, int64_t off, const PreadFn& pr) {
+  uint64_t done = 0;
+  while (done < n) {
+    int64_t r = pr(fd, buf + done, n - done, off + static_cast<int64_t>(done));
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("pread", errno);
+    }
+    if (r == 0) {
+      return Status::Failed("pread: unexpected EOF");
+    }
+    done += static_cast<uint64_t>(r);
+  }
+  return Status::Ok();
+}
+
+PosixDisk::PosixDisk(int fd, uint64_t num_blocks, Options options)
+    : fd_(fd), num_blocks_(num_blocks), options_(std::move(options)) {}
+
+PosixDisk::~PosixDisk() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<PosixDisk>> PosixDisk::Open(const std::string& path, uint64_t num_blocks,
+                                                   Block initial, Options options, bool format) {
+  PCC_ENSURE(options.sector_bytes >= 16, "PosixDisk: sector too small");
+  PCC_ENSURE(initial.size() + 2 <= options.sector_bytes,
+             "PosixDisk: initial block does not fit a sector");
+  int flags = O_RDWR | O_CLOEXEC | (format ? O_CREAT : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return ErrnoStatus("open", errno);
+  }
+  std::unique_ptr<PosixDisk> d(new PosixDisk(fd, num_blocks, std::move(options)));
+  if (format) {
+    if (::ftruncate(fd, static_cast<off_t>(num_blocks * d->options_.sector_bytes)) != 0) {
+      return ErrnoStatus("ftruncate", errno);
+    }
+    for (uint64_t a = 0; a < num_blocks; ++a) {
+      Status s = d->WriteSector(a, initial);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    if (::fsync(fd) != 0) {
+      return ErrnoStatus("fsync", errno);
+    }
+  } else {
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      return ErrnoStatus("fstat", errno);
+    }
+    if (static_cast<uint64_t>(st.st_size) != num_blocks * d->options_.sector_bytes) {
+      return Status::Invalid("PosixDisk: backing file has wrong size");
+    }
+  }
+  return d;
+}
+
+Result<Block> PosixDisk::ReadSector(uint64_t a) const {
+  std::vector<uint8_t> sector(options_.sector_bytes);
+  Status s = PreadAll(fd_, sector.data(), sector.size(),
+                      static_cast<int64_t>(a * options_.sector_bytes), RawPread);
+  if (!s.ok()) {
+    return s;
+  }
+  const uint64_t len = static_cast<uint64_t>(sector[0]) | (static_cast<uint64_t>(sector[1]) << 8);
+  if (len + 2 > options_.sector_bytes) {
+    return Status::Failed("PosixDisk: corrupt sector length");
+  }
+  return Block(sector.begin() + 2, sector.begin() + 2 + static_cast<int64_t>(len));
+}
+
+Status PosixDisk::WriteSector(uint64_t a, const Block& value) {
+  std::vector<uint8_t> sector(options_.sector_bytes, 0);
+  sector[0] = static_cast<uint8_t>(value.size() & 0xFF);
+  sector[1] = static_cast<uint8_t>((value.size() >> 8) & 0xFF);
+  std::copy(value.begin(), value.end(), sector.begin() + 2);
+  return PwriteAll(fd_, sector.data(), sector.size(),
+                   static_cast<int64_t>(a * options_.sector_bytes), RawPwrite);
+}
+
+proc::Task<Result<Block>> PosixDisk::Read(uint64_t a) {
+  if (a >= num_blocks_) {
+    co_return Status::Invalid("read out of range");
+  }
+  if (options_.writeback) {
+    auto it = pending_.find(a);
+    if (it != pending_.end()) {
+      co_return it->second;  // read-your-writes through the buffer
+    }
+  }
+  co_return ReadSector(a);
+}
+
+proc::Task<Status> PosixDisk::Write(uint64_t a, Block value) {
+  if (a >= num_blocks_) {
+    co_return Status::Invalid("write out of range");
+  }
+  if (value.size() + 2 > options_.sector_bytes) {
+    co_return Status::Invalid("block does not fit a sector");
+  }
+  if (options_.writeback) {
+    pending_[a] = std::move(value);
+    co_return Status::Ok();
+  }
+  Cross("write.pwrite");
+  co_return WriteSector(a, value);
+}
+
+proc::Task<Status> PosixDisk::Barrier() {
+  if (options_.writeback && !pending_.empty()) {
+    // Flush pending sectors in a seeded shuffled order: a kill between
+    // these pwrites persists an arbitrary subset, the behavior a volatile
+    // disk cache exhibits on power loss.
+    std::vector<uint64_t> order;
+    order.reserve(pending_.size());
+    for (const auto& [a, v] : pending_) {
+      order.push_back(a);
+    }
+    uint64_t st = options_.flush_shuffle_seed ^ (++barriers_done_ * 0x9E3779B97F4A7C15ull);
+    Rng rng(SplitMix64(st));
+    rng.Shuffle(order);
+    for (uint64_t a : order) {
+      Cross("barrier.pwrite");
+      Status s = WriteSector(a, pending_[a]);
+      if (!s.ok()) {
+        co_return s;
+      }
+    }
+  }
+  Cross("barrier.fsync");
+  if (::fsync(fd_) != 0) {
+    Status s = ErrnoStatus("fsync", errno);
+    co_return s;
+  }
+  // Only a successful fsync empties the buffer: after a failed barrier the
+  // writes are still not durable and the caller must not believe otherwise.
+  pending_.clear();
+  Cross("barrier.done");
+  co_return Status::Ok();
+}
+
+const Block& PosixDisk::PeekBlock(uint64_t a) const {
+  PCC_ENSURE(a < num_blocks_, "PeekBlock out of range");
+  if (options_.writeback) {
+    auto it = pending_.find(a);
+    if (it != pending_.end()) {
+      return it->second;
+    }
+  }
+  Result<Block> r = ReadSector(a);
+  PCC_ENSURE(r.ok(), "PeekBlock: " + r.status().ToString());
+  peek_scratch_ = std::move(r).value();
+  return peek_scratch_;
+}
+
+void PosixDisk::PokeBlock(uint64_t a, Block value) {
+  PCC_ENSURE(a < num_blocks_, "PokeBlock out of range");
+  PCC_ENSURE(value.size() + 2 <= options_.sector_bytes, "PokeBlock: block too large");
+  if (options_.writeback) {
+    pending_.erase(a);
+  }
+  Status s = WriteSector(a, value);
+  PCC_ENSURE(s.ok(), "PokeBlock: " + s.ToString());
+}
+
+Block PosixDisk::PeekDurable(uint64_t a) const {
+  Result<Block> r = ReadSector(a);
+  PCC_ENSURE(r.ok(), "PeekDurable: " + r.status().ToString());
+  return std::move(r).value();
+}
+
+void PosixDisk::CloseFdForTesting() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+}  // namespace perennial::disk

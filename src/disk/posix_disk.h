@@ -1,0 +1,118 @@
+// PosixDisk: the BlockDev interface over a regular file — real storage for
+// the cross-process crash harness (src/crashreal).
+//
+// Layout: block `a` occupies the 512-byte (Options::sector_bytes) sector at
+// offset a*sector_bytes, encoded as a 2-byte little-endian length prefix
+// followed by the payload. Model blocks are small and variable-size (8-byte
+// data blocks, 16-byte headers), so the prefix preserves exact read-back
+// parity with the modeled Disk while one-block-per-sector inherits sector
+// atomicity from the kernel/hardware — the same atomic-header-sector
+// assumption TxnLog is verified against.
+//
+// Durability regimes:
+//  * writeback = false ("kill" regime): every Write is pwrite'd immediately
+//    and Barrier is an fsync. SIGKILL of the process loses nothing the
+//    kernel already has — this regime validates recovery code against
+//    arbitrary process death, not power loss.
+//  * writeback = true ("powerfail" regime): Writes are buffered in process
+//    memory (reads are coherent with the buffer) and only Barrier flushes
+//    them — pwrite per pending sector in a seeded shuffled order, then
+//    fsync. A SIGKILL discards the buffer, so un-barriered writes are lost
+//    and a kill mid-barrier persists an arbitrary subset: the emulation of
+//    a volatile disk write cache that the modeled FaultyDisk's deferred
+//    durability corresponds to.
+//
+// Options::hook fires at named syscall boundaries ("write.pwrite",
+// "barrier.pwrite", "barrier.fsync", "barrier.done"); the crash harness's
+// killswitch counts these crossings and raises SIGKILL at a chosen one,
+// which is how deterministic "mid-fsync" and "between write and barrier"
+// kill points are realized.
+//
+// Not modeled: PosixDisk performs real blocking I/O and never yields to the
+// simulated scheduler; it is meant for native (schedulerless) execution.
+#ifndef PERENNIAL_SRC_DISK_POSIX_DISK_H_
+#define PERENNIAL_SRC_DISK_POSIX_DISK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/disk/blockdev.h"
+
+namespace perennial::disk {
+
+class PosixDisk : public BlockDev {
+ public:
+  struct Options {
+    uint64_t sector_bytes = 512;
+    // Power-fail regime: buffer writes in memory until Barrier (see above).
+    bool writeback = false;
+    // Seed for the order Barrier flushes pending sectors in (writeback).
+    uint64_t flush_shuffle_seed = 0;
+    // Crash-harness kill points; fired at syscall boundaries.
+    std::function<void(const char* point)> hook;
+  };
+
+  // Opens (or with `format` creates/overwrites) the backing file. Format
+  // writes `initial` to every block and fsyncs; without `format` the file
+  // must already be exactly num_blocks * sector_bytes long.
+  static Result<std::unique_ptr<PosixDisk>> Open(const std::string& path, uint64_t num_blocks,
+                                                 Block initial, Options options, bool format);
+
+  ~PosixDisk() override;
+  PosixDisk(const PosixDisk&) = delete;
+  PosixDisk& operator=(const PosixDisk&) = delete;
+
+  uint64_t size() const override { return num_blocks_; }
+
+  proc::Task<Result<Block>> Read(uint64_t a) override;
+  proc::Task<Status> Write(uint64_t a, Block value) override;
+  proc::Task<Status> Barrier() override;
+
+  const Block& PeekBlock(uint64_t a) const override;
+  void PokeBlock(uint64_t a, Block value) override;
+
+  // Harness-only: the image on the backing file right now, bypassing the
+  // write-back buffer — what a power failure at this instant would leave.
+  Block PeekDurable(uint64_t a) const;
+
+  bool HasPending() const { return !pending_.empty(); }
+
+  // Closes the backing fd out from under the device so the next fsync (and
+  // pwrite) fails — the failed-Barrier-surfaces-Status test hook.
+  void CloseFdForTesting();
+
+  // Full-write loops with EINTR/short-write handling, parameterized over
+  // the raw syscall so unit tests can inject partial progress and EINTR.
+  using PwriteFn = std::function<int64_t(int fd, const void* buf, uint64_t n, int64_t off)>;
+  using PreadFn = std::function<int64_t(int fd, void* buf, uint64_t n, int64_t off)>;
+  static Status PwriteAll(int fd, const uint8_t* buf, uint64_t n, int64_t off,
+                          const PwriteFn& pw);
+  static Status PreadAll(int fd, uint8_t* buf, uint64_t n, int64_t off, const PreadFn& pr);
+
+ private:
+  PosixDisk(int fd, uint64_t num_blocks, Options options);
+
+  void Cross(const char* point) const {
+    if (options_.hook) {
+      options_.hook(point);
+    }
+  }
+  // Reads block `a` from the backing file (no write-back consultation).
+  Result<Block> ReadSector(uint64_t a) const;
+  Status WriteSector(uint64_t a, const Block& value);
+
+  int fd_;
+  uint64_t num_blocks_;
+  Options options_;
+  uint64_t barriers_done_ = 0;
+  // Write-back buffer: block -> value not yet flushed to the file.
+  std::map<uint64_t, Block> pending_;
+  mutable Block peek_scratch_;
+};
+
+}  // namespace perennial::disk
+
+#endif  // PERENNIAL_SRC_DISK_POSIX_DISK_H_

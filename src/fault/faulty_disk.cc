@@ -67,7 +67,7 @@ proc::Task<Status> FaultyDisk::Write(uint64_t a, disk::Block value) {
   co_return s;
 }
 
-proc::Task<void> FaultyDisk::Barrier() {
+proc::Task<Status> FaultyDisk::Barrier() {
   co_await proc::Yield();
   if (TornPossible()) {
     proc::RecordAccess(torn_res_, /*write=*/true);
@@ -78,6 +78,7 @@ proc::Task<void> FaultyDisk::Barrier() {
     proc::RecordPure();
   }
   torn_.clear();
+  co_return Status::Ok();
 }
 
 void FaultyDisk::OnCrash() {

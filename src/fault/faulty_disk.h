@@ -45,11 +45,13 @@ class FaultyDisk : public disk::Disk {
         faults_(faults),
         disk_id_(disk_id) {}
 
-  proc::Task<Result<disk::Block>> Read(uint64_t a);
-  proc::Task<Status> Write(uint64_t a, disk::Block value);
+  proc::Task<Result<disk::Block>> Read(uint64_t a) override;
+  proc::Task<Status> Write(uint64_t a, disk::Block value) override;
 
-  // Write barrier: all torn-pending writes become fully durable.
-  proc::Task<void> Barrier();
+  // Write barrier: all torn-pending writes become fully durable. The
+  // modeled barrier always succeeds; the Status return exists so code
+  // written against BlockDev also handles real fsync failure (PosixDisk).
+  proc::Task<Status> Barrier() override;
 
   // Crash: torn-pending blocks revert to their torn durable image; armed
   // faults and fail-stop state are untouched (Disk::OnCrash is a no-op).

@@ -15,8 +15,8 @@ namespace perennial::goosefs {
 
 namespace {
 
-Status ErrnoStatus(const char* op, int err) {
-  std::string msg = std::string(op) + ": " + std::strerror(err);
+Status ErrnoStatus(const std::string& op, int err) {
+  std::string msg = op + ": " + std::strerror(err);
   switch (err) {
     case ENOENT:
       return Status::NotFound(std::move(msg));
@@ -38,15 +38,38 @@ PosixFilesys::~PosixFilesys() {
   }
 }
 
-Status PosixFilesys::EnsureDirs(const std::vector<std::string>& dirs) {
+Status PosixFilesys::EnsureDirs(const std::vector<std::string>& dirs, bool clear_contents) {
+  bool made_any = false;
   for (const std::string& dir : dirs) {
     std::string path = root_ + "/" + dir;
-    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
-      return ErrnoStatus("mkdir", errno);
+    if (::mkdir(path.c_str(), 0755) != 0) {
+      // Idempotent across recovered runs: an existing directory is fine;
+      // any other mkdir failure propagates instead of being papered over.
+      if (errno != EEXIST) {
+        return ErrnoStatus("mkdir " + path, errno);
+      }
+    } else {
+      made_any = true;
     }
-    Status s = ClearDir(dir);
-    if (!s.ok()) {
-      return s;
+    if (clear_contents) {
+      Status s = ClearDir(dir);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+  }
+  if (made_any && options_.fsync_dirs) {
+    // The new entries live in root_; sync it so the layout itself is
+    // durable before any files are created beneath it.
+    int rfd = ::open(root_.c_str(), O_DIRECTORY | O_RDONLY);
+    if (rfd < 0) {
+      return ErrnoStatus("open root", errno);
+    }
+    int rc = ::fsync(rfd);
+    int err = errno;
+    ::close(rfd);
+    if (rc != 0) {
+      return ErrnoStatus("fsync root", err);
     }
   }
   return Status::Ok();
@@ -56,16 +79,43 @@ Status PosixFilesys::ClearDir(const std::string& dir) {
   std::string path = root_ + "/" + dir;
   DIR* d = ::opendir(path.c_str());
   if (d == nullptr) {
-    return ErrnoStatus("opendir", errno);
+    return ErrnoStatus("opendir " + path, errno);
   }
+  Status result = Status::Ok();
   while (struct dirent* entry = ::readdir(d)) {
     if (std::strcmp(entry->d_name, ".") == 0 || std::strcmp(entry->d_name, "..") == 0) {
       continue;
     }
     std::string file = path + "/" + entry->d_name;
-    ::unlink(file.c_str());
+    if (::unlink(file.c_str()) != 0 && errno != ENOENT) {
+      // Propagate the first failure (a directory, EPERM, ...) but keep
+      // removing what we can; ENOENT just means someone beat us to it.
+      if (result.ok()) {
+        result = ErrnoStatus("unlink " + file, errno);
+      }
+    }
   }
   ::closedir(d);
+  return result;
+}
+
+Status PosixFilesys::SyncDir(const std::string& dir) {
+  if (!options_.fsync_dirs) {
+    return Status::Ok();
+  }
+  bool opened = false;
+  int dfd = DirFd(dir, &opened);
+  if (dfd < 0) {
+    return ErrnoStatus("open dir", errno);
+  }
+  int rc = ::fsync(dfd);
+  int err = errno;
+  if (opened) {
+    ::close(dfd);
+  }
+  if (rc != 0) {
+    return ErrnoStatus("fsync dir " + dir, err);
+  }
   return Status::Ok();
 }
 
@@ -112,6 +162,18 @@ proc::Task<Result<Fd>> PosixFilesys::Create(const std::string& dir, const std::s
   }
   if (fd < 0) {
     co_return ErrnoStatus("create", errno);
+  }
+  Cross("create.entry", dir);
+  Status ds = SyncDir(dir);
+  if (!ds.ok()) {
+    ::close(fd);
+    co_return ds;
+  }
+  // The .dirsync hook points mean "a directory fsync has landed" — observers
+  // (crashreal's durability journal) treat the crossing itself as the
+  // durability event, so it must not fire when fsync_dirs is off.
+  if (options_.fsync_dirs) {
+    Cross("create.dirsync", dir);
   }
   co_return static_cast<Fd>(fd);
 }
@@ -239,6 +301,18 @@ proc::Task<bool> PosixFilesys::Link(const std::string& src_dir, const std::strin
   } else {
     rc = ::link(FullPath(src_dir, src_name).c_str(), FullPath(dst_dir, dst_name).c_str());
   }
+  if (rc == 0) {
+    Cross("link.entry", dst_dir);
+    // The new entry is durable only once dst_dir itself is synced; Link's
+    // boolean contract (false = name taken) can't carry an I/O error, and
+    // a failed directory fsync means durability is unknowable — panic
+    // rather than let the caller believe the link is crash-safe.
+    Status ds = SyncDir(dst_dir);
+    PCC_ENSURE(ds.ok(), "link: " + ds.ToString());
+    if (options_.fsync_dirs) {
+      Cross("link.dirsync", dst_dir);
+    }
+  }
   co_return rc == 0;
 }
 
@@ -259,6 +333,14 @@ proc::Task<Status> PosixFilesys::Delete(const std::string& dir, const std::strin
   }
   if (rc != 0) {
     co_return ErrnoStatus("unlink", errno);
+  }
+  Cross("delete.entry", dir);
+  Status ds = SyncDir(dir);
+  if (!ds.ok()) {
+    co_return ds;
+  }
+  if (options_.fsync_dirs) {
+    Cross("delete.dirsync", dir);
   }
   co_return Status::Ok();
 }

@@ -13,6 +13,7 @@
 #ifndef PERENNIAL_SRC_GOOSEFS_POSIX_FS_H_
 #define PERENNIAL_SRC_GOOSEFS_POSIX_FS_H_
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -27,6 +28,19 @@ class PosixFilesys : public Filesys {
   struct Options {
     // Cache one fd per directory and do relative lookups (Mailboat mode).
     bool cache_dir_fds = true;
+    // fsync the parent directory after Create/Link/Delete so the entry
+    // itself is durable — POSIX only durably records a directory entry
+    // once the directory is synced; fsync of the file data alone is not
+    // enough. Without this, a crash after Deliver's Link+Sync can lose
+    // the message despite its bytes being on disk (the metadata-
+    // durability gap the crash harness exists to catch). Default on;
+    // turn off only to reproduce the bug.
+    bool fsync_dirs = true;
+    // Crash-harness kill points, fired at syscall boundaries inside
+    // Create/Link/Delete ("create.entry", "create.dirsync", "link.entry",
+    // "link.dirsync", "delete.entry", "delete.dirsync"). The string
+    // argument is the directory involved.
+    std::function<void(const char* point, const std::string& dir)> hook;
   };
 
   // `root` must exist; directories are created beneath it on EnsureDirs.
@@ -36,10 +50,14 @@ class PosixFilesys : public Filesys {
   PosixFilesys(const PosixFilesys&) = delete;
   PosixFilesys& operator=(const PosixFilesys&) = delete;
 
-  // Setup (not part of the modeled API): create the fixed directory layout
-  // and remove any leftover contents.
-  Status EnsureDirs(const std::vector<std::string>& dirs);
-  // Removes every file in `dir` (benchmark reset between runs).
+  // Setup (not part of the modeled API): create the fixed directory layout,
+  // durably (mkdir + parent fsync when fsync_dirs). With `clear_contents`
+  // any leftovers are removed (benchmark reset); a recovered run passes
+  // false so surviving state — including a killed child's temp files — is
+  // kept. Idempotent either way: existing directories are not an error.
+  Status EnsureDirs(const std::vector<std::string>& dirs, bool clear_contents = true);
+  // Removes every file in `dir`. Unlink failures propagate (ENOENT from a
+  // concurrent or prior removal is tolerated).
   Status ClearDir(const std::string& dir);
 
   proc::Task<Result<Fd>> Create(const std::string& dir, const std::string& name) override;
@@ -58,6 +76,13 @@ class PosixFilesys : public Filesys {
   // (caller must close when `opened` is set). -1 on failure.
   int DirFd(const std::string& dir, bool* opened);
   std::string FullPath(const std::string& dir, const std::string& name) const;
+  // fsync the directory itself (entry durability); no-op unless fsync_dirs.
+  Status SyncDir(const std::string& dir);
+  void Cross(const char* point, const std::string& dir) {
+    if (options_.hook) {
+      options_.hook(point, dir);
+    }
+  }
 
   std::string root_;
   Options options_;

@@ -35,13 +35,36 @@ TxnLog::TxnLog(goose::World* world, uint64_t num_addrs, uint64_t log_capacity,
     : world_(world),
       num_addrs_(num_addrs),
       log_capacity_(log_capacity),
-      disk_(world, 1 + log_capacity + num_addrs, EncodeTxnHeader(0, 0), faults),
+      owned_disk_(std::make_unique<fault::FaultyDisk>(world, 1 + log_capacity + num_addrs,
+                                                      EncodeTxnHeader(0, 0), faults)),
+      dev_(owned_disk_.get()),
       leases_(world),
       mutations_(mutations) {
   // Block 0 must start as a valid empty header; other blocks start zeroed
   // (their initial contents are never read before being written).
-  disk_.PokeBlock(kHeaderBlock, EncodeTxnHeader(0, 0));
+  dev_->PokeBlock(kHeaderBlock, EncodeTxnHeader(0, 0));
   InitVolatile();
+  RegisterInvariants();
+}
+
+TxnLog::TxnLog(goose::World* world, disk::BlockDev* dev, uint64_t num_addrs,
+               uint64_t log_capacity, Mutations mutations)
+    : world_(world),
+      num_addrs_(num_addrs),
+      log_capacity_(log_capacity),
+      dev_(dev),
+      leases_(world),
+      mutations_(mutations) {
+  PCC_ENSURE(dev_ != nullptr, "txnlog: null device");
+  PCC_ENSURE(dev_->size() >= 1 + log_capacity_ + num_addrs_,
+             "txnlog: device smaller than header + log + data regions");
+  // No header poke here: the device carries real (possibly recovered)
+  // state, and formatting is the caller's responsibility.
+  InitVolatile();
+  RegisterInvariants();
+}
+
+void TxnLog::RegisterInvariants() {
   // Note: unlike wal_pair, this design needs NO helping token — reads are
   // log-structured (they consult committed records directly), so recovery's
   // replay is observably a no-op and never completes a pending operation.
@@ -49,7 +72,7 @@ TxnLog::TxnLog(goose::World* world, uint64_t num_addrs, uint64_t log_capacity,
   invariants_.Register("txnlog-header-well-formed", [this] {
     uint64_t committed = 0;
     uint64_t applied = 0;
-    DecodeTxnHeader(disk_.PeekBlock(kHeaderBlock), &committed, &applied);
+    DecodeTxnHeader(dev_->PeekBlock(kHeaderBlock), &committed, &applied);
     return applied <= committed && committed <= log_capacity_;
   });
 }
@@ -57,20 +80,20 @@ TxnLog::TxnLog(goose::World* world, uint64_t num_addrs, uint64_t log_capacity,
 void TxnLog::InitVolatile() {
   mu_ = std::make_unique<goose::Mutex>(world_);
   block_leases_.clear();
-  for (uint64_t b = 0; b < disk_.size(); ++b) {
+  for (uint64_t b = 0; b < 1 + log_capacity_ + num_addrs_; ++b) {
     block_leases_.push_back(leases_.Issue(BlockKey(b)));
   }
 }
 
 proc::Task<disk::Block> TxnLog::ReadRetry(uint64_t a) {
   Result<disk::Block> r = co_await fault::RetryWithBackoff(
-      fault::RetryPolicy{}, [this, a] { return disk_.Read(a); });
+      fault::RetryPolicy{}, [this, a] { return dev_->Read(a); });
   co_return std::move(r).value();
 }
 
 proc::Task<void> TxnLog::WriteRetry(uint64_t a, disk::Block value) {
   Status s = co_await fault::RetryWithBackoff(
-      fault::RetryPolicy{}, [this, a, &value] { return disk_.Write(a, value); });
+      fault::RetryPolicy{}, [this, a, &value] { return dev_->Write(a, value); });
   PCC_ENSURE(s.ok(), "txnlog: disk write failed: " + s.ToString());
 }
 
@@ -97,11 +120,25 @@ proc::Task<void> TxnLog::ApplyAndTruncate() {
     // truncation publishes "the log is no longer needed" — a torn data
     // write surviving past the truncate would lose the record for good.
     if (!mutations_.no_write_barrier) {
-      co_await disk_.Barrier();
+      Status bs = co_await dev_->Barrier();
+      PCC_ENSURE(bs.ok(), "txnlog: write barrier failed: " + bs.ToString());
     }
     // Truncation: one atomic header write; the data region now carries
     // everything the log did.
     co_await WriteRetry(kHeaderBlock, EncodeTxnHeader(0, 0));
+    // Barrier: the truncation must be durable before any log slot is
+    // reused. On a device with a volatile write cache the truncation
+    // header and a successor's record writes otherwise flush in arbitrary
+    // order, and a crash between them leaves the OLD header (still
+    // claiming k committed records) next to a reused slot holding an
+    // uncommitted record — recovery then replays that record as if it
+    // were committed. Found by the crashreal power-fail soak; the modeled
+    // FaultyDisk's prefix-loss faults cannot express this reordering, so
+    // only the real-storage harness sees it.
+    if (!mutations_.no_write_barrier) {
+      Status bs = co_await dev_->Barrier();
+      PCC_ENSURE(bs.ok(), "txnlog: truncate flush failed: " + bs.ToString());
+    }
   }
 }
 
@@ -139,10 +176,21 @@ proc::Task<void> TxnLog::CommitBatch(std::vector<std::pair<uint64_t, uint64_t>> 
   // Barrier: record blocks are multi-sector and may be torn by a crash; the
   // commit header must not claim them until they are fully durable.
   if (!mutations_.no_write_barrier) {
-    co_await disk_.Barrier();
+    Status bs = co_await dev_->Barrier();
+    PCC_ENSURE(bs.ok(), "txnlog: write barrier failed: " + bs.ToString());
   }
   // Commit point: one header write makes the whole batch durable.
   co_await WriteRetry(kHeaderBlock, EncodeTxnHeader(committed + records.size(), applied));
+  // Flush the commit record itself: CommitBatch promises durability on
+  // return, and on a device with a volatile write cache the header write
+  // is not durable until a barrier lands it (the crashreal power-fail
+  // regime exercises exactly this window; the modeled FaultyDisk makes
+  // un-torn writes instantly durable, so this barrier is a pure step
+  // there).
+  if (!mutations_.no_write_barrier) {
+    Status bs = co_await dev_->Barrier();
+    PCC_ENSURE(bs.ok(), "txnlog: commit flush failed: " + bs.ToString());
+  }
   co_await mu_->Unlock();
 }
 
@@ -191,22 +239,22 @@ proc::Task<void> TxnLog::Recover(std::function<void(uint64_t)> helped) {
 uint64_t TxnLog::PeekCommitted(uint64_t addr) const {
   uint64_t committed = 0;
   uint64_t applied = 0;
-  DecodeTxnHeader(disk_.PeekBlock(kHeaderBlock), &committed, &applied);
+  DecodeTxnHeader(dev_->PeekBlock(kHeaderBlock), &committed, &applied);
   for (uint64_t i = committed; i > 0; --i) {
     uint64_t record_addr = 0;
     uint64_t value = 0;
-    DecodeTxnHeader(disk_.PeekBlock(kLogBase + i - 1), &record_addr, &value);
+    DecodeTxnHeader(dev_->PeekBlock(kLogBase + i - 1), &record_addr, &value);
     if (record_addr == addr) {
       return value;
     }
   }
-  return disk::U64OfBlock(disk_.PeekBlock(DataBlock(addr)));
+  return disk::U64OfBlock(dev_->PeekBlock(DataBlock(addr)));
 }
 
 std::pair<uint64_t, uint64_t> TxnLog::PeekHeaderForTesting() const {
   uint64_t committed = 0;
   uint64_t applied = 0;
-  DecodeTxnHeader(disk_.PeekBlock(kHeaderBlock), &committed, &applied);
+  DecodeTxnHeader(dev_->PeekBlock(kHeaderBlock), &committed, &applied);
   return {committed, applied};
 }
 

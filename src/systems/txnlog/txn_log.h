@@ -74,6 +74,15 @@ class TxnLog {
   TxnLog(goose::World* world, uint64_t num_addrs, uint64_t log_capacity)
       : TxnLog(world, num_addrs, log_capacity, Mutations{}) {}
 
+  // External-device constructor: run the engine over any BlockDev — in
+  // particular disk::PosixDisk, real storage under the cross-process crash
+  // harness (src/crashreal). The device must already be formatted (block 0
+  // a valid header); unlike the modeled constructor this never writes, so
+  // it is safe to construct over a device holding recovered on-disk state.
+  // The caller keeps ownership of `dev`, which must outlive the log.
+  TxnLog(goose::World* world, disk::BlockDev* dev, uint64_t num_addrs, uint64_t log_capacity,
+         Mutations mutations);
+
   uint64_t num_addrs() const { return num_addrs_; }
 
   // Atomically and durably applies all `records` (addr, value). Returns
@@ -103,6 +112,7 @@ class TxnLog {
 
   uint64_t DataBlock(uint64_t addr) const { return kLogBase + log_capacity_ + addr; }
   void InitVolatile();
+  void RegisterInvariants();
   // Applies records [applied, committed) to the data region and truncates.
   // Caller holds the lock.
   proc::Task<void> ApplyAndTruncate();
@@ -115,7 +125,11 @@ class TxnLog {
   goose::World* world_;
   uint64_t num_addrs_;
   uint64_t log_capacity_;
-  fault::FaultyDisk disk_;
+  // The modeled configuration owns a FaultyDisk; the external-device
+  // configuration borrows the caller's BlockDev. All engine I/O goes
+  // through dev_, which aliases owned_disk_ when the latter is set.
+  std::unique_ptr<fault::FaultyDisk> owned_disk_;
+  disk::BlockDev* dev_;
   cap::LeaseRegistry leases_;
   cap::HelpRegistry help_;
   cap::CrashInvariants invariants_;

@@ -1,13 +1,23 @@
-// Tests for the block-device models.
+// Tests for the block-device models and the PosixDisk real-storage backend.
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/rand.h"
 #include "src/disk/disk.h"
+#include "src/disk/posix_disk.h"
 #include "tests/sim_util.h"
 
 namespace perennial::disk {
 namespace {
 
 using perennial::testing::SimRun;
+using perennial::testing::SimRunVoid;
 using proc::Task;
 
 TEST(BlockCodec, U64RoundTrips) {
@@ -104,6 +114,204 @@ TEST(TwoDisksTest, OneDiskCanFailIndependently) {
   disks.d1.Fail();
   EXPECT_TRUE(disks.d1.failed());
   EXPECT_FALSE(disks.d2.failed());
+}
+
+// --- PosixDisk (native mode, real backing file) ---
+
+class PosixDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/pcc_posix_disk_test.img";
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+uint64_t NativeReadU64(PosixDisk* d, uint64_t a) {
+  auto body = [&]() -> Task<uint64_t> {
+    Result<Block> r = co_await d->Read(a);
+    co_return U64OfBlock(r.value());
+  };
+  return proc::RunSync(body());
+}
+
+Status NativeWrite(PosixDisk* d, uint64_t a, Block value) {
+  auto body = [&, v = std::move(value)]() mutable -> Task<Status> {
+    co_return co_await d->Write(a, std::move(v));
+  };
+  return proc::RunSync(body());
+}
+
+Status NativeBarrier(PosixDisk* d) {
+  auto body = [&]() -> Task<Status> { co_return co_await d->Barrier(); };
+  return proc::RunSync(body());
+}
+
+// Sector read-back parity: the same seeded write sequence applied to the
+// modeled Disk and to PosixDisk must read back byte-identical on every
+// block — including mixed 8-byte data blocks and 16-byte header blocks.
+TEST_F(PosixDiskTest, ReadBackParityWithModeledDisk) {
+  constexpr uint64_t kBlocks = 8;
+  auto pd = PosixDisk::Open(path_, kBlocks, BlockOfU64(0), {}, /*format=*/true);
+  ASSERT_TRUE(pd.ok()) << pd.status().ToString();
+  goose::World world;
+  Disk model(&world, kBlocks, BlockOfU64(0));
+
+  Rng rng(20260808);
+  std::vector<std::pair<uint64_t, Block>> writes;
+  for (int i = 0; i < 64; ++i) {
+    uint64_t a = rng.Below(kBlocks);
+    Block value = BlockOfU64(rng.Next());
+    if (rng.Below(2) == 0) {
+      value.resize(16, static_cast<uint8_t>(rng.Next() & 0xFF));  // header-sized
+    }
+    writes.emplace_back(a, value);
+    ASSERT_TRUE(NativeWrite(pd.value().get(), a, value).ok());
+  }
+  auto apply_model = [&]() -> Task<void> {
+    for (auto& [a, value] : writes) {
+      (void)co_await model.Write(a, value);
+    }
+  };
+  SimRunVoid(apply_model());
+
+  for (uint64_t a = 0; a < kBlocks; ++a) {
+    auto read_posix = [&]() -> Task<Block> {
+      co_return (co_await pd.value()->Read(a)).value();
+    };
+    auto read_model = [&]() -> Task<Block> { co_return (co_await model.Read(a)).value(); };
+    EXPECT_EQ(proc::RunSync(read_posix()), SimRun(read_model())) << "block " << a;
+    EXPECT_EQ(pd.value()->PeekBlock(a), model.PeekBlock(a)) << "block " << a;
+  }
+}
+
+TEST_F(PosixDiskTest, ContentsSurviveReopen) {
+  {
+    auto pd = PosixDisk::Open(path_, 4, BlockOfU64(0), {}, /*format=*/true);
+    ASSERT_TRUE(pd.ok());
+    ASSERT_TRUE(NativeWrite(pd.value().get(), 2, BlockOfU64(99)).ok());
+    ASSERT_TRUE(NativeBarrier(pd.value().get()).ok());
+  }
+  auto pd = PosixDisk::Open(path_, 4, BlockOfU64(0), {}, /*format=*/false);
+  ASSERT_TRUE(pd.ok()) << pd.status().ToString();
+  EXPECT_EQ(NativeReadU64(pd.value().get(), 2), 99u);
+  EXPECT_EQ(NativeReadU64(pd.value().get(), 1), 0u);
+}
+
+TEST_F(PosixDiskTest, OpenRejectsWrongSizeImage) {
+  {
+    auto pd = PosixDisk::Open(path_, 4, BlockOfU64(0), {}, /*format=*/true);
+    ASSERT_TRUE(pd.ok());
+  }
+  auto pd = PosixDisk::Open(path_, 5, BlockOfU64(0), {}, /*format=*/false);
+  EXPECT_EQ(pd.status().code(), StatusCode::kInvalid);
+}
+
+TEST_F(PosixDiskTest, WritebackBuffersUntilBarrier) {
+  PosixDisk::Options opts;
+  opts.writeback = true;
+  auto pd = PosixDisk::Open(path_, 4, BlockOfU64(7), opts, /*format=*/true);
+  ASSERT_TRUE(pd.ok());
+  PosixDisk* d = pd.value().get();
+  ASSERT_TRUE(NativeWrite(d, 1, BlockOfU64(42)).ok());
+  // Read-your-writes through the buffer; the durable image is unchanged.
+  EXPECT_EQ(NativeReadU64(d, 1), 42u);
+  EXPECT_EQ(U64OfBlock(d->PeekDurable(1)), 7u);
+  EXPECT_TRUE(d->HasPending());
+  ASSERT_TRUE(NativeBarrier(d).ok());
+  EXPECT_EQ(U64OfBlock(d->PeekDurable(1)), 42u);
+  EXPECT_FALSE(d->HasPending());
+}
+
+TEST_F(PosixDiskTest, FailedFsyncSurfacesStatusAndKeepsPending) {
+  PosixDisk::Options opts;
+  opts.writeback = true;
+  auto pd = PosixDisk::Open(path_, 4, BlockOfU64(0), opts, /*format=*/true);
+  ASSERT_TRUE(pd.ok());
+  PosixDisk* d = pd.value().get();
+  ASSERT_TRUE(NativeWrite(d, 0, BlockOfU64(5)).ok());
+  d->CloseFdForTesting();
+  Status s = NativeBarrier(d);
+  EXPECT_FALSE(s.ok());
+  // A failed barrier must not pretend the writes are durable.
+  EXPECT_TRUE(d->HasPending());
+}
+
+TEST_F(PosixDiskTest, FailedPwriteSurfacesStatus) {
+  auto pd = PosixDisk::Open(path_, 4, BlockOfU64(0), {}, /*format=*/true);
+  ASSERT_TRUE(pd.ok());
+  pd.value()->CloseFdForTesting();
+  EXPECT_FALSE(NativeWrite(pd.value().get(), 0, BlockOfU64(5)).ok());
+}
+
+TEST_F(PosixDiskTest, OutOfRangeAndOversizeAreInvalid) {
+  auto pd = PosixDisk::Open(path_, 4, BlockOfU64(0), {}, /*format=*/true);
+  ASSERT_TRUE(pd.ok());
+  auto read_oob = [&]() -> Task<StatusCode> {
+    co_return (co_await pd.value()->Read(4)).status().code();
+  };
+  EXPECT_EQ(proc::RunSync(read_oob()), StatusCode::kInvalid);
+  EXPECT_EQ(NativeWrite(pd.value().get(), 4, BlockOfU64(1)).code(), StatusCode::kInvalid);
+  EXPECT_EQ(NativeWrite(pd.value().get(), 0, Block(600, 0)).code(), StatusCode::kInvalid);
+}
+
+// --- PwriteAll / PreadAll: EINTR and short-transfer handling ---
+
+TEST(PosixDiskIo, PwriteAllRetriesEintrAndShortWrites) {
+  uint8_t file[64] = {0};
+  int calls = 0;
+  auto pw = [&](int, const void* buf, uint64_t n, int64_t off) -> int64_t {
+    ++calls;
+    if (calls % 2 == 1) {
+      errno = EINTR;
+      return -1;  // every other call is interrupted before any progress
+    }
+    (void)n;  // write exactly one byte per successful call
+    file[off] = *static_cast<const uint8_t*>(buf);
+    return 1;
+  };
+  const uint8_t data[] = {10, 20, 30, 40, 50};
+  Status s = PosixDisk::PwriteAll(-1, data, sizeof(data), 8, pw);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(std::memcmp(file + 8, data, sizeof(data)), 0);
+  EXPECT_EQ(calls, 10);  // 5 EINTRs interleaved with 5 one-byte writes
+}
+
+TEST(PosixDiskIo, PwriteAllFailsOnZeroProgressAndHardError) {
+  auto zero = [](int, const void*, uint64_t, int64_t) -> int64_t { return 0; };
+  uint8_t b = 0;
+  EXPECT_FALSE(PosixDisk::PwriteAll(-1, &b, 1, 0, zero).ok());
+  auto eio = [](int, const void*, uint64_t, int64_t) -> int64_t {
+    errno = EIO;
+    return -1;
+  };
+  EXPECT_FALSE(PosixDisk::PwriteAll(-1, &b, 1, 0, eio).ok());
+}
+
+TEST(PosixDiskIo, PreadAllRetriesEintrAndShortReads) {
+  const uint8_t file[] = {0, 0, 0, 11, 22, 33, 44};
+  int calls = 0;
+  auto pr = [&](int, void* buf, uint64_t, int64_t off) -> int64_t {
+    ++calls;
+    if (calls == 1) {
+      errno = EINTR;
+      return -1;
+    }
+    *static_cast<uint8_t*>(buf) = file[off];
+    return 1;
+  };
+  uint8_t out[4] = {0};
+  Status s = PosixDisk::PreadAll(-1, out, sizeof(out), 3, pr);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(std::memcmp(out, file + 3, sizeof(out)), 0);
+}
+
+TEST(PosixDiskIo, PreadAllFailsOnEof) {
+  auto eof = [](int, void*, uint64_t, int64_t) -> int64_t { return 0; };
+  uint8_t b = 0;
+  EXPECT_FALSE(PosixDisk::PreadAll(-1, &b, 1, 0, eof).ok());
 }
 
 }  // namespace

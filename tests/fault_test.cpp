@@ -168,7 +168,8 @@ TEST(FaultyDisk, BarrierMakesTornWriteDurable) {
   faults.Arm(FaultKind::kTornWrite, FaultPlan::kAnyDisk);
   auto body = [&]() -> Task<Status> {
     Status s = co_await d.Write(0, Block(16, 0xAB));
-    co_await d.Barrier();
+    Status bs = co_await d.Barrier();
+    EXPECT_TRUE(bs.ok());
     co_return s;
   };
   EXPECT_TRUE(SimRun(body()).ok());

@@ -1,6 +1,7 @@
 // Tests for the modeled Goose file system (§6.2) and the POSIX backend.
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -381,6 +382,81 @@ TEST_F(PosixFsTest, ListsSorted) {
     co_return (co_await fs.List("user0")).value();
   };
   EXPECT_EQ(proc::RunSync(body()), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(PosixFsTest, EnsureDirsIdempotentAcrossRecoveredRuns) {
+  // A recovered run re-creates the layout with clear_contents=false: the
+  // directories already exist and the surviving files must be kept for
+  // recovery to inspect, not wiped.
+  PosixFilesys fs(root_, {.cache_dir_fds = true});
+  ASSERT_TRUE(fs.EnsureDirs({"spool", "user0"}, /*clear_contents=*/false).ok());
+  auto create = [&]() -> Task<void> {
+    Fd fd = (co_await fs.Create("user0", "survivor")).value();
+    (void)co_await fs.Close(fd);
+  };
+  proc::RunSyncVoid(create());
+  PosixFilesys fs2(root_, {.cache_dir_fds = true});
+  ASSERT_TRUE(fs2.EnsureDirs({"spool", "user0"}, /*clear_contents=*/false).ok());
+  auto list = [&]() -> Task<std::vector<std::string>> {
+    co_return (co_await fs2.List("user0")).value();
+  };
+  EXPECT_EQ(proc::RunSync(list()), (std::vector<std::string>{"survivor"}));
+}
+
+TEST_F(PosixFsTest, EnsureDirsPropagatesClearError) {
+  // A regular file squatting on a directory name makes ClearDir fail
+  // (opendir ENOTDIR); EnsureDirs must surface that instead of papering
+  // over it and letting the caller run on a broken layout.
+  std::ofstream(root_ + "/user0") << "not a directory";
+  PosixFilesys fs(root_, {.cache_dir_fds = false});
+  EXPECT_FALSE(fs.EnsureDirs({"user0"}, /*clear_contents=*/true).ok());
+}
+
+TEST_F(PosixFsTest, ClearDirFailsOnMissingDir) {
+  PosixFilesys fs(root_, {.cache_dir_fds = false});
+  EXPECT_FALSE(fs.ClearDir("nope").ok());
+}
+
+TEST_F(PosixFsTest, DirsyncHookFiresOnlyWhenFsyncDirsIsOn) {
+  // The *.dirsync hook points mean "a directory fsync has landed"; the
+  // crash harness's durability journal trusts the crossing itself, so it
+  // must not fire when fsync_dirs is disabled (the seeded metadata-
+  // durability mutation would otherwise be invisible).
+  for (bool fsync_dirs : {true, false}) {
+    std::vector<std::string> points;
+    PosixFilesys::Options opts;
+    opts.cache_dir_fds = false;
+    opts.fsync_dirs = fsync_dirs;
+    opts.hook = [&points](const char* point, const std::string&) {
+      points.emplace_back(point);
+    };
+    PosixFilesys fs(root_ + "/h" + (fsync_dirs ? "1" : "0"), std::move(opts));
+    std::filesystem::create_directories(root_ + "/h" + (fsync_dirs ? "1" : "0"));
+    ASSERT_TRUE(fs.EnsureDirs({"spool", "user0"}, /*clear_contents=*/false).ok());
+    auto body = [&]() -> Task<void> {
+      Fd fd = (co_await fs.Create("spool", "msg")).value();
+      (void)co_await fs.Append(fd, BytesOfString("x"));
+      (void)co_await fs.Sync(fd);
+      (void)co_await fs.Close(fd);
+      (void)co_await fs.Link("spool", "msg", "user0", "msg");
+      (void)co_await fs.Delete("spool", "msg");
+    };
+    proc::RunSyncVoid(body());
+    auto count = [&](const std::string& p) {
+      return std::count(points.begin(), points.end(), p);
+    };
+    if (fsync_dirs) {
+      EXPECT_EQ(count("create.dirsync"), 1) << "fsync_dirs on";
+      EXPECT_EQ(count("link.dirsync"), 1) << "fsync_dirs on";
+      EXPECT_EQ(count("delete.dirsync"), 1) << "fsync_dirs on";
+    } else {
+      EXPECT_EQ(count("create.dirsync"), 0) << "fsync_dirs off";
+      EXPECT_EQ(count("link.dirsync"), 0) << "fsync_dirs off";
+      EXPECT_EQ(count("delete.dirsync"), 0) << "fsync_dirs off";
+    }
+    EXPECT_EQ(count("create.entry"), 1);
+    EXPECT_EQ(count("delete.entry"), 1);
+  }
 }
 
 TEST_F(PosixFsTest, EnsureDirsClearsLeftovers) {
