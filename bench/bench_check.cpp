@@ -19,15 +19,25 @@
 // crash/env draws — shows up as an executions mismatch against the
 // committed row; the pct rows are regenerated with
 // `bench_pct --json BENCH_refine.json`.
+//
+// A fourth cell (fig11s-check-c8) boots the real netserv server on /tmp
+// and pushes 300 requests through 8 loopback clients: exact request count,
+// zero client-visible errors, and a generous wall bound. The fig11s- rows
+// are regenerated with `bench_fig11_mailboat --at-scale --json ...`.
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/pct_suite.h"
+#include "src/netserv/harness.h"
+#include "src/netserv/loadgen.h"
 #include "src/refine/explorer.h"
 #include "src/systems/pattern_harness.h"
 #include "src/systems/repl/repl_harness.h"
@@ -183,5 +193,69 @@ int main(int argc, char** argv) {
     }
     check("pct-kv-deadlock-deep-b" + std::to_string(info.budget / 4), false, m);
   });
+  {
+    // Real-server smoke cell: request count is deterministic (shared budget,
+    // drained exactly), so executions must match; wall gets its own generous
+    // floor because the cell pays ~100us per ext4 barrier even when healthy.
+    namespace ns = perennial::netserv;
+    ns::InprocMailServer::Config config;
+    config.root = "/tmp/pcc_bench_check_fig11s-" + std::to_string(::getpid());
+    // Mirror the fig11s-check-c8 cell in bench_fig11_mailboat --at-scale.
+    config.users = 64;
+    config.gc_window_us = 2000;
+    config.gc_batch = 256;
+    config.loops = 2;
+    config.executors = 16;
+    ns::InprocMailServer server(config);
+    if (!server.Start()) {
+      std::fprintf(stderr, "FAIL fig11s-check-c8: server failed to start\n");
+      ++failures;
+    } else {
+      ns::LoadgenOptions load;
+      load.smtp_port = server.smtp_port();
+      load.pop3_port = server.pop3_port();
+      load.clients = 8;
+      load.requests = 300;
+      load.num_users = config.users;
+      load.pickup_fraction = 0.25;
+      load.body_bytes = 256;
+      ns::LoadgenResult result = ns::RunLoadgen(load);
+      server.Stop();
+      if (result.aborted || result.errors != 0) {
+        std::fprintf(stderr, "FAIL fig11s-check-c8: errors=%llu aborted=%d\n",
+                     static_cast<unsigned long long>(result.errors), result.aborted);
+        ++failures;
+      } else {
+        BaselineCell base = FindCell(json, "fig11s-check-c8", false);
+        if (!base.found) {
+          std::fprintf(stderr, "FAIL fig11s-check-c8: no committed baseline row\n");
+          ++failures;
+        } else if (result.ok_requests != base.executions) {
+          std::fprintf(stderr,
+                       "FAIL fig11s-check-c8: requests %llu != committed %llu "
+                       "(regenerate with bench_fig11_mailboat --at-scale --json)\n",
+                       static_cast<unsigned long long>(result.ok_requests),
+                       static_cast<unsigned long long>(base.executions));
+          ++failures;
+        } else {
+          double allowed = 3.0 * base.ms;
+          if (allowed < 2000.0) {
+            allowed = 2000.0;  // absorbs ctest -j co-scheduling on 1 CPU
+          }
+          if (result.wall_ms > allowed) {
+            std::fprintf(stderr, "FAIL fig11s-check-c8: %.1f ms > allowed %.1f ms\n",
+                         result.wall_ms, allowed);
+            ++failures;
+          } else {
+            std::printf("ok   fig11s-check-c8: %llu reqs, %.1f ms (baseline %.1f ms, allowed %.1f ms)\n",
+                        static_cast<unsigned long long>(result.ok_requests), result.wall_ms,
+                        base.ms, allowed);
+          }
+        }
+      }
+    }
+    std::string cleanup = "rm -rf " + config.root;
+    [[maybe_unused]] int rc = std::system(cleanup.c_str());
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -108,6 +110,56 @@ inline bool WritePorJson(const std::string& path, const std::string& bench,
                  static_cast<unsigned long long>(r.violations), r.ms,
                  static_cast<unsigned long long>(r.peak_rss), r.outcome.c_str(),
                  i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+// Upsert pre-rendered row lines into an existing BENCH json document:
+// every committed row whose system slug does NOT start with `drop_prefix`
+// is preserved verbatim, the old `drop_prefix` rows are dropped, and
+// `rendered_rows` (single-line `{"system": ...}` objects, no trailing
+// comma) are appended. Keeps the comma placement WritePorJson uses so
+// repeated upserts from different benches compose.
+inline bool UpsertJsonRows(const std::string& path, const std::string& drop_prefix,
+                           const std::vector<std::string>& rendered_rows,
+                           const std::string& default_bench) {
+  std::string bench = default_bench;
+  std::vector<std::string> kept;
+  std::ifstream in(path);
+  if (in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      size_t at = line.find("\"bench\": \"");
+      if (at != std::string::npos) {
+        at += std::strlen("\"bench\": \"");
+        bench = line.substr(at, line.find('"', at) - at);
+        continue;
+      }
+      if (line.find("{\"system\": \"") == std::string::npos) {
+        continue;  // structural line
+      }
+      if (line.find("{\"system\": \"" + drop_prefix) != std::string::npos) {
+        continue;  // replaced below
+      }
+      while (!line.empty() && (line.back() == ',' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      kept.push_back(line);
+    }
+  }
+  for (const std::string& r : rendered_rows) {
+    kept.push_back("    " + r);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "--json: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench.c_str());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    std::fprintf(f, "%s%s\n", kept[i].c_str(), i + 1 < kept.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

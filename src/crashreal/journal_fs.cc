@@ -23,6 +23,7 @@ JournalFs::~JournalFs() {
 }
 
 void JournalFs::Line(const std::string& line) {
+  std::scoped_lock lock(mu_);
   std::string buf = line + "\n";
   size_t done = 0;
   while (done < buf.size()) {
@@ -56,6 +57,7 @@ proc::Task<Result<goosefs::Fd>> JournalFs::Create(const std::string& dir,
   if (!r.ok()) {
     Line("create-fail " + dir + " " + name);
   } else {
+    std::scoped_lock lock(mu_);
     created_[r.value()] = {dir, name};
   }
   co_return r;
@@ -79,19 +81,30 @@ proc::Task<Status> JournalFs::Sync(goosefs::Fd fd) {
   Cross("fs.sync");
   Status s = co_await inner_->Sync(fd);
   if (s.ok()) {
-    auto it = created_.find(fd);
-    if (it != created_.end()) {
+    std::pair<std::string, std::string> where;
+    bool tracked = false;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = created_.find(fd);
+      if (it != created_.end()) {
+        where = it->second;
+        tracked = true;
+      }
+    }
+    if (tracked) {
       struct stat st;
       PCC_ENSURE(::fstat(static_cast<int>(fd), &st) == 0, "JournalFs: fstat after sync");
-      Line("sync " + it->second.first + " " + it->second.second + " " +
-           std::to_string(st.st_size));
+      Line("sync " + where.first + " " + where.second + " " + std::to_string(st.st_size));
     }
   }
   co_return s;
 }
 
 proc::Task<Status> JournalFs::Close(goosefs::Fd fd) {
-  created_.erase(fd);
+  {
+    std::scoped_lock lock(mu_);
+    created_.erase(fd);
+  }
   co_return co_await inner_->Close(fd);
 }
 

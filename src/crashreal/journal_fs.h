@@ -30,6 +30,7 @@
 #define PERENNIAL_SRC_CRASHREAL_JOURNAL_FS_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,6 +69,12 @@ class JournalFs : public goosefs::Filesys {
 
   goosefs::PosixFilesys* inner_ = nullptr;
   int jfd_ = -1;
+  // Guards the journal write and created_ — the netserv crash bridge runs
+  // many server executor threads through one JournalFs. An intent line and
+  // its syscall are NOT atomic together, but they don't need to be: the
+  // journal only requires that each intent precedes its dirsync, which
+  // per-op program order already gives.
+  std::mutex mu_;
   // Created fds -> (dir, name), for sync lines.
   std::map<goosefs::Fd, std::pair<std::string, std::string>> created_;
 };

@@ -29,6 +29,17 @@ int64_t RawPread(int fd, void* buf, uint64_t n, int64_t off) {
   return ::pread(fd, buf, n, static_cast<off_t>(off));
 }
 
+// EINTR-retry for -1/errno syscalls (open/fsync); partial-transfer retry for
+// pread/pwrite lives in PreadAll/PwriteAll.
+template <typename Fn>
+int RetryEintr(Fn&& fn) {
+  int rc;
+  do {
+    rc = fn();
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
 }  // namespace
 
 Status PosixDisk::PwriteAll(int fd, const uint8_t* buf, uint64_t n, int64_t off,
@@ -83,7 +94,7 @@ Result<std::unique_ptr<PosixDisk>> PosixDisk::Open(const std::string& path, uint
   PCC_ENSURE(initial.size() + 2 <= options.sector_bytes,
              "PosixDisk: initial block does not fit a sector");
   int flags = O_RDWR | O_CLOEXEC | (format ? O_CREAT : 0);
-  int fd = ::open(path.c_str(), flags, 0644);
+  int fd = RetryEintr([&] { return ::open(path.c_str(), flags, 0644); });
   if (fd < 0) {
     return ErrnoStatus("open", errno);
   }
@@ -98,7 +109,7 @@ Result<std::unique_ptr<PosixDisk>> PosixDisk::Open(const std::string& path, uint
         return s;
       }
     }
-    if (::fsync(fd) != 0) {
+    if (RetryEintr([&] { return ::fsync(fd); }) != 0) {
       return ErrnoStatus("fsync", errno);
     }
   } else {
@@ -186,7 +197,7 @@ proc::Task<Status> PosixDisk::Barrier() {
     }
   }
   Cross("barrier.fsync");
-  if (::fsync(fd_) != 0) {
+  if (RetryEintr([&] { return ::fsync(fd_); }) != 0) {
     Status s = ErrnoStatus("fsync", errno);
     co_return s;
   }

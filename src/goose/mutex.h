@@ -3,7 +3,11 @@
 // In simulated mode the mutex integrates with the scheduler: Lock blocks the
 // thread (it leaves the runnable set) until an Unlock wakes the waiters, and
 // which waiter wins is a scheduling decision the checker explores. In native
-// mode the mutex is a plain std::mutex and blocks the OS thread.
+// mode the mutex blocks the OS thread on a condition variable. It is NOT a
+// plain std::mutex: Go's sync.Mutex (and therefore modeled code — e.g. a
+// POP3 frontend that locks at PASS and unlocks at QUIT) permits Lock and
+// Unlock to happen on different threads, which is undefined behavior for
+// std::mutex but well-defined for the cv-guarded flag used here.
 //
 // Like all in-memory state, a mutex is stamped with its crash generation:
 // locking a mutex created before a crash is undefined behavior — the memory
@@ -15,6 +19,7 @@
 #ifndef PERENNIAL_SRC_GOOSE_MUTEX_H_
 #define PERENNIAL_SRC_GOOSE_MUTEX_H_
 
+#include <condition_variable>
 #include <mutex>
 #include <vector>
 
@@ -37,7 +42,9 @@ class Mutex {
 
   proc::Task<void> Lock() {
     if (proc::CurrentScheduler() == nullptr) {
-      native_mu_.lock();
+      std::unique_lock<std::mutex> lk(native_mu_);
+      native_cv_.wait(lk, [this] { return !native_locked_; });
+      native_locked_ = true;
       co_return;
     }
     co_await proc::Yield();
@@ -58,7 +65,14 @@ class Mutex {
 
   proc::Task<void> Unlock() {
     if (proc::CurrentScheduler() == nullptr) {
-      native_mu_.unlock();
+      {
+        std::scoped_lock<std::mutex> lk(native_mu_);
+        if (!native_locked_) {
+          RaiseUb("Mutex::Unlock of an unlocked mutex");
+        }
+        native_locked_ = false;
+      }
+      native_cv_.notify_one();
       co_return;
     }
     co_await proc::Yield();
@@ -75,7 +89,8 @@ class Mutex {
     waiters_.clear();
   }
 
-  // Harness-only: observe lock state (e.g. in tests).
+  // Harness-only: observe lock state (e.g. in tests). Simulated-mode state
+  // only; native-mode holders are tracked by native_locked_.
   bool HeldForTesting() const { return locked_; }
 
  private:
@@ -91,6 +106,8 @@ class Mutex {
   bool locked_ = false;
   std::vector<proc::Scheduler::Tid> waiters_;
   std::mutex native_mu_;
+  std::condition_variable native_cv_;
+  bool native_locked_ = false;
 };
 
 }  // namespace perennial::goose

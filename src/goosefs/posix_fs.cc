@@ -27,6 +27,20 @@ Status ErrnoStatus(const std::string& op, int err) {
   }
 }
 
+// EINTR-retry wrapper for syscalls returning -1/errno. A signal landing
+// mid-call (the server hot path runs under profiling timers and a
+// killswitch-armed crash harness) must not surface as a spurious session
+// error. Open/link/unlink on regular files never partially complete, so a
+// retry is always safe.
+template <typename Fn>
+int RetryEintr(Fn&& fn) {
+  int rc;
+  do {
+    rc = fn();
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
 }  // namespace
 
 PosixFilesys::PosixFilesys(std::string root, Options options)
@@ -61,11 +75,11 @@ Status PosixFilesys::EnsureDirs(const std::vector<std::string>& dirs, bool clear
   if (made_any && options_.fsync_dirs) {
     // The new entries live in root_; sync it so the layout itself is
     // durable before any files are created beneath it.
-    int rfd = ::open(root_.c_str(), O_DIRECTORY | O_RDONLY);
+    int rfd = RetryEintr([&] { return ::open(root_.c_str(), O_DIRECTORY | O_RDONLY); });
     if (rfd < 0) {
       return ErrnoStatus("open root", errno);
     }
-    int rc = ::fsync(rfd);
+    int rc = RetryEintr([&] { return ::fsync(rfd); });
     int err = errno;
     ::close(rfd);
     if (rc != 0) {
@@ -87,7 +101,7 @@ Status PosixFilesys::ClearDir(const std::string& dir) {
       continue;
     }
     std::string file = path + "/" + entry->d_name;
-    if (::unlink(file.c_str()) != 0 && errno != ENOENT) {
+    if (RetryEintr([&] { return ::unlink(file.c_str()); }) != 0 && errno != ENOENT) {
       // Propagate the first failure (a directory, EPERM, ...) but keep
       // removing what we can; ENOENT just means someone beat us to it.
       if (result.ok()) {
@@ -108,13 +122,19 @@ Status PosixFilesys::SyncDir(const std::string& dir) {
   if (dfd < 0) {
     return ErrnoStatus("open dir", errno);
   }
-  int rc = ::fsync(dfd);
-  int err = errno;
+  Status s = DoFsync(dfd, "fsync dir");
   if (opened) {
     ::close(dfd);
   }
-  if (rc != 0) {
-    return ErrnoStatus("fsync dir " + dir, err);
+  return s;
+}
+
+Status PosixFilesys::DoFsync(int fd, const char* what) {
+  if (options_.fsyncer != nullptr) {
+    return options_.fsyncer->Fsync(fd);
+  }
+  if (RetryEintr([&] { return ::fsync(fd); }) != 0) {
+    return ErrnoStatus(what, errno);
   }
   return Status::Ok();
 }
@@ -128,7 +148,7 @@ int PosixFilesys::DirFd(const std::string& dir, bool* opened) {
       return it->second;
     }
     std::string path = root_ + "/" + dir;
-    int fd = ::open(path.c_str(), O_DIRECTORY | O_RDONLY);
+    int fd = RetryEintr([&] { return ::open(path.c_str(), O_DIRECTORY | O_RDONLY); });
     if (fd >= 0) {
       dir_fds_[dir] = fd;
     }
@@ -138,7 +158,7 @@ int PosixFilesys::DirFd(const std::string& dir, bool* opened) {
   // every operation pays a full path walk.
   *opened = true;
   std::string path = root_ + "/" + dir;
-  return ::open(path.c_str(), O_DIRECTORY | O_RDONLY);
+  return RetryEintr([&] { return ::open(path.c_str(), O_DIRECTORY | O_RDONLY); });
 }
 
 std::string PosixFilesys::FullPath(const std::string& dir, const std::string& name) const {
@@ -153,12 +173,15 @@ proc::Task<Result<Fd>> PosixFilesys::Create(const std::string& dir, const std::s
     if (dfd < 0) {
       co_return ErrnoStatus("open dir", errno);
     }
-    fd = ::openat(dfd, name.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644);
+    fd = RetryEintr(
+        [&] { return ::openat(dfd, name.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644); });
     if (opened) {
       ::close(dfd);
     }
   } else {
-    fd = ::open(FullPath(dir, name).c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644);
+    fd = RetryEintr([&] {
+      return ::open(FullPath(dir, name).c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644);
+    });
   }
   if (fd < 0) {
     co_return ErrnoStatus("create", errno);
@@ -186,12 +209,12 @@ proc::Task<Result<Fd>> PosixFilesys::Open(const std::string& dir, const std::str
     if (dfd < 0) {
       co_return ErrnoStatus("open dir", errno);
     }
-    fd = ::openat(dfd, name.c_str(), O_RDONLY);
+    fd = RetryEintr([&] { return ::openat(dfd, name.c_str(), O_RDONLY); });
     if (opened) {
       ::close(dfd);
     }
   } else {
-    fd = ::open(FullPath(dir, name).c_str(), O_RDONLY);
+    fd = RetryEintr([&] { return ::open(FullPath(dir, name).c_str(), O_RDONLY); });
   }
   if (fd < 0) {
     co_return ErrnoStatus("open", errno);
@@ -236,10 +259,7 @@ proc::Task<Result<Bytes>> PosixFilesys::ReadAt(Fd fd, uint64_t off, uint64_t cou
 }
 
 proc::Task<Status> PosixFilesys::Sync(Fd fd) {
-  if (::fsync(static_cast<int>(fd)) != 0) {
-    co_return ErrnoStatus("fsync", errno);
-  }
-  co_return Status::Ok();
+  co_return DoFsync(static_cast<int>(fd), "fsync");
 }
 
 proc::Task<Status> PosixFilesys::Close(Fd fd) {
@@ -257,7 +277,7 @@ proc::Task<Result<std::vector<std::string>>> PosixFilesys::List(const std::strin
     co_return ErrnoStatus("open dir", errno);
   }
   // fdopendir takes ownership, so always hand it a duplicate.
-  int dup_fd = ::dup(dfd);
+  int dup_fd = RetryEintr([&] { return ::dup(dfd); });
   if (opened) {
     ::close(dfd);
   }
@@ -290,7 +310,7 @@ proc::Task<bool> PosixFilesys::Link(const std::string& src_dir, const std::strin
     int sfd = DirFd(src_dir, &src_opened);
     int dfd = DirFd(dst_dir, &dst_opened);
     if (sfd >= 0 && dfd >= 0) {
-      rc = ::linkat(sfd, src_name.c_str(), dfd, dst_name.c_str(), 0);
+      rc = RetryEintr([&] { return ::linkat(sfd, src_name.c_str(), dfd, dst_name.c_str(), 0); });
     }
     if (src_opened && sfd >= 0) {
       ::close(sfd);
@@ -299,7 +319,8 @@ proc::Task<bool> PosixFilesys::Link(const std::string& src_dir, const std::strin
       ::close(dfd);
     }
   } else {
-    rc = ::link(FullPath(src_dir, src_name).c_str(), FullPath(dst_dir, dst_name).c_str());
+    rc = RetryEintr(
+        [&] { return ::link(FullPath(src_dir, src_name).c_str(), FullPath(dst_dir, dst_name).c_str()); });
   }
   if (rc == 0) {
     Cross("link.entry", dst_dir);
@@ -324,12 +345,12 @@ proc::Task<Status> PosixFilesys::Delete(const std::string& dir, const std::strin
     if (dfd < 0) {
       co_return ErrnoStatus("open dir", errno);
     }
-    rc = ::unlinkat(dfd, name.c_str(), 0);
+    rc = RetryEintr([&] { return ::unlinkat(dfd, name.c_str(), 0); });
     if (opened) {
       ::close(dfd);
     }
   } else {
-    rc = ::unlink(FullPath(dir, name).c_str());
+    rc = RetryEintr([&] { return ::unlink(FullPath(dir, name).c_str()); });
   }
   if (rc != 0) {
     co_return ErrnoStatus("unlink", errno);

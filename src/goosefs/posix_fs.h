@@ -23,6 +23,18 @@
 
 namespace perennial::goosefs {
 
+// Pluggable fsync implementation. PosixFilesys routes every durability
+// point — Sync(fd) on file fds and the internal directory fsyncs — through
+// this seam when one is installed, so a group-commit layer (e.g.
+// netserv::GroupCommitter) can coalesce the fsyncs of many concurrent
+// sessions into one batch barrier. Fsync must be callable from any thread
+// and must not return until the fd's dirty state is durable.
+class Fsyncer {
+ public:
+  virtual ~Fsyncer() = default;
+  virtual Status Fsync(int fd) = 0;
+};
+
 class PosixFilesys : public Filesys {
  public:
   struct Options {
@@ -41,6 +53,11 @@ class PosixFilesys : public Filesys {
     // "link.dirsync", "delete.entry", "delete.dirsync"). The string
     // argument is the directory involved.
     std::function<void(const char* point, const std::string& dir)> hook;
+    // When set, all durability fsyncs (file Sync and the directory fsyncs
+    // inside Create/Link/Delete) go through this instead of ::fsync —
+    // the group-commit hook. EnsureDirs's one-off root fsync stays direct
+    // (setup path, not a hot-path durability point). Not owned.
+    Fsyncer* fsyncer = nullptr;
   };
 
   // `root` must exist; directories are created beneath it on EnsureDirs.
@@ -76,6 +93,9 @@ class PosixFilesys : public Filesys {
   // (caller must close when `opened` is set). -1 on failure.
   int DirFd(const std::string& dir, bool* opened);
   std::string FullPath(const std::string& dir, const std::string& name) const;
+  // One durability fsync: routed through Options::fsyncer when installed,
+  // else a direct EINTR-retrying ::fsync.
+  Status DoFsync(int fd, const char* what);
   // fsync the directory itself (entry durability); no-op unless fsync_dirs.
   Status SyncDir(const std::string& dir);
   void Cross(const char* point, const std::string& dir) {

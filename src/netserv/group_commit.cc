@@ -1,0 +1,158 @@
+#include "src/netserv/group_commit.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace perennial::netserv {
+
+namespace {
+
+template <typename Fn>
+int RetryEintr(Fn&& fn) {
+  int rc;
+  do {
+    rc = fn();
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+Status FsyncDirect(int fd) {
+  if (RetryEintr([&] { return ::fsync(fd); }) != 0) {
+    return Status::Failed(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+GroupCommitter::GroupCommitter(Options options) : options_(options) {
+  if (options_.barrier == Barrier::kSyncfs) {
+    PCC_ENSURE(options_.syncfs_fd >= 0, "GroupCommitter: kSyncfs needs syncfs_fd");
+  }
+}
+
+GroupCommitter::~GroupCommitter() { Stop(); }
+
+void GroupCommitter::Start() {
+  std::scoped_lock lock(mu_);
+  PCC_ENSURE(!running_, "GroupCommitter: started twice");
+  running_ = true;
+  stop_ = false;
+  committer_ = std::thread([this] { CommitterMain(); });
+}
+
+void GroupCommitter::Stop() {
+  {
+    std::scoped_lock lock(mu_);
+    if (!running_) {
+      return;
+    }
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  committer_.join();
+  std::scoped_lock lock(mu_);
+  running_ = false;
+}
+
+Status GroupCommitter::Fsync(int fd) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!running_ || stop_) {
+    lock.unlock();
+    return FsyncDirect(fd);
+  }
+  if (open_ == nullptr) {
+    open_ = std::make_shared<Batch>();
+    work_cv_.notify_one();
+  }
+  std::shared_ptr<Batch> batch = open_;
+  batch->fds.push_back(fd);
+  if (batch->fds.size() >= options_.max_batch) {
+    work_cv_.notify_one();
+  }
+  batch->done_cv.wait(lock, [&] { return batch->committed; });
+  return batch->status;
+}
+
+void GroupCommitter::CommitterMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || open_ != nullptr; });
+    if (open_ == nullptr) {
+      // stop with no pending work
+      return;
+    }
+    // Hold the batch open for the latency window (or until it fills), but
+    // close early once arrivals go quiet: sessions blocked on THIS barrier
+    // cannot submit again until it commits, so a quiet period means the
+    // stragglers we are waiting for do not exist and the rest of the window
+    // would be pure idle time.
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(options_.max_wait_us);
+    uint64_t quiet = std::min(options_.quiet_us, options_.max_wait_us);
+    for (;;) {
+      size_t before = open_->fds.size();
+      if (before >= options_.max_batch || stop_) {
+        break;
+      }
+      auto slice = std::chrono::steady_clock::now() + std::chrono::microseconds(quiet);
+      bool closed = work_cv_.wait_until(lock, std::min(slice, deadline), [&] {
+        return stop_ || open_->fds.size() >= options_.max_batch;
+      });
+      if (closed || std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      if (open_->fds.size() == before) {
+        break;  // a full quiet slice with no arrivals: commit now
+      }
+    }
+    std::shared_ptr<Batch> batch = std::move(open_);
+    open_ = nullptr;
+    std::vector<int> fds = batch->fds;  // fds stay open: every owner is blocked in Fsync()
+    lock.unlock();
+
+    Status s = IssueBarrier(std::move(fds));
+
+    lock.lock();
+    stats_.requests.fetch_add(batch->fds.size(), std::memory_order_relaxed);
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    batch->status = s;
+    batch->committed = true;
+    batch->done_cv.notify_all();
+    if (stop_ && open_ == nullptr) {
+      return;
+    }
+  }
+}
+
+Status GroupCommitter::IssueBarrier(std::vector<int> fds) {
+  uint64_t total = fds.size();
+  std::sort(fds.begin(), fds.end());
+  fds.erase(std::unique(fds.begin(), fds.end()), fds.end());
+  stats_.deduped.fetch_add(total - fds.size(), std::memory_order_relaxed);
+
+  if (options_.barrier == Barrier::kSyncfs) {
+    stats_.fsyncs_issued.fetch_add(1, std::memory_order_relaxed);
+    if (RetryEintr([&] { return ::syncfs(options_.syncfs_fd); }) == 0) {
+      return Status::Ok();
+    }
+    // syncfs failed (exotic, but possible): fall back to per-fd fsync so
+    // waiters still get a truthful answer.
+  }
+  Status result = Status::Ok();
+  for (int fd : fds) {
+    stats_.fsyncs_issued.fetch_add(1, std::memory_order_relaxed);
+    Status s = FsyncDirect(fd);
+    if (!s.ok() && result.ok()) {
+      result = s;
+    }
+  }
+  return result;
+}
+
+}  // namespace perennial::netserv

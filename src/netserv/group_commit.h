@@ -1,0 +1,113 @@
+// Group commit: coalesce the fsyncs of many concurrent sessions into one
+// batch barrier.
+//
+// Mailboat's Deliver costs ~4 durability points (spool-file data, spool-dir
+// entry, mailbox-dir entry, spool-dir removal). Served naively, each session
+// pays each one at full device latency. GroupCommitter implements the
+// goosefs::Fsyncer seam: callers enqueue their fd and block; a committer
+// thread closes the batch after a bounded latency window (or a batch-size
+// cap, whichever first) and issues ONE barrier for everyone — then wakes the
+// whole batch. Per-message fsync cost drops to O(1/batch) while every
+// acknowledgment still happens strictly after its durability point, so the
+// acked ⇒ durable contract the crash harness checks is unchanged.
+//
+// Two barrier flavors:
+//  * kSyncfs (default): one syncfs() on the store's filesystem persists all
+//    dirty state — files and directory entries — in a single device barrier.
+//    Strictly stronger than the per-fd fsyncs it replaces.
+//  * kFsyncPerFd: fsync each *unique* fd in the batch (duplicates deduped,
+//    counted in stats().deduped). Deterministic per-fd accounting for tests,
+//    and the honest comparison point on filesystems without syncfs.
+//
+// The committer never reorders acks before barriers: Fsync() returns only
+// after the barrier covering the call has completed (or failed, in which
+// case the error is reported to every waiter in the batch).
+#ifndef PERENNIAL_SRC_NETSERV_GROUP_COMMIT_H_
+#define PERENNIAL_SRC_NETSERV_GROUP_COMMIT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/goosefs/posix_fs.h"
+
+namespace perennial::netserv {
+
+class GroupCommitter : public goosefs::Fsyncer {
+ public:
+  enum class Barrier {
+    kSyncfs,
+    kFsyncPerFd,
+  };
+
+  struct Options {
+    // Latency window: how long the committer holds a batch open after its
+    // first request, hoping for company. Bounded so a lone request is never
+    // stuck behind an idle server.
+    uint64_t max_wait_us = 500;
+    // Adaptive early close (jbd2-style): if no new request joins the batch
+    // for this long, everyone who was going to arrive has arrived — commit
+    // now instead of sleeping out the rest of the window. Set equal to
+    // max_wait_us to disable and always hold the full window.
+    uint64_t quiet_us = 50;
+    // Close the batch early once this many requests have queued.
+    uint64_t max_batch = 64;
+    Barrier barrier = Barrier::kSyncfs;
+    // Any fd on the store's filesystem (e.g. a directory fd of the mail
+    // root); required for kSyncfs, ignored for kFsyncPerFd. Not owned.
+    int syncfs_fd = -1;
+  };
+
+  struct Stats {
+    std::atomic<uint64_t> requests{0};       // Fsync() calls served by batches
+    std::atomic<uint64_t> batches{0};        // barriers issued
+    std::atomic<uint64_t> fsyncs_issued{0};  // actual syncfs/fsync syscalls
+    std::atomic<uint64_t> deduped{0};        // requests absorbed by fd dedup
+  };
+
+  explicit GroupCommitter(Options options);
+  ~GroupCommitter() override;
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  void Start();
+  // Drains the open batch, then joins the committer. After Stop, Fsync()
+  // falls back to a direct fsync (teardown paths still get durability).
+  void Stop();
+
+  // Blocks until a barrier covering this request has completed. Thread-safe.
+  Status Fsync(int fd) override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Batch {
+    std::vector<int> fds;
+    bool committed = false;
+    Status status;
+    std::condition_variable done_cv;
+  };
+
+  void CommitterMain();
+  Status IssueBarrier(std::vector<int> fds);
+
+  Options options_;
+  Stats stats_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // committer: "a batch opened / stop"
+  std::shared_ptr<Batch> open_;      // batch accepting requests, or null
+  bool running_ = false;
+  bool stop_ = false;
+  std::thread committer_;
+};
+
+}  // namespace perennial::netserv
+
+#endif  // PERENNIAL_SRC_NETSERV_GROUP_COMMIT_H_

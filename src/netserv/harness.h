@@ -1,0 +1,116 @@
+// In-process server bundle: PosixFilesys + GroupCommitter + Mailboat +
+// MailNetServer wired together in the production configuration, for
+// benchmarks and tests that want a real server on ephemeral loopback ports
+// without forking a daemon.
+//
+// Member order is the teardown order in reverse: the server stops first
+// (executors finish their in-flight barriers), then the committer, then
+// the filesystem and its root fd.
+#ifndef PERENNIAL_SRC_NETSERV_HARNESS_H_
+#define PERENNIAL_SRC_NETSERV_HARNESS_H_
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/panic.h"
+#include "src/goose/world.h"
+#include "src/goosefs/posix_fs.h"
+#include "src/mailboat/mailboat.h"
+#include "src/netserv/group_commit.h"
+#include "src/netserv/server.h"
+#include "src/proc/task.h"
+
+namespace perennial::netserv {
+
+class InprocMailServer {
+ public:
+  struct Config {
+    std::string root;
+    uint64_t users = 8;
+    bool group_commit = true;
+    uint64_t gc_window_us = 500;
+    uint64_t gc_batch = 64;
+    GroupCommitter::Barrier barrier = GroupCommitter::Barrier::kSyncfs;
+    uint64_t loops = 2;
+    uint64_t executors = 64;
+    bool clear_store = true;
+    TraceLog* trace = nullptr;
+  };
+
+  explicit InprocMailServer(Config config) : config_(std::move(config)) {}
+
+  ~InprocMailServer() { Stop(); }
+
+  bool Start() {
+    ::mkdir(config_.root.c_str(), 0755);
+    root_fd_ = ::open(config_.root.c_str(), O_DIRECTORY | O_RDONLY);
+    if (root_fd_ < 0) {
+      return false;
+    }
+    committer_ = std::make_unique<GroupCommitter>(GroupCommitter::Options{
+        .max_wait_us = config_.gc_window_us,
+        .max_batch = config_.gc_batch,
+        .barrier = config_.barrier,
+        .syncfs_fd = root_fd_,
+    });
+    if (config_.group_commit) {
+      committer_->Start();
+    }
+    goosefs::PosixFilesys::Options fs_options;
+    fs_options.cache_dir_fds = true;
+    fs_options.fsync_dirs = true;
+    fs_options.fsyncer = config_.group_commit ? committer_.get() : nullptr;
+    fs_ = std::make_unique<goosefs::PosixFilesys>(config_.root, fs_options);
+    if (!fs_->EnsureDirs(mailboat::Mailboat::DirLayout(config_.users), config_.clear_store).ok()) {
+      return false;
+    }
+    world_ = std::make_unique<goose::World>();
+    mail_ = std::make_unique<mailboat::Mailboat>(
+        world_.get(), fs_.get(), mailboat::Mailboat::Options{config_.users, 4096, 512, 42});
+    proc::RunSyncVoid(mail_->Recover());
+    MailNetServer::Options server_options;
+    server_options.num_loops = config_.loops;
+    server_options.num_executors = config_.executors;
+    server_options.trace = config_.trace;
+    server_ = std::make_unique<MailNetServer>(mail_.get(), server_options);
+    return server_->Start();
+  }
+
+  void Stop() {
+    if (server_ != nullptr) {
+      server_->Stop();
+    }
+    if (committer_ != nullptr) {
+      committer_->Stop();
+    }
+    if (root_fd_ >= 0) {
+      ::close(root_fd_);
+      root_fd_ = -1;
+    }
+  }
+
+  uint16_t smtp_port() const { return server_->smtp_port(); }
+  uint16_t pop3_port() const { return server_->pop3_port(); }
+  MailNetServer* server() { return server_.get(); }
+  GroupCommitter* committer() { return committer_.get(); }
+  mailboat::Mailboat* mail() { return mail_.get(); }
+  goosefs::PosixFilesys* fs() { return fs_.get(); }
+
+ private:
+  Config config_;
+  int root_fd_ = -1;
+  std::unique_ptr<GroupCommitter> committer_;
+  std::unique_ptr<goosefs::PosixFilesys> fs_;
+  std::unique_ptr<goose::World> world_;
+  std::unique_ptr<mailboat::Mailboat> mail_;
+  std::unique_ptr<MailNetServer> server_;
+};
+
+}  // namespace perennial::netserv
+
+#endif  // PERENNIAL_SRC_NETSERV_HARNESS_H_

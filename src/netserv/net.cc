@@ -1,0 +1,158 @@
+#include "src/netserv/net.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace perennial::netserv {
+
+namespace {
+
+ssize_t RealRecv(int fd, void* buf, size_t n, int flags) { return ::recv(fd, buf, n, flags); }
+ssize_t RealSend(int fd, const void* buf, size_t n, int flags) { return ::send(fd, buf, n, flags); }
+int RealAccept4(int fd, struct sockaddr* addr, socklen_t* len, int flags) {
+  return ::accept4(fd, addr, len, flags);
+}
+
+}  // namespace
+
+RawSys& Sys() {
+  static RawSys sys{RealRecv, RealSend, RealAccept4};
+  return sys;
+}
+
+ssize_t RecvSome(int fd, void* buf, size_t n) {
+  ssize_t rc;
+  do {
+    rc = Sys().recv(fd, buf, n, 0);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+ssize_t SendSome(int fd, const void* buf, size_t n) {
+  ssize_t rc;
+  do {
+    rc = Sys().send(fd, buf, n, MSG_NOSIGNAL);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+int Accept4(int fd, struct sockaddr* addr, socklen_t* len, int flags) {
+  int rc;
+  do {
+    rc = Sys().accept4(fd, addr, len, flags);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+int ListenTcp(uint16_t port, uint16_t* bound_port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+      int err = errno;
+      ::close(fd);
+      errno = err;
+      return -1;
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+int ConnectTcp(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  SetTcpNoDelay(fd);
+  return fd;
+}
+
+bool SetNonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SetTcpNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool BlockingLineConn::WriteLine(const std::string& line) {
+  std::string wire = line + "\r\n";
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = SendSome(fd_, wire.data() + sent, wire.size() - sent);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool BlockingLineConn::ReadLine(std::string* line) {
+  for (;;) {
+    size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buf_.substr(0, nl);
+      if (!line->empty() && line->back() == '\r') {
+        line->pop_back();
+      }
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = RecvSome(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      return false;
+    }
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void BlockingLineConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace perennial::netserv

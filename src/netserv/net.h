@@ -1,0 +1,70 @@
+// EINTR-safe nonblocking-socket helpers shared by the real mail server,
+// the load generator, and the loopback tests.
+//
+// Everything here is plain POSIX plumbing — no modeled semantics. The raw
+// recv/send/accept4 syscalls are routed through an injectable table so the
+// EINTR-handling satellite can be tested deterministically (a fake that
+// fails with EINTR N times before delegating to the real call).
+#ifndef PERENNIAL_SRC_NETSERV_NET_H_
+#define PERENNIAL_SRC_NETSERV_NET_H_
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+namespace perennial::netserv {
+
+// Raw syscall table. Tests may swap entries before starting a server /
+// client and must restore them afterwards; entries are not synchronized
+// for mid-run replacement.
+struct RawSys {
+  ssize_t (*recv)(int fd, void* buf, size_t n, int flags);
+  ssize_t (*send)(int fd, const void* buf, size_t n, int flags);
+  int (*accept4)(int fd, struct sockaddr* addr, socklen_t* len, int flags);
+};
+RawSys& Sys();
+
+// EINTR-retrying wrappers over Sys(). EAGAIN/EWOULDBLOCK passes through to
+// the caller (that is the event loop's cue to wait for the next edge);
+// sends always use MSG_NOSIGNAL so a dead peer yields EPIPE, not SIGPIPE.
+ssize_t RecvSome(int fd, void* buf, size_t n);
+ssize_t SendSome(int fd, const void* buf, size_t n);
+int Accept4(int fd, struct sockaddr* addr, socklen_t* len, int flags);
+
+// Listening TCP socket on 127.0.0.1:`port` (0 picks an ephemeral port,
+// reported via `bound_port`). Returns the fd, or -1 with errno set.
+int ListenTcp(uint16_t port, uint16_t* bound_port, int backlog = 512);
+
+// Blocking connect to 127.0.0.1:`port`. Returns a connected fd (blocking
+// mode, TCP_NODELAY) or -1 with errno set.
+int ConnectTcp(uint16_t port);
+
+bool SetNonblocking(int fd);
+void SetTcpNoDelay(int fd);
+
+// Blocking buffered line client, for tests and the crash-harness parent:
+// write full commands, read CRLF (or LF) terminated response lines.
+class BlockingLineConn {
+ public:
+  explicit BlockingLineConn(int fd) : fd_(fd) {}
+  ~BlockingLineConn() { Close(); }
+  BlockingLineConn(const BlockingLineConn&) = delete;
+  BlockingLineConn& operator=(const BlockingLineConn&) = delete;
+
+  // Sends `line` + CRLF. Returns false on a send error (peer gone).
+  bool WriteLine(const std::string& line);
+  // Reads one line (terminator stripped). False on EOF / error.
+  bool ReadLine(std::string* line);
+  void Close();
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+}  // namespace perennial::netserv
+
+#endif  // PERENNIAL_SRC_NETSERV_NET_H_

@@ -1,0 +1,543 @@
+#include "src/netserv/server.h"
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/base/panic.h"
+#include "src/netserv/net.h"
+#include "src/proc/task.h"
+
+namespace perennial::netserv {
+
+// One event-loop thread: owns an epoll set, the byte buffers of its
+// connections, and the only right to close their fds. Cross-thread inputs
+// (new connections from the acceptor, retire requests from executors) are
+// queued under pending_mu_ and the loop is nudged via an eventfd.
+class EventLoop {
+ public:
+  using Conn = MailNetServer::Conn;
+
+  EventLoop(MailNetServer* server, uint64_t id) : server_(server), id_(id) {}
+
+  ~EventLoop() {
+    if (epfd_ >= 0) {
+      ::close(epfd_);
+    }
+    if (evfd_ >= 0) {
+      ::close(evfd_);
+    }
+  }
+
+  bool Init() {
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    evfd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (epfd_ < 0 || evfd_ < 0) {
+      return false;
+    }
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = evfd_;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, evfd_, &ev) == 0;
+  }
+
+  void StartThread() {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  void Join() {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  void AddConn(std::shared_ptr<Conn> conn) {
+    {
+      std::scoped_lock lock(pending_mu_);
+      pending_add_.push_back(std::move(conn));
+    }
+    Nudge();
+  }
+
+  // Executors call this when a connection should be closed (quit handled,
+  // peer gone, output drained after `closing`). Idempotent.
+  void RequestRetire(std::shared_ptr<Conn> conn) {
+    {
+      std::scoped_lock lock(pending_mu_);
+      pending_retire_.push_back(std::move(conn));
+    }
+    Nudge();
+  }
+
+  void RequestStop() {
+    stop_.store(true, std::memory_order_relaxed);
+    Nudge();
+  }
+
+ private:
+  void Nudge() {
+    uint64_t one = 1;
+    ssize_t n;
+    do {
+      n = ::write(evfd_, &one, sizeof(one));
+    } while (n < 0 && errno == EINTR);
+  }
+
+  void Run() {
+    constexpr int kMaxEvents = 64;
+    struct epoll_event events[kMaxEvents];
+    while (!stop_.load(std::memory_order_relaxed)) {
+      int n;
+      do {
+        n = ::epoll_wait(epfd_, events, kMaxEvents, /*timeout_ms=*/200);
+      } while (n < 0 && errno == EINTR);
+      ProcessPending();
+      for (int i = 0; i < n; ++i) {
+        int fd = events[i].data.fd;
+        if (fd == evfd_) {
+          uint64_t drain;
+          while (::read(evfd_, &drain, sizeof(drain)) > 0) {
+          }
+          continue;
+        }
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) {
+          continue;  // retired earlier in this batch
+        }
+        std::shared_ptr<Conn> conn = it->second;
+        if (events[i].events & EPOLLOUT) {
+          std::scoped_lock lock(conn->mu);
+          if (!conn->retired) {
+            server_->QueueResponseLocked(conn, "");  // flush-only
+          }
+        }
+        if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+          HandleReadable(conn);
+        }
+      }
+      ProcessPending();
+    }
+    // Shutdown: close every remaining connection. Sessions die with their
+    // fds (stranded POP3 locks are torn down with the Mailboat instance).
+    for (auto& [fd, conn] : conns_) {
+      std::scoped_lock lock(conn->mu);
+      if (!conn->retired) {
+        conn->retired = true;
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+    }
+    conns_.clear();
+  }
+
+  void ProcessPending() {
+    std::vector<std::shared_ptr<Conn>> adds;
+    std::vector<std::shared_ptr<Conn>> retires;
+    {
+      std::scoped_lock lock(pending_mu_);
+      adds.swap(pending_add_);
+      retires.swap(pending_retire_);
+    }
+    for (auto& conn : adds) {
+      RegisterConn(conn);
+    }
+    for (auto& conn : retires) {
+      RetireConn(conn);
+    }
+  }
+
+  void RegisterConn(const std::shared_ptr<Conn>& conn) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
+      ::close(conn->fd);
+      return;
+    }
+    conns_[conn->fd] = conn;
+    {
+      std::scoped_lock lock(conn->mu);
+      server_->QueueResponseLocked(
+          conn, conn->is_smtp ? smtp::SmtpSession::Greeting() : smtp::Pop3Session::Greeting());
+    }
+    // Edge-triggered: bytes that arrived before the ADD only produce an
+    // edge on some kernels; read eagerly to be safe.
+    HandleReadable(conn);
+  }
+
+  void RetireConn(const std::shared_ptr<Conn>& conn) {
+    std::scoped_lock lock(conn->mu);
+    if (conn->retired) {
+      return;
+    }
+    conn->retired = true;
+    conns_.erase(conn->fd);
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+
+  void HandleReadable(const std::shared_ptr<Conn>& conn) {
+    bool oversized = false;
+    for (;;) {
+      {
+        std::scoped_lock lock(conn->mu);
+        if (conn->retired || conn->closing) {
+          return;
+        }
+      }
+      char buf[16384];
+      ssize_t n = RecvSome(conn->fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn->inbuf.append(buf, static_cast<size_t>(n));
+        if (static_cast<uint64_t>(n) < sizeof(buf) &&
+            conn->inbuf.size() <= server_->options_.max_line_bytes) {
+          break;  // drained the socket for this edge
+        }
+        if (conn->inbuf.find('\n') == std::string::npos &&
+            conn->inbuf.size() > server_->options_.max_line_bytes) {
+          oversized = true;
+          break;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      // 0 = orderly EOF; other errors (ECONNRESET...) are the same thing
+      // from the session's point of view: the peer is gone.
+      std::scoped_lock lock(conn->mu);
+      conn->peer_eof = true;
+      break;
+    }
+    DispatchLines(conn, oversized);
+  }
+
+  // Carves complete lines out of inbuf and hands the connection to an
+  // executor if it isn't already being served.
+  void DispatchLines(const std::shared_ptr<Conn>& conn, bool oversized) {
+    std::vector<std::string> lines;
+    size_t nl;
+    while ((nl = conn->inbuf.find('\n')) != std::string::npos) {
+      std::string line = conn->inbuf.substr(0, nl);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      conn->inbuf.erase(0, nl + 1);
+      lines.push_back(std::move(line));
+    }
+    std::scoped_lock lock(conn->mu);
+    if (conn->retired) {
+      return;
+    }
+    for (auto& line : lines) {
+      conn->lines.push_back(std::move(line));
+    }
+    if (oversized) {
+      // Protocol abuse: answer once and hang up without feeding the line
+      // to the session (it never materializes as a line at all).
+      conn->inbuf.clear();
+      server_->QueueResponseLocked(conn,
+                                   conn->is_smtp ? "500 line too long" : "-ERR line too long");
+      conn->closing = true;
+      if (conn->outbuf.size() == conn->outoff) {
+        RetireLockedFromLoop(conn);
+      }
+      return;
+    }
+    if (!conn->executing && (!conn->lines.empty() || conn->peer_eof)) {
+      conn->executing = true;
+      server_->EnqueueWork(conn);
+    }
+  }
+
+  // Loop-thread retire with conn->mu already held.
+  void RetireLockedFromLoop(const std::shared_ptr<Conn>& conn) {
+    if (conn->retired) {
+      return;
+    }
+    conn->retired = true;
+    conns_.erase(conn->fd);
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+
+  MailNetServer* server_;
+  uint64_t id_;
+  int epfd_ = -1;
+  int evfd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex pending_mu_;
+  std::vector<std::shared_ptr<Conn>> pending_add_;
+  std::vector<std::shared_ptr<Conn>> pending_retire_;
+
+  // Loop-thread-only.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+};
+
+MailNetServer::Conn::~Conn() {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+MailNetServer::MailNetServer(mailboat::MailApi* mail, Options options)
+    : mail_(mail), options_(options) {
+  PCC_ENSURE(options_.num_loops >= 1, "MailNetServer: need at least one event loop");
+  PCC_ENSURE(options_.num_executors >= 1, "MailNetServer: need at least one executor");
+}
+
+MailNetServer::~MailNetServer() { Stop(); }
+
+bool MailNetServer::Start() {
+  PCC_ENSURE(!started_, "MailNetServer: started twice");
+  smtp_listen_fd_ = ListenTcp(options_.smtp_port, &smtp_port_);
+  pop3_listen_fd_ = ListenTcp(options_.pop3_port, &pop3_port_);
+  if (smtp_listen_fd_ < 0 || pop3_listen_fd_ < 0) {
+    std::fprintf(stderr, "MailNetServer: bind/listen failed: %s\n", std::strerror(errno));
+    if (smtp_listen_fd_ >= 0) {
+      ::close(smtp_listen_fd_);
+    }
+    if (pop3_listen_fd_ >= 0) {
+      ::close(pop3_listen_fd_);
+    }
+    smtp_listen_fd_ = pop3_listen_fd_ = -1;
+    return false;
+  }
+  SetNonblocking(smtp_listen_fd_);
+  SetNonblocking(pop3_listen_fd_);
+  for (uint64_t i = 0; i < options_.num_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>(this, i);
+    if (!loop->Init()) {
+      std::fprintf(stderr, "MailNetServer: epoll init failed: %s\n", std::strerror(errno));
+      return false;
+    }
+    loops_.push_back(std::move(loop));
+  }
+  for (auto& loop : loops_) {
+    loop->StartThread();
+  }
+  for (uint64_t i = 0; i < options_.num_executors; ++i) {
+    executors_.emplace_back([this, i] { ExecutorMain(i); });
+  }
+  acceptor_ = std::thread([this] { AcceptorMain(); });
+  started_ = true;
+  return true;
+}
+
+void MailNetServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  acceptor_.join();
+  work_cv_.notify_all();
+  for (auto& t : executors_) {
+    t.join();
+  }
+  executors_.clear();
+  for (auto& loop : loops_) {
+    loop->RequestStop();
+  }
+  for (auto& loop : loops_) {
+    loop->Join();
+  }
+  loops_.clear();
+  ::close(smtp_listen_fd_);
+  ::close(pop3_listen_fd_);
+  smtp_listen_fd_ = pop3_listen_fd_ = -1;
+  started_ = false;
+}
+
+void MailNetServer::AcceptorMain() {
+  struct pollfd fds[2];
+  fds[0].fd = smtp_listen_fd_;
+  fds[1].fd = pop3_listen_fd_;
+  fds[0].events = fds[1].events = POLLIN;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int n = ::poll(fds, 2, /*timeout_ms=*/100);
+    if (n < 0 && errno != EINTR) {
+      break;
+    }
+    if (n <= 0) {
+      continue;
+    }
+    for (int which = 0; which < 2; ++which) {
+      if (!(fds[which].revents & POLLIN)) {
+        continue;
+      }
+      for (;;) {
+        int cfd = Accept4(fds[which].fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (cfd < 0) {
+          break;  // EAGAIN (or a transient accept error): back to poll
+        }
+        SetTcpNoDelay(cfd);
+        auto conn = std::make_shared<Conn>();
+        conn->fd = cfd;
+        conn->is_smtp = which == 0;
+        if (conn->is_smtp) {
+          conn->smtp = std::make_unique<smtp::SmtpSession>(mail_);
+        } else {
+          conn->pop3 = std::make_unique<smtp::Pop3Session>(mail_);
+        }
+        uint64_t loop_idx = next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+        conn->loop = loops_[loop_idx].get();
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        conn->loop->AddConn(std::move(conn));
+      }
+    }
+  }
+}
+
+void MailNetServer::EnqueueWork(std::shared_ptr<Conn> conn) {
+  {
+    std::scoped_lock lock(work_mu_);
+    work_.push_back(std::move(conn));
+  }
+  work_cv_.notify_one();
+}
+
+void MailNetServer::ExecutorMain(uint64_t executor_id) {
+  for (;;) {
+    std::shared_ptr<Conn> conn;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [&] { return stop_.load(std::memory_order_relaxed) || !work_.empty(); });
+      if (stop_.load(std::memory_order_relaxed)) {
+        return;  // queued connections die with the server
+      }
+      conn = std::move(work_.front());
+      work_.pop_front();
+    }
+    ServeConn(conn, executor_id);
+  }
+}
+
+void MailNetServer::ServeConn(const std::shared_ptr<Conn>& conn, uint64_t executor_id) {
+  for (;;) {
+    std::string line;
+    bool eof = false;
+    {
+      std::scoped_lock lock(conn->mu);
+      if (conn->retired || conn->closing) {
+        return;  // executing stays set; the conn is on its way out
+      }
+      if (!conn->lines.empty()) {
+        line = std::move(conn->lines.front());
+        conn->lines.pop_front();
+      } else if (conn->peer_eof) {
+        eof = true;
+      } else {
+        // Done for now. Corked replies (batched while more input was
+        // pending) go out before we yield the connection. The executing
+        // flag is cleared in the same critical section as the emptiness
+        // check, so a line arriving concurrently either lands before (we
+        // saw it) or after (the loop re-dispatches).
+        FlushLocked(conn);
+        conn->executing = false;
+        return;
+      }
+    }
+    if (eof) {
+      // Mid-session disconnect: a POP3 session may hold its user's pickup
+      // lock — release it (deleting nothing), per the Abort contract.
+      if (conn->pop3 != nullptr && !conn->pop3->quit()) {
+        proc::RunSyncVoid(conn->pop3->Abort());
+      }
+      {
+        std::scoped_lock lock(conn->mu);
+        conn->closing = true;
+      }
+      conn->loop->RequestRetire(conn);
+      return;
+    }
+    std::string resp;
+    {
+      TraceScope trace(options_.trace, conn->is_smtp ? "smtp_line" : "pop3_line", "serve",
+                       executor_id);
+      resp = conn->is_smtp ? proc::RunSync(conn->smtp->HandleLine(line))
+                           : proc::RunSync(conn->pop3->HandleLine(line));
+    }
+    lines_served_.fetch_add(1, std::memory_order_relaxed);
+    bool quit = conn->is_smtp ? conn->smtp->quit() : conn->pop3->quit();
+    bool retire_now = false;
+    {
+      std::scoped_lock lock(conn->mu);
+      if (conn->retired) {
+        return;
+      }
+      if (!resp.empty()) {
+        conn->outbuf += resp;
+        conn->outbuf += "\r\n";
+      }
+      // Cork: while more pipelined commands are already buffered, keep
+      // accumulating replies and write them as one segment at the drain
+      // point (or once the cork grows past a page) — one send() per
+      // batch instead of one per line.
+      if (quit || conn->lines.empty() || conn->outbuf.size() - conn->outoff >= 4096) {
+        FlushLocked(conn);
+      }
+      if (quit) {
+        conn->closing = true;
+        retire_now = conn->outbuf.size() == conn->outoff;
+      }
+    }
+    if (quit) {
+      if (retire_now) {
+        conn->loop->RequestRetire(conn);
+      }
+      // else: the loop retires it once EPOLLOUT drains the farewell.
+      return;
+    }
+  }
+}
+
+void MailNetServer::QueueResponseLocked(const std::shared_ptr<Conn>& conn,
+                                        const std::string& resp) {
+  if (!resp.empty()) {
+    conn->outbuf += resp;
+    conn->outbuf += "\r\n";
+  }
+  FlushLocked(conn);
+}
+
+void MailNetServer::FlushLocked(const std::shared_ptr<Conn>& conn) {
+  if (conn->retired || conn->fd < 0) {
+    return;
+  }
+  while (conn->outoff < conn->outbuf.size()) {
+    ssize_t n =
+        SendSome(conn->fd, conn->outbuf.data() + conn->outoff, conn->outbuf.size() - conn->outoff);
+    if (n > 0) {
+      conn->outoff += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // the EPOLLOUT edge resumes the flush
+    }
+    // Peer gone mid-write (EPIPE/ECONNRESET): nothing left to say.
+    conn->peer_eof = true;
+    conn->closing = true;
+    break;
+  }
+  if (conn->outoff == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->outoff = 0;
+    if (conn->closing) {
+      conn->loop->RequestRetire(conn);
+    }
+  }
+}
+
+}  // namespace perennial::netserv

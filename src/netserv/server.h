@@ -1,0 +1,145 @@
+// The production mail server: a multi-threaded epoll event loop serving
+// the SMTP/POP3 line protocols over real TCP sockets, backed by any
+// mailboat::MailApi (in practice Mailboat over PosixFilesys, with a
+// GroupCommitter installed on the filesystem's fsync seam).
+//
+// Thread architecture (DESIGN.md §14):
+//   * 1 acceptor thread: blocking poll on the two listening sockets,
+//     accept4(SOCK_NONBLOCK), round-robins connections across event loops.
+//   * N event-loop threads: each owns an epoll set (edge-triggered) and the
+//     read/write buffers of its connections. Loops never block on the mail
+//     store — they only move bytes and carve out complete lines.
+//   * M executor threads: run the per-connection session state machines
+//     (SmtpSession / Pop3Session over MailApi) one line at a time via
+//     proc::RunSync. Executors are the only threads that touch the store,
+//     so they are the only threads that block (on locks and on the group
+//     commit barrier).
+//
+// Sizing rule: a POP3 session holds its user's pickup lock from PASS to
+// QUIT, and a blocked Lock() pins an executor. Configure at least as many
+// executors as concurrently-locked POP3 sessions you expect (the harnesses
+// use executors = clients + headroom) or lock convoys can starve the pool.
+//
+// The protocol layer is unverified, exactly as in the paper (§8.2): every
+// crash-safety guarantee lives in Mailboat and the filesystem below it.
+#ifndef PERENNIAL_SRC_NETSERV_SERVER_H_
+#define PERENNIAL_SRC_NETSERV_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/mailboat/mail_api.h"
+#include "src/netserv/trace_event.h"
+#include "src/smtp/pop3.h"
+#include "src/smtp/smtp.h"
+
+namespace perennial::netserv {
+
+class EventLoop;
+
+class MailNetServer {
+ public:
+  struct Options {
+    uint16_t smtp_port = 0;  // 0 = ephemeral; see smtp_port() after Start
+    uint16_t pop3_port = 0;
+    uint64_t num_loops = 2;
+    uint64_t num_executors = 16;
+    // A line longer than this (no terminator in sight) is a protocol abuse:
+    // the connection is told off and closed.
+    uint64_t max_line_bytes = 64 * 1024;
+    TraceLog* trace = nullptr;  // optional profiling; not owned
+  };
+
+  MailNetServer(mailboat::MailApi* mail, Options options);
+  ~MailNetServer();
+
+  MailNetServer(const MailNetServer&) = delete;
+  MailNetServer& operator=(const MailNetServer&) = delete;
+
+  // Binds, listens, and spawns the thread fleet. False (with a message on
+  // stderr) if the ports can't be bound.
+  bool Start();
+  // Stops accepting, drains executors, closes every connection, joins all
+  // threads. Safe to call twice.
+  void Stop();
+
+  uint16_t smtp_port() const { return smtp_port_; }
+  uint16_t pop3_port() const { return pop3_port_; }
+
+  uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  uint64_t lines_served() const { return lines_served_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class EventLoop;
+
+  struct Conn {
+    ~Conn();  // closes fd if no retire path got to it (shutdown stragglers)
+
+    int fd = -1;
+    bool is_smtp = true;
+    EventLoop* loop = nullptr;
+
+    // Loop-thread-only: raw bytes not yet carved into lines.
+    std::string inbuf;
+
+    std::mutex mu;  // guards everything below
+    std::deque<std::string> lines;
+    std::string outbuf;
+    size_t outoff = 0;
+    bool executing = false;  // an executor owns this conn's lines right now
+    bool peer_eof = false;
+    bool closing = false;  // flush outbuf, then retire
+    bool retired = false;  // fd closed, conn off the epoll set
+
+    std::unique_ptr<smtp::SmtpSession> smtp;
+    std::unique_ptr<smtp::Pop3Session> pop3;
+  };
+
+  void AcceptorMain();
+  void ExecutorMain(uint64_t executor_id);
+  // Runs session lines until the conn's queue drains; called by executors.
+  void ServeConn(const std::shared_ptr<Conn>& conn, uint64_t executor_id);
+  void EnqueueWork(std::shared_ptr<Conn> conn);  // executing flag already set
+
+  // Appends `resp` + CRLF to conn->outbuf and flushes what it can.
+  // mu must be held by the caller.
+  void QueueResponseLocked(const std::shared_ptr<Conn>& conn, const std::string& resp);
+  // Drains outbuf to the socket (partial writes resume on the EPOLLOUT
+  // edge); separated from QueueResponseLocked so executors can cork
+  // replies to a pipelined command batch and write them as one segment.
+  void FlushLocked(const std::shared_ptr<Conn>& conn);
+
+  mailboat::MailApi* mail_;
+  Options options_;
+
+  int smtp_listen_fd_ = -1;
+  int pop3_listen_fd_ = -1;
+  uint16_t smtp_port_ = 0;
+  uint16_t pop3_port_ = 0;
+
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::thread acceptor_;
+  std::vector<std::thread> executors_;
+
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Conn>> work_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> lines_served_{0};
+  std::atomic<uint64_t> next_loop_{0};
+};
+
+}  // namespace perennial::netserv
+
+#endif  // PERENNIAL_SRC_NETSERV_SERVER_H_

@@ -1,0 +1,104 @@
+// Minimal Chrome trace-event JSON writer (catapult "trace event format",
+// JSON-array flavor) for profiling the server hot path. Load the output in
+// chrome://tracing or Perfetto.
+//
+// Threads record complete events ("ph":"X") with microsecond timestamps
+// relative to the trace's start; recording is a short critical section on
+// one mutex — cheap enough for request-granularity events, not intended
+// for per-syscall instrumentation.
+#ifndef PERENNIAL_SRC_NETSERV_TRACE_EVENT_H_
+#define PERENNIAL_SRC_NETSERV_TRACE_EVENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace perennial::netserv {
+
+class TraceLog {
+ public:
+  TraceLog() : start_(std::chrono::steady_clock::now()) {}
+
+  uint64_t NowUs() const {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                     std::chrono::steady_clock::now() - start_)
+                                     .count());
+  }
+
+  // One complete event: [start_us, start_us + dur_us) on track `tid`.
+  void Complete(const char* name, const char* category, uint64_t tid, uint64_t start_us,
+                uint64_t dur_us) {
+    std::scoped_lock lock(mu_);
+    events_.push_back(Event{name, category, tid, start_us, dur_us});
+  }
+
+  // Writes the JSON-array format. Returns false if the file can't be opened.
+  bool WriteJson(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::scoped_lock lock(mu_);
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < events_.size(); ++i) {
+      const Event& e = events_[i];
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,"
+                   "\"ts\":%llu,\"dur\":%llu}%s\n",
+                   e.name, e.category, static_cast<unsigned long long>(e.tid),
+                   static_cast<unsigned long long>(e.start_us),
+                   static_cast<unsigned long long>(e.dur_us),
+                   i + 1 < events_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+  size_t size() const {
+    std::scoped_lock lock(mu_);
+    return events_.size();
+  }
+
+ private:
+  struct Event {
+    const char* name;      // static strings only
+    const char* category;  // static strings only
+    uint64_t tid;
+    uint64_t start_us;
+    uint64_t dur_us;
+  };
+
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+// RAII scope: records a complete event from construction to destruction.
+class TraceScope {
+ public:
+  TraceScope(TraceLog* log, const char* name, const char* category, uint64_t tid)
+      : log_(log), name_(name), category_(category), tid_(tid),
+        start_us_(log != nullptr ? log->NowUs() : 0) {}
+  ~TraceScope() {
+    if (log_ != nullptr) {
+      log_->Complete(name_, category_, tid_, start_us_, log_->NowUs() - start_us_);
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceLog* log_;
+  const char* name_;
+  const char* category_;
+  uint64_t tid_;
+  uint64_t start_us_;
+};
+
+}  // namespace perennial::netserv
+
+#endif  // PERENNIAL_SRC_NETSERV_TRACE_EVENT_H_

@@ -1,0 +1,222 @@
+// Crash bridge for the real-socket mail server: the child process runs
+// MailNetServer + GroupCommitter(syncfs) + Mailboat over a JournalFs'd
+// PosixFilesys; the parent drives a deliver-only load over TCP, SIGKILLs
+// the child mid-flight once enough deliveries are acked, applies the
+// power-fail projection to the surviving tree, recovers a fresh Mailboat,
+// and checks acked => durable: every delivery the client saw a "250" for
+// is present, full contents intact, after the simulated power cut.
+//
+// tier2-crashreal: runs WITHOUT TSan (the TSan runtime does not survive
+// fork+SIGKILL children); self-skips like crashreal_test.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/crashreal/journal_fs.h"
+#include "src/crashreal/projection.h"
+#include "src/goose/world.h"
+#include "src/goosefs/posix_fs.h"
+#include "src/mailboat/mailboat.h"
+#include "src/netserv/group_commit.h"
+#include "src/netserv/loadgen.h"
+#include "src/netserv/server.h"
+#include "src/proc/task.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PCC_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define PCC_TSAN 1
+#endif
+
+namespace perennial::netserv {
+namespace {
+
+constexpr uint64_t kUsers = 8;
+constexpr uint64_t kMinAcked = 150;
+
+mailboat::Mailboat::Options MailOptions() {
+  return mailboat::Mailboat::Options{kUsers, 4096, 512, 42};
+}
+
+// Child: full production stack with the journal recording durability
+// effects for the parent's projection. Never returns; the parent SIGKILLs
+// it. Uses _exit on setup failure (no gtest machinery in the child).
+[[noreturn]] void ServerChild(const std::string& mail_root, const std::string& journal_path,
+                              int port_pipe_wfd) {
+  crashreal::JournalFs journal(journal_path);
+  int root_fd = ::open(mail_root.c_str(), O_DIRECTORY | O_RDONLY);
+  if (root_fd < 0) {
+    ::_exit(10);
+  }
+  GroupCommitter committer(GroupCommitter::Options{
+      .max_wait_us = 500,
+      .max_batch = 64,
+      .barrier = GroupCommitter::Barrier::kSyncfs,
+      .syncfs_fd = root_fd,
+  });
+  committer.Start();
+  goosefs::PosixFilesys::Options fopts;
+  fopts.cache_dir_fds = true;
+  fopts.fsync_dirs = true;
+  fopts.fsyncer = &committer;
+  fopts.hook = [&journal](const char* point, const std::string& dir) {
+    journal.OnPosixHook(point, dir);
+  };
+  goosefs::PosixFilesys fs(mail_root, std::move(fopts));
+  if (!fs.EnsureDirs(mailboat::Mailboat::DirLayout(kUsers), /*clear_contents=*/false).ok()) {
+    ::_exit(11);
+  }
+  journal.SetInner(&fs);
+  goose::World world;
+  mailboat::Mailboat mail(&world, &journal, MailOptions());
+  proc::RunSyncVoid(mail.Recover());
+  MailNetServer::Options sopts;
+  sopts.num_loops = 2;
+  sopts.num_executors = 40;
+  MailNetServer server(&mail, sopts);
+  if (!server.Start()) {
+    ::_exit(12);
+  }
+  std::string ports =
+      std::to_string(server.smtp_port()) + " " + std::to_string(server.pop3_port()) + "\n";
+  if (::write(port_pipe_wfd, ports.data(), ports.size()) != static_cast<ssize_t>(ports.size())) {
+    ::_exit(13);
+  }
+  ::close(port_pipe_wfd);
+  for (;;) {
+    ::pause();  // SIGKILL ends us mid-load
+  }
+}
+
+TEST(NetservCrashTest, AckedDeliveriesSurvivePowerFailProjection) {
+#ifdef PCC_TSAN
+  GTEST_SKIP() << "crash bridge SIGKILLs a forked child; run without TSan";
+#else
+  std::string root = ::testing::TempDir() + "/pcc_netserv_crash";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  std::string mail_root = root + "/mail";
+  std::string journal_path = root + "/journal.txt";
+  std::filesystem::create_directories(mail_root);
+
+  std::vector<std::string> dirs = mailboat::Mailboat::DirLayout(kUsers);
+  {
+    goosefs::PosixFilesys fs(mail_root, goosefs::PosixFilesys::Options{});
+    ASSERT_TRUE(fs.EnsureDirs(dirs, /*clear_contents=*/true).ok());
+  }
+  Result<crashreal::DirListing> base = crashreal::ListDirs(mail_root, dirs);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  int port_pipe[2];
+  ASSERT_EQ(::pipe(port_pipe), 0);
+  pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(port_pipe[0]);
+    ServerChild(mail_root, journal_path, port_pipe[1]);
+  }
+  ::close(port_pipe[1]);
+  std::string ports_line;
+  char ch;
+  while (::read(port_pipe[0], &ch, 1) == 1 && ch != '\n') {
+    ports_line += ch;
+  }
+  ::close(port_pipe[0]);
+  unsigned smtp_port = 0;
+  unsigned pop3_port = 0;
+  ASSERT_EQ(std::sscanf(ports_line.c_str(), "%u %u", &smtp_port, &pop3_port), 2)
+      << "child port report: '" << ports_line << "'";
+
+  // Deliver-only load with an effectively-unbounded budget; the watcher
+  // SIGKILLs the child as soon as kMinAcked deliveries are acknowledged,
+  // so the run always ends by crash, with more in flight.
+  std::atomic<uint64_t> acked{0};
+  std::thread watcher([&] {
+    for (int waited_ms = 0; waited_ms < 120000; ++waited_ms) {
+      if (acked.load(std::memory_order_relaxed) >= kMinAcked) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ::kill(child, SIGKILL);
+  });
+
+  LoadgenOptions load;
+  load.smtp_port = static_cast<uint16_t>(smtp_port);
+  load.pop3_port = static_cast<uint16_t>(pop3_port);
+  load.clients = 32;
+  load.requests = 1000000;
+  load.num_users = kUsers;
+  load.pickup_fraction = 0.0;
+  load.body_bytes = 200;
+  load.stall_timeout_ms = 30000;
+  load.acked_counter = &acked;
+  LoadgenResult result = RunLoadgen(load);
+  watcher.join();
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  ASSERT_GE(result.acked_bodies.size(), kMinAcked) << "load never reached the kill threshold";
+  EXPECT_TRUE(result.aborted);  // the run ended by crash, not by drained budget
+
+  // Power-fail projection: prune to the weakest state a real power cut at
+  // the kill instant could have left, per the child's journal.
+  Result<crashreal::DirListing> projected =
+      crashreal::ApplyPowerFailProjection(mail_root, journal_path, dirs, base.value());
+  ASSERT_TRUE(projected.ok()) << projected.status().ToString();
+
+  // Recover on the projected tree and collect every surviving message.
+  goosefs::PosixFilesys::Options fopts;
+  fopts.fsync_dirs = true;
+  goosefs::PosixFilesys fs(mail_root, std::move(fopts));
+  ASSERT_TRUE(fs.EnsureDirs(dirs, /*clear_contents=*/false).ok());
+  goose::World world;
+  mailboat::Mailboat mail(&world, &fs, MailOptions());
+  world.Crash();  // recovery runs in the post-crash generation
+  proc::RunSyncVoid(mail.Recover());
+  std::multiset<std::string> survivors;
+  for (uint64_t user = 0; user < kUsers; ++user) {
+    std::vector<mailboat::Message> msgs = proc::RunSync(mail.Pickup(user));
+    for (const mailboat::Message& m : msgs) {
+      survivors.insert(m.contents);
+    }
+    proc::RunSyncVoid(mail.Unlock(user));
+  }
+
+  // acked => durable: every "250 OK" the clients saw survives the cut with
+  // its full contents. (Unacked in-flight deliveries may or may not — both
+  // are legal — so the check is one-directional.)
+  uint64_t missing = 0;
+  for (const std::string& body : result.acked_bodies) {
+    auto it = survivors.find(body);
+    if (it == survivors.end()) {
+      ++missing;
+      ADD_FAILURE() << "acked delivery lost by power-fail projection: "
+                    << body.substr(0, body.find('x'));
+    } else {
+      survivors.erase(it);
+    }
+  }
+  EXPECT_EQ(missing, 0u) << missing << " of " << result.acked_bodies.size()
+                         << " acked deliveries missing";
+  std::filesystem::remove_all(root);
+#endif
+}
+
+}  // namespace
+}  // namespace perennial::netserv

@@ -1,0 +1,109 @@
+// tier2-net soak: many concurrent loadgen clients against the in-process
+// server, intended to run under TSan. Beyond "no data races", it checks an
+// end-to-end consistency invariant: with zero client-visible errors, the
+// number of messages left on the server equals acked delivers minus
+// committed deletes — nothing lost, nothing duplicated, under real
+// socket-level concurrency and group commit.
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/netserv/harness.h"
+#include "src/netserv/loadgen.h"
+#include "src/netserv/net.h"
+
+namespace perennial::netserv {
+namespace {
+
+std::string SoakRoot(const char* name) {
+  std::string root = "/tmp/pcc-netserv-soak-" + std::string(name) + "-" +
+                     std::to_string(::getpid());
+  std::string cmd = "rm -rf " + root;
+  [[maybe_unused]] int rc = std::system(cmd.c_str());
+  return root;
+}
+
+// Counts messages in userN's mailbox over a real POP3 session.
+uint64_t CountMessages(uint16_t pop3_port, uint64_t user) {
+  BlockingLineConn conn(ConnectTcp(pop3_port));
+  EXPECT_GE(conn.fd(), 0);
+  std::string line;
+  EXPECT_TRUE(conn.ReadLine(&line));  // greeting
+  EXPECT_TRUE(conn.WriteLine("USER user" + std::to_string(user)));
+  EXPECT_TRUE(conn.ReadLine(&line));
+  EXPECT_TRUE(conn.WriteLine("PASS x"));
+  EXPECT_TRUE(conn.ReadLine(&line));
+  EXPECT_TRUE(conn.WriteLine("LIST"));
+  EXPECT_TRUE(conn.ReadLine(&line));
+  EXPECT_EQ(line.substr(0, 3), "+OK");
+  uint64_t count = 0;
+  for (;;) {
+    EXPECT_TRUE(conn.ReadLine(&line));
+    if (line == ".") {
+      break;
+    }
+    ++count;
+  }
+  EXPECT_TRUE(conn.WriteLine("QUIT"));
+  EXPECT_TRUE(conn.ReadLine(&line));
+  return count;
+}
+
+void RunSoak(bool group_commit, uint64_t clients, uint64_t requests) {
+  InprocMailServer::Config config;
+  config.root = SoakRoot(group_commit ? "gc" : "nogc");
+  config.users = 8;
+  config.group_commit = group_commit;
+  config.gc_window_us = 500;
+  config.loops = 2;
+  // POP3 sessions hold their user lock PASS -> QUIT and a blocked Lock()
+  // pins an executor, so executors must exceed concurrent sessions.
+  config.executors = clients + 8;
+  InprocMailServer server(config);
+  ASSERT_TRUE(server.Start());
+
+  LoadgenOptions load;
+  load.smtp_port = server.smtp_port();
+  load.pop3_port = server.pop3_port();
+  load.clients = clients;
+  load.requests = requests;
+  load.num_users = config.users;
+  load.pickup_fraction = 0.3;
+  load.body_bytes = 128;
+  load.stall_timeout_ms = 60000;
+  LoadgenResult result = RunLoadgen(load);
+
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.ok_requests, requests);
+  EXPECT_EQ(result.acked_bodies.size(), result.delivers);
+
+  if (result.errors == 0) {
+    uint64_t remaining = 0;
+    for (uint64_t user = 0; user < config.users; ++user) {
+      remaining += CountMessages(server.pop3_port(), user);
+    }
+    EXPECT_EQ(remaining, result.delivers - result.deletes)
+        << "delivers=" << result.delivers << " deletes=" << result.deletes;
+  }
+  if (group_commit) {
+    const auto& stats = server.committer()->stats();
+    EXPECT_GT(stats.batches.load(), 0u);
+    // Batching must actually coalesce: fewer barriers than requests.
+    EXPECT_LT(stats.fsyncs_issued.load(), stats.requests.load());
+  }
+  server.Stop();
+}
+
+TEST(NetservSoakTest, ManyClientsMixedGroupCommit) {
+  RunSoak(/*group_commit=*/true, /*clients=*/64, /*requests=*/800);
+}
+
+TEST(NetservSoakTest, PerOpFsyncSmallerSoak) {
+  RunSoak(/*group_commit=*/false, /*clients=*/16, /*requests=*/200);
+}
+
+}  // namespace
+}  // namespace perennial::netserv

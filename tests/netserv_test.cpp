@@ -1,0 +1,448 @@
+// Tier-1 loopback tests for the production mail server (src/netserv):
+// real sockets against MailNetServer, the GroupCommitter batching/dedup
+// contract, EINTR injection through the socket syscall seam, and the
+// loadgen driving a small in-process run.
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/netserv/group_commit.h"
+#include "src/netserv/harness.h"
+#include "src/netserv/loadgen.h"
+#include "src/netserv/net.h"
+#include "src/netserv/trace_event.h"
+
+namespace perennial::netserv {
+namespace {
+
+std::string TestRoot(const char* name) {
+  std::string root = "/tmp/pcc-netserv-test-" + std::string(name) + "-" +
+                     std::to_string(::getpid());
+  std::string cmd = "rm -rf " + root;
+  [[maybe_unused]] int rc = std::system(cmd.c_str());
+  return root;
+}
+
+InprocMailServer::Config SmallConfig(const std::string& root) {
+  InprocMailServer::Config config;
+  config.root = root;
+  config.users = 4;
+  config.loops = 2;
+  config.executors = 8;
+  config.gc_window_us = 300;
+  return config;
+}
+
+// Reads lines until one arrives; fails the test on EOF.
+std::string MustReadLine(BlockingLineConn& conn) {
+  std::string line;
+  EXPECT_TRUE(conn.ReadLine(&line)) << "connection closed unexpectedly";
+  return line;
+}
+
+void ExpectPrefix(BlockingLineConn& conn, const std::string& prefix) {
+  std::string line = MustReadLine(conn);
+  EXPECT_EQ(line.substr(0, prefix.size()), prefix) << "full line: " << line;
+}
+
+// Runs a full SMTP delivery of `body_lines` to userN.
+void SmtpDeliver(uint16_t port, uint64_t user, const std::vector<std::string>& body_lines) {
+  BlockingLineConn conn(ConnectTcp(port));
+  ASSERT_GE(conn.fd(), 0);
+  ExpectPrefix(conn, "220");
+  ASSERT_TRUE(conn.WriteLine("HELO test"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("MAIL FROM:<user0@test>"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("RCPT TO:<user" + std::to_string(user) + "@test>"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("DATA"));
+  ExpectPrefix(conn, "354");
+  for (const auto& line : body_lines) {
+    ASSERT_TRUE(conn.WriteLine(line));
+  }
+  ASSERT_TRUE(conn.WriteLine("."));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("QUIT"));
+  ExpectPrefix(conn, "221");
+}
+
+// Picks up userN's mail: returns the RETR'd contents of each message
+// (messages are RETR'd but not deleted unless `delete_all`).
+std::vector<std::string> Pop3Fetch(uint16_t port, uint64_t user, bool delete_all) {
+  BlockingLineConn conn(ConnectTcp(port));
+  EXPECT_GE(conn.fd(), 0);
+  ExpectPrefix(conn, "+OK");
+  EXPECT_TRUE(conn.WriteLine("USER user" + std::to_string(user)));
+  ExpectPrefix(conn, "+OK");
+  EXPECT_TRUE(conn.WriteLine("PASS x"));
+  ExpectPrefix(conn, "+OK");
+  EXPECT_TRUE(conn.WriteLine("LIST"));
+  ExpectPrefix(conn, "+OK");
+  int count = 0;
+  for (;;) {
+    std::string line = MustReadLine(conn);
+    if (line == ".") {
+      break;
+    }
+    ++count;
+  }
+  std::vector<std::string> contents;
+  for (int i = 1; i <= count; ++i) {
+    EXPECT_TRUE(conn.WriteLine("RETR " + std::to_string(i)));
+    ExpectPrefix(conn, "+OK");
+    std::string body;
+    for (;;) {
+      std::string line = MustReadLine(conn);
+      if (line == ".") {
+        break;
+      }
+      body += line + "\r\n";
+    }
+    // The response is "+OK\r\n" + contents + "\r\n." and SMTP-delivered
+    // contents end in CRLF, so the wire carries one trailing empty line;
+    // strip it to recover the stored contents exactly.
+    if (body.size() >= 2 && body.compare(body.size() - 2, 2, "\r\n") == 0) {
+      body.resize(body.size() - 2);
+    }
+    contents.push_back(body);
+    if (delete_all) {
+      EXPECT_TRUE(conn.WriteLine("DELE " + std::to_string(i)));
+      ExpectPrefix(conn, "+OK");
+    }
+  }
+  EXPECT_TRUE(conn.WriteLine("QUIT"));
+  ExpectPrefix(conn, "+OK");
+  return contents;
+}
+
+TEST(NetservTest, SmtpDeliverPop3PickupRoundTrip) {
+  InprocMailServer server(SmallConfig(TestRoot("roundtrip")));
+  ASSERT_TRUE(server.Start());
+
+  SmtpDeliver(server.smtp_port(), 1, {"hello over tcp"});
+  std::vector<std::string> got = Pop3Fetch(server.pop3_port(), 1, /*delete_all=*/true);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "hello over tcp\r\n");
+
+  // The DELE committed at QUIT: the mailbox is empty now.
+  EXPECT_TRUE(Pop3Fetch(server.pop3_port(), 1, false).empty());
+  server.Stop();
+}
+
+TEST(NetservTest, SmtpDotStuffingPreserved) {
+  InprocMailServer server(SmallConfig(TestRoot("dotstuff")));
+  ASSERT_TRUE(server.Start());
+
+  // "..x" on the wire decodes to a stored ".x" line.
+  SmtpDeliver(server.smtp_port(), 2, {"..leading dot", "plain"});
+  std::vector<std::string> got = Pop3Fetch(server.pop3_port(), 2, true);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], ".leading dot\r\nplain\r\n");
+  server.Stop();
+}
+
+TEST(NetservTest, MalformedCommandsGetErrorsNotDisconnects) {
+  InprocMailServer server(SmallConfig(TestRoot("malformed")));
+  ASSERT_TRUE(server.Start());
+
+  BlockingLineConn smtp(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(smtp.fd(), 0);
+  ExpectPrefix(smtp, "220");
+  ASSERT_TRUE(smtp.WriteLine("BOGUS command"));
+  ExpectPrefix(smtp, "503");  // no HELO yet
+  ASSERT_TRUE(smtp.WriteLine("HELO test"));
+  ExpectPrefix(smtp, "250");
+  ASSERT_TRUE(smtp.WriteLine("BOGUS command"));
+  ExpectPrefix(smtp, "500");
+  ASSERT_TRUE(smtp.WriteLine("RCPT TO:<user1@x>"));
+  ExpectPrefix(smtp, "503");  // no MAIL FROM yet
+  ASSERT_TRUE(smtp.WriteLine("QUIT"));
+  ExpectPrefix(smtp, "221");
+
+  BlockingLineConn pop3(ConnectTcp(server.pop3_port()));
+  ASSERT_GE(pop3.fd(), 0);
+  ExpectPrefix(pop3, "+OK");
+  ASSERT_TRUE(pop3.WriteLine("GARBAGE"));
+  ExpectPrefix(pop3, "-ERR");
+  ASSERT_TRUE(pop3.WriteLine("USER nobody"));
+  ExpectPrefix(pop3, "-ERR");
+  ASSERT_TRUE(pop3.WriteLine("QUIT"));
+  ExpectPrefix(pop3, "+OK");
+  server.Stop();
+}
+
+TEST(NetservTest, OversizedLineIsRejectedAndConnectionClosed) {
+  InprocMailServer::Config config = SmallConfig(TestRoot("oversized"));
+  InprocMailServer server(config);
+  ASSERT_TRUE(server.Start());
+
+  BlockingLineConn conn(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(conn.fd(), 0);
+  ExpectPrefix(conn, "220");
+  // Default cap is 64 KiB; a single unterminated 80 KiB blob trips it.
+  std::string huge(80 * 1024, 'a');
+  ASSERT_TRUE(conn.WriteLine(huge));
+  ExpectPrefix(conn, "500 line too long");
+  std::string line;
+  EXPECT_FALSE(conn.ReadLine(&line));  // server hung up
+  server.Stop();
+}
+
+TEST(NetservTest, MidSessionDisconnectReleasesPop3Lock) {
+  InprocMailServer server(SmallConfig(TestRoot("disconnect")));
+  ASSERT_TRUE(server.Start());
+
+  // Session A takes user3's pickup lock at PASS, then vanishes without QUIT.
+  {
+    BlockingLineConn a(ConnectTcp(server.pop3_port()));
+    ASSERT_GE(a.fd(), 0);
+    ExpectPrefix(a, "+OK");
+    ASSERT_TRUE(a.WriteLine("USER user3"));
+    ExpectPrefix(a, "+OK");
+    ASSERT_TRUE(a.WriteLine("PASS x"));
+    ExpectPrefix(a, "+OK");
+    // destructor closes the socket mid-session
+  }
+
+  // Session B must be able to take the lock: the server's Abort path ran.
+  // (If the lock leaked, PASS would block forever and the test would hang
+  // on its gtest timeout.)
+  std::vector<std::string> got = Pop3Fetch(server.pop3_port(), 3, false);
+  EXPECT_TRUE(got.empty());
+  server.Stop();
+}
+
+TEST(NetservTest, ConcurrentSessionsInterleave) {
+  InprocMailServer::Config config = SmallConfig(TestRoot("concurrent"));
+  config.executors = 16;
+  InprocMailServer server(config);
+  ASSERT_TRUE(server.Start());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SmtpDeliver(server.smtp_port(), static_cast<uint64_t>(t) % 4,
+                    {"msg t" + std::to_string(t) + " i" + std::to_string(i)});
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t total = 0;
+  for (uint64_t user = 0; user < 4; ++user) {
+    total += Pop3Fetch(server.pop3_port(), user, true).size();
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads * kPerThread));
+  server.Stop();
+}
+
+TEST(NetservTest, GroupCommitterBatchesAndDedupes) {
+  std::string root = TestRoot("gc-dedup");
+  ::mkdir(root.c_str(), 0755);
+  std::string path = root + "/f";
+  int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  int fd2 = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd2, 0);
+
+  GroupCommitter committer(GroupCommitter::Options{
+      .max_wait_us = 200 * 1000,  // wide window: all threads join one batch
+      .quiet_us = 200 * 1000,     // disable adaptive early close for determinism
+      .max_batch = 64,
+      .barrier = GroupCommitter::Barrier::kFsyncPerFd,
+  });
+  committer.Start();
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      // Two distinct fds across the herd; everything else is duplicate.
+      Status s = committer.Fsync(t == 0 ? fd2 : fd);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  committer.Stop();
+
+  const auto& stats = committer.stats();
+  EXPECT_EQ(stats.requests.load(), static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.batches.load(), 1u);
+  EXPECT_EQ(stats.fsyncs_issued.load(), 2u);  // one per unique fd
+  EXPECT_EQ(stats.deduped.load(), static_cast<uint64_t>(kThreads - 2));
+  ::close(fd);
+  ::close(fd2);
+}
+
+TEST(NetservTest, GroupCommitterFallsBackAfterStop) {
+  std::string root = TestRoot("gc-stopped");
+  ::mkdir(root.c_str(), 0755);
+  int fd = ::open((root + "/f").c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  GroupCommitter committer(
+      GroupCommitter::Options{.barrier = GroupCommitter::Barrier::kFsyncPerFd});
+  committer.Start();
+  committer.Stop();
+  // Post-stop callers still get real durability, just unbatched.
+  EXPECT_TRUE(committer.Fsync(fd).ok());
+  EXPECT_EQ(committer.stats().batches.load(), 0u);
+  ::close(fd);
+}
+
+TEST(NetservTest, GroupCommitterSyncfsBarrier) {
+  std::string root = TestRoot("gc-syncfs");
+  ::mkdir(root.c_str(), 0755);
+  int root_fd = ::open(root.c_str(), O_DIRECTORY | O_RDONLY);
+  ASSERT_GE(root_fd, 0);
+  int fd = ::open((root + "/f").c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  GroupCommitter committer(GroupCommitter::Options{
+      .max_wait_us = 100,
+      .barrier = GroupCommitter::Barrier::kSyncfs,
+      .syncfs_fd = root_fd,
+  });
+  committer.Start();
+  EXPECT_TRUE(committer.Fsync(fd).ok());
+  committer.Stop();
+  EXPECT_EQ(committer.stats().batches.load(), 1u);
+  EXPECT_EQ(committer.stats().fsyncs_issued.load(), 1u);
+  ::close(fd);
+  ::close(root_fd);
+}
+
+// EINTR fault injection: every socket syscall fails with EINTR on first
+// attempt; sessions must complete as if nothing happened.
+struct EintrInjector {
+  static std::atomic<uint64_t> hits;
+  static RawSys saved;
+
+  static ssize_t Recv(int fd, void* buf, size_t n, int flags) {
+    if (hits.fetch_add(1) % 2 == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    return ::recv(fd, buf, n, flags);
+  }
+  static ssize_t Send(int fd, const void* buf, size_t n, int flags) {
+    if (hits.fetch_add(1) % 2 == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    return ::send(fd, buf, n, flags);
+  }
+  static int Accept4(int fd, struct sockaddr* addr, socklen_t* len, int flags) {
+    if (hits.fetch_add(1) % 2 == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    return ::accept4(fd, addr, len, flags);
+  }
+
+  static void Install() {
+    saved = Sys();
+    hits.store(0);
+    Sys() = RawSys{Recv, Send, Accept4};
+  }
+  static void Restore() { Sys() = saved; }
+};
+std::atomic<uint64_t> EintrInjector::hits{0};
+RawSys EintrInjector::saved;
+
+TEST(NetservTest, SessionsSurviveEintrStorms) {
+  EintrInjector::Install();
+  {
+    InprocMailServer server(SmallConfig(TestRoot("eintr")));
+    ASSERT_TRUE(server.Start());
+    SmtpDeliver(server.smtp_port(), 0, {"eintr survivor"});
+    std::vector<std::string> got = Pop3Fetch(server.pop3_port(), 0, true);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], "eintr survivor\r\n");
+    server.Stop();
+  }
+  EintrInjector::Restore();
+  EXPECT_GT(EintrInjector::hits.load(), 0u);
+}
+
+TEST(NetservTest, LoadgenSmallMixedRun) {
+  std::string root = TestRoot("loadgen");
+  InprocMailServer::Config config = SmallConfig(root);
+  config.executors = 24;
+  config.trace = nullptr;
+  InprocMailServer server(config);
+  ASSERT_TRUE(server.Start());
+
+  LoadgenOptions load;
+  load.smtp_port = server.smtp_port();
+  load.pop3_port = server.pop3_port();
+  load.clients = 8;
+  load.requests = 120;
+  load.num_users = 4;
+  load.pickup_fraction = 0.25;
+  load.body_bytes = 64;
+  LoadgenResult result = RunLoadgen(load);
+
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.ok_requests, 120u);
+  EXPECT_EQ(result.delivers + result.pickups, result.ok_requests);
+  EXPECT_EQ(result.latencies_us.size(), result.ok_requests);
+  EXPECT_EQ(result.acked_bodies.size(), result.delivers);
+  EXPECT_GT(server.committer()->stats().batches.load(), 0u);
+  server.Stop();
+}
+
+TEST(NetservTest, TraceLogWritesChromeJson) {
+  TraceLog log;
+  {
+    TraceScope scope(&log, "unit", "test", 7);
+  }
+  log.Complete("manual", "test", 1, 10, 5);
+  ASSERT_EQ(log.size(), 2u);
+  std::string path = TestRoot("trace") + ".json";
+  ASSERT_TRUE(log.WriteJson(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  std::string json(buf);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"manual\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(NetservTest, ServerStartStopIsClean) {
+  for (int i = 0; i < 3; ++i) {
+    InprocMailServer server(SmallConfig(TestRoot("startstop")));
+    ASSERT_TRUE(server.Start());
+    // one quick session to prove liveness
+    BlockingLineConn conn(ConnectTcp(server.smtp_port()));
+    ASSERT_GE(conn.fd(), 0);
+    ExpectPrefix(conn, "220");
+    ASSERT_TRUE(conn.WriteLine("QUIT"));
+    ExpectPrefix(conn, "221");
+    server.Stop();
+  }
+}
+
+}  // namespace
+}  // namespace perennial::netserv
