@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "src/base/stage_timer.h"
 #include "src/base/table.h"
 #include "src/goose/world.h"
 #include "src/goosefs/posix_fs.h"
@@ -142,6 +143,14 @@ struct ScaleResult {
   double rps = 0;
   uint64_t p50_us = 0;
   uint64_t p99_us = 0;
+  // Process CPU over the loadgen window (includes the in-process client
+  // threads; consistent across before/after, which is the comparison).
+  uint64_t utime_us = 0;
+  uint64_t stime_us = 0;
+  double cpu_us_per_request = 0;
+  // Per-stage self-time snapshot (stage_timer.h), us per stage.
+  uint64_t stage_us[perennial::stage::kNumStages] = {};
+  uint64_t stage_calls[perennial::stage::kNumStages] = {};
 };
 
 struct ScaleConfig {
@@ -194,8 +203,29 @@ ScaleResult RunScaleCellOnce(const ScaleConfig& sc) {
   load.body_bytes = 256;
   load.stall_timeout_ms = 60000;
 
+  // Stage counters + CPU: measure only the loadgen window, so server
+  // setup (EnsureDirs' fsync storm, store clearing) stays out of the
+  // per-request numbers.
+  static perennial::stage::StageTotals stage_totals;
+  stage_totals.Reset();
+  perennial::stage::Install(&stage_totals);
+  perennial::benchjson::CpuUsage cpu0 = perennial::benchjson::ProcessCpuUsage();
+
   ScaleResult r;
   r.load = RunLoadgen(load);
+
+  perennial::benchjson::CpuUsage cpu1 = perennial::benchjson::ProcessCpuUsage();
+  perennial::stage::Install(nullptr);
+  r.utime_us = cpu1.utime_us - cpu0.utime_us;
+  r.stime_us = cpu1.stime_us - cpu0.stime_us;
+  if (r.load.ok_requests > 0) {
+    r.cpu_us_per_request =
+        static_cast<double>(r.utime_us + r.stime_us) / static_cast<double>(r.load.ok_requests);
+  }
+  for (int i = 0; i < perennial::stage::kNumStages; ++i) {
+    r.stage_us[i] = stage_totals.ns[i].load(std::memory_order_relaxed) / 1000;
+    r.stage_calls[i] = stage_totals.calls[i].load(std::memory_order_relaxed);
+  }
   const auto& stats = server.committer()->stats();
   r.batches = stats.batches.load();
   r.fsyncs = stats.fsyncs_issued.load();
@@ -256,6 +286,7 @@ std::string RenderScaleRow(const std::string& slug, const ScaleResult& r) {
                 "{\"system\": \"%s\", \"por\": false, \"executions\": %llu, "
                 "\"deduped\": %llu, \"pruned\": %llu, \"histories\": %llu, "
                 "\"violations\": %llu, \"ms\": %.1f, \"p50_us\": %llu, \"p99_us\": %llu, "
+                "\"cpu_us_per_request\": %.1f, \"utime_us\": %llu, \"stime_us\": %llu, "
                 "\"peak_rss\": %llu, \"outcome\": \"%s\"}",
                 slug.c_str(), static_cast<unsigned long long>(r.load.ok_requests),
                 static_cast<unsigned long long>(r.deduped),
@@ -263,7 +294,9 @@ std::string RenderScaleRow(const std::string& slug, const ScaleResult& r) {
                 static_cast<unsigned long long>(r.batches),
                 static_cast<unsigned long long>(r.load.errors), r.load.wall_ms,
                 static_cast<unsigned long long>(r.p50_us),
-                static_cast<unsigned long long>(r.p99_us),
+                static_cast<unsigned long long>(r.p99_us), r.cpu_us_per_request,
+                static_cast<unsigned long long>(r.utime_us),
+                static_cast<unsigned long long>(r.stime_us),
                 static_cast<unsigned long long>(perennial::benchjson::PeakRssBytes()),
                 r.load.aborted ? "aborted" : "complete");
   return buf;
@@ -301,6 +334,27 @@ int RunAtScale(int argc, char** argv) {
 
   std::vector<std::string> rows;
 
+  // Prints the per-stage self-time table for a cell (stage_timer.h): where
+  // each request's wall time went, with commit-wait (barrier blocking)
+  // separated from the CPU-bound stages.
+  auto print_stages = [](const char* label, const ScaleResult& r) {
+    std::printf("stage self-time, %s (cpu %.1f us/req = utime %.1f + stime %.1f):\n", label,
+                r.cpu_us_per_request,
+                r.load.ok_requests ? static_cast<double>(r.utime_us) / r.load.ok_requests : 0,
+                r.load.ok_requests ? static_cast<double>(r.stime_us) / r.load.ok_requests : 0);
+    TextTable st({"stage", "total ms", "calls", "us/req"});
+    for (int i = 0; i < perennial::stage::kNumStages; ++i) {
+      st.AddRow({perennial::stage::StageName(i),
+                 FixedDigits(static_cast<double>(r.stage_us[i]) / 1000.0, 1),
+                 WithCommas(r.stage_calls[i]),
+                 FixedDigits(r.load.ok_requests
+                                 ? static_cast<double>(r.stage_us[i]) / r.load.ok_requests
+                                 : 0,
+                             1)});
+    }
+    std::printf("%s\n", st.Render().c_str());
+  };
+
   // Client sweep, group commit on vs off (off = one fsync per durability
   // point, the classical configuration).
   TextTable table({"clients", "gc", "req/s", "p50 us", "p99 us", "batches", "fsyncs",
@@ -326,6 +380,9 @@ int RunAtScale(int argc, char** argv) {
         best_rps = r.rps;
         best_clients = clients;
       }
+    }
+    if (clients == 64) {
+      print_stages("64 clients, gc on", gc_r);
     }
     if (nogc_r.rps > 0) {
       char buf[64];
@@ -369,9 +426,11 @@ int RunAtScale(int argc, char** argv) {
     }
     ScaleResult r = RunScaleCell(sc);
     rows.push_back(RenderScaleRow("fig11s-check-c8", r));
-    std::printf("check cell (8 clients, 300 requests): %s req/s, p99 %s us\n",
+    std::printf("check cell (8 clients, 300 requests): %s req/s, p99 %s us, "
+                "cpu %.1f us/req\n",
                 WithCommas(static_cast<uint64_t>(r.rps)).c_str(),
-                WithCommas(r.p99_us).c_str());
+                WithCommas(r.p99_us).c_str(), r.cpu_us_per_request);
+    print_stages("check cell", r);
     if (trace_path != nullptr) {
       if (trace.WriteJson(trace_path)) {
         std::printf("trace: %zu events -> %s (chrome://tracing)\n", trace.size(), trace_path);

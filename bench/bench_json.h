@@ -31,7 +31,34 @@ struct PorJsonRow {
   // Appended after ms so bench_check's fixed-order scan stays valid.
   uint64_t peak_rss = 0;          // process peak RSS after the run (bytes)
   std::string outcome = "complete";  // RunOutcome name; "deadline"/"canceled"/"oom" = partial row
+  // Per-request CPU cost (perf rows only; 0 when not measured). The split
+  // into user/system time is the profiling headline: the netserv hot path
+  // is syscall-dominated, so stime regressions are the ones to watch.
+  double cpu_us_per_request = 0;
+  uint64_t utime_us = 0;  // process user CPU over the measured window
+  uint64_t stime_us = 0;  // process system CPU over the measured window
 };
+
+// Process user+system CPU so far, in microseconds. Benches diff two
+// readings around a measured window to fill the cpu_us_per_request /
+// utime_us / stime_us row fields (in-process harnesses include the load
+// generator's threads — fine for before/after comparisons, which is the
+// only use).
+struct CpuUsage {
+  uint64_t utime_us = 0;
+  uint64_t stime_us = 0;
+};
+
+inline CpuUsage ProcessCpuUsage() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return {};
+  }
+  auto tv_us = [](const struct timeval& tv) {
+    return static_cast<uint64_t>(tv.tv_sec) * 1000000 + static_cast<uint64_t>(tv.tv_usec);
+  };
+  return CpuUsage{tv_us(ru.ru_utime), tv_us(ru.ru_stime)};
+}
 
 // Process-wide peak resident set size in bytes (Linux reports KiB). Peak,
 // not current: a row's value includes every earlier row, which is fine for
@@ -110,6 +137,9 @@ inline bool WritePorJson(const std::string& path, const std::string& bench,
                  static_cast<unsigned long long>(r.violations), r.ms,
                  static_cast<unsigned long long>(r.peak_rss), r.outcome.c_str(),
                  i + 1 < rows.size() ? "," : "");
+    // The CPU fields are perf-row-only; WritePorJson serves the checker
+    // sweeps, whose rows leave them unset, so nothing extra is emitted
+    // here (bench_check's key-based scan tolerates absent keys).
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

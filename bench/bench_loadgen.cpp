@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "src/netserv/harness.h"
 #include "src/netserv/loadgen.h"
 
@@ -111,7 +112,9 @@ int main(int argc, char** argv) {
     load.pop3_port = ext_pop3;
   }
 
+  perennial::benchjson::CpuUsage cpu0 = perennial::benchjson::ProcessCpuUsage();
   LoadgenResult result = RunLoadgen(load);
+  perennial::benchjson::CpuUsage cpu1 = perennial::benchjson::ProcessCpuUsage();
 
   double reqs_per_s = result.wall_ms > 0 ? result.ok_requests / (result.wall_ms / 1000.0) : 0;
   std::printf(
@@ -124,6 +127,16 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(PercentileUs(result.latencies_us, 50)),
       static_cast<unsigned long long>(PercentileUs(result.latencies_us, 99)),
       result.aborted ? " ABORTED" : "");
+  if (result.ok_requests > 0) {
+    // Process CPU (loadgen clients included for the in-proc server): the
+    // stable per-request cost on a host whose wall clock is disk-noisy.
+    uint64_t du = cpu1.utime_us - cpu0.utime_us;
+    uint64_t ds = cpu1.stime_us - cpu0.stime_us;
+    std::printf("cpu: %.1f us/req (utime %.1f + stime %.1f)\n",
+                static_cast<double>(du + ds) / static_cast<double>(result.ok_requests),
+                static_cast<double>(du) / static_cast<double>(result.ok_requests),
+                static_cast<double>(ds) / static_cast<double>(result.ok_requests));
+  }
   if (server != nullptr) {
     const auto& stats = server->committer()->stats();
     std::printf("group_commit: requests=%llu batches=%llu fsyncs=%llu deduped=%llu\n",

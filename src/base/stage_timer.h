@@ -1,0 +1,124 @@
+// Lightweight pipeline-stage wall-clock counters for the netserv hot path.
+//
+// A request flows read -> parse -> execute -> fs -> commit-wait -> write;
+// knowing which stage owns the per-request CPU is the whole profiling
+// game, and gprof can't tell us (it samples the main thread only and never
+// sees kernel time). StageScope instruments each stage with one
+// steady_clock read on entry and exit (vDSO, ~20 ns) and attributes
+// *self time*: a scope subtracts its children's elapsed time from its own,
+// so `execute` excludes the fs work nested inside it and `fs` excludes the
+// commit-wait nested inside it.
+//
+// The counters measure wall time, not CPU time: for the CPU-bound stages
+// (read/parse/write and fs's syscall bodies) the two coincide, while
+// commit-wait is dominated by blocking on the group-commit barrier — which
+// is exactly what a throughput investigation wants separated out.
+//
+// Disabled (single relaxed load per scope) until a sink is installed, so
+// production paths pay nothing. Install is not synchronized against
+// concurrent scopes: install the sink before the server starts serving and
+// uninstall after it stops.
+#ifndef PERENNIAL_SRC_BASE_STAGE_TIMER_H_
+#define PERENNIAL_SRC_BASE_STAGE_TIMER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace perennial::stage {
+
+enum Stage : int {
+  kRead = 0,    // socket recv + buffer management
+  kParse,       // line carve out of the receive buffer
+  kExecute,     // session state machine (minus nested fs work)
+  kFs,          // filesystem syscalls (minus nested commit-wait)
+  kCommitWait,  // blocked on a durability barrier (group commit or fsync)
+  kWrite,       // response cork + socket send
+  kNumStages,
+};
+
+inline const char* StageName(int s) {
+  static constexpr const char* kNames[kNumStages] = {"read",       "parse", "execute",
+                                                     "fs",         "commit_wait",
+                                                     "write"};
+  return (s >= 0 && s < kNumStages) ? kNames[s] : "?";
+}
+
+struct StageTotals {
+  std::atomic<uint64_t> ns[kNumStages] = {};
+  std::atomic<uint64_t> calls[kNumStages] = {};
+
+  void Reset() {
+    for (int i = 0; i < kNumStages; ++i) {
+      ns[i].store(0, std::memory_order_relaxed);
+      calls[i].store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+namespace detail {
+
+inline std::atomic<StageTotals*>& SinkSlot() {
+  static std::atomic<StageTotals*> sink{nullptr};
+  return sink;
+}
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace detail
+
+// Install a totals sink (nullptr to disable). The caller owns the sink and
+// must keep it alive until after Install(nullptr) + all scopes have exited.
+inline void Install(StageTotals* totals) {
+  detail::SinkSlot().store(totals, std::memory_order_release);
+}
+
+class StageScope {
+ public:
+  explicit StageScope(Stage s) : stage_(s) {
+    totals_ = detail::SinkSlot().load(std::memory_order_acquire);
+    if (totals_ == nullptr) {
+      return;
+    }
+    parent_ = tls_current_;
+    tls_current_ = this;
+    child_ns_ = 0;
+    start_ns_ = detail::NowNs();
+  }
+
+  ~StageScope() {
+    if (totals_ == nullptr) {
+      return;
+    }
+    uint64_t elapsed = detail::NowNs() - start_ns_;
+    uint64_t self = elapsed >= child_ns_ ? elapsed - child_ns_ : 0;
+    totals_->ns[stage_].fetch_add(self, std::memory_order_relaxed);
+    totals_->calls[stage_].fetch_add(1, std::memory_order_relaxed);
+    tls_current_ = parent_;
+    if (parent_ != nullptr) {
+      parent_->child_ns_ += elapsed;
+    }
+  }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  // Scopes nest strictly (RAII on one thread), giving each thread a chain
+  // for self-time attribution.
+  static inline thread_local StageScope* tls_current_ = nullptr;
+
+  Stage stage_;
+  StageTotals* totals_;
+  StageScope* parent_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t child_ns_ = 0;
+};
+
+}  // namespace perennial::stage
+
+#endif  // PERENNIAL_SRC_BASE_STAGE_TIMER_H_

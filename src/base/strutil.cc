@@ -69,13 +69,20 @@ bool ParseUint64(std::string_view s, uint64_t* out) {
 }
 
 std::string HexId(uint64_t id) {
+  std::string out;
+  out.reserve(16);
+  AppendHexId(out, id);
+  return out;
+}
+
+void AppendHexId(std::string& out, uint64_t id) {
   static constexpr char kHex[] = "0123456789abcdef";
-  std::string out(16, '0');
+  char digits[16];
   for (int i = 15; i >= 0; --i) {
-    out[static_cast<size_t>(i)] = kHex[id & 0xF];
+    digits[i] = kHex[id & 0xF];
     id >>= 4;
   }
-  return out;
+  out.append(digits, sizeof(digits));
 }
 
 }  // namespace perennial

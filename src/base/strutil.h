@@ -28,6 +28,28 @@ bool ParseUint64(std::string_view s, uint64_t* out);
 // Fixed-width hex rendering of a 64-bit id (16 lowercase hex digits); used
 // for Mailboat's random message identifiers.
 std::string HexId(uint64_t id);
+// Appends the same 16 hex digits to `out` without a temporary string, for
+// hot paths that build prefixed names ("tmp-<id>") in one allocation.
+void AppendHexId(std::string& out, uint64_t id);
+
+// Packs an exactly-4-character protocol verb into a big-endian uint32 after
+// ASCII uppercasing ("helo" -> 'H','E','L','O'), for allocation-free verb
+// dispatch in the SMTP/POP3 parsers (every verb in both subsets is 4
+// characters). Returns 0 for any other token length, which matches no verb.
+constexpr uint32_t VerbCode(std::string_view token) {
+  if (token.size() != 4) {
+    return 0;
+  }
+  uint32_t v = 0;
+  for (char c : token) {
+    auto u = static_cast<unsigned char>(c);
+    if (u >= 'a' && u <= 'z') {
+      u = static_cast<unsigned char>(u - ('a' - 'A'));
+    }
+    v = (v << 8) | u;
+  }
+  return v;
+}
 
 }  // namespace perennial
 

@@ -3,6 +3,7 @@
 #include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/syscall.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -10,6 +11,7 @@
 #include <cstring>
 
 #include "src/base/panic.h"
+#include "src/base/stage_timer.h"
 
 namespace perennial::goosefs {
 
@@ -72,6 +74,25 @@ Status PosixFilesys::EnsureDirs(const std::vector<std::string>& dirs, bool clear
       }
     }
   }
+  if (options_.cache_dir_fds) {
+    // Pre-open every layout dir and seal the cache: the hot path then
+    // resolves dir fds with a lock-free lookup in an immutable map.
+    // (Idempotent across recovered runs; a dir that appears later — none
+    // does in practice — falls back to a fresh open per op.)
+    std::scoped_lock lock(mu_);
+    for (const std::string& dir : dirs) {
+      if (dir_fds_.find(dir) != dir_fds_.end()) {
+        continue;
+      }
+      std::string path = root_ + "/" + dir;
+      int fd = RetryEintr([&] { return ::open(path.c_str(), O_DIRECTORY | O_RDONLY); });
+      if (fd < 0) {
+        return ErrnoStatus("open " + path, errno);
+      }
+      dir_fds_[dir] = fd;
+    }
+    sealed_.store(true, std::memory_order_release);
+  }
   if (made_any && options_.fsync_dirs) {
     // The new entries live in root_; sync it so the layout itself is
     // durable before any files are created beneath it.
@@ -130,6 +151,9 @@ Status PosixFilesys::SyncDir(const std::string& dir) {
 }
 
 Status PosixFilesys::DoFsync(int fd, const char* what) {
+  // Everything in here is the durability barrier (group-commit wait or a
+  // raw fsync); separate it from fs self-time in the stage profile.
+  stage::StageScope scope(stage::kCommitWait);
   if (options_.fsyncer != nullptr) {
     return options_.fsyncer->Fsync(fd);
   }
@@ -139,9 +163,28 @@ Status PosixFilesys::DoFsync(int fd, const char* what) {
   return Status::Ok();
 }
 
+bool PosixFilesys::EntryReconciled(const std::string& dir) const {
+  for (const std::string& d : options_.recovery_reconciled_dirs) {
+    if (d == dir) {
+      return true;
+    }
+  }
+  return false;
+}
+
 int PosixFilesys::DirFd(const std::string& dir, bool* opened) {
   if (options_.cache_dir_fds) {
     *opened = false;
+    if (sealed_.load(std::memory_order_acquire)) {
+      // Post-seal: dir_fds_ is immutable, no lock, no insertion. A miss
+      // (a dir outside the EnsureDirs layout) gets a fresh per-op fd.
+      auto it = dir_fds_.find(dir);
+      if (it != dir_fds_.end()) {
+        return it->second;
+      }
+      *opened = true;
+      return RetryEintr([&] { return ::open(ScratchPath(dir, {}), O_DIRECTORY | O_RDONLY); });
+    }
     std::scoped_lock lock(mu_);
     auto it = dir_fds_.find(dir);
     if (it != dir_fds_.end()) {
@@ -157,15 +200,30 @@ int PosixFilesys::DirFd(const std::string& dir, bool* opened) {
   // Uncached mode (GoMail style): open the directory fresh each time, so
   // every operation pays a full path walk.
   *opened = true;
-  std::string path = root_ + "/" + dir;
-  return RetryEintr([&] { return ::open(path.c_str(), O_DIRECTORY | O_RDONLY); });
+  return RetryEintr([&] { return ::open(ScratchPath(dir, {}), O_DIRECTORY | O_RDONLY); });
 }
 
 std::string PosixFilesys::FullPath(const std::string& dir, const std::string& name) const {
   return root_ + "/" + dir + "/" + name;
 }
 
+const char* PosixFilesys::ScratchPath(const std::string& dir, const std::string& name) const {
+  // One reusable buffer per thread: path joins in uncached mode (and the
+  // post-seal miss path) stop allocating per operation. The pointer is
+  // valid until the calling thread's next ScratchPath call.
+  thread_local std::string scratch;
+  scratch.assign(root_);
+  scratch += '/';
+  scratch += dir;
+  if (!name.empty()) {
+    scratch += '/';
+    scratch += name;
+  }
+  return scratch.c_str();
+}
+
 proc::Task<Result<Fd>> PosixFilesys::Create(const std::string& dir, const std::string& name) {
+  stage::StageScope fs_stage(stage::kFs);
   int fd = -1;
   if (options_.cache_dir_fds) {
     bool opened = false;
@@ -180,28 +238,34 @@ proc::Task<Result<Fd>> PosixFilesys::Create(const std::string& dir, const std::s
     }
   } else {
     fd = RetryEintr([&] {
-      return ::open(FullPath(dir, name).c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644);
+      return ::open(ScratchPath(dir, name), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644);
     });
   }
   if (fd < 0) {
     co_return ErrnoStatus("create", errno);
   }
   Cross("create.entry", dir);
-  Status ds = SyncDir(dir);
-  if (!ds.ok()) {
-    ::close(fd);
-    co_return ds;
-  }
-  // The .dirsync hook points mean "a directory fsync has landed" — observers
-  // (crashreal's durability journal) treat the crossing itself as the
-  // durability event, so it must not fire when fsync_dirs is off.
-  if (options_.fsync_dirs) {
-    Cross("create.dirsync", dir);
+  // Recovery-reconciled dirs skip the entry barrier entirely (the caller
+  // sweeps the dir on recovery; see Options::recovery_reconciled_dirs).
+  if (!EntryReconciled(dir)) {
+    Status ds = SyncDir(dir);
+    if (!ds.ok()) {
+      ::close(fd);
+      co_return ds;
+    }
+    // The .dirsync hook points mean "a directory fsync has landed" —
+    // observers (crashreal's durability journal) treat the crossing itself
+    // as the durability event, so it must not fire when no fsync happened
+    // (fsync_dirs off, or the dir is recovery-reconciled).
+    if (options_.fsync_dirs) {
+      Cross("create.dirsync", dir);
+    }
   }
   co_return static_cast<Fd>(fd);
 }
 
 proc::Task<Result<Fd>> PosixFilesys::Open(const std::string& dir, const std::string& name) {
+  stage::StageScope fs_stage(stage::kFs);
   int fd = -1;
   if (options_.cache_dir_fds) {
     bool opened = false;
@@ -214,7 +278,7 @@ proc::Task<Result<Fd>> PosixFilesys::Open(const std::string& dir, const std::str
       ::close(dfd);
     }
   } else {
-    fd = RetryEintr([&] { return ::open(FullPath(dir, name).c_str(), O_RDONLY); });
+    fd = RetryEintr([&] { return ::open(ScratchPath(dir, name), O_RDONLY); });
   }
   if (fd < 0) {
     co_return ErrnoStatus("open", errno);
@@ -223,6 +287,7 @@ proc::Task<Result<Fd>> PosixFilesys::Open(const std::string& dir, const std::str
 }
 
 proc::Task<Status> PosixFilesys::Append(Fd fd, const Bytes& data) {
+  stage::StageScope fs_stage(stage::kFs);
   size_t written = 0;
   while (written < data.size()) {
     ssize_t n = ::write(static_cast<int>(fd), data.data() + written, data.size() - written);
@@ -238,6 +303,7 @@ proc::Task<Status> PosixFilesys::Append(Fd fd, const Bytes& data) {
 }
 
 proc::Task<Result<Bytes>> PosixFilesys::ReadAt(Fd fd, uint64_t off, uint64_t count) {
+  stage::StageScope fs_stage(stage::kFs);
   Bytes out(count);
   size_t total = 0;
   while (total < count) {
@@ -259,10 +325,12 @@ proc::Task<Result<Bytes>> PosixFilesys::ReadAt(Fd fd, uint64_t off, uint64_t cou
 }
 
 proc::Task<Status> PosixFilesys::Sync(Fd fd) {
+  stage::StageScope fs_stage(stage::kFs);
   co_return DoFsync(static_cast<int>(fd), "fsync");
 }
 
 proc::Task<Status> PosixFilesys::Close(Fd fd) {
+  stage::StageScope fs_stage(stage::kFs);
   if (::close(static_cast<int>(fd)) != 0) {
     co_return ErrnoStatus("close", errno);
   }
@@ -270,39 +338,67 @@ proc::Task<Status> PosixFilesys::Close(Fd fd) {
 }
 
 proc::Task<Result<std::vector<std::string>>> PosixFilesys::List(const std::string& dir) {
+  stage::StageScope fs_stage(stage::kFs);
   std::vector<std::string> names;
   bool opened = false;
   int dfd = DirFd(dir, &opened);
   if (dfd < 0) {
     co_return ErrnoStatus("open dir", errno);
   }
-  // fdopendir takes ownership, so always hand it a duplicate.
-  int dup_fd = RetryEintr([&] { return ::dup(dfd); });
+  // Raw getdents64 on the directory fd: no dup, no fdopendir (which
+  // fstats and heap-allocates a DIR) — just a rewind and batched reads.
+  // The read position is fd state, so cached-mode callers must serialize
+  // List per directory; Mailboat does (mailbox Lists run under the user
+  // lock, the spool List only in single-threaded Recover). Concurrent
+  // *fsyncs* of the same fd (group commit) don't touch the position.
+  if (::lseek(dfd, 0, SEEK_SET) < 0) {
+    if (opened) {
+      ::close(dfd);
+    }
+    co_return ErrnoStatus("lseek dir", errno);
+  }
+  struct LinuxDirent64 {
+    uint64_t d_ino;
+    int64_t d_off;
+    unsigned short d_reclen;
+    unsigned char d_type;
+    char d_name[];
+  };
+  alignas(8) char buf[4096];
+  Status failed = Status::Ok();
+  for (;;) {
+    long n;
+    do {
+      n = ::syscall(SYS_getdents64, dfd, buf, sizeof(buf));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      failed = ErrnoStatus("getdents64", errno);
+      break;
+    }
+    if (n == 0) {
+      break;
+    }
+    for (long pos = 0; pos < n;) {
+      auto* entry = reinterpret_cast<LinuxDirent64*>(buf + pos);
+      if (std::strcmp(entry->d_name, ".") != 0 && std::strcmp(entry->d_name, "..") != 0) {
+        names.emplace_back(entry->d_name);
+      }
+      pos += entry->d_reclen;
+    }
+  }
   if (opened) {
     ::close(dfd);
   }
-  if (dup_fd < 0) {
-    co_return ErrnoStatus("dup", errno);
+  if (!failed.ok()) {
+    co_return failed;
   }
-  ::lseek(dup_fd, 0, SEEK_SET);
-  DIR* d = ::fdopendir(dup_fd);
-  if (d == nullptr) {
-    ::close(dup_fd);
-    co_return ErrnoStatus("fdopendir", errno);
-  }
-  while (struct dirent* entry = ::readdir(d)) {
-    if (std::strcmp(entry->d_name, ".") == 0 || std::strcmp(entry->d_name, "..") == 0) {
-      continue;
-    }
-    names.emplace_back(entry->d_name);
-  }
-  ::closedir(d);
   std::sort(names.begin(), names.end());
   co_return names;
 }
 
 proc::Task<bool> PosixFilesys::Link(const std::string& src_dir, const std::string& src_name,
                                     const std::string& dst_dir, const std::string& dst_name) {
+  stage::StageScope fs_stage(stage::kFs);
   int rc = -1;
   if (options_.cache_dir_fds) {
     bool src_opened = false;
@@ -338,6 +434,7 @@ proc::Task<bool> PosixFilesys::Link(const std::string& src_dir, const std::strin
 }
 
 proc::Task<Status> PosixFilesys::Delete(const std::string& dir, const std::string& name) {
+  stage::StageScope fs_stage(stage::kFs);
   int rc = -1;
   if (options_.cache_dir_fds) {
     bool opened = false;
@@ -350,18 +447,20 @@ proc::Task<Status> PosixFilesys::Delete(const std::string& dir, const std::strin
       ::close(dfd);
     }
   } else {
-    rc = RetryEintr([&] { return ::unlink(FullPath(dir, name).c_str()); });
+    rc = RetryEintr([&] { return ::unlink(ScratchPath(dir, name)); });
   }
   if (rc != 0) {
     co_return ErrnoStatus("unlink", errno);
   }
   Cross("delete.entry", dir);
-  Status ds = SyncDir(dir);
-  if (!ds.ok()) {
-    co_return ds;
-  }
-  if (options_.fsync_dirs) {
-    Cross("delete.dirsync", dir);
+  if (!EntryReconciled(dir)) {
+    Status ds = SyncDir(dir);
+    if (!ds.ok()) {
+      co_return ds;
+    }
+    if (options_.fsync_dirs) {
+      Cross("delete.dirsync", dir);
+    }
   }
   co_return Status::Ok();
 }

@@ -13,10 +13,11 @@
 #ifndef PERENNIAL_SRC_GOOSEFS_POSIX_FS_H_
 #define PERENNIAL_SRC_GOOSEFS_POSIX_FS_H_
 
+#include <atomic>
 #include <functional>
-#include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/goosefs/filesys.h"
@@ -58,6 +59,18 @@ class PosixFilesys : public Filesys {
     // the group-commit hook. EnsureDirs's one-off root fsync stays direct
     // (setup path, not a hot-path durability point). Not owned.
     Fsyncer* fsyncer = nullptr;
+    // Directories whose *entry* existence is reconciled by the caller's
+    // recovery procedure rather than by a barrier before acknowledgment:
+    // Create and Delete in these dirs skip the parent-directory fsync (and
+    // its .dirsync crossing — same observable semantics as fsync_dirs=false
+    // for exactly these dirs). Link's destination dirsync — the
+    // acked ⇒ durable point — is never skipped. Mailboat's netserv harness
+    // passes {"spool"}: a spool entry lost in a crash was never acked
+    // (pre-link crash drops the whole delivery), and a spool entry
+    // resurrected by a crash (post-ack unlink undone) is removed by
+    // Recover's spool sweep. Cuts a Deliver from 4 durability barriers to
+    // 2 without weakening any acked guarantee.
+    std::vector<std::string> recovery_reconciled_dirs;
   };
 
   // `root` must exist; directories are created beneath it on EnsureDirs.
@@ -90,14 +103,22 @@ class PosixFilesys : public Filesys {
 
  private:
   // Returns a directory fd for `dir`: the cached one, or freshly opened
-  // (caller must close when `opened` is set). -1 on failure.
+  // (caller must close when `opened` is set). -1 on failure. Once
+  // EnsureDirs has sealed the cache, hits are a lock-free lookup in an
+  // immutable map; misses fall back to a fresh open (correct, just slow).
   int DirFd(const std::string& dir, bool* opened);
   std::string FullPath(const std::string& dir, const std::string& name) const;
+  // As FullPath, but into a reused thread-local buffer (uncached-mode ops
+  // build a full path per call; the arena removes the per-op allocation).
+  const char* ScratchPath(const std::string& dir, const std::string& name) const;
   // One durability fsync: routed through Options::fsyncer when installed,
   // else a direct EINTR-retrying ::fsync.
   Status DoFsync(int fd, const char* what);
   // fsync the directory itself (entry durability); no-op unless fsync_dirs.
   Status SyncDir(const std::string& dir);
+  // True when `dir` is in Options::recovery_reconciled_dirs (entry
+  // dirsyncs for Create/Delete are skipped there).
+  bool EntryReconciled(const std::string& dir) const;
   void Cross(const char* point, const std::string& dir) {
     if (options_.hook) {
       options_.hook(point, dir);
@@ -106,8 +127,11 @@ class PosixFilesys : public Filesys {
 
   std::string root_;
   Options options_;
-  std::mutex mu_;  // guards dir_fds_
-  std::map<std::string, int> dir_fds_;
+  std::mutex mu_;  // guards dir_fds_ until sealed_
+  std::unordered_map<std::string, int> dir_fds_;
+  // Set (with release) after EnsureDirs pre-opened every layout dir; from
+  // then on dir_fds_ is immutable and read without the lock.
+  std::atomic<bool> sealed_{false};
 };
 
 }  // namespace perennial::goosefs

@@ -5,15 +5,22 @@
 #define PERENNIAL_SRC_MAILBOAT_MAIL_API_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "src/base/panic.h"
 #include "src/goosefs/filesys.h"
 #include "src/proc/task.h"
 
 namespace perennial::mailboat {
 
 struct Message;  // defined in mailboat.h
+
+// Supplies a message body to Deliver in chunks, so callers can stream a
+// body they already hold without materializing another copy (and so the
+// checker can model the caller's mutable slice — §8.3).
+using ChunkReader = std::function<proc::Task<goosefs::Bytes>(uint64_t off, uint64_t len)>;
 
 class MailApi {
  public:
@@ -23,6 +30,23 @@ class MailApi {
   virtual proc::Task<std::vector<Message>> Pickup(uint64_t user) = 0;
   // Durably delivers a message, returning its id.
   virtual proc::Task<std::string> Deliver(uint64_t user, const goosefs::Bytes& msg) = 0;
+  // As Deliver, reading `len` body bytes through `read_chunk`.
+  // Implementations that can stream (Mailboat) avoid materializing the
+  // body; the default materializes and forwards to Deliver.
+  virtual proc::Task<std::string> DeliverChunked(uint64_t user, uint64_t len,
+                                                 ChunkReader read_chunk) {
+    goosefs::Bytes body;
+    body.reserve(len);
+    uint64_t off = 0;
+    while (off < len) {
+      goosefs::Bytes chunk = co_await read_chunk(off, len - off);
+      PCC_ENSURE(!chunk.empty(), "DeliverChunked: short chunk reader");
+      body.insert(body.end(), chunk.begin(), chunk.end());
+      off += chunk.size();
+    }
+    std::string id = co_await Deliver(user, body);
+    co_return id;
+  }
   // Deletes a message id previously returned by Pickup (lock held).
   virtual proc::Task<void> Delete(uint64_t user, const std::string& id) = 0;
   virtual proc::Task<void> Unlock(uint64_t user) = 0;

@@ -17,6 +17,10 @@ Mailboat::Mailboat(goose::World* world, goosefs::Filesys* fs, Options options, M
       rng_(options.rng_seed),
       rng_res_(proc::MixResource(proc::kResRng, world->NextResourceId())),
       lease_res_seed_(world->NextResourceId()) {
+  user_dirs_.reserve(options_.num_users);
+  for (uint64_t u = 0; u < options_.num_users; ++u) {
+    user_dirs_.push_back(UserDir(u));
+  }
   InitVolatile();
 }
 
@@ -50,12 +54,12 @@ uint64_t Mailboat::NextRandomId() {
 proc::Task<std::vector<Message>> Mailboat::Pickup(uint64_t user) {
   PCC_ENSURE(user < options_.num_users, "Pickup: no such user");
   co_await user_locks_[user]->Lock();  // released by Unlock()
-  Result<std::vector<std::string>> names = co_await fs_->List(UserDir(user));
+  Result<std::vector<std::string>> names = co_await fs_->List(UserDirRef(user));
   PCC_ENSURE(names.ok(), "Pickup: user directory vanished");
   std::vector<Message> messages;
   messages.reserve(names.value().size());
   for (const std::string& name : names.value()) {
-    Result<goosefs::Fd> fd = co_await fs_->Open(UserDir(user), name);
+    Result<goosefs::Fd> fd = co_await fs_->Open(UserDirRef(user), name);
     // The pickup/delete lock guarantees listed names persist, and delivery
     // never removes mailbox entries.
     PCC_ENSURE(fd.ok(), "Pickup: listed message disappeared");
@@ -84,7 +88,7 @@ proc::Task<std::vector<Message>> Mailboat::Pickup(uint64_t user) {
     proc::RecordAccess(proc::MixResource(proc::kResRegistry, lease_res_seed_, user),
                        /*write=*/true);
     std::scoped_lock host_lock(pickup_leases_mu_);
-    pickup_leases_[user] = dir_leases_.Acquire(UserDir(user), names.value());
+    pickup_leases_[user] = dir_leases_.Acquire(UserDirRef(user), names.value());
   }
   co_return messages;
 }
@@ -113,10 +117,10 @@ proc::Task<std::string> Mailboat::DeliverChunked(uint64_t user, uint64_t len,
     // Bug: write directly into the mailbox. The file is visible (and
     // partially empty) from its creation until the last append.
     std::string name = "msg-" + HexId(NextRandomId());
-    Result<goosefs::Fd> fd = co_await fs_->Create(UserDir(user), name);
+    Result<goosefs::Fd> fd = co_await fs_->Create(UserDirRef(user), name);
     while (!fd.ok()) {
       name = "msg-" + HexId(NextRandomId());
-      fd = co_await fs_->Create(UserDir(user), name);
+      fd = co_await fs_->Create(UserDirRef(user), name);
     }
     for (uint64_t off = 0; off < len; off += options_.chunk_size) {
       goosefs::Bytes chunk = co_await read_chunk(off, std::min(options_.chunk_size, len - off));
@@ -127,12 +131,15 @@ proc::Task<std::string> Mailboat::DeliverChunked(uint64_t user, uint64_t len,
   }
 
   // 1. Spool the message under a fresh random name (exclusive create;
-  //    retry on collision).
-  std::string tmp_name = "tmp-" + HexId(NextRandomId());
+  //    retry on collision). Names build in place ("tmp-" + 16 hex digits,
+  //    one allocation, reused across collision retries).
+  std::string tmp_name = "tmp-";
+  AppendHexId(tmp_name, NextRandomId());
   Result<goosefs::Fd> fd = co_await fs_->Create("spool", tmp_name);
   while (!fd.ok()) {
     PCC_ENSURE(fd.status().code() == StatusCode::kAlreadyExists, "Deliver: spool create failed");
-    tmp_name = "tmp-" + HexId(NextRandomId());
+    tmp_name.resize(4);
+    AppendHexId(tmp_name, NextRandomId());
     fd = co_await fs_->Create("spool", tmp_name);
   }
   // 2. Write the body chunk_size bytes at a time (the caller must not
@@ -147,9 +154,11 @@ proc::Task<std::string> Mailboat::DeliverChunked(uint64_t user, uint64_t len,
   (void)co_await fs_->Close(fd.value());
   // 3. Atomically link the complete file into the mailbox (retry the name
   //    on collision), then drop the spool entry.
-  std::string msg_name = "msg-" + HexId(NextRandomId());
-  while (!co_await fs_->Link("spool", tmp_name, UserDir(user), msg_name)) {
-    msg_name = "msg-" + HexId(NextRandomId());
+  std::string msg_name = "msg-";
+  AppendHexId(msg_name, NextRandomId());
+  while (!co_await fs_->Link("spool", tmp_name, UserDirRef(user), msg_name)) {
+    msg_name.resize(4);
+    AppendHexId(msg_name, NextRandomId());
   }
   (void)co_await fs_->Delete("spool", tmp_name);
   co_return msg_name;
@@ -168,7 +177,7 @@ proc::Task<void> Mailboat::Delete(uint64_t user, const std::string& id) {
     }
     dir_leases_.CheckDelete(lease_it->second, id);
   }
-  Status s = co_await fs_->Delete(UserDir(user), id);
+  Status s = co_await fs_->Delete(UserDirRef(user), id);
   if (!s.ok()) {
     // The caller broke the contract (§8.1: only delete ids Pickup listed,
     // while holding the lock).
@@ -200,9 +209,9 @@ proc::Task<void> Mailboat::Recover() {
   }
   if (mutations_.recovery_deletes_mail) {
     for (uint64_t u = 0; u < options_.num_users; ++u) {
-      Result<std::vector<std::string>> names = co_await fs_->List(UserDir(u));
+      Result<std::vector<std::string>> names = co_await fs_->List(UserDirRef(u));
       for (const std::string& name : names.value()) {
-        (void)co_await fs_->Delete(UserDir(u), name);
+        (void)co_await fs_->Delete(UserDirRef(u), name);
       }
     }
   }

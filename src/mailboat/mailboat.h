@@ -47,10 +47,9 @@ struct Message {
   friend bool operator==(const Message&, const Message&) = default;
 };
 
-// Supplies the message body to Deliver in chunks, so the checker can model
-// the caller's mutable slice (§8.3: concurrent modification of the slice
-// during delivery is undefined behavior, detected by the Goose heap).
-using ChunkReader = std::function<proc::Task<goosefs::Bytes>(uint64_t off, uint64_t len)>;
+// ChunkReader (the streaming Deliver input — §8.3: concurrent modification
+// of the slice during delivery is undefined behavior, detected by the Goose
+// heap) lives in mail_api.h so every MailApi backend can stream.
 
 class Mailboat : public MailApi {
  public:
@@ -92,8 +91,10 @@ class Mailboat : public MailApi {
   // Durably delivers a message, returning its id. Safe to call from any
   // thread at any time, without locks.
   proc::Task<std::string> Deliver(uint64_t user, const goosefs::Bytes& msg) override;
-  // As Deliver, reading the body through `read_chunk` (`len` bytes total).
-  proc::Task<std::string> DeliverChunked(uint64_t user, uint64_t len, ChunkReader read_chunk);
+  // As Deliver, reading the body through `read_chunk` (`len` bytes total);
+  // streams straight into the spool file, no intermediate body copy.
+  proc::Task<std::string> DeliverChunked(uint64_t user, uint64_t len,
+                                         ChunkReader read_chunk) override;
 
   // Deletes one message; the caller must hold the user's lock and pass an
   // id previously returned by Pickup (anything else is undefined).
@@ -108,6 +109,9 @@ class Mailboat : public MailApi {
 
  private:
   static std::string UserDir(uint64_t user) { return "user" + std::to_string(user); }
+  // Hot paths use the pre-built name (a Deliver used to assemble
+  // "user<N>" twice per message; Pickup once per message read).
+  const std::string& UserDirRef(uint64_t user) const { return user_dirs_[user]; }
   uint64_t NextRandomId();
   void InitVolatile();
 
@@ -116,6 +120,7 @@ class Mailboat : public MailApi {
   Options options_;
   Mutations mutations_;
   std::vector<std::unique_ptr<goose::Mutex>> user_locks_;
+  std::vector<std::string> user_dirs_;  // immutable after construction
   // §8.3's leasing strategy, enforced at runtime: the lock holder keeps a
   // lower-bound lease on the mailbox directory between Pickup and Unlock,
   // so deletes of un-listed names are capability violations.

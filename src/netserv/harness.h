@@ -39,6 +39,10 @@ class InprocMailServer {
     uint64_t loops = 2;
     uint64_t executors = 64;
     bool clear_store = true;
+    // Skip spool-entry dirsyncs; Mailboat's Recover reconciles the spool,
+    // so this halves Deliver's durability barriers without weakening the
+    // acked => durable guarantee (see PosixFilesys::Options).
+    bool relaxed_spool = true;
     TraceLog* trace = nullptr;
   };
 
@@ -65,6 +69,9 @@ class InprocMailServer {
     fs_options.cache_dir_fds = true;
     fs_options.fsync_dirs = true;
     fs_options.fsyncer = config_.group_commit ? committer_.get() : nullptr;
+    if (config_.relaxed_spool) {
+      fs_options.recovery_reconciled_dirs = {"spool"};
+    }
     fs_ = std::make_unique<goosefs::PosixFilesys>(config_.root, fs_options);
     if (!fs_->EnsureDirs(mailboat::Mailboat::DirLayout(config_.users), config_.clear_store).ok()) {
       return false;

@@ -1,0 +1,169 @@
+// Zero-copy line carving for the netserv receive path.
+//
+// The old path copied every byte three times before the session saw it:
+// recv into a stack buffer, append into conn->inbuf, then one std::string
+// per line carved out of inbuf (with an O(n^2) rescan-from-zero on
+// fragmented input). LineBuffer replaces all of that with a single flat
+// per-connection buffer: recv writes directly into its tail, complete
+// lines are recorded as offset ranges (no allocation, no copy), and the
+// executor reads each line as a std::string_view into the buffer.
+//
+// Concurrency contract (enforced by MailNetServer, all calls under
+// conn->mu unless noted):
+//  * The loop thread is the only writer of bytes and the only party that
+//    may move memory (grow/compact). It only appends at the tail, so the
+//    bytes under already-carved ranges never move or change while any
+//    range is outstanding — growth and compaction happen only when idle()
+//    (no queued lines, no checked-out line).
+//  * The executor checks out one line at a time (NextLine / FinishLine)
+//    and may dereference the returned view *outside* conn->mu: the view's
+//    bytes are stable until the line is consumed, per the rule above.
+//  * recv itself also happens outside conn->mu (into write_ptr()): safe
+//    because only the loop thread writes bytes and only it moves memory.
+//
+// Backpressure: when the buffer is full and may not move (lines are
+// outstanding), PrepareWrite returns 0 and the loop pauses reading the
+// socket; the executor notices at drain time (see Conn::read_paused) and
+// nudges the loop to compact and resume. This also caps per-connection
+// memory: the buffer never grows past its configured maximum, so a peer
+// spraying an endless unterminated line is rejected, not buffered.
+#ifndef PERENNIAL_SRC_NETSERV_LINE_BUFFER_H_
+#define PERENNIAL_SRC_NETSERV_LINE_BUFFER_H_
+
+#include <cstring>
+#include <deque>
+#include <string_view>
+#include <vector>
+
+namespace perennial::netserv {
+
+class LineBuffer {
+ public:
+  // Take over a recycled storage block (connection setup; see the server's
+  // buffer pool) — avoids re-growing a fresh buffer for every connection.
+  void AdoptStorage(std::vector<char> storage) {
+    buf_ = std::move(storage);
+    Clear();
+  }
+  // Hand the storage back for reuse (connection retirement).
+  std::vector<char> ReleaseStorage() {
+    Clear();
+    return std::move(buf_);
+  }
+
+  // Loop thread: make room for a read. Compacts/grows when permitted,
+  // returns the number of writable tail bytes (0 = full: pause reading).
+  // `max_bytes` caps the buffer; it must exceed the protocol's
+  // max-line-bytes so an oversized line is detectable before the cap.
+  size_t PrepareWrite(size_t want, size_t max_bytes) {
+    if (buf_.empty()) {
+      buf_.resize(kInitialBytes < max_bytes ? kInitialBytes : max_bytes);
+    }
+    if (idle()) {
+      // Everything before scan start is consumed; slide the partial tail
+      // (if any) to the front. Views cannot be dangling here.
+      if (line_start_ > 0) {
+        size_t live = tail_ - line_start_;
+        if (live > 0) {
+          std::memmove(buf_.data(), buf_.data() + line_start_, live);
+        }
+        search_ -= line_start_;
+        tail_ = live;
+        line_start_ = 0;
+      }
+      if (buf_.size() - tail_ < want && buf_.size() < max_bytes) {
+        size_t target = buf_.size() * 2;
+        if (target < tail_ + want) {
+          target = tail_ + want;
+        }
+        if (target > max_bytes) {
+          target = max_bytes;
+        }
+        buf_.resize(target);
+      }
+    }
+    return buf_.size() - tail_;
+  }
+
+  char* write_ptr() { return buf_.data() + tail_; }
+
+  // Loop thread: `n` bytes were received into write_ptr().
+  void CommitWrite(size_t n) { tail_ += n; }
+
+  // Loop thread: carve every complete line in [search_, tail_) into the
+  // queue (CRLF or bare LF terminators; the terminator is excluded).
+  // Returns the number of lines carved. Sets *overlong when the
+  // unterminated remainder exceeds max_line (protocol abuse).
+  size_t CarveLines(size_t max_line, bool* overlong) {
+    size_t carved = 0;
+    for (;;) {
+      const char* nl = static_cast<const char*>(
+          std::memchr(buf_.data() + search_, '\n', tail_ - search_));
+      if (nl == nullptr) {
+        search_ = tail_;
+        break;
+      }
+      size_t nl_off = static_cast<size_t>(nl - buf_.data());
+      size_t len = nl_off - line_start_;
+      if (len > 0 && buf_[line_start_ + len - 1] == '\r') {
+        --len;
+      }
+      lines_.push_back(Range{line_start_, len});
+      ++carved;
+      line_start_ = search_ = nl_off + 1;
+    }
+    *overlong = tail_ - line_start_ > max_line;
+    return carved;
+  }
+
+  // Executor: consume the previously checked-out line (if any) and check
+  // out the next. The returned view stays valid until the next
+  // NextLine/FinishLine call, including outside conn->mu.
+  bool NextLine(std::string_view* out) {
+    checked_out_ = false;
+    if (lines_.empty()) {
+      return false;
+    }
+    Range r = lines_.front();
+    lines_.pop_front();
+    checked_out_ = true;
+    *out = std::string_view(buf_.data() + r.off, r.len);
+    return true;
+  }
+
+  // Executor: consume the checked-out line without taking another.
+  void FinishLine() { checked_out_ = false; }
+
+  // Drop all queued/checked-out lines and pending bytes (close paths).
+  void Clear() {
+    lines_.clear();
+    checked_out_ = false;
+    line_start_ = search_ = tail_ = 0;
+  }
+
+  bool idle() const { return lines_.empty() && !checked_out_; }
+  bool has_line() const { return !lines_.empty(); }
+  size_t queued_lines() const { return lines_.size(); }
+  // Bytes of the unterminated trailing partial line.
+  size_t pending_partial() const { return tail_ - line_start_; }
+  size_t capacity() const { return buf_.size(); }
+
+ private:
+  static constexpr size_t kInitialBytes = 4096;
+
+  struct Range {
+    size_t off;
+    size_t len;
+  };
+
+  std::vector<char> buf_;
+  std::deque<Range> lines_;
+  size_t line_start_ = 0;  // start of the oldest un-carved byte
+  size_t search_ = 0;      // resume point for the '\n' scan (>= line_start_)
+  size_t tail_ = 0;        // end of received bytes
+  bool checked_out_ = false;
+};
+
+}  // namespace perennial::netserv
+
+#endif  // PERENNIAL_SRC_NETSERV_LINE_BUFFER_H_

@@ -75,7 +75,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: mail_serverd [--root=DIR] [--smtp-port=N] [--pop3-port=N]\n"
         "                    [--users=N] [--loops=N] [--executors=N]\n"
-        "                    [--gc-window-us=N] [--gc-batch=N] [--no-group-commit]\n");
+        "                    [--gc-window-us=N] [--gc-batch=N] [--no-group-commit]\n"
+        "                    [--no-relaxed-spool]\n");
     return 0;
   }
 
@@ -107,6 +108,11 @@ int main(int argc, char** argv) {
   fs_options.cache_dir_fds = true;
   fs_options.fsync_dirs = true;
   fs_options.fsyncer = group_commit ? &committer : nullptr;
+  if (!FlagSet(argc, argv, "--no-relaxed-spool")) {
+    // Recover() reconciles the spool after a crash, so spool-entry
+    // dirsyncs buy nothing: skip them (2 barriers per delivery, not 4).
+    fs_options.recovery_reconciled_dirs = {"spool"};
+  }
   goosefs::PosixFilesys fs(root, fs_options);
   Status s = fs.EnsureDirs(mailboat::Mailboat::DirLayout(users), /*clear_contents=*/false);
   if (!s.ok()) {

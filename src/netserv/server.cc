@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "src/base/panic.h"
+#include "src/base/stage_timer.h"
 #include "src/netserv/net.h"
 #include "src/proc/task.h"
 
@@ -76,13 +77,32 @@ class EventLoop {
     Nudge();
   }
 
+  // Executors call this after draining a connection whose reads were
+  // paused on a full input buffer: the loop compacts and resumes reading.
+  void RequestResume(std::shared_ptr<Conn> conn) {
+    {
+      std::scoped_lock lock(pending_mu_);
+      pending_resume_.push_back(std::move(conn));
+    }
+    Nudge();
+  }
+
   void RequestStop() {
     stop_.store(true, std::memory_order_relaxed);
     Nudge();
   }
 
  private:
+  // Deduplicated wakeup: only the first nudge since the loop last started
+  // a ProcessPending pass pays the eventfd write. Safe against lost
+  // wakeups because Run() clears the flag *before* swapping the pending
+  // queues — any producer whose exchange() read true is ordered after a
+  // producer whose eventfd write is still due to wake the loop, and the
+  // pass that wakeup triggers re-reads the queues after its own clear.
   void Nudge() {
+    if (nudge_pending_.exchange(true)) {
+      return;  // a wakeup is already in flight
+    }
     uint64_t one = 1;
     ssize_t n;
     do {
@@ -98,6 +118,7 @@ class EventLoop {
       do {
         n = ::epoll_wait(epfd_, events, kMaxEvents, /*timeout_ms=*/200);
       } while (n < 0 && errno == EINTR);
+      nudge_pending_.store(false);  // before the queue swap — see Nudge()
       ProcessPending();
       for (int i = 0; i < n; ++i) {
         int fd = events[i].data.fd;
@@ -122,6 +143,7 @@ class EventLoop {
           HandleReadable(conn);
         }
       }
+      nudge_pending_.store(false);
       ProcessPending();
     }
     // Shutdown: close every remaining connection. Sessions die with their
@@ -140,16 +162,23 @@ class EventLoop {
   void ProcessPending() {
     std::vector<std::shared_ptr<Conn>> adds;
     std::vector<std::shared_ptr<Conn>> retires;
+    std::vector<std::shared_ptr<Conn>> resumes;
     {
       std::scoped_lock lock(pending_mu_);
       adds.swap(pending_add_);
       retires.swap(pending_retire_);
+      resumes.swap(pending_resume_);
     }
     for (auto& conn : adds) {
       RegisterConn(conn);
     }
     for (auto& conn : retires) {
       RetireConn(conn);
+    }
+    for (auto& conn : resumes) {
+      // The buffer is drained now, so PrepareWrite can compact and the
+      // paused read picks up where it left off.
+      HandleReadable(conn);
     }
   }
 
@@ -175,37 +204,44 @@ class EventLoop {
 
   void RetireConn(const std::shared_ptr<Conn>& conn) {
     std::scoped_lock lock(conn->mu);
-    if (conn->retired) {
-      return;
-    }
-    conn->retired = true;
-    conns_.erase(conn->fd);
-    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->fd, nullptr);
-    ::close(conn->fd);
-    conn->fd = -1;
+    RetireLockedFromLoop(conn);
   }
 
+  // Zero-copy read path: recv lands directly in the connection's
+  // LineBuffer tail and complete lines are carved as offset ranges — no
+  // per-read stack-buffer copy, no per-line std::string.
   void HandleReadable(const std::shared_ptr<Conn>& conn) {
+    stage::StageScope read_stage(stage::kRead);
     bool oversized = false;
     for (;;) {
+      char* ptr = nullptr;
+      size_t room = 0;
       {
         std::scoped_lock lock(conn->mu);
         if (conn->retired || conn->closing) {
           return;
         }
-      }
-      char buf[16384];
-      ssize_t n = RecvSome(conn->fd, buf, sizeof(buf));
-      if (n > 0) {
-        conn->inbuf.append(buf, static_cast<size_t>(n));
-        if (static_cast<uint64_t>(n) < sizeof(buf) &&
-            conn->inbuf.size() <= server_->options_.max_line_bytes) {
-          break;  // drained the socket for this edge
-        }
-        if (conn->inbuf.find('\n') == std::string::npos &&
-            conn->inbuf.size() > server_->options_.max_line_bytes) {
-          oversized = true;
+        room = conn->input.PrepareWrite(4096, server_->options_.input_buffer_bytes);
+        if (room == 0) {
+          // Full and immovable (lines outstanding): pause reading; the
+          // executor nudges a resume once it drains the queue.
+          conn->read_paused = true;
           break;
+        }
+        ptr = conn->input.write_ptr();
+      }
+      // recv outside mu: only this loop thread writes bytes or moves the
+      // buffer's memory, so `ptr` stays valid (see line_buffer.h).
+      ssize_t n = RecvSome(conn->fd, ptr, room);
+      if (n > 0) {
+        std::scoped_lock lock(conn->mu);
+        conn->input.CommitWrite(static_cast<size_t>(n));
+        {
+          stage::StageScope parse_stage(stage::kParse);
+          conn->input.CarveLines(server_->options_.max_line_bytes, &oversized);
+        }
+        if (oversized || static_cast<size_t>(n) < room) {
+          break;  // abuse, or the socket is drained for this edge
         }
         continue;
       }
@@ -221,30 +257,19 @@ class EventLoop {
     DispatchLines(conn, oversized);
   }
 
-  // Carves complete lines out of inbuf and hands the connection to an
-  // executor if it isn't already being served.
+  // Hands the connection to an executor if it has work and isn't already
+  // being served; oversized lines are answered and hung up on here.
   void DispatchLines(const std::shared_ptr<Conn>& conn, bool oversized) {
-    std::vector<std::string> lines;
-    size_t nl;
-    while ((nl = conn->inbuf.find('\n')) != std::string::npos) {
-      std::string line = conn->inbuf.substr(0, nl);
-      if (!line.empty() && line.back() == '\r') {
-        line.pop_back();
-      }
-      conn->inbuf.erase(0, nl + 1);
-      lines.push_back(std::move(line));
-    }
     std::scoped_lock lock(conn->mu);
     if (conn->retired) {
       return;
     }
-    for (auto& line : lines) {
-      conn->lines.push_back(std::move(line));
-    }
     if (oversized) {
       // Protocol abuse: answer once and hang up without feeding the line
-      // to the session (it never materializes as a line at all).
-      conn->inbuf.clear();
+      // to the session (it never materializes as a line at all). Clear()
+      // drops offsets only — a view an executor still holds stays backed
+      // (closing stops all further reads into the buffer).
+      conn->input.Clear();
       server_->QueueResponseLocked(conn,
                                    conn->is_smtp ? "500 line too long" : "-ERR line too long");
       conn->closing = true;
@@ -253,7 +278,7 @@ class EventLoop {
       }
       return;
     }
-    if (!conn->executing && (!conn->lines.empty() || conn->peer_eof)) {
+    if (!conn->executing && (conn->input.has_line() || conn->peer_eof)) {
       conn->executing = true;
       server_->EnqueueWork(conn);
     }
@@ -269,6 +294,11 @@ class EventLoop {
     ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->fd, nullptr);
     ::close(conn->fd);
     conn->fd = -1;
+    if (!conn->executing) {
+      // No executor can still hold a view into the buffer: recycle it.
+      // (With `executing` set the storage just dies with the Conn.)
+      server_->ReleaseInputStorage(conn->input.ReleaseStorage());
+    }
   }
 
   MailNetServer* server_;
@@ -281,6 +311,8 @@ class EventLoop {
   std::mutex pending_mu_;
   std::vector<std::shared_ptr<Conn>> pending_add_;
   std::vector<std::shared_ptr<Conn>> pending_retire_;
+  std::vector<std::shared_ptr<Conn>> pending_resume_;
+  std::atomic<bool> nudge_pending_{false};
 
   // Loop-thread-only.
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;
@@ -296,6 +328,8 @@ MailNetServer::MailNetServer(mailboat::MailApi* mail, Options options)
     : mail_(mail), options_(options) {
   PCC_ENSURE(options_.num_loops >= 1, "MailNetServer: need at least one event loop");
   PCC_ENSURE(options_.num_executors >= 1, "MailNetServer: need at least one executor");
+  PCC_ENSURE(options_.input_buffer_bytes > options_.max_line_bytes,
+             "MailNetServer: input buffer must exceed max_line_bytes");
 }
 
 MailNetServer::~MailNetServer() { Stop(); }
@@ -385,6 +419,7 @@ void MailNetServer::AcceptorMain() {
         SetTcpNoDelay(cfd);
         auto conn = std::make_shared<Conn>();
         conn->fd = cfd;
+        conn->input.AdoptStorage(AcquireInputStorage());
         conn->is_smtp = which == 0;
         if (conn->is_smtp) {
           conn->smtp = std::make_unique<smtp::SmtpSession>(mail_);
@@ -397,6 +432,26 @@ void MailNetServer::AcceptorMain() {
         conn->loop->AddConn(std::move(conn));
       }
     }
+  }
+}
+
+std::vector<char> MailNetServer::AcquireInputStorage() {
+  std::scoped_lock lock(pool_mu_);
+  if (input_pool_.empty()) {
+    return {};
+  }
+  std::vector<char> storage = std::move(input_pool_.back());
+  input_pool_.pop_back();
+  return storage;
+}
+
+void MailNetServer::ReleaseInputStorage(std::vector<char> storage) {
+  if (storage.empty()) {
+    return;
+  }
+  std::scoped_lock lock(pool_mu_);
+  if (input_pool_.size() < 256) {
+    input_pool_.push_back(std::move(storage));
   }
 }
 
@@ -426,28 +481,45 @@ void MailNetServer::ExecutorMain(uint64_t executor_id) {
 
 void MailNetServer::ServeConn(const std::shared_ptr<Conn>& conn, uint64_t executor_id) {
   for (;;) {
-    std::string line;
+    std::string_view line;
+    bool have_line = false;
     bool eof = false;
+    bool resume = false;
     {
       std::scoped_lock lock(conn->mu);
       if (conn->retired || conn->closing) {
         return;  // executing stays set; the conn is on its way out
       }
-      if (!conn->lines.empty()) {
-        line = std::move(conn->lines.front());
-        conn->lines.pop_front();
-      } else if (conn->peer_eof) {
-        eof = true;
-      } else {
-        // Done for now. Corked replies (batched while more input was
-        // pending) go out before we yield the connection. The executing
-        // flag is cleared in the same critical section as the emptiness
-        // check, so a line arriving concurrently either lands before (we
-        // saw it) or after (the loop re-dispatches).
-        FlushLocked(conn);
-        conn->executing = false;
-        return;
+      // NextLine consumes the previous checked-out line and hands back a
+      // view into the receive buffer — stable outside mu because the loop
+      // only appends at the tail while a line is outstanding.
+      have_line = conn->input.NextLine(&line);
+      if (!have_line) {
+        if (conn->peer_eof) {
+          eof = true;
+        } else {
+          // Done for now. Corked replies (batched while more input was
+          // pending) go out before we yield the connection. The executing
+          // flag is cleared in the same critical section as the emptiness
+          // check, so a line arriving concurrently either lands before (we
+          // saw it) or after (the loop re-dispatches).
+          {
+            stage::StageScope write_stage(stage::kWrite);
+            FlushLocked(conn);
+          }
+          conn->executing = false;
+          if (conn->read_paused) {
+            conn->read_paused = false;
+            resume = true;
+          }
+        }
       }
+    }
+    if (!have_line && !eof) {
+      if (resume) {
+        conn->loop->RequestResume(conn);
+      }
+      return;
     }
     if (eof) {
       // Mid-session disconnect: a POP3 session may hold its user's pickup
@@ -458,6 +530,7 @@ void MailNetServer::ServeConn(const std::shared_ptr<Conn>& conn, uint64_t execut
       {
         std::scoped_lock lock(conn->mu);
         conn->closing = true;
+        conn->executing = false;  // we will never touch this conn again
       }
       conn->loop->RequestRetire(conn);
       return;
@@ -466,6 +539,7 @@ void MailNetServer::ServeConn(const std::shared_ptr<Conn>& conn, uint64_t execut
     {
       TraceScope trace(options_.trace, conn->is_smtp ? "smtp_line" : "pop3_line", "serve",
                        executor_id);
+      stage::StageScope exec_stage(stage::kExecute);
       resp = conn->is_smtp ? proc::RunSync(conn->smtp->HandleLine(line))
                            : proc::RunSync(conn->pop3->HandleLine(line));
     }
@@ -474,6 +548,7 @@ void MailNetServer::ServeConn(const std::shared_ptr<Conn>& conn, uint64_t execut
     bool retire_now = false;
     {
       std::scoped_lock lock(conn->mu);
+      conn->input.FinishLine();  // the view is dead; the loop may compact
       if (conn->retired) {
         return;
       }
@@ -485,11 +560,13 @@ void MailNetServer::ServeConn(const std::shared_ptr<Conn>& conn, uint64_t execut
       // accumulating replies and write them as one segment at the drain
       // point (or once the cork grows past a page) — one send() per
       // batch instead of one per line.
-      if (quit || conn->lines.empty() || conn->outbuf.size() - conn->outoff >= 4096) {
+      if (quit || !conn->input.has_line() || conn->outbuf.size() - conn->outoff >= 4096) {
+        stage::StageScope write_stage(stage::kWrite);
         FlushLocked(conn);
       }
       if (quit) {
         conn->closing = true;
+        conn->executing = false;  // we will never touch this conn again
         retire_now = conn->outbuf.size() == conn->outoff;
       }
     }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/mailboat/mail_api.h"
+#include "src/netserv/line_buffer.h"
 #include "src/netserv/trace_event.h"
 #include "src/smtp/pop3.h"
 #include "src/smtp/smtp.h"
@@ -54,6 +55,12 @@ class MailNetServer {
     // A line longer than this (no terminator in sight) is a protocol abuse:
     // the connection is told off and closed.
     uint64_t max_line_bytes = 64 * 1024;
+    // Hard cap on the per-connection receive buffer (must exceed
+    // max_line_bytes so an oversized line is detectable). A peer that
+    // pipelines beyond the cap is flow-controlled (reads pause until the
+    // executor drains), not disconnected — and memory stays bounded where
+    // the old std::string inbuf grew without limit.
+    uint64_t input_buffer_bytes = 64 * 1024 + 8 * 1024;
     TraceLog* trace = nullptr;  // optional profiling; not owned
   };
 
@@ -86,11 +93,14 @@ class MailNetServer {
     bool is_smtp = true;
     EventLoop* loop = nullptr;
 
-    // Loop-thread-only: raw bytes not yet carved into lines.
-    std::string inbuf;
-
     std::mutex mu;  // guards everything below
-    std::deque<std::string> lines;
+    // Zero-copy receive path: recv lands in `input` and complete lines are
+    // carved as offset ranges; the executor reads each line as a view.
+    // Memory-moving calls are loop-thread-only (see line_buffer.h).
+    LineBuffer input;
+    // The loop stopped reading because `input` was full; the executor
+    // nudges the loop to resume once it has drained the queued lines.
+    bool read_paused = false;
     std::string outbuf;
     size_t outoff = 0;
     bool executing = false;  // an executor owns this conn's lines right now
@@ -107,6 +117,11 @@ class MailNetServer {
   // Runs session lines until the conn's queue drains; called by executors.
   void ServeConn(const std::shared_ptr<Conn>& conn, uint64_t executor_id);
   void EnqueueWork(std::shared_ptr<Conn> conn);  // executing flag already set
+
+  // Receive-buffer pool: retired connections donate their buffer storage,
+  // new connections adopt one — steady-state accepts allocate nothing.
+  std::vector<char> AcquireInputStorage();
+  void ReleaseInputStorage(std::vector<char> storage);
 
   // Appends `resp` + CRLF to conn->outbuf and flushes what it can.
   // mu must be held by the caller.
@@ -134,6 +149,9 @@ class MailNetServer {
   std::mutex work_mu_;
   std::condition_variable work_cv_;
   std::deque<std::shared_ptr<Conn>> work_;
+
+  std::mutex pool_mu_;
+  std::vector<std::vector<char>> input_pool_;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> lines_served_{0};

@@ -1,0 +1,126 @@
+// Freelist allocator for coroutine frames.
+//
+// Every Goose procedure call heap-allocates a coroutine frame, and a single
+// mail delivery runs ~a dozen of them (Deliver -> DeliverChunked -> one
+// Create/Append/Sync/Close/Link/Delete each, plus chunk readers). On the
+// netserv hot path that made the general-purpose allocator a per-request
+// cost. Frames are small (a few hundred bytes) and live briefly, so they
+// recycle perfectly: Task<T>::promise_type routes its operator new/delete
+// here, into per-thread size-bucketed freelists.
+//
+// Design constraints:
+//  * Frames can be destroyed on a different thread than the one that
+//    allocated them (an executor finishes a session another executor
+//    started). Deallocate therefore pushes onto the *current* thread's
+//    list — no sharing, no locks, no atomics. Cross-thread handoff of the
+//    frame itself is synchronized by whatever passed the Task across
+//    (work queues, scheduler), exactly as with malloc.
+//  * Each block keeps its bucket index in a 16-byte header so frames keep
+//    the default operator-new alignment guarantee.
+//  * Under TSan/ASan the freelist is disabled entirely and frames come
+//    from plain operator new, so sanitizers see every frame birth/death.
+#ifndef PERENNIAL_SRC_PROC_FRAME_ALLOC_H_
+#define PERENNIAL_SRC_PROC_FRAME_ALLOC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace perennial::proc::framealloc {
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__) || \
+    defined(PCC_NO_FRAME_FREELIST)
+constexpr bool kEnabled = false;
+#else
+constexpr bool kEnabled = true;
+#endif
+
+// Bucket layout: 64-byte steps up to 1 KiB covers nearly every Task frame
+// in the tree; larger frames fall through to the system allocator.
+constexpr size_t kAlign = 16;          // header size; preserves new-alignment
+constexpr size_t kStep = 64;
+constexpr size_t kMaxBucketed = 1024;  // payload bytes
+constexpr size_t kNumBuckets = kMaxBucketed / kStep;
+constexpr size_t kMaxPerBucket = 128;  // blocks cached per thread per bucket
+
+namespace detail {
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+struct BucketList {
+  FreeNode* head = nullptr;
+  size_t count = 0;
+};
+
+struct ThreadCache {
+  BucketList buckets[kNumBuckets];
+  ~ThreadCache() {
+    for (BucketList& b : buckets) {
+      while (b.head != nullptr) {
+        FreeNode* n = b.head;
+        b.head = n->next;
+        ::operator delete(n);
+      }
+    }
+  }
+};
+
+inline ThreadCache& Cache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+}  // namespace detail
+
+inline void* Allocate(size_t n) {
+  if constexpr (!kEnabled) {
+    return ::operator new(n);
+  }
+  // Bucket by payload size rounded up to the step; remember the bucket in
+  // the header. Oversized frames get bucket index kNumBuckets (uncached).
+  size_t bucket = (n + kStep - 1) / kStep - 1;
+  if (bucket >= kNumBuckets) {
+    char* raw = static_cast<char*>(::operator new(n + kAlign));
+    *reinterpret_cast<uint64_t*>(raw) = kNumBuckets;
+    return raw + kAlign;
+  }
+  detail::BucketList& list = detail::Cache().buckets[bucket];
+  char* raw;
+  if (list.head != nullptr) {
+    raw = reinterpret_cast<char*>(list.head);
+    list.head = list.head->next;
+    --list.count;
+  } else {
+    raw = static_cast<char*>(::operator new((bucket + 1) * kStep + kAlign));
+  }
+  *reinterpret_cast<uint64_t*>(raw) = bucket;
+  return raw + kAlign;
+}
+
+inline void Deallocate(void* p) {
+  if constexpr (!kEnabled) {
+    ::operator delete(p);
+    return;
+  }
+  char* raw = static_cast<char*>(p) - kAlign;
+  uint64_t bucket = *reinterpret_cast<uint64_t*>(raw);
+  if (bucket >= kNumBuckets) {
+    ::operator delete(raw);
+    return;
+  }
+  detail::BucketList& list = detail::Cache().buckets[bucket];
+  if (list.count >= kMaxPerBucket) {
+    ::operator delete(raw);
+    return;
+  }
+  auto* node = reinterpret_cast<detail::FreeNode*>(raw);
+  node->next = list.head;
+  list.head = node;
+  ++list.count;
+}
+
+}  // namespace perennial::proc::framealloc
+
+#endif  // PERENNIAL_SRC_PROC_FRAME_ALLOC_H_

@@ -6,21 +6,32 @@ namespace perennial::smtp {
 
 namespace {
 
-std::pair<std::string, std::string> SplitVerb(const std::string& line) {
+// Packed 4-character verbs (see VerbCode): allocation-free dispatch.
+constexpr uint32_t kQuit = VerbCode("QUIT");
+constexpr uint32_t kNoop = VerbCode("NOOP");
+constexpr uint32_t kUser = VerbCode("USER");
+constexpr uint32_t kPass = VerbCode("PASS");
+constexpr uint32_t kStat = VerbCode("STAT");
+constexpr uint32_t kList = VerbCode("LIST");
+constexpr uint32_t kRetr = VerbCode("RETR");
+constexpr uint32_t kDele = VerbCode("DELE");
+constexpr uint32_t kRset = VerbCode("RSET");
+
+std::pair<uint32_t, std::string_view> SplitVerb(std::string_view line) {
   std::string_view s = StripWhitespace(line);
   size_t space = s.find(' ');
   if (space == std::string_view::npos) {
-    return {AsciiUpper(s), ""};
+    return {VerbCode(s), std::string_view()};
   }
-  return {AsciiUpper(s.substr(0, space)), std::string(StripWhitespace(s.substr(space + 1)))};
+  return {VerbCode(s.substr(0, space)), StripWhitespace(s.substr(space + 1))};
 }
 
 }  // namespace
 
-proc::Task<std::string> Pop3Session::HandleLine(const std::string& line) {
+proc::Task<std::string> Pop3Session::HandleLine(std::string_view line) {
   auto [verb, arg] = SplitVerb(line);
 
-  if (verb == "QUIT") {
+  if (verb == kQuit) {
     quit_ = true;
     if (state_ == State::kTransaction) {
       // Commit marked deletions under the lock we have held since PASS.
@@ -34,18 +45,17 @@ proc::Task<std::string> Pop3Session::HandleLine(const std::string& line) {
     }
     co_return "+OK Bye";
   }
-  if (verb == "NOOP") {
+  if (verb == kNoop) {
     co_return "+OK";
   }
 
   switch (state_) {
     case State::kAuthUser: {
-      if (verb != "USER") {
+      if (verb != kUser) {
         co_return "-ERR Expected USER";
       }
       uint64_t n = 0;
-      std::string name = arg;
-      if (name.substr(0, 4) != "user" || !ParseUint64(name.substr(4), &n) ||
+      if (arg.substr(0, 4) != "user" || !ParseUint64(arg.substr(4), &n) ||
           n >= mail_->num_users()) {
         co_return "-ERR No such user";
       }
@@ -54,7 +64,7 @@ proc::Task<std::string> Pop3Session::HandleLine(const std::string& line) {
       co_return "+OK";
     }
     case State::kAuthPass: {
-      if (verb != "PASS") {
+      if (verb != kPass) {
         co_return "-ERR Expected PASS";
       }
       // Any password accepted; PASS is where the mailbox lock is taken.
@@ -64,7 +74,7 @@ proc::Task<std::string> Pop3Session::HandleLine(const std::string& line) {
       co_return "+OK " + std::to_string(messages_.size()) + " messages";
     }
     case State::kTransaction: {
-      if (verb == "STAT") {
+      if (verb == kStat) {
         uint64_t count = 0;
         uint64_t bytes = 0;
         for (size_t i = 0; i < messages_.size(); ++i) {
@@ -75,7 +85,7 @@ proc::Task<std::string> Pop3Session::HandleLine(const std::string& line) {
         }
         co_return "+OK " + std::to_string(count) + " " + std::to_string(bytes);
       }
-      if (verb == "LIST") {
+      if (verb == kList) {
         std::string out = "+OK";
         for (size_t i = 0; i < messages_.size(); ++i) {
           if (!deleted_[i]) {
@@ -89,20 +99,20 @@ proc::Task<std::string> Pop3Session::HandleLine(const std::string& line) {
       uint64_t n = 0;
       bool has_index = ParseUint64(arg, &n) && n >= 1 && n <= messages_.size() &&
                        !deleted_[n - 1];
-      if (verb == "RETR") {
+      if (verb == kRetr) {
         if (!has_index) {
           co_return "-ERR No such message";
         }
         co_return "+OK\r\n" + messages_[n - 1].contents + "\r\n.";
       }
-      if (verb == "DELE") {
+      if (verb == kDele) {
         if (!has_index) {
           co_return "-ERR No such message";
         }
         deleted_[n - 1] = true;  // committed at QUIT
         co_return "+OK";
       }
-      if (verb == "RSET") {
+      if (verb == kRset) {
         deleted_.assign(messages_.size(), false);
         co_return "+OK";
       }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/mailboat/mail_api.h"
@@ -25,8 +26,9 @@ class Pop3Session {
   static std::string Greeting() { return "+OK perennial-cc POP3 ready"; }
 
   // Processes one client line; multi-line responses are joined with "\r\n"
-  // and terminated with a lone "." line, as on the wire.
-  proc::Task<std::string> HandleLine(const std::string& line);
+  // and terminated with a lone "." line, as on the wire. The view is
+  // borrowed; it must stay valid until the returned task completes.
+  proc::Task<std::string> HandleLine(std::string_view line);
 
   // Connection dropped without QUIT: release the lock, delete nothing.
   proc::Task<void> Abort();

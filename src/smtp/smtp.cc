@@ -5,7 +5,7 @@
 
 namespace perennial::smtp {
 
-std::optional<uint64_t> ParseUserAddress(const std::string& addr, uint64_t num_users) {
+std::optional<uint64_t> ParseUserAddress(std::string_view addr, uint64_t num_users) {
   std::string_view s = StripWhitespace(addr);
   if (!s.empty() && s.front() == '<' && s.back() == '>') {
     s = s.substr(1, s.size() - 2);
@@ -27,24 +27,45 @@ std::optional<uint64_t> ParseUserAddress(const std::string& addr, uint64_t num_u
 
 namespace {
 
-// Splits "VERB rest" (verb is case-insensitive).
-std::pair<std::string, std::string> SplitVerb(const std::string& line) {
+// Allocation-free verb dispatch: every verb in the subset is exactly four
+// characters, so a command's verb packs into one uppercased uint32.
+constexpr uint32_t kHelo = VerbCode("HELO");
+constexpr uint32_t kEhlo = VerbCode("EHLO");
+constexpr uint32_t kQuit = VerbCode("QUIT");
+constexpr uint32_t kNoop = VerbCode("NOOP");
+constexpr uint32_t kRset = VerbCode("RSET");
+constexpr uint32_t kMail = VerbCode("MAIL");
+constexpr uint32_t kRcpt = VerbCode("RCPT");
+constexpr uint32_t kData = VerbCode("DATA");
+
+// Splits "VERB rest": the packed verb code (0 = no such verb) and the
+// stripped argument, borrowed from `line`.
+std::pair<uint32_t, std::string_view> SplitVerb(std::string_view line) {
   std::string_view s = StripWhitespace(line);
   size_t space = s.find(' ');
   if (space == std::string_view::npos) {
-    return {AsciiUpper(s), ""};
+    return {VerbCode(s), std::string_view()};
   }
-  return {AsciiUpper(s.substr(0, space)), std::string(StripWhitespace(s.substr(space + 1)))};
+  return {VerbCode(s.substr(0, space)), StripWhitespace(s.substr(space + 1))};
 }
 
-// Extracts the address from "FROM:<a@b>" / "TO:<a@b>" argument forms.
-std::string AddressArg(const std::string& arg, const char* prefix) {
-  std::string upper = AsciiUpper(arg);
-  std::string want = std::string(prefix) + ":";
-  if (upper.size() < want.size() || upper.compare(0, want.size(), want) != 0) {
-    return "";
+// Extracts the address from "FROM:<a@b>" / "TO:<a@b>" argument forms
+// (prefix is case-insensitive, must be upper-case here). Empty view for
+// any mismatch, borrowed from `arg` otherwise.
+std::string_view AddressArg(std::string_view arg, std::string_view prefix) {
+  if (arg.size() < prefix.size() + 1 || arg[prefix.size()] != ':') {
+    return {};
   }
-  return std::string(StripWhitespace(std::string_view(arg).substr(want.size())));
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    auto u = static_cast<unsigned char>(arg[i]);
+    if (u >= 'a' && u <= 'z') {
+      u = static_cast<unsigned char>(u - ('a' - 'A'));
+    }
+    if (u != static_cast<unsigned char>(prefix[i])) {
+      return {};
+    }
+  }
+  return StripWhitespace(arg.substr(prefix.size() + 1));
 }
 
 }  // namespace
@@ -55,15 +76,26 @@ void SmtpSession::Reset() {
   data_.clear();
 }
 
-proc::Task<std::string> SmtpSession::HandleLine(const std::string& line) {
+proc::Task<std::string> SmtpSession::HandleLine(std::string_view line) {
   if (state_ == State::kData) {
     if (line == ".") {
       state_ = State::kCommand;
-      // End of message: deliver to every recipient. Each delivery is
-      // atomic and durable when Deliver returns (§8.1).
-      goosefs::Bytes body = goosefs::BytesOfString(data_);
+      // End of message: deliver to every recipient, streaming chunks
+      // straight out of data_ — the session is serialized per connection
+      // and data_ is stable until Reset below, so no body copy is made.
+      // Each delivery is atomic and durable when it returns (§8.1).
+      uint64_t len = data_.size();
       for (uint64_t user : rcpts_) {
-        (void)co_await mail_->Deliver(user, body);
+        mailboat::ChunkReader reader = [this](uint64_t off,
+                                              uint64_t n) -> proc::Task<goosefs::Bytes> {
+          uint64_t end = off + n;
+          if (end > data_.size()) {
+            end = data_.size();
+          }
+          co_return goosefs::Bytes(data_.begin() + static_cast<long>(off),
+                                   data_.begin() + static_cast<long>(end));
+        };
+        (void)co_await mail_->DeliverChunked(user, len, std::move(reader));
       }
       size_t count = rcpts_.size();
       Reset();
@@ -71,10 +103,9 @@ proc::Task<std::string> SmtpSession::HandleLine(const std::string& line) {
     }
     // Dot-stuffing: a leading ".." encodes a literal ".".
     if (line.size() >= 2 && line[0] == '.' && line[1] == '.') {
-      data_ += line.substr(1);
-    } else {
-      data_ += line;
+      line.remove_prefix(1);
     }
+    data_ += line;
     data_ += "\r\n";
     co_return "";  // no response while in DATA
   }
@@ -82,29 +113,29 @@ proc::Task<std::string> SmtpSession::HandleLine(const std::string& line) {
   co_return response;
 }
 
-proc::Task<std::string> SmtpSession::HandleCommand(const std::string& line) {
+proc::Task<std::string> SmtpSession::HandleCommand(std::string_view line) {
   auto [verb, arg] = SplitVerb(line);
-  if (verb == "HELO" || verb == "EHLO") {
+  if (verb == kHelo || verb == kEhlo) {
     greeted_ = true;
     Reset();
     co_return "250 perennial-cc at your service";
   }
-  if (verb == "QUIT") {
+  if (verb == kQuit) {
     quit_ = true;
     co_return "221 Bye";
   }
-  if (verb == "NOOP") {
+  if (verb == kNoop) {
     co_return "250 OK";
   }
-  if (verb == "RSET") {
+  if (verb == kRset) {
     Reset();
     co_return "250 OK";
   }
   if (!greeted_) {
     co_return "503 Say HELO first";
   }
-  if (verb == "MAIL") {
-    std::string addr = AddressArg(arg, "FROM");
+  if (verb == kMail) {
+    std::string_view addr = AddressArg(arg, "FROM");
     if (addr.empty()) {
       co_return "501 Syntax: MAIL FROM:<address>";
     }
@@ -112,11 +143,11 @@ proc::Task<std::string> SmtpSession::HandleCommand(const std::string& line) {
     have_sender_ = true;
     co_return "250 OK";
   }
-  if (verb == "RCPT") {
+  if (verb == kRcpt) {
     if (!have_sender_) {
       co_return "503 Need MAIL FROM first";
     }
-    std::string addr = AddressArg(arg, "TO");
+    std::string_view addr = AddressArg(arg, "TO");
     std::optional<uint64_t> user = ParseUserAddress(addr, mail_->num_users());
     if (!user.has_value()) {
       co_return "550 No such user";
@@ -124,7 +155,7 @@ proc::Task<std::string> SmtpSession::HandleCommand(const std::string& line) {
     rcpts_.push_back(*user);
     co_return "250 OK";
   }
-  if (verb == "DATA") {
+  if (verb == kData) {
     if (rcpts_.empty()) {
       co_return "503 Need RCPT TO first";
     }

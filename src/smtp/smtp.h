@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/mailboat/mail_api.h"
@@ -21,7 +22,7 @@ namespace perennial::smtp {
 
 // Parses "user<N>@domain" (with or without <angle brackets>) to N.
 // Returns nullopt for anything else or N >= num_users.
-std::optional<uint64_t> ParseUserAddress(const std::string& addr, uint64_t num_users);
+std::optional<uint64_t> ParseUserAddress(std::string_view addr, uint64_t num_users);
 
 class SmtpSession {
  public:
@@ -32,14 +33,17 @@ class SmtpSession {
 
   // Processes one client line; returns the full response (single line, no
   // trailing newline). Delivery happens when the DATA terminator arrives.
-  proc::Task<std::string> HandleLine(const std::string& line);
+  // The view is borrowed: it must stay valid (bytes unmoved) until the
+  // returned task completes — netserv guarantees this by never compacting
+  // the receive buffer while a line is checked out.
+  proc::Task<std::string> HandleLine(std::string_view line);
 
   bool quit() const { return quit_; }
 
  private:
   enum class State { kCommand, kData };
 
-  proc::Task<std::string> HandleCommand(const std::string& line);
+  proc::Task<std::string> HandleCommand(std::string_view line);
   void Reset();
 
   mailboat::MailApi* mail_;

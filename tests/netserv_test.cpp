@@ -3,11 +3,14 @@
 // contract, EINTR injection through the socket syscall seam, and the
 // loadgen driving a small in-process run.
 #include <fcntl.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -193,6 +196,177 @@ TEST(NetservTest, OversizedLineIsRejectedAndConnectionClosed) {
   ExpectPrefix(conn, "500 line too long");
   std::string line;
   EXPECT_FALSE(conn.ReadLine(&line));  // server hung up
+  server.Stop();
+}
+
+// The CRLF terminator (and command bytes generally) can split anywhere
+// across TCP reads; the carve must reassemble them without duplicating or
+// losing lines.
+TEST(NetservTest, CommandSplitAcrossReads) {
+  InprocMailServer server(SmallConfig(TestRoot("split")));
+  ASSERT_TRUE(server.Start());
+
+  BlockingLineConn conn(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(conn.fd(), 0);
+  ExpectPrefix(conn, "220");
+  auto raw = [&](const std::string& bytes) {
+    ASSERT_EQ(::send(conn.fd(), bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+    // Give the loop a chance to consume this fragment as its own read.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  raw("HELO te");
+  raw("st\r");     // '\r' in one read...
+  raw("\nNOOP");   // ...'\n' in the next, prefixed to the next command
+  raw("\r\n");
+  ExpectPrefix(conn, "250");  // HELO
+  ExpectPrefix(conn, "250");  // NOOP
+  // Byte-at-a-time.
+  for (char c : std::string("NOOP\r\n")) {
+    raw(std::string(1, c));
+  }
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("QUIT"));
+  ExpectPrefix(conn, "221");
+  server.Stop();
+}
+
+// The DATA terminator ("\r\n.\r\n") straddling reads must still end the
+// body exactly, with dot-stuffed content preserved.
+TEST(NetservTest, DataTerminatorStraddlesReads) {
+  InprocMailServer server(SmallConfig(TestRoot("data-straddle")));
+  ASSERT_TRUE(server.Start());
+
+  BlockingLineConn conn(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(conn.fd(), 0);
+  ExpectPrefix(conn, "220");
+  ASSERT_TRUE(conn.WriteLine("HELO t"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("MAIL FROM:<user0@test>"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("RCPT TO:<user2@test>"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("DATA"));
+  ExpectPrefix(conn, "354");
+  auto raw = [&](const std::string& bytes) {
+    ASSERT_EQ(::send(conn.fd(), bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  raw("body line one\r\n..stuffed\r");  // dot-stuffed line, split at '\r'
+  raw("\n.");                            // terminator dot alone in a read
+  raw("\r");
+  raw("\n");
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("QUIT"));
+  ExpectPrefix(conn, "221");
+
+  std::vector<std::string> got = Pop3Fetch(server.pop3_port(), 2, true);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "body line one\r\n.stuffed\r\n");
+  server.Stop();
+}
+
+// A pipelined batch larger than the initial receive allocation (4 KiB) and
+// the full buffer cap: the buffer grows, then flow-controls (pause/resume)
+// without dropping, reordering, or duplicating commands.
+TEST(NetservTest, PipelinedBatchSpansBufferGrowthAndBackpressure) {
+  InprocMailServer server(SmallConfig(TestRoot("pipelined")));
+  ASSERT_TRUE(server.Start());
+
+  BlockingLineConn conn(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(conn.fd(), 0);
+  ExpectPrefix(conn, "220");
+  ASSERT_TRUE(conn.WriteLine("HELO t"));
+  ExpectPrefix(conn, "250");
+
+  // ~88 KiB of pipelined NOOPs in one burst: past the 4 KiB initial
+  // buffer AND past the 72 KiB cap, so reads pause mid-batch and resume
+  // once executors drain.
+  constexpr int kCmds = 4000;
+  std::string batch;
+  for (int i = 0; i < kCmds; ++i) {
+    batch += "NOOP padding padding\r\n";
+  }
+  size_t off = 0;
+  while (off < batch.size()) {
+    ssize_t n = ::send(conn.fd(), batch.data() + off, batch.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << "send failed: " << std::strerror(errno);
+    off += static_cast<size_t>(n);
+  }
+  for (int i = 0; i < kCmds; ++i) {
+    ExpectPrefix(conn, "250");
+  }
+  ASSERT_TRUE(conn.WriteLine("QUIT"));
+  ExpectPrefix(conn, "221");
+  server.Stop();
+}
+
+// Empty commands (bare CRLF) are answered with a protocol error, not a
+// hangup or a crash, on both protocols.
+TEST(NetservTest, EmptyCommandGetsErrorNotDisconnect) {
+  InprocMailServer server(SmallConfig(TestRoot("empty-cmd")));
+  ASSERT_TRUE(server.Start());
+
+  BlockingLineConn smtp(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(smtp.fd(), 0);
+  ExpectPrefix(smtp, "220");
+  ASSERT_TRUE(smtp.WriteLine("HELO t"));
+  ExpectPrefix(smtp, "250");
+  ASSERT_TRUE(smtp.WriteLine(""));
+  ExpectPrefix(smtp, "500");
+  ASSERT_TRUE(smtp.WriteLine("NOOP"));
+  ExpectPrefix(smtp, "250");  // session still alive
+  ASSERT_TRUE(smtp.WriteLine("QUIT"));
+  ExpectPrefix(smtp, "221");
+
+  BlockingLineConn pop3(ConnectTcp(server.pop3_port()));
+  ASSERT_GE(pop3.fd(), 0);
+  ExpectPrefix(pop3, "+OK");
+  ASSERT_TRUE(pop3.WriteLine(""));
+  ExpectPrefix(pop3, "-ERR");
+  ASSERT_TRUE(pop3.WriteLine("QUIT"));
+  ExpectPrefix(pop3, "+OK");
+  server.Stop();
+}
+
+// A multi-megabyte unterminated line must be rejected with a bounded
+// buffer (the receive buffer is capped; the old code realloc'd without
+// limit), and the server must stay healthy for other connections.
+TEST(NetservTest, MultiMegabyteLineIsRejectedWithBoundedBuffer) {
+  InprocMailServer server(SmallConfig(TestRoot("huge-line")));
+  ASSERT_TRUE(server.Start());
+
+  BlockingLineConn conn(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(conn.fd(), 0);
+  ExpectPrefix(conn, "220");
+  // 3 MiB, no terminator, sent in chunks. The server stops reading at its
+  // buffer cap, answers 500, and closes — so the tail of the send may die
+  // with EPIPE/ECONNRESET, which is the expected outcome, not a failure.
+  std::string chunk(64 * 1024, 'a');
+  bool send_failed = false;
+  for (int i = 0; i < 48 && !send_failed; ++i) {
+    size_t off = 0;
+    while (off < chunk.size()) {
+      ssize_t n = ::send(conn.fd(), chunk.data() + off, chunk.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        send_failed = true;
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+  // Either we read the rejection before the close, or the RST beat it.
+  std::string line;
+  if (conn.ReadLine(&line)) {
+    EXPECT_EQ(line.substr(0, 3), "500") << "full line: " << line;
+    EXPECT_FALSE(conn.ReadLine(&line));  // then the server hung up
+  }
+
+  // The abuse must not have wedged the server.
+  SmtpDeliver(server.smtp_port(), 1, {"post-abuse delivery"});
+  std::vector<std::string> got = Pop3Fetch(server.pop3_port(), 1, true);
+  ASSERT_EQ(got.size(), 1u);
   server.Stop();
 }
 
