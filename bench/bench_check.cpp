@@ -42,6 +42,7 @@
 
 #include "bench/bench_json.h"
 #include "bench/pct_suite.h"
+#include "src/fault/syscall_fault.h"
 #include "src/netserv/harness.h"
 #include "src/netserv/loadgen.h"
 #include "src/refine/explorer.h"
@@ -291,6 +292,94 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(result.ok_requests), result.wall_ms,
                         cpu_us_per_request, base.ms, base.cpu_us_per_request, allowed,
                         cpu_allowed);
+          }
+        }
+      }
+    }
+    std::string cleanup = "rm -rf " + config.root;
+    [[maybe_unused]] int rc = std::system(cleanup.c_str());
+  }
+  {
+    // Robustness gate (faultnet-check-c8): the same cell under a ~1% ENOSPC
+    // fault plan. Fault timing depends on thread scheduling, so the gate
+    // pins invariants, not exact counts: zero protocol errors (faults must
+    // surface as RFC tempfails, never broken responses), every request
+    // accounted for as ok or tempfail, forward progress despite the storm,
+    // and a generous wall bound against the committed row.
+    namespace ns = perennial::netserv;
+    ns::InprocMailServer::Config config;
+    config.root = "/tmp/pcc_bench_check_faultnet-" + std::to_string(::getpid());
+    config.users = 64;
+    config.gc_window_us = 2000;
+    config.gc_batch = 256;
+    config.loops = 2;
+    config.executors = 16;
+    // Keep this spec in sync with the faultnet- section in
+    // bench_fig11_mailboat --at-scale.
+    Result<fault::SyscallFaultPlan> plan =
+        fault::SyscallFaultPlan::Parse("no-space=0.01,transient-write=0.005,seed=11");
+    if (!plan.ok()) {
+      std::fprintf(stderr, "FAIL faultnet-check-c8: plan parse: %s\n",
+                   plan.status().ToString().c_str());
+      ++failures;
+    } else {
+      config.fault_plan = plan.value();
+      ns::InprocMailServer server(config);
+      if (!server.Start()) {
+        std::fprintf(stderr, "FAIL faultnet-check-c8: server failed to start\n");
+        ++failures;
+      } else {
+        ns::LoadgenOptions load;
+        load.smtp_port = server.smtp_port();
+        load.pop3_port = server.pop3_port();
+        load.clients = 8;
+        load.requests = 300;
+        load.num_users = config.users;
+        load.pickup_fraction = 0.0;  // deliver-only, mirrors the committed cell
+        load.body_bytes = 256;
+        load.stall_timeout_ms = 60000;
+        ns::LoadgenResult result = ns::RunLoadgen(load);
+        uint64_t injected =
+            server.faults() != nullptr ? server.faults()->total_injected() : 0;
+        server.Stop();
+        BaselineCell base = FindCell(json, "faultnet-check-c8", false);
+        if (!base.found) {
+          std::fprintf(stderr, "FAIL faultnet-check-c8: no committed baseline row "
+                               "(regenerate with bench_fig11_mailboat --at-scale --json)\n");
+          ++failures;
+        } else if (result.aborted || result.errors != 0) {
+          std::fprintf(stderr,
+                       "FAIL faultnet-check-c8: errors=%llu aborted=%d "
+                       "(faults must degrade to tempfails, not protocol errors)\n",
+                       static_cast<unsigned long long>(result.errors), result.aborted);
+          ++failures;
+        } else if (result.ok_requests + result.tempfails != 300) {
+          std::fprintf(stderr,
+                       "FAIL faultnet-check-c8: ok %llu + tempfail %llu != 300 "
+                       "(requests unaccounted for)\n",
+                       static_cast<unsigned long long>(result.ok_requests),
+                       static_cast<unsigned long long>(result.tempfails));
+          ++failures;
+        } else if (result.ok_requests == 0) {
+          std::fprintf(stderr,
+                       "FAIL faultnet-check-c8: a 1%% storm starved the server completely\n");
+          ++failures;
+        } else {
+          double allowed = 3.0 * base.ms;
+          if (allowed < 3000.0) {
+            allowed = 3000.0;  // retries + backoff ride on a noisy shared disk
+          }
+          if (result.wall_ms > allowed) {
+            std::fprintf(stderr, "FAIL faultnet-check-c8: %.1f ms > allowed %.1f ms\n",
+                         result.wall_ms, allowed);
+            ++failures;
+          } else {
+            std::printf("ok   faultnet-check-c8: %llu ok + %llu tempfail, %llu retries, "
+                        "%llu injected, %.1f ms (allowed %.1f ms)\n",
+                        static_cast<unsigned long long>(result.ok_requests),
+                        static_cast<unsigned long long>(result.tempfails),
+                        static_cast<unsigned long long>(result.retries),
+                        static_cast<unsigned long long>(injected), result.wall_ms, allowed);
           }
         }
       }

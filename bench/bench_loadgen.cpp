@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bench/bench_json.h"
+#include "src/fault/syscall_fault.h"
 #include "src/netserv/harness.h"
 #include "src/netserv/loadgen.h"
 
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
         "                     [--pickup-fraction=F] [--body-bytes=N] [--rcpts=N] [--threads=N]\n"
         "                     [--root=DIR] [--loops=N] [--executors=N]\n"
         "                     [--no-group-commit] [--gc-window-us=N] [--gc-batch=N]\n"
+        "                     [--fault-plan=key=rate,...]  (hostile disk, in-proc only)\n"
         "                     [--smtp-port=N --pop3-port=N]  (drive external server)\n");
     return 0;
   }
@@ -100,6 +102,17 @@ int main(int argc, char** argv) {
     config.gc_batch = FlagU64(argc, argv, "--gc-batch", 64);
     config.loops = FlagU64(argc, argv, "--loops", 2);
     config.executors = FlagU64(argc, argv, "--executors", load.clients + 8);
+    std::string fault_spec = FlagStr(argc, argv, "--fault-plan", "");
+    if (!fault_spec.empty()) {
+      perennial::Result<perennial::fault::SyscallFaultPlan> plan =
+          perennial::fault::SyscallFaultPlan::Parse(fault_spec);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "bench_loadgen: --fault-plan: %s\n",
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      config.fault_plan = plan.value();
+    }
     server = std::make_unique<InprocMailServer>(std::move(config));
     if (!server->Start()) {
       std::fprintf(stderr, "bench_loadgen: in-proc server failed to start\n");
@@ -118,10 +131,14 @@ int main(int argc, char** argv) {
 
   double reqs_per_s = result.wall_ms > 0 ? result.ok_requests / (result.wall_ms / 1000.0) : 0;
   std::printf(
-      "loadgen: ok=%llu errors=%llu delivers=%llu pickups=%llu wall_ms=%.1f req/s=%.0f "
+      "loadgen: ok=%llu errors=%llu tempfails=%llu retries=%llu shed=%llu "
+      "delivers=%llu pickups=%llu wall_ms=%.1f req/s=%.0f "
       "p50_us=%llu p99_us=%llu%s\n",
       static_cast<unsigned long long>(result.ok_requests),
       static_cast<unsigned long long>(result.errors),
+      static_cast<unsigned long long>(result.tempfails),
+      static_cast<unsigned long long>(result.retries),
+      static_cast<unsigned long long>(result.shed_connects),
       static_cast<unsigned long long>(result.delivers),
       static_cast<unsigned long long>(result.pickups), result.wall_ms, reqs_per_s,
       static_cast<unsigned long long>(PercentileUs(result.latencies_us, 50)),

@@ -318,7 +318,7 @@ void BM_MailboatDeliverGooseFs(benchmark::State& state) {
   goosefs::Bytes body(1024, 'm');
   for (auto _ : state) {
     auto run = [&]() -> proc::Task<void> {
-      std::string id = co_await mail.Deliver(0, body);
+      std::string id = (co_await mail.Deliver(0, body)).value();
       // Bench-level cleanup via the fs (Mailboat's Delete requires the
       // pickup lease; this measures delivery cost only).
       (void)co_await fs.Delete("user0", id);

@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "invalid";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kNoSpace:
+      return "no-space";
   }
   return "unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kFailed,         // device failure (e.g. a dead disk)
   kInvalid,        // bad argument (out-of-range address, bad fd)
   kUnavailable,    // transient condition (retryable)
+  kNoSpace,        // storage exhausted (ENOSPC/EDQUOT); clears when space frees
 };
 
 // Human-readable name of a status code ("ok", "not-found", ...).
@@ -42,6 +43,7 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status NoSpace(std::string msg) { return Status(StatusCode::kNoSpace, std::move(msg)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

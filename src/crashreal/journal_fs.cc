@@ -112,12 +112,12 @@ proc::Task<Result<std::vector<std::string>>> JournalFs::List(const std::string& 
   co_return co_await inner_->List(dir);
 }
 
-proc::Task<bool> JournalFs::Link(const std::string& src_dir, const std::string& src_name,
-                                 const std::string& dst_dir, const std::string& dst_name) {
+proc::Task<Result<bool>> JournalFs::Link(const std::string& src_dir, const std::string& src_name,
+                                         const std::string& dst_dir, const std::string& dst_name) {
   Cross("fs.link");
   Line("link " + src_dir + " " + src_name + " " + dst_dir + " " + dst_name);
-  bool ok = co_await inner_->Link(src_dir, src_name, dst_dir, dst_name);
-  if (!ok) {
+  Result<bool> ok = co_await inner_->Link(src_dir, src_name, dst_dir, dst_name);
+  if (!ok.ok() || !ok.value()) {
     Line("link-fail " + src_dir + " " + src_name + " " + dst_dir + " " + dst_name);
   }
   co_return ok;

@@ -60,8 +60,8 @@ class JournalFs : public goosefs::Filesys {
   proc::Task<Status> Sync(goosefs::Fd fd) override;
   proc::Task<Status> Close(goosefs::Fd fd) override;
   proc::Task<Result<std::vector<std::string>>> List(const std::string& dir) override;
-  proc::Task<bool> Link(const std::string& src_dir, const std::string& src_name,
-                        const std::string& dst_dir, const std::string& dst_name) override;
+  proc::Task<Result<bool>> Link(const std::string& src_dir, const std::string& src_name,
+                                const std::string& dst_dir, const std::string& dst_name) override;
   proc::Task<Status> Delete(const std::string& dir, const std::string& name) override;
 
  private:

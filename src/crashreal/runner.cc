@@ -470,9 +470,11 @@ void MailWorkloadChild(const CrashRealConfig& config, RoundShm* shm, uint64_t ro
       (void)proc::RunSync(
           mail.Deliver(ops[i].user, goosefs::BytesOfString(MailContents(config.seed, round, i))));
     } else {
-      std::vector<mailboat::Message> msgs = proc::RunSync(mail.Pickup(ops[i].user));
-      for (const mailboat::Message& m : msgs) {
-        proc::RunSyncVoid(mail.Delete(ops[i].user, m.id));
+      Result<std::vector<mailboat::Message>> msgs = proc::RunSync(mail.Pickup(ops[i].user));
+      PCC_ENSURE(msgs.ok(), "crashreal: pickup: " + msgs.status().ToString());
+      for (const mailboat::Message& m : msgs.value()) {
+        Status ds = proc::RunSync(mail.Delete(ops[i].user, m.id));
+        PCC_ENSURE(ds.ok(), "crashreal: delete: " + ds.ToString());
       }
       proc::RunSyncVoid(mail.Unlock(ops[i].user));
     }
@@ -498,8 +500,9 @@ void MailRecoveryChild(const CrashRealConfig& config, RoundShm* shm, uint64_t ro
   PCC_ENSURE(spool.ok(), "crashreal: list spool: " + spool.status().ToString());
   shm->spool_leftover.store(spool.value().size());
   for (uint64_t u = 0; u < config.num_users; ++u) {
-    std::vector<mailboat::Message> msgs = proc::RunSync(mail.Pickup(u));
-    for (const mailboat::Message& m : msgs) {
+    Result<std::vector<mailboat::Message>> picked = proc::RunSync(mail.Pickup(u));
+    PCC_ENSURE(picked.ok(), "crashreal: pickup: " + picked.status().ToString());
+    for (const mailboat::Message& m : picked.value()) {
       ResultSlot slot{u, 0, 0, 0};
       std::optional<MailTag> tag = ParseMailTag(m.contents);
       if (!tag.has_value()) {

@@ -1,0 +1,289 @@
+#include "src/fault/syscall_fault.h"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace perennial::fault {
+
+ssize_t FsSyscalls::Write(int fd, const void* buf, size_t count) {
+  return ::write(fd, buf, count);
+}
+
+ssize_t FsSyscalls::Pread(int fd, void* buf, size_t count, off_t off) {
+  return ::pread(fd, buf, count, off);
+}
+
+int FsSyscalls::Fsync(int fd) { return ::fsync(fd); }
+
+int FsSyscalls::Syncfs(int fd) { return ::syncfs(fd); }
+
+int FsSyscalls::LinkAt(int src_dirfd, const char* src, int dst_dirfd, const char* dst) {
+  return ::linkat(src_dirfd, src, dst_dirfd, dst, 0);
+}
+
+int FsSyscalls::UnlinkAt(int dirfd, const char* name) { return ::unlinkat(dirfd, name, 0); }
+
+FsSyscalls* RealFsSyscalls() {
+  static FsSyscalls real;
+  return &real;
+}
+
+const char* SyscallFaultKindName(SyscallFaultKind kind) {
+  switch (kind) {
+    case SyscallFaultKind::kTransientRead:
+      return "transient-read";
+    case SyscallFaultKind::kTransientWrite:
+      return "transient-write";
+    case SyscallFaultKind::kNoSpace:
+      return "no-space";
+    case SyscallFaultKind::kShortWrite:
+      return "short-write";
+    case SyscallFaultKind::kFailedSync:
+      return "failed-sync";
+    case SyscallFaultKind::kEintr:
+      return "eintr";
+  }
+  return "unknown-fault";
+}
+
+Result<SyscallFaultPlan> SyscallFaultPlan::Parse(const std::string& spec) {
+  SyscallFaultPlan plan;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    std::string field = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (field.empty()) {
+      continue;
+    }
+    size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::Invalid("fault plan: expected key=value, got '" + field + "'");
+    }
+    std::string key = field.substr(0, eq);
+    std::string val = field.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "seed" || key == "budget") {
+      uint64_t n = std::strtoull(val.c_str(), &end, 10);
+      if (end == val.c_str() || *end != '\0') {
+        return Status::Invalid("fault plan: bad integer for " + key + ": '" + val + "'");
+      }
+      (key == "seed" ? plan.seed : plan.budget) = n;
+      continue;
+    }
+    double rate = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0' || rate < 0 || rate > 1) {
+      return Status::Invalid("fault plan: bad rate for " + key + ": '" + val + "'");
+    }
+    if (key == "transient-read") {
+      plan.transient_read = rate;
+    } else if (key == "transient-write") {
+      plan.transient_write = rate;
+    } else if (key == "eio") {
+      plan.transient_read = rate;
+      plan.transient_write = rate;
+    } else if (key == "no-space" || key == "enospc") {
+      plan.no_space = rate;
+    } else if (key == "short-write" || key == "short") {
+      plan.short_write = rate;
+    } else if (key == "failed-sync" || key == "fsync") {
+      plan.failed_sync = rate;
+    } else if (key == "eintr") {
+      plan.eintr = rate;
+    } else {
+      return Status::Invalid("fault plan: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string SyscallFaultPlan::ToString() const {
+  std::string out;
+  auto add = [&](const char* key, double rate) {
+    if (rate <= 0) {
+      return;
+    }
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += key;
+    out += '=';
+    out += std::to_string(rate);
+  };
+  add("transient-read", transient_read);
+  add("transient-write", transient_write);
+  add("no-space", no_space);
+  add("short-write", short_write);
+  add("failed-sync", failed_sync);
+  add("eintr", eintr);
+  if (!out.empty()) {
+    out += ',';
+  }
+  out += "seed=" + std::to_string(seed);
+  if (budget != UINT64_MAX) {
+    out += ",budget=" + std::to_string(budget);
+  }
+  return out;
+}
+
+FaultInjectingSyscalls::FaultInjectingSyscalls(SyscallFaultPlan plan)
+    : plan_(plan), rng_(plan.seed * 6364136223846793005ULL + 1442695040888963407ULL),
+      budget_left_(plan.budget) {}
+
+bool FaultInjectingSyscalls::Fire(SyscallFaultKind kind, double rate) {
+  if (rate <= 0) {
+    return false;
+  }
+  if (budget_left_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  bool fires;
+  {
+    std::scoped_lock lock(mu_);
+    fires = rng_.Chance(rate);
+  }
+  if (!fires) {
+    return false;
+  }
+  // Claim one unit of budget; lose the race, lose the fault.
+  uint64_t left = budget_left_.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (budget_left_.compare_exchange_weak(left, left - 1, std::memory_order_relaxed)) {
+      injected_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+int FaultInjectingSyscalls::OpenAt(int dirfd, const char* name, int flags, mode_t mode) {
+  if (Fire(SyscallFaultKind::kEintr, plan_.eintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if ((flags & O_CREAT) != 0 && Fire(SyscallFaultKind::kNoSpace, plan_.no_space)) {
+    errno = ENOSPC;
+    return -1;
+  }
+  return FsSyscalls::OpenAt(dirfd, name, flags, mode);
+}
+
+ssize_t FaultInjectingSyscalls::Write(int fd, const void* buf, size_t count) {
+  if (Fire(SyscallFaultKind::kEintr, plan_.eintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (Fire(SyscallFaultKind::kNoSpace, plan_.no_space)) {
+    errno = ENOSPC;
+    return -1;
+  }
+  if (Fire(SyscallFaultKind::kTransientWrite, plan_.transient_write)) {
+    errno = EIO;
+    return -1;
+  }
+  if (count >= 2 && Fire(SyscallFaultKind::kShortWrite, plan_.short_write)) {
+    // Persist a strict prefix (never 0: a zero return would loop callers
+    // forever, and real write() returns short-but-nonzero under pressure).
+    uint64_t prefix;
+    {
+      std::scoped_lock lock(mu_);
+      prefix = rng_.Range(1, count - 1);
+    }
+    return FsSyscalls::Write(fd, buf, static_cast<size_t>(prefix));
+  }
+  return FsSyscalls::Write(fd, buf, count);
+}
+
+ssize_t FaultInjectingSyscalls::Pread(int fd, void* buf, size_t count, off_t off) {
+  if (Fire(SyscallFaultKind::kEintr, plan_.eintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (Fire(SyscallFaultKind::kTransientRead, plan_.transient_read)) {
+    errno = EIO;
+    return -1;
+  }
+  return FsSyscalls::Pread(fd, buf, count, off);
+}
+
+int FaultInjectingSyscalls::Fsync(int fd) {
+  if (Fire(SyscallFaultKind::kEintr, plan_.eintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (Fire(SyscallFaultKind::kFailedSync, plan_.failed_sync)) {
+    errno = EIO;
+    return -1;
+  }
+  return FsSyscalls::Fsync(fd);
+}
+
+int FaultInjectingSyscalls::Syncfs(int fd) {
+  if (Fire(SyscallFaultKind::kEintr, plan_.eintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (Fire(SyscallFaultKind::kFailedSync, plan_.failed_sync)) {
+    errno = EIO;
+    return -1;
+  }
+  return FsSyscalls::Syncfs(fd);
+}
+
+int FaultInjectingSyscalls::LinkAt(int src_dirfd, const char* src, int dst_dirfd,
+                                   const char* dst) {
+  if (Fire(SyscallFaultKind::kEintr, plan_.eintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (Fire(SyscallFaultKind::kNoSpace, plan_.no_space)) {
+    errno = ENOSPC;
+    return -1;
+  }
+  if (Fire(SyscallFaultKind::kTransientWrite, plan_.transient_write)) {
+    errno = EIO;
+    return -1;
+  }
+  return FsSyscalls::LinkAt(src_dirfd, src, dst_dirfd, dst);
+}
+
+int FaultInjectingSyscalls::UnlinkAt(int dirfd, const char* name) {
+  if (Fire(SyscallFaultKind::kEintr, plan_.eintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (Fire(SyscallFaultKind::kTransientWrite, plan_.transient_write)) {
+    errno = EIO;
+    return -1;
+  }
+  return FsSyscalls::UnlinkAt(dirfd, name);
+}
+
+uint64_t FaultInjectingSyscalls::total_injected() const {
+  uint64_t n = 0;
+  for (const auto& c : injected_) {
+    n += c.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::string FaultInjectingSyscalls::InjectedSummary() const {
+  std::string out;
+  for (int k = 0; k < kNumSyscallFaultKinds; ++k) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += SyscallFaultKindName(static_cast<SyscallFaultKind>(k));
+    out += '=';
+    out += std::to_string(injected_[static_cast<size_t>(k)].load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+}  // namespace perennial::fault

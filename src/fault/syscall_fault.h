@@ -1,0 +1,138 @@
+// Syscall-level fault injection for the real-OS storage path.
+//
+// `src/fault/` (PR 2) injects faults into the *modeled* environment: the
+// explorer arms a FaultKind and the modeled device consumes it, all as pure
+// functions of the decision path. The production server (src/netserv/) runs
+// on a real kernel, where the same fault classes arrive as errno values:
+// transient reads/writes are EIO, torn writes are short write() returns,
+// unsynced-tail loss is a failed fsync whose dirty pages Linux then DROPS
+// (so a later fsync can report success without the data ever reaching
+// media), and the real world adds ENOSPC and EINTR.
+//
+// This header carries the same plan vocabulary to reality:
+//  * FsSyscalls — the injectable syscall seam PosixFilesys and
+//    GroupCommitter route every storage syscall through (mirroring
+//    PosixDisk's injectable PwriteAll/PreadAll and netserv's RawSys socket
+//    table). The default implementation is the raw syscall.
+//  * SyscallFaultPlan — per-class fire rates named after the FaultKind
+//    vocabulary (transient-read, transient-write, short-write == the torn
+//    prefix, failed-sync == the unsynced tail, plus no-space and eintr),
+//    parsed from a "key=rate,..." spec string usable from CLI flags.
+//  * FaultInjectingSyscalls — a seeded, thread-safe FsSyscalls that fires
+//    each class independently at its configured rate. Deterministic per
+//    (seed, call sequence): no wall-clock entropy, so a soak failure
+//    reproduces under the same seed and thread schedule.
+#ifndef PERENNIAL_SRC_FAULT_SYSCALL_FAULT_H_
+#define PERENNIAL_SRC_FAULT_SYSCALL_FAULT_H_
+
+#include <fcntl.h>
+#include <sys/types.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/base/rand.h"
+#include "src/base/status.h"
+
+namespace perennial::fault {
+
+// Every storage syscall PosixFilesys / GroupCommitter issues on the data
+// path. Implementations return the syscall's return value and set errno on
+// failure, exactly like the raw calls, so the callers' errno handling
+// (EINTR retry loops, ErrnoStatus mapping) is exercised unchanged.
+class FsSyscalls {
+ public:
+  virtual ~FsSyscalls() = default;
+
+  virtual int OpenAt(int dirfd, const char* name, int flags, mode_t mode) {
+    return ::openat(dirfd, name, flags, mode);
+  }
+  virtual ssize_t Write(int fd, const void* buf, size_t count);
+  virtual ssize_t Pread(int fd, void* buf, size_t count, off_t off);
+  virtual int Fsync(int fd);
+  virtual int Syncfs(int fd);
+  virtual int LinkAt(int src_dirfd, const char* src, int dst_dirfd, const char* dst);
+  virtual int UnlinkAt(int dirfd, const char* name);
+};
+
+// The process-wide pass-through instance (raw syscalls, no state).
+FsSyscalls* RealFsSyscalls();
+
+// Which class a firing belongs to; indexes the injected() counters.
+enum class SyscallFaultKind {
+  kTransientRead,   // pread fails EIO
+  kTransientWrite,  // write/linkat/unlinkat fails EIO
+  kNoSpace,         // write/creating-openat/linkat fails ENOSPC
+  kShortWrite,      // write persists only a prefix (the torn-write analog)
+  kFailedSync,      // fsync/syncfs fails EIO (the unsynced-tail analog)
+  kEintr,           // the attempt is interrupted first (retry must succeed)
+};
+inline constexpr int kNumSyscallFaultKinds = 6;
+const char* SyscallFaultKindName(SyscallFaultKind kind);
+
+struct SyscallFaultPlan {
+  // Independent per-call fire probabilities in [0, 1].
+  double transient_read = 0;
+  double transient_write = 0;
+  double no_space = 0;
+  double short_write = 0;
+  double failed_sync = 0;
+  double eintr = 0;
+  uint64_t seed = 1;
+  // Total firings across all classes; once spent, the disk behaves (lets a
+  // soak inject a bounded storm and then verify the system recovers).
+  uint64_t budget = UINT64_MAX;
+
+  bool Any() const {
+    return transient_read > 0 || transient_write > 0 || no_space > 0 || short_write > 0 ||
+           failed_sync > 0 || eintr > 0;
+  }
+
+  // Parses "transient-read=0.01,no-space=0.02,failed-sync=0.001,seed=7".
+  // Keys: the SyscallFaultKindName strings (aliases: enospc, fsync, short,
+  // eio for transient-write+transient-read together), plus seed and budget.
+  // kInvalid on unknown keys or unparsable values.
+  static Result<SyscallFaultPlan> Parse(const std::string& spec);
+  std::string ToString() const;
+};
+
+// Seeded fault-injecting implementation. Thread-safe: draws are serialized
+// under a mutex (the rates, not the exact interleaving, are the contract —
+// the server's thread schedule is already nondeterministic).
+class FaultInjectingSyscalls : public FsSyscalls {
+ public:
+  explicit FaultInjectingSyscalls(SyscallFaultPlan plan);
+
+  int OpenAt(int dirfd, const char* name, int flags, mode_t mode) override;
+  ssize_t Write(int fd, const void* buf, size_t count) override;
+  ssize_t Pread(int fd, void* buf, size_t count, off_t off) override;
+  int Fsync(int fd) override;
+  int Syncfs(int fd) override;
+  int LinkAt(int src_dirfd, const char* src, int dst_dirfd, const char* dst) override;
+  int UnlinkAt(int dirfd, const char* name) override;
+
+  const SyscallFaultPlan& plan() const { return plan_; }
+  uint64_t injected(SyscallFaultKind kind) const {
+    return injected_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+  }
+  uint64_t total_injected() const;
+  // One "kind=count kind=count ..." line for soak logs.
+  std::string InjectedSummary() const;
+
+ private:
+  // Draws against `rate`; counts and consumes budget when it fires.
+  bool Fire(SyscallFaultKind kind, double rate);
+
+  SyscallFaultPlan plan_;
+  std::mutex mu_;
+  Rng rng_;
+  std::atomic<uint64_t> budget_left_;
+  std::array<std::atomic<uint64_t>, kNumSyscallFaultKinds> injected_{};
+};
+
+}  // namespace perennial::fault
+
+#endif  // PERENNIAL_SRC_FAULT_SYSCALL_FAULT_H_

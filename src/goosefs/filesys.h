@@ -60,9 +60,12 @@ class Filesys {
 
   // Atomically links (src_dir, src_name)'s inode as (dst_dir, dst_name).
   // Returns false if the destination already exists (the shadow-copy
-  // install primitive Mailboat relies on).
-  virtual proc::Task<bool> Link(const std::string& src_dir, const std::string& src_name,
-                                const std::string& dst_dir, const std::string& dst_name) = 0;
+  // install primitive Mailboat relies on); a non-ok status is an I/O
+  // failure — the entry may exist but its durability is unknown, so the
+  // caller must treat the delivery as failed (and may need to unlink).
+  virtual proc::Task<Result<bool>> Link(const std::string& src_dir, const std::string& src_name,
+                                        const std::string& dst_dir,
+                                        const std::string& dst_name) = 0;
 
   // Unlinks a name. kNotFound if absent.
   virtual proc::Task<Status> Delete(const std::string& dir, const std::string& name) = 0;

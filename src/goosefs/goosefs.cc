@@ -183,8 +183,8 @@ proc::Task<Result<std::vector<std::string>>> GooseFs::List(const std::string& di
   co_return names;  // std::map iterates sorted
 }
 
-proc::Task<bool> GooseFs::Link(const std::string& src_dir, const std::string& src_name,
-                               const std::string& dst_dir, const std::string& dst_name) {
+proc::Task<Result<bool>> GooseFs::Link(const std::string& src_dir, const std::string& src_name,
+                                       const std::string& dst_dir, const std::string& dst_name) {
   co_await proc::Yield();
   BeginOpFootprint();
   Rec(EntryRes(src_dir, src_name), /*write=*/false);

@@ -62,7 +62,7 @@ class GooseFs : public Filesys, public goose::CrashAware {
   proc::Task<Status> Sync(Fd fd) override;
   proc::Task<Status> Close(Fd fd) override;
   proc::Task<Result<std::vector<std::string>>> List(const std::string& dir) override;
-  proc::Task<bool> Link(const std::string& src_dir, const std::string& src_name,
+  proc::Task<Result<bool>> Link(const std::string& src_dir, const std::string& src_name,
                         const std::string& dst_dir, const std::string& dst_name) override;
   proc::Task<Status> Delete(const std::string& dir, const std::string& name) override;
 

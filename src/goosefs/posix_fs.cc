@@ -24,6 +24,12 @@ Status ErrnoStatus(const std::string& op, int err) {
       return Status::NotFound(std::move(msg));
     case EEXIST:
       return Status::AlreadyExists(std::move(msg));
+    case ENOSPC:
+    case EDQUOT:
+      // Space exhaustion is its own class: callers answer it with a
+      // "mailbox full / try later" tempfail (SMTP 452) rather than the
+      // generic local-error 451.
+      return Status::NoSpace(std::move(msg));
     default:
       return Status::Failed(std::move(msg));
   }
@@ -157,7 +163,7 @@ Status PosixFilesys::DoFsync(int fd, const char* what) {
   if (options_.fsyncer != nullptr) {
     return options_.fsyncer->Fsync(fd);
   }
-  if (RetryEintr([&] { return ::fsync(fd); }) != 0) {
+  if (RetryEintr([&] { return Sys().Fsync(fd); }) != 0) {
     return ErrnoStatus(what, errno);
   }
   return Status::Ok();
@@ -231,14 +237,16 @@ proc::Task<Result<Fd>> PosixFilesys::Create(const std::string& dir, const std::s
     if (dfd < 0) {
       co_return ErrnoStatus("open dir", errno);
     }
-    fd = RetryEintr(
-        [&] { return ::openat(dfd, name.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644); });
+    fd = RetryEintr([&] {
+      return Sys().OpenAt(dfd, name.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644);
+    });
     if (opened) {
       ::close(dfd);
     }
   } else {
     fd = RetryEintr([&] {
-      return ::open(ScratchPath(dir, name), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644);
+      return Sys().OpenAt(AT_FDCWD, ScratchPath(dir, name), O_CREAT | O_EXCL | O_WRONLY | O_APPEND,
+                          0644);
     });
   }
   if (fd < 0) {
@@ -273,12 +281,12 @@ proc::Task<Result<Fd>> PosixFilesys::Open(const std::string& dir, const std::str
     if (dfd < 0) {
       co_return ErrnoStatus("open dir", errno);
     }
-    fd = RetryEintr([&] { return ::openat(dfd, name.c_str(), O_RDONLY); });
+    fd = RetryEintr([&] { return Sys().OpenAt(dfd, name.c_str(), O_RDONLY, 0); });
     if (opened) {
       ::close(dfd);
     }
   } else {
-    fd = RetryEintr([&] { return ::open(ScratchPath(dir, name), O_RDONLY); });
+    fd = RetryEintr([&] { return Sys().OpenAt(AT_FDCWD, ScratchPath(dir, name), O_RDONLY, 0); });
   }
   if (fd < 0) {
     co_return ErrnoStatus("open", errno);
@@ -290,7 +298,7 @@ proc::Task<Status> PosixFilesys::Append(Fd fd, const Bytes& data) {
   stage::StageScope fs_stage(stage::kFs);
   size_t written = 0;
   while (written < data.size()) {
-    ssize_t n = ::write(static_cast<int>(fd), data.data() + written, data.size() - written);
+    ssize_t n = Sys().Write(static_cast<int>(fd), data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -298,6 +306,9 @@ proc::Task<Status> PosixFilesys::Append(Fd fd, const Bytes& data) {
       co_return ErrnoStatus("write", errno);
     }
     written += static_cast<size_t>(n);
+  }
+  if (written > 0 && options_.fsyncer != nullptr) {
+    options_.fsyncer->OnDirty(static_cast<int>(fd));
   }
   co_return Status::Ok();
 }
@@ -307,8 +318,8 @@ proc::Task<Result<Bytes>> PosixFilesys::ReadAt(Fd fd, uint64_t off, uint64_t cou
   Bytes out(count);
   size_t total = 0;
   while (total < count) {
-    ssize_t n = ::pread(static_cast<int>(fd), out.data() + total, count - total,
-                        static_cast<off_t>(off + total));
+    ssize_t n = Sys().Pread(static_cast<int>(fd), out.data() + total, count - total,
+                            static_cast<off_t>(off + total));
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -331,6 +342,9 @@ proc::Task<Status> PosixFilesys::Sync(Fd fd) {
 
 proc::Task<Status> PosixFilesys::Close(Fd fd) {
   stage::StageScope fs_stage(stage::kFs);
+  if (options_.fsyncer != nullptr) {
+    options_.fsyncer->OnClose(static_cast<int>(fd));
+  }
   if (::close(static_cast<int>(fd)) != 0) {
     co_return ErrnoStatus("close", errno);
   }
@@ -396,41 +410,57 @@ proc::Task<Result<std::vector<std::string>>> PosixFilesys::List(const std::strin
   co_return names;
 }
 
-proc::Task<bool> PosixFilesys::Link(const std::string& src_dir, const std::string& src_name,
-                                    const std::string& dst_dir, const std::string& dst_name) {
+proc::Task<Result<bool>> PosixFilesys::Link(const std::string& src_dir, const std::string& src_name,
+                                            const std::string& dst_dir,
+                                            const std::string& dst_name) {
   stage::StageScope fs_stage(stage::kFs);
   int rc = -1;
   if (options_.cache_dir_fds) {
     bool src_opened = false;
     bool dst_opened = false;
     int sfd = DirFd(src_dir, &src_opened);
-    int dfd = DirFd(dst_dir, &dst_opened);
+    int dfd = sfd >= 0 ? DirFd(dst_dir, &dst_opened) : -1;
     if (sfd >= 0 && dfd >= 0) {
-      rc = RetryEintr([&] { return ::linkat(sfd, src_name.c_str(), dfd, dst_name.c_str(), 0); });
+      rc = RetryEintr([&] { return Sys().LinkAt(sfd, src_name.c_str(), dfd, dst_name.c_str()); });
     }
+    int err = errno;
     if (src_opened && sfd >= 0) {
       ::close(sfd);
     }
     if (dst_opened && dfd >= 0) {
       ::close(dfd);
     }
-  } else {
-    rc = RetryEintr(
-        [&] { return ::link(FullPath(src_dir, src_name).c_str(), FullPath(dst_dir, dst_name).c_str()); });
-  }
-  if (rc == 0) {
-    Cross("link.entry", dst_dir);
-    // The new entry is durable only once dst_dir itself is synced; Link's
-    // boolean contract (false = name taken) can't carry an I/O error, and
-    // a failed directory fsync means durability is unknowable — panic
-    // rather than let the caller believe the link is crash-safe.
-    Status ds = SyncDir(dst_dir);
-    PCC_ENSURE(ds.ok(), "link: " + ds.ToString());
-    if (options_.fsync_dirs) {
-      Cross("link.dirsync", dst_dir);
+    errno = err;
+    if (sfd < 0 || dfd < 0) {
+      co_return ErrnoStatus("open dir", errno);
     }
+  } else {
+    rc = RetryEintr([&] {
+      return Sys().LinkAt(AT_FDCWD, FullPath(src_dir, src_name).c_str(), AT_FDCWD,
+                          FullPath(dst_dir, dst_name).c_str());
+    });
   }
-  co_return rc == 0;
+  if (rc != 0) {
+    // Only "name taken" is the boolean outcome; everything else (EIO,
+    // ENOSPC, ...) must surface as a status, or the caller would keep
+    // generating fresh names against a disk that fails every linkat.
+    if (errno == EEXIST) {
+      co_return false;
+    }
+    co_return ErrnoStatus("link", errno);
+  }
+  Cross("link.entry", dst_dir);
+  // The new entry is durable only once dst_dir itself is synced. A failed
+  // directory fsync means durability is unknowable: report it so the
+  // caller tempfails (and compensates with an unlink) instead of acking.
+  Status ds = SyncDir(dst_dir);
+  if (!ds.ok()) {
+    co_return ds;
+  }
+  if (options_.fsync_dirs) {
+    Cross("link.dirsync", dst_dir);
+  }
+  co_return true;
 }
 
 proc::Task<Status> PosixFilesys::Delete(const std::string& dir, const std::string& name) {
@@ -442,12 +472,14 @@ proc::Task<Status> PosixFilesys::Delete(const std::string& dir, const std::strin
     if (dfd < 0) {
       co_return ErrnoStatus("open dir", errno);
     }
-    rc = RetryEintr([&] { return ::unlinkat(dfd, name.c_str(), 0); });
+    rc = RetryEintr([&] { return Sys().UnlinkAt(dfd, name.c_str()); });
     if (opened) {
+      int err = errno;
       ::close(dfd);
+      errno = err;
     }
   } else {
-    rc = RetryEintr([&] { return ::unlink(ScratchPath(dir, name)); });
+    rc = RetryEintr([&] { return Sys().UnlinkAt(AT_FDCWD, ScratchPath(dir, name)); });
   }
   if (rc != 0) {
     co_return ErrnoStatus("unlink", errno);

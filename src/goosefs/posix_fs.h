@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/fault/syscall_fault.h"
 #include "src/goosefs/filesys.h"
 
 namespace perennial::goosefs {
@@ -34,6 +35,13 @@ class Fsyncer {
  public:
   virtual ~Fsyncer() = default;
   virtual Status Fsync(int fd) = 0;
+  // Lifecycle hints for sticky-failure tracking (Linux drops dirty pages
+  // when an fsync fails, so a failed barrier must poison every fd that was
+  // dirty at the time — see netserv::GroupCommitter). OnDirty fires after a
+  // successful write made `fd` dirty; OnClose fires when `fd` is being
+  // closed (a fresh open of the same file starts clean). Default no-ops.
+  virtual void OnDirty(int fd) {}
+  virtual void OnClose(int fd) {}
 };
 
 class PosixFilesys : public Filesys {
@@ -71,6 +79,13 @@ class PosixFilesys : public Filesys {
     // Recover's spool sweep. Cuts a Deliver from 4 durability barriers to
     // 2 without weakening any acked guarantee.
     std::vector<std::string> recovery_reconciled_dirs;
+    // Syscall table for the data path (openat/write/pread/fsync/linkat/
+    // unlinkat). Defaults to the raw syscalls; tests and fault soaks pass a
+    // fault::FaultInjectingSyscalls to make the disk hostile. Setup-path
+    // calls (EnsureDirs, directory-fd opens) stay raw: the fault envelope
+    // is "a serving system on a degrading disk", not "mkdir fails at
+    // boot". Not owned.
+    fault::FsSyscalls* sys = nullptr;
   };
 
   // `root` must exist; directories are created beneath it on EnsureDirs.
@@ -97,8 +112,8 @@ class PosixFilesys : public Filesys {
   proc::Task<Status> Sync(Fd fd) override;
   proc::Task<Status> Close(Fd fd) override;
   proc::Task<Result<std::vector<std::string>>> List(const std::string& dir) override;
-  proc::Task<bool> Link(const std::string& src_dir, const std::string& src_name,
-                        const std::string& dst_dir, const std::string& dst_name) override;
+  proc::Task<Result<bool>> Link(const std::string& src_dir, const std::string& src_name,
+                                const std::string& dst_dir, const std::string& dst_name) override;
   proc::Task<Status> Delete(const std::string& dir, const std::string& name) override;
 
  private:
@@ -119,6 +134,9 @@ class PosixFilesys : public Filesys {
   // True when `dir` is in Options::recovery_reconciled_dirs (entry
   // dirsyncs for Create/Delete are skipped there).
   bool EntryReconciled(const std::string& dir) const;
+  fault::FsSyscalls& Sys() const {
+    return options_.sys != nullptr ? *options_.sys : *fault::RealFsSyscalls();
+  }
   void Cross(const char* point, const std::string& dir) {
     if (options_.hook) {
       options_.hook(point, dir);

@@ -54,7 +54,7 @@ proc::Task<void> GoMail::ReleaseFileLock(uint64_t user) {
   PCC_ENSURE(s.ok(), "file lock: unlock of unheld lock");
 }
 
-proc::Task<std::vector<Message>> GoMail::Pickup(uint64_t user) {
+proc::Task<Result<std::vector<Message>>> GoMail::Pickup(uint64_t user) {
   PayOverhead();
   co_await AcquireFileLock(user);
   Result<std::vector<std::string>> names = co_await fs_->List(UserDir(user));
@@ -80,7 +80,7 @@ proc::Task<std::vector<Message>> GoMail::Pickup(uint64_t user) {
   co_return messages;
 }
 
-proc::Task<std::string> GoMail::Deliver(uint64_t user, const goosefs::Bytes& msg) {
+proc::Task<Result<std::string>> GoMail::Deliver(uint64_t user, const goosefs::Bytes& msg) {
   PayOverhead();
   // Conservative design: hold the mailbox file lock across delivery (see
   // the header comment — this is the cost of not having Mailboat's
@@ -100,7 +100,12 @@ proc::Task<std::string> GoMail::Deliver(uint64_t user, const goosefs::Bytes& msg
   }
   (void)co_await fs_->Close(fd.value());
   std::string msg_name = "msg-" + HexId(NextRandomId());
-  while (!co_await fs_->Link("spool", tmp_name, UserDir(user), msg_name)) {
+  while (true) {
+    Result<bool> linked = co_await fs_->Link("spool", tmp_name, UserDir(user), msg_name);
+    PCC_ENSURE(linked.ok(), "GoMail: link failed");
+    if (linked.value()) {
+      break;
+    }
     msg_name = "msg-" + HexId(NextRandomId());
   }
   (void)co_await fs_->Delete("spool", tmp_name);
@@ -108,9 +113,10 @@ proc::Task<std::string> GoMail::Deliver(uint64_t user, const goosefs::Bytes& msg
   co_return msg_name;
 }
 
-proc::Task<void> GoMail::Delete(uint64_t user, const std::string& id) {
+proc::Task<Status> GoMail::Delete(uint64_t user, const std::string& id) {
   Status s = co_await fs_->Delete(UserDir(user), id);
   PCC_ENSURE(s.ok(), "GoMail delete: no such message");
+  co_return Status::Ok();
 }
 
 proc::Task<void> GoMail::Unlock(uint64_t user) {

@@ -50,9 +50,9 @@ class GoMail : public MailApi {
   // spool/ + locks/ + one directory per user.
   static std::vector<std::string> DirLayout(uint64_t num_users);
 
-  proc::Task<std::vector<Message>> Pickup(uint64_t user) override;
-  proc::Task<std::string> Deliver(uint64_t user, const goosefs::Bytes& msg) override;
-  proc::Task<void> Delete(uint64_t user, const std::string& id) override;
+  proc::Task<Result<std::vector<Message>>> Pickup(uint64_t user) override;
+  proc::Task<Result<std::string>> Deliver(uint64_t user, const goosefs::Bytes& msg) override;
+  proc::Task<Status> Delete(uint64_t user, const std::string& id) override;
   proc::Task<void> Unlock(uint64_t user) override;
   proc::Task<void> Recover() override;
 

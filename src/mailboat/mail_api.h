@@ -26,15 +26,21 @@ class MailApi {
  public:
   virtual ~MailApi() = default;
 
-  // Lists the user's mail and acquires the user's pickup/delete lock.
-  virtual proc::Task<std::vector<Message>> Pickup(uint64_t user) = 0;
-  // Durably delivers a message, returning its id.
-  virtual proc::Task<std::string> Deliver(uint64_t user, const goosefs::Bytes& msg) = 0;
+  // Lists the user's mail and acquires the user's pickup/delete lock. On
+  // error the lock is NOT held (implementations release before returning)
+  // and the session should tempfail the authentication.
+  virtual proc::Task<Result<std::vector<Message>>> Pickup(uint64_t user) = 0;
+  // Durably delivers a message, returning its id. On error nothing was
+  // acked-durable: the implementation has unlinked (or will reap at
+  // Recover) any partial spool/mailbox state, and the caller must answer
+  // with a tempfail (kNoSpace → "mailbox full", anything else → "local
+  // error") rather than accept the message.
+  virtual proc::Task<Result<std::string>> Deliver(uint64_t user, const goosefs::Bytes& msg) = 0;
   // As Deliver, reading `len` body bytes through `read_chunk`.
   // Implementations that can stream (Mailboat) avoid materializing the
   // body; the default materializes and forwards to Deliver.
-  virtual proc::Task<std::string> DeliverChunked(uint64_t user, uint64_t len,
-                                                 ChunkReader read_chunk) {
+  virtual proc::Task<Result<std::string>> DeliverChunked(uint64_t user, uint64_t len,
+                                                         ChunkReader read_chunk) {
     goosefs::Bytes body;
     body.reserve(len);
     uint64_t off = 0;
@@ -44,11 +50,12 @@ class MailApi {
       body.insert(body.end(), chunk.begin(), chunk.end());
       off += chunk.size();
     }
-    std::string id = co_await Deliver(user, body);
+    Result<std::string> id = co_await Deliver(user, body);
     co_return id;
   }
-  // Deletes a message id previously returned by Pickup (lock held).
-  virtual proc::Task<void> Delete(uint64_t user, const std::string& id) = 0;
+  // Deletes a message id previously returned by Pickup (lock held). A
+  // non-ok status means the message may still exist; the lock stays held.
+  virtual proc::Task<Status> Delete(uint64_t user, const std::string& id) = 0;
   virtual proc::Task<void> Unlock(uint64_t user) = 0;
   // Post-crash cleanup / re-initialization.
   virtual proc::Task<void> Recover() = 0;

@@ -99,18 +99,24 @@ inline refine::Instance<MailSpec> MakeMailInstance(const MailHarnessOptions& opt
     MailSpec::Ret ret;
     switch (op.kind) {
       case MailSpec::Kind::kPickup: {
-        std::vector<Message> messages = co_await mail->Pickup(op.user);
-        for (Message& m : messages) {
+        // The modeled GooseFs never returns I/O errors on these paths, so
+        // a failure here is a harness bug, not a disk fault.
+        Result<std::vector<Message>> messages = co_await mail->Pickup(op.user);
+        PCC_ENSURE(messages.ok(), "harness: pickup failed");
+        for (Message& m : messages.value()) {
           ret.msgs.emplace_back(std::move(m.id), std::move(m.contents));
         }
         break;
       }
       case MailSpec::Kind::kDeliver: {
-        ret.id = co_await mail->Deliver(op.user, goosefs::BytesOfString(op.arg));
+        Result<std::string> id = co_await mail->Deliver(op.user, goosefs::BytesOfString(op.arg));
+        PCC_ENSURE(id.ok(), "harness: deliver failed");
+        ret.id = std::move(id.value());
         break;
       }
       case MailSpec::Kind::kDelete: {
-        co_await mail->Delete(op.user, op.arg);
+        Status s = co_await mail->Delete(op.user, op.arg);
+        PCC_ENSURE(s.ok(), "harness: delete failed");
         break;
       }
       case MailSpec::Kind::kUnlock: {

@@ -51,23 +51,35 @@ uint64_t Mailboat::NextRandomId() {
   return rng_.Next();
 }
 
-proc::Task<std::vector<Message>> Mailboat::Pickup(uint64_t user) {
+proc::Task<Result<std::vector<Message>>> Mailboat::Pickup(uint64_t user) {
   PCC_ENSURE(user < options_.num_users, "Pickup: no such user");
-  co_await user_locks_[user]->Lock();  // released by Unlock()
+  co_await user_locks_[user]->Lock();  // released by Unlock() (or below on error)
   Result<std::vector<std::string>> names = co_await fs_->List(UserDirRef(user));
-  PCC_ENSURE(names.ok(), "Pickup: user directory vanished");
+  if (!names.ok()) {
+    co_await user_locks_[user]->Unlock();
+    co_return names.status();
+  }
   std::vector<Message> messages;
   messages.reserve(names.value().size());
   for (const std::string& name : names.value()) {
     Result<goosefs::Fd> fd = co_await fs_->Open(UserDirRef(user), name);
-    // The pickup/delete lock guarantees listed names persist, and delivery
-    // never removes mailbox entries.
-    PCC_ENSURE(fd.ok(), "Pickup: listed message disappeared");
+    // The pickup/delete lock guarantees listed names persist and delivery
+    // never removes mailbox entries, so a failure here is an I/O error
+    // (EIO on a degrading disk), not a vanished message: release the lock
+    // and tempfail the session.
+    if (!fd.ok()) {
+      co_await user_locks_[user]->Unlock();
+      co_return fd.status();
+    }
     std::string contents;
     uint64_t off = 0;
+    Status read_failed = Status::Ok();
     while (true) {
       Result<goosefs::Bytes> chunk = co_await fs_->ReadAt(fd.value(), off, options_.read_size);
-      PCC_ENSURE(chunk.ok(), "Pickup: read failed");
+      if (!chunk.ok()) {
+        read_failed = chunk.status();
+        break;
+      }
       contents.append(chunk.value().begin(), chunk.value().end());
       if (!mutations_.pickup_512_loop) {
         off += chunk.value().size();
@@ -79,6 +91,10 @@ proc::Task<std::vector<Message>> Mailboat::Pickup(uint64_t user) {
       }
     }
     (void)co_await fs_->Close(fd.value());
+    if (!read_failed.ok()) {
+      co_await user_locks_[user]->Unlock();
+      co_return read_failed;
+    }
     messages.push_back(Message{name, std::move(contents)});
   }
   // Take the lower-bound lease (§8.3): the mailbox contains at least the
@@ -93,7 +109,7 @@ proc::Task<std::vector<Message>> Mailboat::Pickup(uint64_t user) {
   co_return messages;
 }
 
-proc::Task<std::string> Mailboat::Deliver(uint64_t user, const goosefs::Bytes& msg) {
+proc::Task<Result<std::string>> Mailboat::Deliver(uint64_t user, const goosefs::Bytes& msg) {
   // Plain-buffer delivery: the chunk reader copies out of a stable vector.
   // (Bound to named locals and a split co_return: GCC 12 double-destroys
   // owning temporaries inside `co_return co_await f(...)` expressions.)
@@ -105,12 +121,12 @@ proc::Task<std::string> Mailboat::Deliver(uint64_t user, const goosefs::Bytes& m
     co_return goosefs::Bytes(copy.begin() + static_cast<long>(off),
                              copy.begin() + static_cast<long>(end));
   };
-  std::string id = co_await DeliverChunked(user, len, std::move(reader));
+  Result<std::string> id = co_await DeliverChunked(user, len, std::move(reader));
   co_return id;
 }
 
-proc::Task<std::string> Mailboat::DeliverChunked(uint64_t user, uint64_t len,
-                                                 ChunkReader read_chunk) {
+proc::Task<Result<std::string>> Mailboat::DeliverChunked(uint64_t user, uint64_t len,
+                                                         ChunkReader read_chunk) {
   PCC_ENSURE(user < options_.num_users, "Deliver: no such user");
 
   if (mutations_.deliver_in_place) {
@@ -131,32 +147,61 @@ proc::Task<std::string> Mailboat::DeliverChunked(uint64_t user, uint64_t len,
   }
 
   // 1. Spool the message under a fresh random name (exclusive create;
-  //    retry on collision). Names build in place ("tmp-" + 16 hex digits,
-  //    one allocation, reused across collision retries).
+  //    retry on collision only — an I/O error (ENOSPC, EIO) propagates so
+  //    the session tempfails instead of hammering new names forever).
+  //    Names build in place ("tmp-" + 16 hex digits, one allocation,
+  //    reused across collision retries).
   std::string tmp_name = "tmp-";
   AppendHexId(tmp_name, NextRandomId());
   Result<goosefs::Fd> fd = co_await fs_->Create("spool", tmp_name);
   while (!fd.ok()) {
-    PCC_ENSURE(fd.status().code() == StatusCode::kAlreadyExists, "Deliver: spool create failed");
+    if (fd.status().code() != StatusCode::kAlreadyExists) {
+      co_return fd.status();
+    }
     tmp_name.resize(4);
     AppendHexId(tmp_name, NextRandomId());
     fd = co_await fs_->Create("spool", tmp_name);
   }
   // 2. Write the body chunk_size bytes at a time (the caller must not
-  //    mutate the buffer concurrently — §8.3).
-  for (uint64_t off = 0; off < len; off += options_.chunk_size) {
+  //    mutate the buffer concurrently — §8.3). Any failure before the
+  //    mailbox link leaves only a spool orphan: unlink it best-effort
+  //    (Recover's spool sweep reaps it if even that fails) and tempfail —
+  //    nothing was acked, so nothing needs to be durable.
+  Status spooled = Status::Ok();
+  for (uint64_t off = 0; off < len && spooled.ok(); off += options_.chunk_size) {
     goosefs::Bytes chunk = co_await read_chunk(off, std::min(options_.chunk_size, len - off));
-    (void)co_await fs_->Append(fd.value(), chunk);
+    spooled = co_await fs_->Append(fd.value(), chunk);
   }
-  if (options_.sync_on_deliver) {
-    (void)co_await fs_->Sync(fd.value());
+  if (spooled.ok() && options_.sync_on_deliver) {
+    spooled = co_await fs_->Sync(fd.value());
   }
-  (void)co_await fs_->Close(fd.value());
+  Status closed = co_await fs_->Close(fd.value());
+  if (spooled.ok()) {
+    spooled = closed;
+  }
+  if (!spooled.ok()) {
+    (void)co_await fs_->Delete("spool", tmp_name);
+    co_return spooled;
+  }
   // 3. Atomically link the complete file into the mailbox (retry the name
-  //    on collision), then drop the spool entry.
+  //    on collision), then drop the spool entry. A link I/O error —
+  //    including a failed destination-dir sync, after which the entry may
+  //    exist but isn't known durable — compensates by unlinking both names
+  //    best-effort: the message was never acked, and a surviving mailbox
+  //    entry whose unlink also failed is indistinguishable from a crash
+  //    during delivery (clients must tolerate duplicates on retry).
   std::string msg_name = "msg-";
   AppendHexId(msg_name, NextRandomId());
-  while (!co_await fs_->Link("spool", tmp_name, UserDirRef(user), msg_name)) {
+  while (true) {
+    Result<bool> linked = co_await fs_->Link("spool", tmp_name, UserDirRef(user), msg_name);
+    if (!linked.ok()) {
+      (void)co_await fs_->Delete(UserDirRef(user), msg_name);
+      (void)co_await fs_->Delete("spool", tmp_name);
+      co_return linked.status();
+    }
+    if (linked.value()) {
+      break;
+    }
     msg_name.resize(4);
     AppendHexId(msg_name, NextRandomId());
   }
@@ -164,7 +209,7 @@ proc::Task<std::string> Mailboat::DeliverChunked(uint64_t user, uint64_t len,
   co_return msg_name;
 }
 
-proc::Task<void> Mailboat::Delete(uint64_t user, const std::string& id) {
+proc::Task<Status> Mailboat::Delete(uint64_t user, const std::string& id) {
   PCC_ENSURE(user < options_.num_users, "Delete: no such user");
   {
     // CheckDelete shrinks the lease's bound: a write, not just a lookup.
@@ -179,10 +224,16 @@ proc::Task<void> Mailboat::Delete(uint64_t user, const std::string& id) {
   }
   Status s = co_await fs_->Delete(UserDirRef(user), id);
   if (!s.ok()) {
-    // The caller broke the contract (§8.1: only delete ids Pickup listed,
-    // while holding the lock).
-    RaiseUb("Delete: message '" + id + "' does not exist");
+    if (s.code() == StatusCode::kNotFound) {
+      // The caller broke the contract (§8.1: only delete ids Pickup
+      // listed, while holding the lock).
+      RaiseUb("Delete: message '" + id + "' does not exist");
+    }
+    // An I/O failure (EIO unlinking, failed dir sync): the message may
+    // remain; the session tempfails the DELE and the lock stays held.
+    co_return s;
   }
+  co_return Status::Ok();
 }
 
 proc::Task<void> Mailboat::Unlock(uint64_t user) {

@@ -85,20 +85,25 @@ class Mailboat : public MailApi {
 
   // Lists the user's mail and *acquires the user's pickup/delete lock*;
   // the caller must eventually Unlock (the SMTP/POP3 frontends call Pickup
-  // on connect and Unlock on disconnect).
-  proc::Task<std::vector<Message>> Pickup(uint64_t user) override;
+  // on connect and Unlock on disconnect). On error the lock has been
+  // released and no lease is held.
+  proc::Task<Result<std::vector<Message>>> Pickup(uint64_t user) override;
 
   // Durably delivers a message, returning its id. Safe to call from any
-  // thread at any time, without locks.
-  proc::Task<std::string> Deliver(uint64_t user, const goosefs::Bytes& msg) override;
+  // thread at any time, without locks. On error the delivery left no acked
+  // state: partial spool/mailbox files are unlinked best-effort, and
+  // anything that survives (an unlink that itself failed) is reaped by
+  // Recover or is an unlisted mailbox entry that was never acked.
+  proc::Task<Result<std::string>> Deliver(uint64_t user, const goosefs::Bytes& msg) override;
   // As Deliver, reading the body through `read_chunk` (`len` bytes total);
   // streams straight into the spool file, no intermediate body copy.
-  proc::Task<std::string> DeliverChunked(uint64_t user, uint64_t len,
-                                         ChunkReader read_chunk) override;
+  proc::Task<Result<std::string>> DeliverChunked(uint64_t user, uint64_t len,
+                                                 ChunkReader read_chunk) override;
 
   // Deletes one message; the caller must hold the user's lock and pass an
-  // id previously returned by Pickup (anything else is undefined).
-  proc::Task<void> Delete(uint64_t user, const std::string& id) override;
+  // id previously returned by Pickup (anything else is undefined). A non-ok
+  // status is an I/O failure; the message may remain.
+  proc::Task<Status> Delete(uint64_t user, const std::string& id) override;
 
   proc::Task<void> Unlock(uint64_t user) override;
 

@@ -27,11 +27,12 @@ proc::Task<void> OneRequest(MailApi* mail, Rng* rng, const WorkloadOptions& opti
     (void)co_await mail->Deliver(user, *body);
     ++stats->delivers;
   } else {
-    std::vector<Message> messages = co_await mail->Pickup(user);
-    for (const Message& m : messages) {
-      co_await mail->Delete(user, m.id);
+    Result<std::vector<Message>> messages = co_await mail->Pickup(user);
+    PCC_ENSURE(messages.ok(), "workload: pickup failed");
+    for (const Message& m : messages.value()) {
+      (void)co_await mail->Delete(user, m.id);
     }
-    stats->messages_read += messages.size();
+    stats->messages_read += messages.value().size();
     co_await mail->Unlock(user);
     ++stats->pickups;
   }

@@ -22,14 +22,14 @@ int RetryEintr(Fn&& fn) {
   return rc;
 }
 
-Status FsyncDirect(int fd) {
-  if (RetryEintr([&] { return ::fsync(fd); }) != 0) {
+}  // namespace
+
+Status GroupCommitter::FsyncDirect(int fd) {
+  if (RetryEintr([&] { return Sys().Fsync(fd); }) != 0) {
     return Status::Failed(std::string("fsync: ") + std::strerror(errno));
   }
   return Status::Ok();
 }
-
-}  // namespace
 
 GroupCommitter::GroupCommitter(Options options) : options_(options) {
   if (options_.barrier == Barrier::kSyncfs) {
@@ -61,8 +61,26 @@ void GroupCommitter::Stop() {
   running_ = false;
 }
 
+void GroupCommitter::OnDirty(int fd) {
+  std::scoped_lock lock(mu_);
+  dirty_.insert(fd);
+}
+
+void GroupCommitter::OnClose(int fd) {
+  std::scoped_lock lock(mu_);
+  dirty_.erase(fd);
+  poisoned_.erase(fd);
+}
+
 Status GroupCommitter::Fsync(int fd) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_.count(fd) != 0) {
+    // A failed barrier dropped this fd's dirty pages; a new barrier
+    // "succeeding" now would ack data that never reached media. Fail until
+    // the fd is closed and the file rewritten through a fresh one.
+    stats_.poisoned_fails.fetch_add(1, std::memory_order_relaxed);
+    return Status::Failed("fsync: fd poisoned by an earlier failed barrier");
+  }
   if (!running_ || stop_) {
     lock.unlock();
     return FsyncDirect(fd);
@@ -121,6 +139,38 @@ void GroupCommitter::CommitterMain() {
     lock.lock();
     stats_.requests.fetch_add(batch->fds.size(), std::memory_order_relaxed);
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    if (s.ok()) {
+      // The barrier covered everything dirty at close time. Under kSyncfs
+      // it covered every dirty fd on the filesystem; under kFsyncPerFd,
+      // exactly the batch's fds.
+      if (options_.barrier == Barrier::kSyncfs) {
+        dirty_.clear();
+      } else {
+        for (int fd : batch->fds) {
+          dirty_.erase(fd);
+        }
+      }
+    } else {
+      stats_.failed_batches.fetch_add(1, std::memory_order_relaxed);
+      // Sticky failure: the kernel dropped the dirty pages it could not
+      // write. Poison every fd that had unsynced file data — including
+      // fds whose owners are still buffering in the open batch — and fail
+      // the open batch's waiters outright rather than issuing them a
+      // trivially-"successful" barrier over already-dropped pages.
+      for (int fd : dirty_) {
+        poisoned_.insert(fd);
+      }
+      dirty_.clear();
+      if (open_ != nullptr) {
+        std::shared_ptr<Batch> doomed = std::move(open_);
+        open_ = nullptr;
+        stats_.requests.fetch_add(doomed->fds.size(), std::memory_order_relaxed);
+        doomed->status = Status::Failed("group commit: preceding barrier failed (" +
+                                        s.ToString() + ")");
+        doomed->committed = true;
+        doomed->done_cv.notify_all();
+      }
+    }
     batch->status = s;
     batch->committed = true;
     batch->done_cv.notify_all();
@@ -138,11 +188,12 @@ Status GroupCommitter::IssueBarrier(std::vector<int> fds) {
 
   if (options_.barrier == Barrier::kSyncfs) {
     stats_.fsyncs_issued.fetch_add(1, std::memory_order_relaxed);
-    if (RetryEintr([&] { return ::syncfs(options_.syncfs_fd); }) == 0) {
+    if (RetryEintr([&] { return Sys().Syncfs(options_.syncfs_fd); }) == 0) {
       return Status::Ok();
     }
     // syncfs failed (exotic, but possible): fall back to per-fd fsync so
-    // waiters still get a truthful answer.
+    // waiters still get a truthful answer. A failure here is still sticky
+    // for everything that was dirty — CommitterMain poisons on error.
   }
   Status result = Status::Ok();
   for (int fd : fds) {

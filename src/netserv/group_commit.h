@@ -22,6 +22,21 @@
 // The committer never reorders acks before barriers: Fsync() returns only
 // after the barrier covering the call has completed (or failed, in which
 // case the error is reported to every waiter in the batch).
+//
+// Failed barriers are STICKY. On Linux, a failed fsync drops the dirty
+// pages it could not write — a later fsync of the same fd can return
+// success without the data ever reaching media. So when a barrier fails:
+//  * every waiter in the closed batch gets the error (as before);
+//  * every waiter in the still-open batch gets the error too — under
+//    kSyncfs their dirty pages were part of the same failed writeback, so
+//    a fresh barrier "succeeding" for them would prove nothing;
+//  * every file fd that was dirty at the time (tracked via OnDirty from
+//    PosixFilesys::Append) is poisoned: subsequent Fsync() calls on it
+//    fail immediately until the fd is closed (OnClose). The only honest
+//    path back to durable is reopen-and-rewrite — which Mailboat's
+//    tempfail + client retry does naturally with a fresh spool file.
+// Directory fds are not poisoned: a tempfailing session compensates with
+// unlinks, which re-dirty the directory, so its next fsync is genuine.
 #ifndef PERENNIAL_SRC_NETSERV_GROUP_COMMIT_H_
 #define PERENNIAL_SRC_NETSERV_GROUP_COMMIT_H_
 
@@ -31,9 +46,11 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/fault/syscall_fault.h"
 #include "src/goosefs/posix_fs.h"
 
 namespace perennial::netserv {
@@ -61,6 +78,10 @@ class GroupCommitter : public goosefs::Fsyncer {
     // Any fd on the store's filesystem (e.g. a directory fd of the mail
     // root); required for kSyncfs, ignored for kFsyncPerFd. Not owned.
     int syncfs_fd = -1;
+    // Syscall table for the barrier syscalls (fsync/syncfs); defaults to
+    // the raw syscalls. Tests pass a fault::FaultInjectingSyscalls to make
+    // barriers fail. Not owned.
+    fault::FsSyscalls* sys = nullptr;
   };
 
   struct Stats {
@@ -68,6 +89,8 @@ class GroupCommitter : public goosefs::Fsyncer {
     std::atomic<uint64_t> batches{0};        // barriers issued
     std::atomic<uint64_t> fsyncs_issued{0};  // actual syncfs/fsync syscalls
     std::atomic<uint64_t> deduped{0};        // requests absorbed by fd dedup
+    std::atomic<uint64_t> failed_batches{0};  // barriers that returned an error
+    std::atomic<uint64_t> poisoned_fails{0};  // Fsync() rejections on poisoned fds
   };
 
   explicit GroupCommitter(Options options);
@@ -82,7 +105,14 @@ class GroupCommitter : public goosefs::Fsyncer {
   void Stop();
 
   // Blocks until a barrier covering this request has completed. Thread-safe.
+  // Fails immediately (no barrier) if `fd` was poisoned by an earlier
+  // failed barrier; the caller must close and reopen to try again.
   Status Fsync(int fd) override;
+  // PosixFilesys lifecycle hints: OnDirty marks `fd` as carrying unsynced
+  // file data (poisoning candidate); OnClose clears both the dirty mark
+  // and any poison (a fresh open of the same file starts clean).
+  void OnDirty(int fd) override;
+  void OnClose(int fd) override;
 
   const Stats& stats() const { return stats_; }
 
@@ -96,6 +126,10 @@ class GroupCommitter : public goosefs::Fsyncer {
 
   void CommitterMain();
   Status IssueBarrier(std::vector<int> fds);
+  Status FsyncDirect(int fd);
+  fault::FsSyscalls& Sys() const {
+    return options_.sys != nullptr ? *options_.sys : *fault::RealFsSyscalls();
+  }
 
   Options options_;
   Stats stats_;
@@ -105,6 +139,10 @@ class GroupCommitter : public goosefs::Fsyncer {
   std::shared_ptr<Batch> open_;      // batch accepting requests, or null
   bool running_ = false;
   bool stop_ = false;
+  // Sticky-failure tracking (see the header comment): file fds with
+  // unsynced appends, and fds whose dirty pages a failed barrier dropped.
+  std::unordered_set<int> dirty_;
+  std::unordered_set<int> poisoned_;
   std::thread committer_;
 };
 

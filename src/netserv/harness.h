@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/base/panic.h"
+#include "src/fault/syscall_fault.h"
 #include "src/goose/world.h"
 #include "src/goosefs/posix_fs.h"
 #include "src/mailboat/mailboat.h"
@@ -43,6 +44,15 @@ class InprocMailServer {
     // so this halves Deliver's durability barriers without weakening the
     // acked => durable guarantee (see PosixFilesys::Options).
     bool relaxed_spool = true;
+    // Hostile-disk mode: when the plan has any nonzero rate, a seeded
+    // FaultInjectingSyscalls is interposed on every data-path syscall of
+    // both the filesystem and the group committer's barriers. Recovery and
+    // setup paths (EnsureDirs, Recover's List) stay raw — see
+    // PosixFilesys::Options::sys.
+    fault::SyscallFaultPlan fault_plan;
+    // Passed through to MailNetServer (0 = off/unlimited).
+    uint64_t idle_timeout_ms = 0;
+    uint64_t max_conns = 0;
     TraceLog* trace = nullptr;
   };
 
@@ -56,11 +66,15 @@ class InprocMailServer {
     if (root_fd_ < 0) {
       return false;
     }
+    if (config_.fault_plan.Any()) {
+      faults_ = std::make_unique<fault::FaultInjectingSyscalls>(config_.fault_plan);
+    }
     committer_ = std::make_unique<GroupCommitter>(GroupCommitter::Options{
         .max_wait_us = config_.gc_window_us,
         .max_batch = config_.gc_batch,
         .barrier = config_.barrier,
         .syncfs_fd = root_fd_,
+        .sys = faults_.get(),
     });
     if (config_.group_commit) {
       committer_->Start();
@@ -72,6 +86,7 @@ class InprocMailServer {
     if (config_.relaxed_spool) {
       fs_options.recovery_reconciled_dirs = {"spool"};
     }
+    fs_options.sys = faults_.get();
     fs_ = std::make_unique<goosefs::PosixFilesys>(config_.root, fs_options);
     if (!fs_->EnsureDirs(mailboat::Mailboat::DirLayout(config_.users), config_.clear_store).ok()) {
       return false;
@@ -83,6 +98,8 @@ class InprocMailServer {
     MailNetServer::Options server_options;
     server_options.num_loops = config_.loops;
     server_options.num_executors = config_.executors;
+    server_options.idle_timeout_ms = config_.idle_timeout_ms;
+    server_options.max_conns = config_.max_conns;
     server_options.trace = config_.trace;
     server_ = std::make_unique<MailNetServer>(mail_.get(), server_options);
     return server_->Start();
@@ -107,10 +124,13 @@ class InprocMailServer {
   GroupCommitter* committer() { return committer_.get(); }
   mailboat::Mailboat* mail() { return mail_.get(); }
   goosefs::PosixFilesys* fs() { return fs_.get(); }
+  // Null unless the config's fault plan has a nonzero rate.
+  fault::FaultInjectingSyscalls* faults() { return faults_.get(); }
 
  private:
   Config config_;
   int root_fd_ = -1;
+  std::unique_ptr<fault::FaultInjectingSyscalls> faults_;
   std::unique_ptr<GroupCommitter> committer_;
   std::unique_ptr<goosefs::PosixFilesys> fs_;
   std::unique_ptr<goose::World> world_;

@@ -45,11 +45,18 @@ struct Client {
   int pipe_acks = 0;   // replies consumed in the current pipelined batch
   int rcpts_sent = 0;  // RCPT commands issued for the current message
   uint64_t user = 0;
+  std::string cur_line;               // current message body line (no CRLF)
   std::string cur_body;               // contents the server will store
   std::vector<std::string> multiline;  // accumulating multi-line response
   bool in_multiline = false;
   uint64_t retr_target = 0;  // messages listed by the current pickup
   bool did_delete = false;   // this pickup DELEd a message (commits at QUIT)
+  // Tempfail retry state: attempts burned on the current request (or on
+  // getting past a busy greeting), the parked-until deadline, and whether
+  // the wake should re-issue the in-flight delivery with its original tag.
+  uint64_t attempt = 0;
+  uint64_t retry_at_us = 0;  // 0 = not parked
+  bool retry_deliver = false;
 };
 
 // SMTP states.
@@ -62,6 +69,7 @@ constexpr int kSmtpData = 5;
 constexpr int kSmtpBody = 6;
 constexpr int kSmtpQuit = 7;
 constexpr int kSmtpPipeline = 8;  // MAIL+RCPT+DATA sent, collecting 250/250/354
+constexpr int kSmtpParked = 9;    // tempfailed; waiting out the retry backoff
 // POP3 states (one connection per pickup).
 constexpr int kPopIdle = 10;
 constexpr int kPopGreeting = 11;
@@ -71,6 +79,7 @@ constexpr int kPopList = 14;
 constexpr int kPopRetr = 15;
 constexpr int kPopDele = 16;
 constexpr int kPopQuit = 17;
+constexpr int kPopParked = 18;  // tempfailed; waiting out the retry backoff
 
 class Driver {
  public:
@@ -123,9 +132,12 @@ class Driver {
       if (AllSettled()) {
         break;
       }
+      // Parked (backing-off) clients need a finer poll than the 100ms
+      // housekeeping tick, or a 2ms backoff would stretch to 100ms.
+      int timeout_ms = parked_ > 0 ? 2 : 100;
       int n;
       do {
-        n = ::epoll_wait(epfd_, events, kMaxEvents, /*timeout_ms=*/100);
+        n = ::epoll_wait(epfd_, events, kMaxEvents, timeout_ms);
       } while (n < 0 && errno == EINTR);
       for (int i = 0; i < n; ++i) {
         auto it = by_fd_.find(events[i].data.fd);
@@ -140,7 +152,13 @@ class Driver {
           ReadAndAdvance(c);
         }
       }
-      uint64_t done_now = result_.ok_requests + result_.errors;
+      if (parked_ > 0) {
+        WakeParked();
+      }
+      // Retries count as progress: a long tempfail storm is the server
+      // honestly degrading, not a hang.
+      uint64_t done_now =
+          result_.ok_requests + result_.errors + result_.tempfails + result_.retries;
       if (done_now != progress_marker) {
         progress_marker = done_now;
         last_progress_us = NowUs();
@@ -187,9 +205,97 @@ class Driver {
 
   void Die(Client* c) {
     c->dead = true;
+    if (c->retry_at_us != 0) {
+      c->retry_at_us = 0;
+      parked_ -= 1;
+    }
     if (c->quota > 0) {
       spill_->fetch_add(c->quota, std::memory_order_relaxed);
       c->quota = 0;
+    }
+  }
+
+  // --- tempfail retry machinery ---
+
+  static bool IsSmtpTemp(const std::string& line) {
+    return Ok(line, "421") || Ok(line, "451") || Ok(line, "452");
+  }
+
+  // Park the client for an exponential-backoff slice and retry the current
+  // request (same body tag, no fresh budget claim); after max_retries the
+  // request is abandoned as a tempfail. `reconnect` drops the connection
+  // first (421 farewells and mid-transaction failures leave the session in
+  // an unknown state; a post-DATA 451/452 leaves it cleanly reset).
+  void RetryOrGiveUp(Client* c, bool reconnect) {
+    c->attempt += 1;
+    if (c->attempt > options_.max_retries) {
+      GiveUp(c);
+      return;
+    }
+    result_.retries += 1;
+    uint64_t backoff_ms = options_.retry_backoff_start_ms << (c->attempt - 1);
+    backoff_ms = std::min(std::max<uint64_t>(backoff_ms, 1), options_.retry_backoff_cap_ms);
+    c->retry_at_us = NowUs() + backoff_ms * 1000;
+    parked_ += 1;
+    if (reconnect) {
+      CloseConn(c);
+    }
+    c->state = c->is_pop3 ? kPopParked : kSmtpParked;
+  }
+
+  // The retry budget is spent: record the in-flight request as a tempfail
+  // (its tag goes in tempfailed_bodies so the durability audit knows the
+  // generator gave up on it) and move on to the next request.
+  void GiveUp(Client* c) {
+    if (c->in_request) {
+      result_.tempfails += 1;
+      if (!c->is_pop3) {
+        result_.tempfailed_bodies.push_back(c->cur_body);
+      }
+      c->in_request = false;
+    }
+    c->attempt = 0;
+    c->retry_deliver = false;
+    if (c->is_pop3) {
+      CloseConn(c);
+      c->state = kPopIdle;
+      StartPickupOrFinish(c);
+      return;
+    }
+    if (c->fd < 0) {
+      Connect(c);  // greeting -> HELO -> next request (or Die if refused)
+      return;
+    }
+    StartDeliverOrQuit(c);
+  }
+
+  void WakeParked() {
+    uint64_t now = NowUs();
+    for (auto& cp : clients_) {
+      Client* c = cp.get();
+      if (c->retry_at_us == 0 || c->dead || c->finished || now < c->retry_at_us) {
+        continue;
+      }
+      c->retry_at_us = 0;
+      parked_ -= 1;
+      if (c->fd < 0) {
+        Connect(c);  // the FSM resumes from the fresh greeting
+        if (c->dead) {
+          GiveUp(c);  // records the in-flight request, if any
+        }
+        continue;
+      }
+      if (c->is_pop3) {
+        c->state = kPopPass;  // server is still waiting in its PASS state
+        Send(c, "PASS x");
+        continue;
+      }
+      if (c->retry_deliver) {
+        c->retry_deliver = false;
+        IssueDeliver(c);  // same tag, same recipients
+        continue;
+      }
+      StartDeliverOrQuit(c);
     }
   }
 
@@ -303,14 +409,24 @@ class Driver {
     if (c->finished) {
       return;
     }
+    if (c->retry_at_us != 0) {
+      CloseConn(c);  // already parked; the wake will reconnect
+      return;
+    }
     CloseConn(c);
     if (c->in_request) {
-      result_.errors += 1;
-      c->in_request = false;
+      // A connection lost mid-request is a tempfail, not an error: the
+      // server may have shed us (drain, restart), and at-least-once retry
+      // with the same tag is exactly what a real MTA peer does.
+      if (!c->is_pop3) {
+        c->retry_deliver = true;
+      }
+      RetryOrGiveUp(c, /*reconnect=*/true);
+      return;
     }
-    // Try to carry on with a fresh connection (the server may just have
-    // dropped this one); if the server itself is gone, Connect fails and
-    // the client dies, which is what ends a crash-harness run.
+    // Idle between requests: carry on with a fresh connection (the server
+    // may just have dropped this one); if the server itself is gone,
+    // Connect fails and the client dies, which ends a crash-harness run.
     if (c->is_pop3) {
       c->state = kPopIdle;
       StartPickupOrFinish(c);
@@ -333,9 +449,22 @@ class Driver {
       return;
     }
     c->in_request = true;
+    c->attempt = 0;
     c->t0_us = NowUs();
-    uint64_t target = rng_.Next() % options_.num_users;
-    c->user = target;
+    c->user = rng_.Next() % options_.num_users;
+    // The body (with its unique tag) is fixed at request start so retries
+    // resend the identical message: at-least-once, never two tags.
+    std::string tag = "c" + std::to_string(c->id) + "-r" + std::to_string(c->seq++);
+    c->cur_line = tag;
+    if (c->cur_line.size() < options_.body_bytes) {
+      c->cur_line.append(options_.body_bytes - c->cur_line.size(), 'x');
+    }
+    c->cur_body = c->cur_line + "\r\n";
+    IssueDeliver(c);
+  }
+
+  // (Re)issue the current message's envelope; SendBody follows the 354.
+  void IssueDeliver(Client* c) {
     if (options_.pipeline) {
       c->state = kSmtpPipeline;
       c->pipe_acks = 0;
@@ -363,16 +492,10 @@ class Driver {
   }
 
   void SendBody(Client* c) {
-    // Unique tag first, padding after; the server stores each body
-    // line with a CRLF appended.
-    std::string tag = "c" + std::to_string(c->id) + "-r" + std::to_string(c->seq++);
-    std::string body_line = tag;
-    if (body_line.size() < options_.body_bytes) {
-      body_line.append(options_.body_bytes - body_line.size(), 'x');
-    }
-    c->cur_body = body_line + "\r\n";
+    // The tagged body line was fixed when the request started (see
+    // StartDeliverOrQuit); the server stores it with a CRLF appended.
     c->state = kSmtpBody;
-    Queue(c, body_line);
+    Queue(c, c->cur_line);
     Queue(c, ".");
     Flush(c);
   }
@@ -387,6 +510,7 @@ class Driver {
     }
     c->in_request = true;
     c->did_delete = false;
+    c->attempt = 0;
     c->t0_us = NowUs();
     Connect(c);
     if (c->dead && c->in_request) {
@@ -416,6 +540,8 @@ class Driver {
       }
     }
     c->in_request = false;
+    c->attempt = 0;
+    c->retry_deliver = false;
   }
 
   // --- response handling ---
@@ -450,6 +576,15 @@ class Driver {
     }
     switch (c->state) {
       case kSmtpGreeting:
+        if (Ok(line, "421")) {
+          // Shed at the door (max-conns cap or drain): back off, reconnect.
+          result_.shed_connects += 1;
+          if (c->in_request) {
+            c->retry_deliver = true;
+          }
+          RetryOrGiveUp(c, /*reconnect=*/true);
+          return;
+        }
         if (!Ok(line, "220")) {
           Unexpected(c);
           return;
@@ -459,13 +594,27 @@ class Driver {
         return;
       case kSmtpHelo:
         if (!Ok(line, "250")) {
+          if (IsSmtpTemp(line)) {
+            RetryOrGiveUp(c, /*reconnect=*/true);
+            return;
+          }
           Unexpected(c);
+          return;
+        }
+        if (c->retry_deliver) {
+          c->retry_deliver = false;
+          IssueDeliver(c);  // resume the in-flight message on the new conn
           return;
         }
         StartDeliverOrQuit(c);
         return;
       case kSmtpMail:
         if (!Ok(line, "250")) {
+          if (IsSmtpTemp(line)) {
+            c->retry_deliver = true;
+            RetryOrGiveUp(c, /*reconnect=*/true);
+            return;
+          }
           Unexpected(c);
           return;
         }
@@ -474,6 +623,11 @@ class Driver {
         return;
       case kSmtpRcpt:
         if (!Ok(line, "250")) {
+          if (IsSmtpTemp(line)) {
+            c->retry_deliver = true;
+            RetryOrGiveUp(c, /*reconnect=*/true);
+            return;
+          }
           Unexpected(c);
           return;
         }
@@ -486,6 +640,11 @@ class Driver {
         return;
       case kSmtpData: {
         if (!Ok(line, "354")) {
+          if (IsSmtpTemp(line)) {
+            c->retry_deliver = true;
+            RetryOrGiveUp(c, /*reconnect=*/true);
+            return;
+          }
           Unexpected(c);
           return;
         }
@@ -496,6 +655,11 @@ class Driver {
         // Replies to the MAIL/RCPT.../DATA batch arrive in order.
         int total = static_cast<int>(Rcpts()) + 2;
         if (!Ok(line, c->pipe_acks < total - 1 ? "250" : "354")) {
+          if (IsSmtpTemp(line)) {
+            c->retry_deliver = true;
+            RetryOrGiveUp(c, /*reconnect=*/true);
+            return;
+          }
           Unexpected(c);
           return;
         }
@@ -507,6 +671,14 @@ class Driver {
       }
       case kSmtpBody:
         if (!Ok(line, "250")) {
+          if (IsSmtpTemp(line)) {
+            // Honest tempfail (451/452): the server reset the transaction
+            // and kept the connection; retry the same tag in place. A 421
+            // farewell means the connection is going away — reconnect.
+            c->retry_deliver = true;
+            RetryOrGiveUp(c, /*reconnect=*/Ok(line, "421"));
+            return;
+          }
           Unexpected(c);
           return;
         }
@@ -516,10 +688,17 @@ class Driver {
       case kSmtpQuit:
         FinishClient(c);
         return;
+      case kSmtpParked:
+        if (Ok(line, "421")) {
+          CloseConn(c);  // idle-reaped while parked; the wake reconnects
+        }
+        return;
 
       case kPopGreeting:
         if (!Ok(line, "+OK")) {
-          Unexpected(c);
+          // "-ERR busy" / "-ERR server shutting down": shed at the door.
+          result_.shed_connects += 1;
+          RetryOrGiveUp(c, /*reconnect=*/true);
           return;
         }
         c->state = kPopUser;
@@ -535,7 +714,9 @@ class Driver {
         return;
       case kPopPass:
         if (!Ok(line, "+OK")) {
-          Unexpected(c);
+          // "-ERR mailbox temporarily unavailable": the session stays at
+          // PASS, so the retry re-sends PASS on this same connection.
+          RetryOrGiveUp(c, /*reconnect=*/false);
           return;
         }
         c->state = kPopList;
@@ -554,13 +735,21 @@ class Driver {
         return;
       case kPopQuit:
         if (!Ok(line, "+OK")) {
-          Unexpected(c);
-          return;
+          // "-ERR some deleted messages not removed": the pickup itself
+          // succeeded (messages read); only the deletes tempfailed. The
+          // message will be picked up again — at-least-once, not lost.
+          result_.tempfails += 1;
+          c->did_delete = false;
         }
         CompleteRequest(c, /*pickup=*/true);
         CloseConn(c);
         c->state = kPopIdle;
         StartPickupOrFinish(c);
+        return;
+      case kPopParked:
+        if (!Ok(line, "+OK")) {
+          CloseConn(c);  // reaped while parked; the wake reconnects
+        }
         return;
       default:
         Unexpected(c);
@@ -604,6 +793,7 @@ class Driver {
   int epfd_ = -1;
   std::vector<std::unique_ptr<Client>> clients_;
   std::unordered_map<int, Client*> by_fd_;
+  uint64_t parked_ = 0;  // clients waiting out a retry backoff
   LoadgenResult result_;
 };
 
@@ -647,11 +837,17 @@ LoadgenResult RunLoadgen(const LoadgenOptions& options) {
     merged.delivers += part.delivers;
     merged.pickups += part.pickups;
     merged.deletes += part.deletes;
+    merged.tempfails += part.tempfails;
+    merged.retries += part.retries;
+    merged.shed_connects += part.shed_connects;
     merged.aborted = merged.aborted || part.aborted;
     merged.latencies_us.insert(merged.latencies_us.end(), part.latencies_us.begin(),
                                part.latencies_us.end());
     for (auto& body : part.acked_bodies) {
       merged.acked_bodies.push_back(std::move(body));
+    }
+    for (auto& body : part.tempfailed_bodies) {
+      merged.tempfailed_bodies.push_back(std::move(body));
     }
   }
   merged.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -

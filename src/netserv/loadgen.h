@@ -41,6 +41,16 @@ struct LoadgenOptions {
   // Abort the run if no request completes for this long (server hung or
   // killed). The crash harness relies on this to return after SIGKILL.
   uint64_t stall_timeout_ms = 10000;
+  // Tempfail handling (RFC client semantics): a 421/451/452 SMTP reply, a
+  // "-ERR" POP3 login reply, or a connection lost mid-request is retried
+  // with the SAME body tag after bounded exponential backoff
+  // (start * 2^attempt, capped), up to max_retries attempts. Only after the
+  // budget is exhausted does the request count as a tempfail — so under a
+  // hostile disk the generator behaves like a real MTA peer, and every tag
+  // it gave up on is recorded for the acked-vs-durable audit.
+  uint64_t max_retries = 6;
+  uint64_t retry_backoff_start_ms = 2;
+  uint64_t retry_backoff_cap_ms = 64;
   // Optional: incremented on every acknowledged delivery, so an external
   // watcher (the crash harness) can time its SIGKILL. Not owned.
   std::atomic<uint64_t>* acked_counter = nullptr;
@@ -48,12 +58,20 @@ struct LoadgenOptions {
 
 struct LoadgenResult {
   uint64_t ok_requests = 0;
-  uint64_t errors = 0;      // unexpected response / connection lost mid-request
+  uint64_t errors = 0;      // unexpected (non-tempfail) response mid-request
   uint64_t delivers = 0;
   uint64_t pickups = 0;
   uint64_t deletes = 0;  // pickups that committed a DELE at QUIT
+  // Requests abandoned after exhausting the retry budget, plus pickups
+  // whose deletes the server reported failed at QUIT.
+  uint64_t tempfails = 0;
+  uint64_t retries = 0;        // individual retry attempts (421/451/452/conn lost)
+  uint64_t shed_connects = 0;  // greeting-stage busy/shutting-down rejections
   std::vector<uint64_t> latencies_us;       // one entry per completed request
   std::vector<std::string> acked_bodies;    // full body text of each acked deliver
+  // Bodies the generator sent at least once but finally gave up on: the
+  // only tags allowed to be durable-but-unacked after a fault soak.
+  std::vector<std::string> tempfailed_bodies;
   double wall_ms = 0;
   bool aborted = false;  // stalled / all connections died before budget drained
 };

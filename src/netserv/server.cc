@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <unordered_map>
@@ -16,6 +17,16 @@
 #include "src/proc/task.h"
 
 namespace perennial::netserv {
+
+namespace {
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
 
 // One event-loop thread: owns an epoll set, the byte buffers of its
 // connections, and the only right to close their fds. Cross-thread inputs
@@ -92,6 +103,13 @@ class EventLoop {
     Nudge();
   }
 
+  // Drain mode: every connection with no queued work is reaped on the next
+  // sweep, regardless of the idle deadline.
+  void RequestDrain() {
+    draining_.store(true, std::memory_order_relaxed);
+    Nudge();
+  }
+
  private:
   // Deduplicated wakeup: only the first nudge since the loop last started
   // a ProcessPending pass pays the eventfd write. Safe against lost
@@ -145,6 +163,11 @@ class EventLoop {
       }
       nudge_pending_.store(false);
       ProcessPending();
+      uint64_t now = NowMs();
+      if (now - last_sweep_ms_ >= 100) {
+        last_sweep_ms_ = now;
+        SweepIdle(now);
+      }
     }
     // Shutdown: close every remaining connection. Sessions die with their
     // fds (stranded POP3 locks are torn down with the Mailboat instance).
@@ -154,9 +177,45 @@ class EventLoop {
         conn->retired = true;
         ::close(conn->fd);
         conn->fd = -1;
+        server_->live_conns_.fetch_sub(1, std::memory_order_relaxed);
       }
     }
     conns_.clear();
+  }
+
+  // Rides the ~200ms epoll tick: reap connections whose peers have gone
+  // quiet past the idle deadline (or, in drain mode, every connection with
+  // nothing in flight). Reaped connections get a farewell, then take the
+  // executor EOF path so POP3 pickup locks are released via Abort — the
+  // loop thread itself never touches the mail store.
+  void SweepIdle(uint64_t now) {
+    bool drain = draining_.load(std::memory_order_relaxed);
+    uint64_t timeout = server_->options_.idle_timeout_ms;
+    if (!drain && timeout == 0) {
+      return;
+    }
+    for (auto& [fd, conn] : conns_) {
+      std::scoped_lock lock(conn->mu);
+      if (conn->retired || conn->closing || conn->executing || conn->peer_eof ||
+          conn->input.has_line()) {
+        continue;  // work in flight — it finishes and its acks flush first
+      }
+      if (!drain && now - conn->last_active_ms < timeout) {
+        continue;
+      }
+      if (!drain) {
+        server_->idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      const char* farewell =
+          drain ? (conn->is_smtp ? "421 server shutting down" : "-ERR server shutting down")
+                : (conn->is_smtp ? "421 idle timeout" : "-ERR idle timeout");
+      server_->QueueResponseLocked(conn, farewell);
+      // Hand the connection to an executor as if the peer hung up: the
+      // executor aborts the session (releasing any held lock) and retires.
+      conn->peer_eof = true;
+      conn->executing = true;
+      server_->EnqueueWork(conn);
+    }
   }
 
   void ProcessPending() {
@@ -189,11 +248,13 @@ class EventLoop {
     ev.data.fd = conn->fd;
     if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
       ::close(conn->fd);
+      server_->live_conns_.fetch_sub(1, std::memory_order_relaxed);
       return;
     }
     conns_[conn->fd] = conn;
     {
       std::scoped_lock lock(conn->mu);
+      conn->last_active_ms = NowMs();
       server_->QueueResponseLocked(
           conn, conn->is_smtp ? smtp::SmtpSession::Greeting() : smtp::Pop3Session::Greeting());
     }
@@ -235,6 +296,7 @@ class EventLoop {
       ssize_t n = RecvSome(conn->fd, ptr, room);
       if (n > 0) {
         std::scoped_lock lock(conn->mu);
+        conn->last_active_ms = NowMs();
         conn->input.CommitWrite(static_cast<size_t>(n));
         {
           stage::StageScope parse_stage(stage::kParse);
@@ -294,6 +356,7 @@ class EventLoop {
     ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->fd, nullptr);
     ::close(conn->fd);
     conn->fd = -1;
+    server_->live_conns_.fetch_sub(1, std::memory_order_relaxed);
     if (!conn->executing) {
       // No executor can still hold a view into the buffer: recycle it.
       // (With `executing` set the storage just dies with the Conn.)
@@ -307,6 +370,8 @@ class EventLoop {
   int evfd_ = -1;
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  uint64_t last_sweep_ms_ = 0;  // loop-thread-only
 
   std::mutex pending_mu_;
   std::vector<std::shared_ptr<Conn>> pending_add_;
@@ -394,6 +459,21 @@ void MailNetServer::Stop() {
   started_ = false;
 }
 
+bool MailNetServer::Drain(uint64_t timeout_ms) {
+  if (!started_) {
+    return true;
+  }
+  draining_.store(true, std::memory_order_relaxed);
+  for (auto& loop : loops_) {
+    loop->RequestDrain();
+  }
+  uint64_t deadline = NowMs() + timeout_ms;
+  while (live_conns_.load(std::memory_order_relaxed) > 0 && NowMs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return live_conns_.load(std::memory_order_relaxed) <= 0;
+}
+
 void MailNetServer::AcceptorMain() {
   struct pollfd fds[2];
   fds[0].fd = smtp_listen_fd_;
@@ -416,6 +496,23 @@ void MailNetServer::AcceptorMain() {
         if (cfd < 0) {
           break;  // EAGAIN (or a transient accept error): back to poll
         }
+        // Overload shedding / drain: refuse at the door with an honest 421
+        // (a retriable code, unlike a silent RST) instead of queueing work
+        // the executors can't keep up with.
+        bool drain = draining_.load(std::memory_order_relaxed);
+        if (drain || (options_.max_conns > 0 &&
+                      live_conns_.load(std::memory_order_relaxed) >=
+                          static_cast<int64_t>(options_.max_conns))) {
+          const char* msg =
+              which == 0
+                  ? (drain ? "421 server shutting down\r\n" : "421 too busy, try again later\r\n")
+                  : (drain ? "-ERR server shutting down\r\n" : "-ERR busy, try again later\r\n");
+          (void)SendSome(cfd, msg, std::strlen(msg));
+          ::close(cfd);
+          shed_connects_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        live_conns_.fetch_add(1, std::memory_order_relaxed);
         SetTcpNoDelay(cfd);
         auto conn = std::make_shared<Conn>();
         conn->fd = cfd;

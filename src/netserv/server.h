@@ -61,6 +61,17 @@ class MailNetServer {
     // executor drains), not disconnected — and memory stays bounded where
     // the old std::string inbuf grew without limit.
     uint64_t input_buffer_bytes = 64 * 1024 + 8 * 1024;
+    // Reap connections with no peer activity for this long (0 = never).
+    // Checked on the event loop's ~200ms epoll tick: a reaped connection
+    // gets a "421"/"-ERR idle timeout" farewell and is closed through the
+    // executor EOF path, so a POP3 session holding its user's pickup lock
+    // releases it (Abort) instead of pinning the mailbox forever.
+    uint64_t idle_timeout_ms = 0;
+    // Accept at most this many live connections (0 = unlimited). Beyond
+    // the cap the acceptor answers "421 too busy" / "-ERR busy" and closes
+    // immediately — bounded memory and executor queue under connection
+    // floods, and an honest signal clients can back off on.
+    uint64_t max_conns = 0;
     TraceLog* trace = nullptr;  // optional profiling; not owned
   };
 
@@ -77,11 +88,26 @@ class MailNetServer {
   // threads. Safe to call twice.
   void Stop();
 
+  // Graceful shutdown, phase one (SIGTERM semantics): stop admitting new
+  // connections (they are shed with "421 server shutting down"), let
+  // in-flight commands finish and their acks flush, reap idle connections,
+  // and wait up to `timeout_ms` for the connection count to reach zero.
+  // Returns true if fully drained. Call Stop() afterwards either way.
+  bool Drain(uint64_t timeout_ms);
+
   uint16_t smtp_port() const { return smtp_port_; }
   uint16_t pop3_port() const { return pop3_port_; }
 
   uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
   uint64_t lines_served() const { return lines_served_.load(std::memory_order_relaxed); }
+  // Connections refused at the door (max_conns cap or drain).
+  uint64_t shed_connects() const { return shed_connects_.load(std::memory_order_relaxed); }
+  // Connections reaped by the idle deadline.
+  uint64_t idle_reaped() const { return idle_reaped_.load(std::memory_order_relaxed); }
+  uint64_t live_conns() const {
+    int64_t n = live_conns_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<uint64_t>(n) : 0;
+  }
 
  private:
   friend class EventLoop;
@@ -107,6 +133,9 @@ class MailNetServer {
     bool peer_eof = false;
     bool closing = false;  // flush outbuf, then retire
     bool retired = false;  // fd closed, conn off the epoll set
+    // Last time bytes arrived from the peer (steady-clock ms); the idle
+    // sweep compares it against Options::idle_timeout_ms.
+    uint64_t last_active_ms = 0;
 
     std::unique_ptr<smtp::SmtpSession> smtp;
     std::unique_ptr<smtp::Pop3Session> pop3;
@@ -156,6 +185,11 @@ class MailNetServer {
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> lines_served_{0};
   std::atomic<uint64_t> next_loop_{0};
+  std::atomic<uint64_t> shed_connects_{0};
+  std::atomic<uint64_t> idle_reaped_{0};
+  // Signed so a transient retire-before-accept race can't wrap to 2^64.
+  std::atomic<int64_t> live_conns_{0};
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace perennial::netserv

@@ -35,13 +35,22 @@ proc::Task<std::string> Pop3Session::HandleLine(std::string_view line) {
     quit_ = true;
     if (state_ == State::kTransaction) {
       // Commit marked deletions under the lock we have held since PASS.
+      size_t failed_deletes = 0;
       for (size_t i = 0; i < messages_.size(); ++i) {
         if (deleted_[i]) {
-          co_await mail_->Delete(user_, messages_[i].id);
+          Status s = co_await mail_->Delete(user_, messages_[i].id);
+          if (!s.ok()) {
+            ++failed_deletes;
+          }
         }
       }
       co_await mail_->Unlock(user_);
       state_ = State::kDone;
+      if (failed_deletes > 0) {
+        // RFC 1939: deletions that could not be applied are reported, not
+        // silently acked — the messages remain for the next session.
+        co_return "-ERR some deleted messages not removed";
+      }
     }
     co_return "+OK Bye";
   }
@@ -68,7 +77,13 @@ proc::Task<std::string> Pop3Session::HandleLine(std::string_view line) {
         co_return "-ERR Expected PASS";
       }
       // Any password accepted; PASS is where the mailbox lock is taken.
-      messages_ = co_await mail_->Pickup(user_);
+      Result<std::vector<mailboat::Message>> picked = co_await mail_->Pickup(user_);
+      if (!picked.ok()) {
+        // Pickup released the lock before failing; stay in kAuthPass so
+        // the client can retry PASS after the disk recovers.
+        co_return "-ERR mailbox temporarily unavailable";
+      }
+      messages_ = std::move(picked.value());
       deleted_.assign(messages_.size(), false);
       state_ = State::kTransaction;
       co_return "+OK " + std::to_string(messages_.size()) + " messages";

@@ -85,6 +85,7 @@ proc::Task<std::string> SmtpSession::HandleLine(std::string_view line) {
       // and data_ is stable until Reset below, so no body copy is made.
       // Each delivery is atomic and durable when it returns (§8.1).
       uint64_t len = data_.size();
+      Status failed = Status::Ok();
       for (uint64_t user : rcpts_) {
         mailboat::ChunkReader reader = [this](uint64_t off,
                                               uint64_t n) -> proc::Task<goosefs::Bytes> {
@@ -95,10 +96,25 @@ proc::Task<std::string> SmtpSession::HandleLine(std::string_view line) {
           co_return goosefs::Bytes(data_.begin() + static_cast<long>(off),
                                    data_.begin() + static_cast<long>(end));
         };
-        (void)co_await mail_->DeliverChunked(user, len, std::move(reader));
+        Result<std::string> id = co_await mail_->DeliverChunked(user, len, std::move(reader));
+        if (!id.ok()) {
+          failed = id.status();
+          break;
+        }
       }
       size_t count = rcpts_.size();
       Reset();
+      if (!failed.ok()) {
+        // Tempfail the whole message: a 451/452 tells the client to retry
+        // later, and already-delivered recipients at worst see a duplicate
+        // on that retry (mail's at-least-once norm) — never a false 250
+        // for bytes that hit no durable mailbox. ENOSPC gets the specific
+        // "insufficient storage" code so senders can back off differently.
+        if (failed.code() == StatusCode::kNoSpace) {
+          co_return "452 Requested action not taken: insufficient system storage";
+        }
+        co_return "451 Requested action aborted: local error in processing";
+      }
       co_return "250 OK: delivered to " + std::to_string(count) + " mailbox(es)";
     }
     // Dot-stuffing: a leading ".." encodes a literal ".".

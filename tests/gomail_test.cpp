@@ -38,11 +38,11 @@ class GoMailTest : public ::testing::Test {
 TEST_F(GoMailTest, DeliverPickupDeleteCycle) {
   auto body = [&]() -> Task<uint64_t> {
     (void)co_await mail_.Deliver(0, goosefs::BytesOfString("via gomail"));
-    std::vector<Message> messages = co_await mail_.Pickup(0);
+    std::vector<Message> messages = (co_await mail_.Pickup(0)).value();
     EXPECT_EQ(messages.at(0).contents, "via gomail");
-    co_await mail_.Delete(0, messages.at(0).id);
+    (void)co_await mail_.Delete(0, messages.at(0).id);
     co_await mail_.Unlock(0);
-    std::vector<Message> after = co_await mail_.Pickup(0);
+    std::vector<Message> after = (co_await mail_.Pickup(0)).value();
     co_await mail_.Unlock(0);
     co_return after.size();
   };

@@ -102,7 +102,8 @@ TEST_F(GooseFsTest, LinkMakesNameVisibleAtomically) {
     Fd fd = (co_await fs_.Create("spool", "tmp1")).value();
     (void)co_await fs_.Append(fd, BytesOfString("mail"));
     (void)co_await fs_.Close(fd);
-    co_return co_await fs_.Link("spool", "tmp1", "user1", "msg1");
+    Result<bool> linked = co_await fs_.Link("spool", "tmp1", "user1", "msg1");
+    co_return linked.ok() && linked.value();
   };
   EXPECT_TRUE(SimRun(body()));
   EXPECT_EQ(StringOfBytes(*fs_.PeekFile("user1", "msg1")), "mail");
@@ -116,13 +117,17 @@ TEST_F(GooseFsTest, LinkFailsIfDestinationExists) {
     (void)co_await fs_.Close(a);
     Fd b = (co_await fs_.Create("user1", "m")).value();
     (void)co_await fs_.Close(b);
-    co_return co_await fs_.Link("spool", "t", "user1", "m");
+    Result<bool> linked = co_await fs_.Link("spool", "t", "user1", "m");
+    co_return linked.ok() && linked.value();
   };
   EXPECT_FALSE(SimRun(body()));
 }
 
 TEST_F(GooseFsTest, LinkFromMissingSourceFails) {
-  auto body = [&]() -> Task<bool> { co_return co_await fs_.Link("spool", "zz", "user1", "m"); };
+  auto body = [&]() -> Task<bool> {
+    Result<bool> linked = co_await fs_.Link("spool", "zz", "user1", "m");
+    co_return linked.ok() && linked.value();
+  };
   EXPECT_FALSE(SimRun(body()));
 }
 
@@ -357,10 +362,12 @@ TEST_F(PosixFsTest, ExclusiveCreateAndLinkSemanticsMatchModel) {
     if (dup.status().code() == StatusCode::kAlreadyExists) {
       score += 1;
     }
-    if (co_await fs.Link("spool", "t", "user0", "m")) {
+    Result<bool> first = co_await fs.Link("spool", "t", "user0", "m");
+    if (first.ok() && first.value()) {
       score += 2;
     }
-    if (!co_await fs.Link("spool", "t", "user0", "m")) {
+    Result<bool> second = co_await fs.Link("spool", "t", "user0", "m");
+    if (second.ok() && !second.value()) {
       score += 4;  // second link fails: destination exists
     }
     if ((co_await fs.Delete("spool", "t")).ok()) {

@@ -33,9 +33,9 @@ class MailboatTest : public ::testing::Test {
 
 TEST_F(MailboatTest, DeliverThenPickupSeesMessage) {
   auto body = [&]() -> Task<std::vector<Message>> {
-    std::string id = co_await mail_.Deliver(0, goosefs::BytesOfString("hello"));
+    std::string id = (co_await mail_.Deliver(0, goosefs::BytesOfString("hello"))).value();
     EXPECT_FALSE(id.empty());
-    std::vector<Message> messages = co_await mail_.Pickup(0);
+    std::vector<Message> messages = (co_await mail_.Pickup(0)).value();
     co_await mail_.Unlock(0);
     co_return messages;
   };
@@ -49,7 +49,7 @@ TEST_F(MailboatTest, MessageLargerThanReadSizeRoundTrips) {
   // regression: the fixed loop must advance the offset).
   auto body = [&]() -> Task<std::string> {
     (void)co_await mail_.Deliver(0, goosefs::BytesOfString("hello world"));
-    std::vector<Message> messages = co_await mail_.Pickup(0);
+    std::vector<Message> messages = (co_await mail_.Pickup(0)).value();
     co_await mail_.Unlock(0);
     co_return messages.at(0).contents;
   };
@@ -59,7 +59,7 @@ TEST_F(MailboatTest, MessageLargerThanReadSizeRoundTrips) {
 TEST_F(MailboatTest, MessageExactlyReadSizeRoundTrips) {
   auto body = [&]() -> Task<std::string> {
     (void)co_await mail_.Deliver(0, goosefs::BytesOfString("abcd"));  // == read_size
-    std::vector<Message> messages = co_await mail_.Pickup(0);
+    std::vector<Message> messages = (co_await mail_.Pickup(0)).value();
     co_await mail_.Unlock(0);
     co_return messages.at(0).contents;
   };
@@ -69,7 +69,7 @@ TEST_F(MailboatTest, MessageExactlyReadSizeRoundTrips) {
 TEST_F(MailboatTest, EmptyMessageRoundTrips) {
   auto body = [&]() -> Task<uint64_t> {
     (void)co_await mail_.Deliver(0, goosefs::Bytes{});
-    std::vector<Message> messages = co_await mail_.Pickup(0);
+    std::vector<Message> messages = (co_await mail_.Pickup(0)).value();
     co_await mail_.Unlock(0);
     EXPECT_TRUE(messages.at(0).contents.empty());
     co_return messages.size();
@@ -80,10 +80,10 @@ TEST_F(MailboatTest, EmptyMessageRoundTrips) {
 TEST_F(MailboatTest, DeleteRemovesMessage) {
   auto body = [&]() -> Task<uint64_t> {
     (void)co_await mail_.Deliver(0, goosefs::BytesOfString("bye"));
-    std::vector<Message> messages = co_await mail_.Pickup(0);
-    co_await mail_.Delete(0, messages.at(0).id);
+    std::vector<Message> messages = (co_await mail_.Pickup(0)).value();
+    (void)co_await mail_.Delete(0, messages.at(0).id);
     co_await mail_.Unlock(0);
-    std::vector<Message> after = co_await mail_.Pickup(0);
+    std::vector<Message> after = (co_await mail_.Pickup(0)).value();
     co_await mail_.Unlock(0);
     co_return after.size();
   };
@@ -93,7 +93,7 @@ TEST_F(MailboatTest, DeleteRemovesMessage) {
 TEST_F(MailboatTest, MailboxesAreIndependent) {
   auto body = [&]() -> Task<uint64_t> {
     (void)co_await mail_.Deliver(0, goosefs::BytesOfString("for user 0"));
-    std::vector<Message> messages = co_await mail_.Pickup(1);
+    std::vector<Message> messages = (co_await mail_.Pickup(1)).value();
     co_await mail_.Unlock(1);
     co_return messages.size();
   };
@@ -125,7 +125,7 @@ TEST_F(MailboatTest, RecoverCleansSpoolAndKeepsMail) {
   SimRunVoid(recover());
   EXPECT_TRUE(fs_.PeekNames("spool").empty());
   auto pickup = [&]() -> Task<uint64_t> {
-    std::vector<Message> messages = co_await mail_.Pickup(0);
+    std::vector<Message> messages = (co_await mail_.Pickup(0)).value();
     co_await mail_.Unlock(0);
     co_return messages.size();
   };
@@ -135,7 +135,7 @@ TEST_F(MailboatTest, RecoverCleansSpoolAndKeepsMail) {
 TEST_F(MailboatTest, DeleteOfUnknownIdIsUb) {
   auto body = [&]() -> Task<void> {
     (void)co_await mail_.Pickup(0);
-    co_await mail_.Delete(0, "msg-nonexistent");
+    (void)co_await mail_.Delete(0, "msg-nonexistent");
   };
   EXPECT_THROW(SimRunVoid(body()), UbViolation);
 }
@@ -144,8 +144,8 @@ TEST_F(MailboatTest, DeleteWithoutPickupIsUb) {
   // The lower-bound lease discipline (§8.3): deleting without the lease
   // taken by Pickup is a capability violation.
   auto body = [&]() -> Task<void> {
-    std::string id = co_await mail_.Deliver(0, goosefs::BytesOfString("x"));
-    co_await mail_.Delete(0, id);  // no Pickup first
+    std::string id = (co_await mail_.Deliver(0, goosefs::BytesOfString("x"))).value();
+    (void)co_await mail_.Delete(0, id);  // no Pickup first
   };
   EXPECT_THROW(SimRunVoid(body()), UbViolation);
 }
@@ -155,8 +155,8 @@ TEST_F(MailboatTest, DeleteOfMessageDeliveredAfterPickupIsUb) {
   // lock holder may not delete it even though the file exists.
   auto body = [&]() -> Task<void> {
     (void)co_await mail_.Pickup(0);
-    std::string id = co_await mail_.Deliver(0, goosefs::BytesOfString("late"));
-    co_await mail_.Delete(0, id);
+    std::string id = (co_await mail_.Deliver(0, goosefs::BytesOfString("late"))).value();
+    (void)co_await mail_.Delete(0, id);
   };
   EXPECT_THROW(SimRunVoid(body()), UbViolation);
 }
@@ -171,7 +171,7 @@ TEST(MailboatIds, CollidingIdsRetryAndBothDeliver) {
     for (int i = 0; i < 8; ++i) {
       (void)co_await mail.Deliver(0, goosefs::BytesOfString("m" + std::to_string(i)));
     }
-    std::vector<Message> messages = co_await mail.Pickup(0);
+    std::vector<Message> messages = (co_await mail.Pickup(0)).value();
     co_await mail.Unlock(0);
     co_return messages.size();
   };
@@ -376,10 +376,11 @@ TEST(MailMutation, CallerMutatingSliceDuringDeliverIsUb) {
       MailSpec::Ret ret;
       if (op.kind == MailSpec::Kind::kDeliver) {
         // Deliver reading through the shared slice.
-        ret.id = co_await b->mail->DeliverChunked(
+        Result<std::string> id = co_await b->mail->DeliverChunked(
             0, b->buffer.size(), [b](uint64_t off, uint64_t n) -> proc::Task<goosefs::Bytes> {
               co_return co_await b->heap->SliceCopyOut(b->buffer, off, off + n);
             });
+        ret.id = id.value();
       } else if (op.kind == MailSpec::Kind::kUnlock) {
         // Abuse kUnlock as "the caller scribbles on the buffer".
         co_await b->heap->SliceSet<uint8_t>(b->buffer, 1, 'Z');

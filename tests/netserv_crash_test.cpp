@@ -191,8 +191,9 @@ TEST(NetservCrashTest, AckedDeliveriesSurvivePowerFailProjection) {
   proc::RunSyncVoid(mail.Recover());
   std::multiset<std::string> survivors;
   for (uint64_t user = 0; user < kUsers; ++user) {
-    std::vector<mailboat::Message> msgs = proc::RunSync(mail.Pickup(user));
-    for (const mailboat::Message& m : msgs) {
+    Result<std::vector<mailboat::Message>> picked = proc::RunSync(mail.Pickup(user));
+    ASSERT_TRUE(picked.ok()) << picked.status().ToString();
+    for (const mailboat::Message& m : picked.value()) {
       survivors.insert(m.contents);
     }
     proc::RunSyncVoid(mail.Unlock(user));

@@ -1,0 +1,203 @@
+// tier2-net fault soaks: the loadgen fleet versus a hostile disk.
+//
+// A seeded SyscallFaultPlan is interposed on every data-path syscall of the
+// in-process production stack (PosixFilesys + GroupCommitter + Mailboat +
+// MailNetServer) while the loadgen drives real SMTP/POP3 traffic with
+// RFC-style tempfail retries. After each soak the store is recovered with a
+// CLEAN filesystem and audited against the client's view:
+//
+//   * acked => durable: every body the server answered 250 for is in the
+//     recovered store (zero acked-but-lost);
+//   * lost => tempfailed: every body found in the store that was never
+//     acked is one the generator explicitly gave up on (a compensation
+//     unlink that itself failed) — no message appears out of thin air;
+//   * honest failure mode: zero protocol-level errors; the only failures
+//     are tempfails, which is what an honest server degrades to.
+//
+// Meant for -DPCC_SANITIZE=thread (`ctest -L tier2-net`) as well as plain
+// builds: the fault path adds lock-ordering edges (committer poison sets,
+// filesys error paths) that only TSan can audit.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/fault/syscall_fault.h"
+#include "src/goose/world.h"
+#include "src/goosefs/posix_fs.h"
+#include "src/mailboat/mailboat.h"
+#include "src/netserv/harness.h"
+#include "src/netserv/loadgen.h"
+#include "src/proc/task.h"
+
+namespace perennial::netserv {
+namespace {
+
+constexpr uint64_t kUsers = 6;
+
+std::string TestRoot(const char* name) {
+  std::string root = "/tmp/pcc-netserv-fault-" + std::string(name) + "-" +
+                     std::to_string(::getpid());
+  std::string cmd = "rm -rf " + root;
+  [[maybe_unused]] int rc = std::system(cmd.c_str());
+  return root;
+}
+
+LoadgenOptions SoakLoad(const InprocMailServer& server, uint64_t requests,
+                        double pickup_fraction) {
+  LoadgenOptions load;
+  load.smtp_port = server.smtp_port();
+  load.pop3_port = server.pop3_port();
+  load.clients = 24;
+  load.requests = requests;
+  load.num_users = kUsers;
+  load.pickup_fraction = pickup_fraction;
+  load.body_bytes = 96;
+  load.stall_timeout_ms = 60000;  // fault storms slow progress; not a hang
+  return load;
+}
+
+// Recovers the store with a clean (fault-free) filesystem and returns every
+// message body it contains, exactly as a post-crash restart would see it.
+std::vector<std::string> RecoverSurvivors(const std::string& root) {
+  goosefs::PosixFilesys::Options fopts;
+  fopts.fsync_dirs = true;
+  fopts.recovery_reconciled_dirs = {"spool"};
+  goosefs::PosixFilesys fs(root, std::move(fopts));
+  Status es = fs.EnsureDirs(mailboat::Mailboat::DirLayout(kUsers), /*clear_contents=*/false);
+  EXPECT_TRUE(es.ok()) << es.ToString();
+  goose::World world;
+  mailboat::Mailboat mail(&world, &fs, mailboat::Mailboat::Options{kUsers, 4096, 512, 42});
+  proc::RunSyncVoid(mail.Recover());
+  std::vector<std::string> survivors;
+  for (uint64_t user = 0; user < kUsers; ++user) {
+    Result<std::vector<mailboat::Message>> picked = proc::RunSync(mail.Pickup(user));
+    EXPECT_TRUE(picked.ok()) << picked.status().ToString();
+    if (picked.ok()) {
+      for (const mailboat::Message& m : picked.value()) {
+        survivors.push_back(m.contents);
+      }
+    }
+    proc::RunSyncVoid(mail.Unlock(user));
+  }
+  return survivors;
+}
+
+// The acked/lost audit shared by the storm scenarios (deliver-only runs,
+// so the store contains exactly what the soak delivered).
+void AuditAckedVsDurable(const LoadgenResult& result, const std::vector<std::string>& survivors) {
+  std::set<std::string> survivor_set(survivors.begin(), survivors.end());
+  uint64_t acked_lost = 0;
+  for (const std::string& body : result.acked_bodies) {
+    if (survivor_set.count(body) == 0) {
+      ++acked_lost;
+    }
+  }
+  EXPECT_EQ(acked_lost, 0u) << "acked deliveries missing after recovery";
+
+  std::set<std::string> accounted(result.acked_bodies.begin(), result.acked_bodies.end());
+  accounted.insert(result.tempfailed_bodies.begin(), result.tempfailed_bodies.end());
+  uint64_t phantom = 0;
+  for (const std::string& body : survivor_set) {
+    if (accounted.count(body) == 0) {
+      ++phantom;
+    }
+  }
+  EXPECT_EQ(phantom, 0u) << "durable bodies the generator never sent or gave up on";
+}
+
+TEST(NetservFaultTest, EnospcStormKeepsAcksHonest) {
+  std::string root = TestRoot("enospc");
+  InprocMailServer::Config config;
+  config.root = root;
+  config.users = kUsers;
+  config.loops = 2;
+  config.executors = 32;
+  Result<fault::SyscallFaultPlan> plan = fault::SyscallFaultPlan::Parse(
+      "no-space=0.05,transient-write=0.02,short-write=0.02,seed=11");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  config.fault_plan = plan.value();
+  InprocMailServer server(config);
+  ASSERT_TRUE(server.Start());
+
+  LoadgenResult result = RunLoadgen(SoakLoad(server, 400, /*pickup_fraction=*/0.0));
+  ASSERT_NE(server.faults(), nullptr);
+  EXPECT_GT(server.faults()->total_injected(), 0u) << server.faults()->InjectedSummary();
+  server.Stop();
+
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.errors, 0u) << "faults must surface as tempfails, not protocol errors";
+  EXPECT_EQ(result.ok_requests + result.tempfails, 400u);
+  EXPECT_GT(result.ok_requests, 0u) << "a 5% storm must not starve the server completely";
+
+  AuditAckedVsDurable(result, RecoverSurvivors(root));
+}
+
+TEST(NetservFaultTest, FailedFsyncBarriersTempfailEveryRiderNotFalseAck) {
+  std::string root = TestRoot("fsync");
+  InprocMailServer::Config config;
+  config.root = root;
+  config.users = kUsers;
+  config.loops = 2;
+  config.executors = 32;
+  config.group_commit = true;
+  // High enough that batches fail even through the per-fd fallback.
+  Result<fault::SyscallFaultPlan> plan =
+      fault::SyscallFaultPlan::Parse("failed-sync=0.4,seed=7");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  config.fault_plan = plan.value();
+  InprocMailServer server(config);
+  ASSERT_TRUE(server.Start());
+
+  LoadgenResult result = RunLoadgen(SoakLoad(server, 400, /*pickup_fraction=*/0.0));
+  ASSERT_NE(server.faults(), nullptr);
+  EXPECT_GT(server.faults()->injected(fault::SyscallFaultKind::kFailedSync), 0u);
+  // At these rates some barriers failed outright; each failure tempfailed
+  // its whole batch (sticky poisoning means no later false success).
+  EXPECT_GT(server.committer()->stats().failed_batches.load(), 0u);
+  server.Stop();
+
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.ok_requests + result.tempfails, 400u);
+  EXPECT_GT(result.ok_requests, 0u);
+
+  AuditAckedVsDurable(result, RecoverSurvivors(root));
+}
+
+TEST(NetservFaultTest, EintrFlurryIsInvisibleToClients) {
+  std::string root = TestRoot("eintr");
+  InprocMailServer::Config config;
+  config.root = root;
+  config.users = kUsers;
+  config.loops = 2;
+  config.executors = 32;
+  Result<fault::SyscallFaultPlan> plan = fault::SyscallFaultPlan::Parse("eintr=0.3,seed=5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  config.fault_plan = plan.value();
+  InprocMailServer server(config);
+  ASSERT_TRUE(server.Start());
+
+  // Mixed traffic: EINTR hits reads, writes, links, and barriers alike.
+  LoadgenResult result = RunLoadgen(SoakLoad(server, 400, /*pickup_fraction=*/0.3));
+  ASSERT_NE(server.faults(), nullptr);
+  EXPECT_GT(server.faults()->injected(fault::SyscallFaultKind::kEintr), 0u);
+  server.Stop();
+
+  // Every EINTR must be absorbed by a retry loop below the protocol layer:
+  // clients see a completely clean run.
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.tempfails, 0u);
+  EXPECT_EQ(result.ok_requests, 400u);
+
+  // Conservation: deliveries minus committed deletes remain in the store.
+  std::vector<std::string> survivors = RecoverSurvivors(root);
+  EXPECT_EQ(survivors.size(), result.delivers - result.deletes);
+}
+
+}  // namespace
+}  // namespace perennial::netserv

@@ -604,6 +604,224 @@ TEST(NetservTest, TraceLogWritesChromeJson) {
   EXPECT_EQ(json.front(), '[');
 }
 
+// The headline honest-error case: with the disk refusing every write, an
+// SMTP delivery must be answered with a 4xx tempfail — never a false 250 —
+// and the mailbox must not contain a phantom message. The read path is
+// unaffected, so the server stays healthy throughout.
+TEST(NetservTest, FailingDiskTempfailsDeliveryInsteadOfFalseAck) {
+  InprocMailServer::Config config = SmallConfig(TestRoot("hostile-disk"));
+  Result<fault::SyscallFaultPlan> plan = fault::SyscallFaultPlan::Parse("no-space=1.0,seed=3");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  config.fault_plan = plan.value();
+  InprocMailServer server(config);
+  ASSERT_TRUE(server.Start());
+
+  BlockingLineConn conn(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(conn.fd(), 0);
+  ExpectPrefix(conn, "220");
+  ASSERT_TRUE(conn.WriteLine("HELO t"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("MAIL FROM:<user0@test>"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("RCPT TO:<user1@test>"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("DATA"));
+  ExpectPrefix(conn, "354");
+  ASSERT_TRUE(conn.WriteLine("doomed message"));
+  ASSERT_TRUE(conn.WriteLine("."));
+  std::string verdict = MustReadLine(conn);
+  EXPECT_EQ(verdict.substr(0, 3), "452") << "full line: " << verdict;
+  // The session survives the tempfail and the transaction was reset.
+  ASSERT_TRUE(conn.WriteLine("NOOP"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("QUIT"));
+  ExpectPrefix(conn, "221");
+
+  ASSERT_NE(server.faults(), nullptr);
+  EXPECT_GT(server.faults()->total_injected(), 0u);
+  // No phantom: the mailbox the 452'd message targeted is empty.
+  EXPECT_TRUE(Pop3Fetch(server.pop3_port(), 1, false).empty());
+  server.Stop();
+}
+
+// Deterministic FsSyscalls that fails the next N barrier syscalls with EIO.
+struct FlakySyncSys : fault::FsSyscalls {
+  std::atomic<int> fail_next{0};
+  int Fsync(int fd) override {
+    if (fail_next.fetch_sub(1) > 0) {
+      errno = EIO;
+      return -1;
+    }
+    return fault::FsSyscalls::Fsync(fd);
+  }
+  int Syncfs(int fd) override {
+    if (fail_next.fetch_sub(1) > 0) {
+      errno = EIO;
+      return -1;
+    }
+    return fault::FsSyscalls::Syncfs(fd);
+  }
+};
+
+// Linux drops dirty pages when fsync fails, so a later fsync of the same fd
+// can "succeed" over already-lost data. The committer must therefore treat
+// a failed barrier as sticky: every fd dirty at failure time keeps failing
+// until it is closed and the data rewritten through a fresh descriptor.
+TEST(NetservTest, FailedBarrierStickilyPoisonsDirtyFds) {
+  std::string root = TestRoot("gc-poison");
+  ::mkdir(root.c_str(), 0755);
+  int fd = ::open((root + "/f").c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  FlakySyncSys flaky;
+  GroupCommitter committer(GroupCommitter::Options{
+      .max_wait_us = 100,
+      .barrier = GroupCommitter::Barrier::kFsyncPerFd,
+      .sys = &flaky,
+  });
+  committer.Start();
+
+  committer.OnDirty(fd);
+  flaky.fail_next.store(1);
+  Status first = committer.Fsync(fd);
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(committer.stats().failed_batches.load(), 1u);
+
+  // The syscalls work again, but the fd is poisoned: no false success.
+  Status second = committer.Fsync(fd);
+  EXPECT_FALSE(second.ok());
+  EXPECT_GE(committer.stats().poisoned_fails.load(), 1u);
+
+  // Close-and-rewrite clears the poison; a fresh barrier succeeds.
+  committer.OnClose(fd);
+  committer.OnDirty(fd);
+  EXPECT_TRUE(committer.Fsync(fd).ok());
+  committer.Stop();
+  ::close(fd);
+}
+
+// Idle connections are reaped at the deadline with a protocol farewell, and
+// a reaped POP3 session releases its user's pickup lock (the reap goes
+// through the executor Abort path, not a bare close).
+TEST(NetservTest, IdleConnectionsReapedAndLocksReleased) {
+  InprocMailServer::Config config = SmallConfig(TestRoot("idle-reap"));
+  config.idle_timeout_ms = 150;
+  InprocMailServer server(config);
+  ASSERT_TRUE(server.Start());
+
+  // An SMTP conn that goes quiet after the greeting.
+  BlockingLineConn smtp(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(smtp.fd(), 0);
+  ExpectPrefix(smtp, "220");
+  // A POP3 conn that takes user2's pickup lock, then goes quiet.
+  BlockingLineConn pop3(ConnectTcp(server.pop3_port()));
+  ASSERT_GE(pop3.fd(), 0);
+  ExpectPrefix(pop3, "+OK");
+  ASSERT_TRUE(pop3.WriteLine("USER user2"));
+  ExpectPrefix(pop3, "+OK");
+  ASSERT_TRUE(pop3.WriteLine("PASS x"));
+  ExpectPrefix(pop3, "+OK");
+
+  ExpectPrefix(smtp, "421");  // "421 idle timeout", then close
+  std::string line;
+  EXPECT_FALSE(smtp.ReadLine(&line));
+  ExpectPrefix(pop3, "-ERR");  // "-ERR idle timeout"
+  EXPECT_FALSE(pop3.ReadLine(&line));
+  EXPECT_GE(server.server()->idle_reaped(), 2u);
+
+  // The reaped session released the lock: a fresh pickup of user2 works
+  // (a leaked lock would block PASS until the gtest timeout).
+  EXPECT_TRUE(Pop3Fetch(server.pop3_port(), 2, false).empty());
+  server.Stop();
+}
+
+// Beyond max_conns the acceptor sheds with an honest 421 and the server
+// stays fully healthy for the connections it admitted.
+TEST(NetservTest, MaxConnsShedsBeyond421) {
+  InprocMailServer::Config config = SmallConfig(TestRoot("shed"));
+  config.max_conns = 1;
+  InprocMailServer server(config);
+  ASSERT_TRUE(server.Start());
+
+  BlockingLineConn keeper(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(keeper.fd(), 0);
+  ExpectPrefix(keeper, "220");
+
+  // Over the cap: farewell + close, counted as shed.
+  BlockingLineConn extra(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(extra.fd(), 0);
+  ExpectPrefix(extra, "421");
+  std::string line;
+  EXPECT_FALSE(extra.ReadLine(&line));
+  EXPECT_GE(server.server()->shed_connects(), 1u);
+
+  // The admitted connection still gets full service.
+  ASSERT_TRUE(keeper.WriteLine("HELO t"));
+  ExpectPrefix(keeper, "250");
+  ASSERT_TRUE(keeper.WriteLine("QUIT"));
+  ExpectPrefix(keeper, "221");
+
+  // Once the keeper retires, a new connection is admitted again.
+  bool admitted = false;
+  for (int i = 0; i < 100 && !admitted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    BlockingLineConn retry(ConnectTcp(server.smtp_port()));
+    if (retry.fd() < 0) {
+      continue;
+    }
+    std::string greet;
+    if (retry.ReadLine(&greet) && greet.substr(0, 3) == "220") {
+      admitted = true;
+    }
+  }
+  EXPECT_TRUE(admitted);
+  server.Stop();
+}
+
+// SIGTERM semantics: Drain() lets an in-flight DATA finish and flushes its
+// 250 ack to the wire before the connection is closed, and new connections
+// are shed while draining.
+TEST(NetservTest, DrainFlushesInflightAckBeforeClosing) {
+  InprocMailServer server(SmallConfig(TestRoot("drain")));
+  ASSERT_TRUE(server.Start());
+
+  BlockingLineConn conn(ConnectTcp(server.smtp_port()));
+  ASSERT_GE(conn.fd(), 0);
+  ExpectPrefix(conn, "220");
+  ASSERT_TRUE(conn.WriteLine("HELO t"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("MAIL FROM:<user0@test>"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("RCPT TO:<user3@test>"));
+  ExpectPrefix(conn, "250");
+  ASSERT_TRUE(conn.WriteLine("DATA"));
+  ExpectPrefix(conn, "354");
+  // Put the whole body + terminator on the wire, then drain concurrently:
+  // the delivery is in flight when the drain starts.
+  ASSERT_TRUE(conn.WriteLine("must be acked before shutdown"));
+  ASSERT_TRUE(conn.WriteLine("."));
+  std::thread drainer([&] { EXPECT_TRUE(server.server()->Drain(5000)); });
+
+  // The ack must arrive (possibly followed by the shutdown farewell).
+  bool saw_ack = false;
+  std::string got;
+  while (conn.ReadLine(&got)) {
+    if (got.substr(0, 3) == "250") {
+      saw_ack = true;
+    }
+  }
+  EXPECT_TRUE(saw_ack);
+  drainer.join();
+  EXPECT_EQ(server.server()->live_conns(), 0u);
+
+  // While stopped-for-drain, the acked message is in the store.
+  Result<std::vector<mailboat::Message>> picked = proc::RunSync(server.mail()->Pickup(3));
+  ASSERT_TRUE(picked.ok());
+  ASSERT_EQ(picked.value().size(), 1u);
+  EXPECT_EQ(picked.value()[0].contents, "must be acked before shutdown\r\n");
+  proc::RunSyncVoid(server.mail()->Unlock(3));
+  server.Stop();
+}
+
 TEST(NetservTest, ServerStartStopIsClean) {
   for (int i = 0; i < 3; ++i) {
     InprocMailServer server(SmallConfig(TestRoot("startstop")));

@@ -106,7 +106,8 @@ TEST_P(FsPropertyTest, RandomOpsMatchReferenceModel) {
         bool expect_ok = model[dir].count(name) > 0 && model[dst_dir].count(dst_name) == 0;
         bool got_ok = false;
         run([&]() -> Task<void> {
-          got_ok = co_await fs.Link(dir, name, dst_dir, dst_name);
+          Result<bool> linked = co_await fs.Link(dir, name, dst_dir, dst_name);
+          got_ok = linked.ok() && linked.value();
         }());
         ASSERT_EQ(got_ok, expect_ok);
         if (expect_ok) {

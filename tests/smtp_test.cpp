@@ -42,7 +42,7 @@ class SmtpTest : public ::testing::Test {
 
   std::vector<Message> PickupAll(uint64_t user) {
     auto body = [&]() -> Task<std::vector<Message>> {
-      std::vector<Message> m = co_await mail_.Pickup(user);
+      std::vector<Message> m = (co_await mail_.Pickup(user)).value();
       co_await mail_.Unlock(user);
       co_return m;
     };
@@ -133,7 +133,7 @@ class Pop3Test : public SmtpTest {
 
   void DeliverText(uint64_t user, const std::string& text) {
     auto body = [&]() -> Task<std::string> {
-      std::string id = co_await mail_.Deliver(user, goosefs::BytesOfString(text));
+      std::string id = (co_await mail_.Deliver(user, goosefs::BytesOfString(text))).value();
       co_return id;
     };
     (void)SimRun(body());
